@@ -1,0 +1,150 @@
+"""C7 -- §2/§6 claim: vectorized execution spends few CPU cycles per value.
+
+"For the query processor, only a comparably low amount of CPU cycles per
+value can be spent. Vectorized or Just-in-time compilation query processing
+engines are the two state-of-the-art possibilities here."
+
+The bench runs the same analytical query through:
+
+* the vectorized Vector Volcano engine (interpretation overhead amortized
+  over 2048-value vectors);
+* the classic tuple-at-a-time Volcano interpreter
+  (:mod:`repro.baselines.tuple_engine`), which re-interprets every
+  expression per row.
+
+Workloads: filtered aggregation, grouped aggregation, and an equi-join --
+the OLAP patterns of §2.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_experiment
+
+import repro
+from repro.baselines import (
+    TupleAggregate,
+    TupleFilter,
+    TupleHashJoin,
+    TupleProjection,
+    TupleScan,
+    run_to_list,
+)
+
+ROWS = 1_000_000
+DIM_ROWS = 1000
+
+
+def build():
+    con = repro.connect()
+    rng = np.random.default_rng(15)
+    con.execute("CREATE TABLE fact (g INTEGER, v INTEGER, k INTEGER)")
+    groups = rng.integers(0, 100, ROWS).astype(np.int32)
+    values = rng.integers(0, 10_000, ROWS).astype(np.int32)
+    keys = rng.integers(0, DIM_ROWS, ROWS).astype(np.int32)
+    with con.appender("fact") as appender:
+        appender.append_numpy({"g": groups, "v": values, "k": keys})
+    con.execute("CREATE TABLE dim (k INTEGER, w INTEGER)")
+    with con.appender("dim") as appender:
+        appender.append_numpy({
+            "k": np.arange(DIM_ROWS, dtype=np.int32),
+            "w": rng.integers(0, 10, DIM_ROWS).astype(np.int32),
+        })
+    fact_rows = list(zip(groups.tolist(), values.tolist(), keys.tolist()))
+    dim_rows = list(zip(range(DIM_ROWS),
+                        [int(w) for w in rng.integers(0, 10, DIM_ROWS)]))
+    # Re-read dim rows from the database so both engines see identical data.
+    dim_rows = con.execute("SELECT k, w FROM dim").fetchall()
+    return con, fact_rows, dim_rows
+
+
+SUM_SQL = "SELECT sum(v * 2 + 1) FROM fact WHERE v >= 5000"
+GROUP_SQL = "SELECT g, sum(v), count(*) FROM fact GROUP BY g"
+JOIN_SQL = ("SELECT sum(dim.w) FROM fact JOIN dim ON fact.k = dim.k "
+            "WHERE fact.v < 2000")
+
+
+def tuple_sum(fact_rows):
+    plan = TupleAggregate(
+        TupleProjection(
+            TupleFilter(TupleScan(fact_rows), lambda row: row[1] >= 5000),
+            [lambda row: row[1] * 2 + 1]),
+        None,
+        [(lambda: 0, lambda state, row: state + row[0], lambda state: state)])
+    return run_to_list(plan)[0][0]
+
+
+def tuple_group(fact_rows):
+    plan = TupleAggregate(
+        TupleScan(fact_rows), lambda row: row[0],
+        [(lambda: 0, lambda state, row: state + row[1], lambda state: state),
+         (lambda: 0, lambda state, row: state + 1, lambda state: state)])
+    return run_to_list(plan)
+
+
+def tuple_join(fact_rows, dim_rows):
+    joined = TupleHashJoin(
+        TupleFilter(TupleScan(fact_rows), lambda row: row[1] < 2000),
+        TupleScan(dim_rows),
+        lambda row: row[2], lambda row: row[0])
+    plan = TupleAggregate(
+        joined, None,
+        [(lambda: 0, lambda state, row: state + row[4], lambda state: state)])
+    return run_to_list(plan)[0][0]
+
+
+def test_vectorized_filtered_sum(benchmark):
+    con, _, _ = build()
+    benchmark(lambda: con.execute(SUM_SQL).fetchvalue())
+    con.close()
+
+
+def test_tuple_filtered_sum(benchmark):
+    _, fact_rows, _ = build()
+    benchmark.pedantic(tuple_sum, args=(fact_rows,), rounds=1, iterations=1)
+
+
+def test_c7_report(benchmark):
+    con, fact_rows, dim_rows = build()
+
+    def measure():
+        results = []
+        for label, sql, tuple_fn in (
+            ("filtered sum", SUM_SQL, lambda: tuple_sum(fact_rows)),
+            ("grouped agg", GROUP_SQL, lambda: tuple_group(fact_rows)),
+            ("join + agg", JOIN_SQL, lambda: tuple_join(fact_rows, dim_rows)),
+        ):
+            con.execute(sql).fetchall()  # warm-up
+            started = time.perf_counter()
+            vectorized_result = con.execute(sql).fetchall()
+            vectorized_s = time.perf_counter() - started
+            started = time.perf_counter()
+            tuple_result = tuple_fn()
+            tuple_s = time.perf_counter() - started
+            # Cross-check correctness between the engines.
+            if label == "filtered sum":
+                assert vectorized_result[0][0] == tuple_result
+            elif label == "grouped agg":
+                assert sorted(tuple(r) for r in vectorized_result) == \
+                    sorted(tuple_result)
+            else:
+                assert vectorized_result[0][0] == tuple_result
+            results.append((label, vectorized_s, tuple_s))
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"fact table: {ROWS:,} rows; dim: {DIM_ROWS:,} rows",
+             f"{'workload':<14}{'vectorized':>12}{'tuple-at-a-time':>17}"
+             f"{'speedup':>9}"]
+    for label, vectorized_s, tuple_s in results:
+        lines.append(f"{label:<14}{vectorized_s * 1000:9.1f} ms"
+                     f"{tuple_s * 1000:14.1f} ms"
+                     f"{tuple_s / vectorized_s:8.0f}x")
+    record_experiment("C7", "Vectorized vs tuple-at-a-time execution "
+                            "(paper §2/§6)", lines)
+    for label, vectorized_s, tuple_s in results:
+        assert tuple_s > vectorized_s * 5, \
+            f"vectorization must dominate on {label}"
+    con.close()

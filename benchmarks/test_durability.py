@@ -1,0 +1,117 @@
+"""Durability benchmark: the cost and speed of the ACID machinery.
+
+The paper's premise: the script-and-CSV "zoo" has "nothing close to
+transactional guarantees"; an embedded database must provide them without
+making ingest impractical.  Measured here:
+
+* commit cost: per-statement WAL-fsync'd inserts vs bulk appends vs an
+  in-memory database (the durability tax, and how bulk operations amortize
+  it -- the reason §2 demands bulk granularity);
+* recovery speed: WAL replay throughput on reopen after a crash;
+* checkpoint speed: folding the WAL into the single-file format.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_experiment
+
+import repro
+
+BULK_ROWS = 100_000
+SINGLETON_ROWS = 300
+
+
+def test_bulk_append_durable(benchmark, tmp_path):
+    path = str(tmp_path / "bulk.qdb")
+    con = repro.connect(path, {"wal_autocheckpoint": 0,
+                               "checkpoint_on_close": False})
+    con.execute("CREATE TABLE t (a INTEGER, b DOUBLE)")
+    rng = np.random.default_rng(0)
+    arrays = {"a": np.arange(BULK_ROWS, dtype=np.int32),
+              "b": rng.normal(size=BULK_ROWS)}
+
+    def bulk():
+        with con.appender("t") as appender:
+            appender.append_numpy(arrays)
+
+    benchmark.pedantic(bulk, rounds=3, iterations=1)
+    con.close()
+
+
+def test_durability_report(benchmark, tmp_path):
+    def measure():
+        results = {}
+        rng = np.random.default_rng(1)
+        arrays = {"a": np.arange(BULK_ROWS, dtype=np.int32),
+                  "b": rng.normal(size=BULK_ROWS)}
+
+        # 1. Bulk append, durable (one WAL commit group + fsync).
+        path = str(tmp_path / "durable.qdb")
+        con = repro.connect(path, {"wal_autocheckpoint": 0,
+                                   "checkpoint_on_close": False})
+        con.execute("CREATE TABLE t (a INTEGER, b DOUBLE)")
+        started = time.perf_counter()
+        with con.appender("t") as appender:
+            appender.append_numpy(arrays)
+        results["bulk_durable"] = time.perf_counter() - started
+        wal_bytes = con.database.storage.wal.size()
+
+        # 2. Singleton durable inserts: one fsync'd commit per row.
+        started = time.perf_counter()
+        for index in range(SINGLETON_ROWS):
+            con.execute("INSERT INTO t VALUES (?, 0.0)", [index])
+        singleton_s = time.perf_counter() - started
+        results["singleton_per_row"] = singleton_s / SINGLETON_ROWS
+
+        # 3. Recovery: crash (no checkpoint) and replay the WAL.
+        database = con.database
+        database.storage.wal.close()
+        database.storage.block_file.close()
+        started = time.perf_counter()
+        recovered = repro.connect(path, {"checkpoint_on_close": False})
+        results["replay"] = time.perf_counter() - started
+        count = recovered.query_value("SELECT count(*) FROM t")
+        assert count == BULK_ROWS + SINGLETON_ROWS
+
+        # 4. Checkpoint: fold everything into the single file.
+        started = time.perf_counter()
+        recovered.execute("CHECKPOINT")
+        results["checkpoint"] = time.perf_counter() - started
+        recovered.close()
+
+        # 5. The same bulk append on an in-memory database (no WAL).
+        memory = repro.connect()
+        memory.execute("CREATE TABLE t (a INTEGER, b DOUBLE)")
+        started = time.perf_counter()
+        with memory.appender("t") as appender:
+            appender.append_numpy(arrays)
+        results["bulk_memory"] = time.perf_counter() - started
+        memory.close()
+        return results, wal_bytes
+
+    results, wal_bytes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    durability_tax = results["bulk_durable"] / results["bulk_memory"]
+    record_experiment("D1", "Durability: WAL commit, replay, checkpoint", [
+        f"bulk append {BULK_ROWS:,} rows, in-memory    : "
+        f"{results['bulk_memory'] * 1000:8.1f} ms",
+        f"bulk append {BULK_ROWS:,} rows, WAL + fsync  : "
+        f"{results['bulk_durable'] * 1000:8.1f} ms "
+        f"({durability_tax:.1f}x durability tax, {wal_bytes:,} WAL bytes)",
+        f"singleton durable INSERT (per statement)  : "
+        f"{results['singleton_per_row'] * 1000:8.2f} ms "
+        "(one fsync'd commit each)",
+        f"crash recovery (WAL replay, all rows)     : "
+        f"{results['replay'] * 1000:8.1f} ms",
+        f"checkpoint (fold WAL into data file)      : "
+        f"{results['checkpoint'] * 1000:8.1f} ms",
+    ])
+    # Shape: bulk durability costs a small factor; per-row commits cost
+    # orders of magnitude more per row -- the paper's bulk-granularity
+    # argument applied to the write-ahead log.
+    per_row_bulk = results["bulk_durable"] / BULK_ROWS
+    assert results["singleton_per_row"] > per_row_bulk * 50
+    assert results["replay"] < 10.0

@@ -1,0 +1,102 @@
+"""OLAP workload benchmark: TPC-H-shaped queries (paper §2 workload).
+
+"The queries typically consist of large table scans and involve multiple
+aggregates and complex join graphs. The workloads also typically only
+target a subset of the columns of a large table."
+
+Three classic query shapes over a synthetic TPC-H-like schema:
+
+* Q1 -- full scan, 8 aggregates, 6 groups (scan + aggregate throughput);
+* Q6 -- highly selective multi-predicate scan (filter throughput);
+* Q3 -- customer x orders x lineitem join + aggregation + top-N.
+
+These are the headline "is this engine actually an OLAP engine" numbers.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import record_experiment
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "examples"))
+
+import repro
+from analytics_tpch import Q1, Q3, Q6, SCALE_LINEITEM, load
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    con = repro.connect()
+    load(con)
+    yield con
+    con.close()
+
+
+def test_q1_pricing_summary(benchmark, tpch):
+    rows = benchmark(lambda: tpch.execute(Q1).fetchall())
+    assert len(rows) == 6
+
+
+def test_q6_forecast_revenue(benchmark, tpch):
+    value = benchmark(lambda: tpch.execute(Q6).fetchvalue())
+    assert value > 0
+
+
+def test_q3_shipping_priority(benchmark, tpch):
+    rows = benchmark(lambda: tpch.execute(Q3).fetchall())
+    assert len(rows) == 10
+    revenues = [row[1] for row in rows]
+    assert revenues == sorted(revenues, reverse=True)
+
+
+QW = """
+    SELECT c_mktsegment, o_orderdate, revenue,
+           rank() OVER (PARTITION BY c_mktsegment ORDER BY revenue DESC) AS r
+    FROM (
+        SELECT c_mktsegment, o_orderdate,
+               sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer
+        JOIN orders ON c_custkey = o_custkey
+        JOIN lineitem ON l_orderkey = o_orderkey
+        GROUP BY c_mktsegment, o_orderdate
+    ) daily
+    ORDER BY c_mktsegment, r
+    LIMIT 20
+"""
+
+
+def test_qw_windowed_ranking(benchmark, tpch):
+    rows = benchmark(lambda: tpch.execute(QW).fetchall())
+    assert len(rows) == 20
+    assert rows[0][3] == 1
+
+
+def test_olap_report(benchmark, tpch):
+    def measure():
+        timings = []
+        for name, sql in (("Q1 (scan+8 aggs)", Q1),
+                          ("Q6 (selective scan)", Q6),
+                          ("Q3 (3-way join+topN)", Q3),
+                          ("QW (join+window rank)", QW)):
+            tpch.execute(sql).fetchall()  # warm
+            samples = []
+            for _ in range(5):
+                started = time.perf_counter()
+                tpch.execute(sql).fetchall()
+                samples.append(time.perf_counter() - started)
+            timings.append((name, sorted(samples)[2]))
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"lineitem: {SCALE_LINEITEM:,} rows (scaled-down TPC-H shape)"]
+    for name, seconds in timings:
+        lines.append(f"{name:<22}: {seconds * 1000:8.1f} ms "
+                     f"({SCALE_LINEITEM / seconds / 1e6:5.1f} M lineitem "
+                     f"rows/s)")
+    record_experiment("OLAP", "TPC-H-shaped analytical queries (paper §2 "
+                              "workload)", lines)
+    for name, seconds in timings:
+        assert seconds < 2.0, f"{name} should run in interactive time"

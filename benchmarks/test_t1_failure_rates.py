@@ -1,0 +1,67 @@
+"""T1 -- Table 1: 30-day OS crash probability.
+
+Paper's Table 1 (from Nightingale et al., EuroSys 2011):
+
+    Failure         Pr[1st failure]   Pr[2nd fail | 1 fail]
+    CPU (MCE)       1 in 190          1 in 2.9
+    DRAM bit flip   1 in 1700         1 in 12
+    Disk failure    1 in 270          1 in 3.5
+
+The fleet simulator draws per-machine failures at those underlying rates;
+this bench re-derives the table empirically via Monte-Carlo over a large
+simulated fleet, and checks the headline property (failed machines fail
+again at ~two orders of magnitude higher probability).
+"""
+
+import pytest
+
+from conftest import record_experiment
+from repro.resilience import FleetSimulator, TABLE1_RATES
+
+FLEET = 400_000
+
+PAPER_TABLE = {
+    "CPU (MCE)": (1 / 190, 1 / 2.9),
+    "DRAM bit flip": (1 / 1700, 1 / 12),
+    "Disk failure": (1 / 270, 1 / 3.5),
+}
+
+
+def run_fleet():
+    return FleetSimulator(TABLE1_RATES, seed=42).run(machines=FLEET, windows=2)
+
+
+def test_table1_reproduction(benchmark):
+    report = benchmark.pedantic(run_fleet, rounds=1, iterations=1)
+
+    lines = [f"{'Failure':<16}{'Pr[1st] paper':>14}{'measured':>12}"
+             f"{'Pr[2nd|1] paper':>17}{'measured':>12}"]
+    for label, first, again in report.as_table():
+        paper_first, paper_again = PAPER_TABLE[label]
+        lines.append(
+            f"{label:<16}{f'1 in {1 / paper_first:.0f}':>14}"
+            f"{f'1 in {1 / first:.0f}' if first else 'n/a':>12}"
+            f"{f'1 in {1 / paper_again:.1f}':>17}"
+            f"{f'1 in {1 / again:.1f}' if again else 'n/a':>12}"
+        )
+    lines.append(f"(fleet of {FLEET:,} machines, two 30-day windows, "
+                 f"seed 42)")
+    record_experiment("T1", "30-day failure probability (paper Table 1)",
+                      lines)
+
+    # Shape assertions: measured rates reproduce the paper's table.
+    for label, first, again in report.as_table():
+        paper_first, paper_again = PAPER_TABLE[label]
+        assert first == pytest.approx(paper_first, rel=0.25), label
+        assert again == pytest.approx(paper_again, rel=0.45), label
+
+
+def test_recurrence_is_orders_of_magnitude_higher(benchmark):
+    report = benchmark.pedantic(run_fleet, rounds=1, iterations=1)
+    ratios = []
+    for label, first, again in report.as_table():
+        assert again > 10 * first, label
+        ratios.append(f"{label}: recurrence / first = {again / first:.0f}x")
+    record_experiment(
+        "T1b", "'a system that has failed once is very likely to fail again'",
+        ratios)

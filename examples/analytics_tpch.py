@@ -1,0 +1,157 @@
+"""A TPC-H-flavoured analytical workload on the embedded engine.
+
+The paper (§2): OLAP workloads in embedded analytics look like warehouse
+workloads -- "large table scans and involve multiple aggregates and complex
+join graphs. The workloads also typically only target a subset of the
+columns of a large table."
+
+This example generates a scaled-down TPC-H-like schema (customer, orders,
+lineitem) in memory and runs three classic query shapes:
+
+* Q1  -- pricing summary: full scan, many aggregates, tiny group count;
+* Q6  -- forecast revenue: selective scan with range predicates;
+* Q3  -- shipping priority: 3-way join + aggregation + top-N.
+
+Run with::
+
+    python examples/analytics_tpch.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+
+SCALE_LINEITEM = 300_000
+SCALE_ORDERS = 75_000
+SCALE_CUSTOMER = 7_500
+
+
+def load(con: "repro.client.connection.Connection") -> None:
+    rng = np.random.default_rng(1992)
+
+    con.execute("""
+        CREATE TABLE customer (
+            c_custkey INTEGER NOT NULL,
+            c_mktsegment VARCHAR
+        )
+    """)
+    segments = np.array(["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                         "MACHINERY"], dtype=object)
+    with con.appender("customer") as appender:
+        appender.append_numpy({
+            "c_custkey": np.arange(SCALE_CUSTOMER, dtype=np.int32),
+            "c_mktsegment": segments[rng.integers(0, 5, SCALE_CUSTOMER)],
+        })
+
+    con.execute("""
+        CREATE TABLE orders (
+            o_orderkey INTEGER NOT NULL,
+            o_custkey INTEGER,
+            o_orderdate DATE
+        )
+    """)
+    base_day = 9131  # 1995-01-01 in days since epoch
+    with con.appender("orders") as appender:
+        appender.append_numpy({
+            "o_orderkey": np.arange(SCALE_ORDERS, dtype=np.int32),
+            "o_custkey": rng.integers(0, SCALE_CUSTOMER,
+                                      SCALE_ORDERS).astype(np.int32),
+            "o_orderdate": (base_day + rng.integers(-365, 365, SCALE_ORDERS)
+                            ).astype(np.int32),
+        })
+
+    con.execute("""
+        CREATE TABLE lineitem (
+            l_orderkey INTEGER NOT NULL,
+            l_quantity DOUBLE,
+            l_extendedprice DOUBLE,
+            l_discount DOUBLE,
+            l_tax DOUBLE,
+            l_returnflag VARCHAR,
+            l_linestatus VARCHAR,
+            l_shipdate DATE
+        )
+    """)
+    flags = np.array(["A", "N", "R"], dtype=object)
+    status = np.array(["F", "O"], dtype=object)
+    with con.appender("lineitem") as appender:
+        appender.append_numpy({
+            "l_orderkey": rng.integers(0, SCALE_ORDERS,
+                                       SCALE_LINEITEM).astype(np.int32),
+            "l_quantity": rng.integers(1, 51, SCALE_LINEITEM).astype(float),
+            "l_extendedprice": rng.uniform(900, 105_000, SCALE_LINEITEM),
+            "l_discount": rng.integers(0, 11, SCALE_LINEITEM) / 100.0,
+            "l_tax": rng.integers(0, 9, SCALE_LINEITEM) / 100.0,
+            "l_returnflag": flags[rng.integers(0, 3, SCALE_LINEITEM)],
+            "l_linestatus": status[rng.integers(0, 2, SCALE_LINEITEM)],
+            "l_shipdate": (base_day + rng.integers(-400, 400, SCALE_LINEITEM)
+                           ).astype(np.int32),
+        })
+
+
+Q1 = """
+    SELECT l_returnflag, l_linestatus,
+           sum(l_quantity)                                       AS sum_qty,
+           sum(l_extendedprice)                                  AS sum_base,
+           sum(l_extendedprice * (1 - l_discount))               AS sum_disc,
+           sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+           avg(l_quantity)                                       AS avg_qty,
+           avg(l_extendedprice)                                  AS avg_price,
+           avg(l_discount)                                       AS avg_disc,
+           count(*)                                              AS count_order
+    FROM lineitem
+    WHERE l_shipdate <= CAST('1995-09-02' AS DATE)
+    GROUP BY l_returnflag, l_linestatus
+    ORDER BY l_returnflag, l_linestatus
+"""
+
+Q6 = """
+    SELECT sum(l_extendedprice * l_discount) AS revenue
+    FROM lineitem
+    WHERE l_shipdate >= CAST('1995-01-01' AS DATE)
+      AND l_shipdate < CAST('1996-01-01' AS DATE)
+      AND l_discount BETWEEN 0.05 AND 0.07
+      AND l_quantity < 24
+"""
+
+Q3 = """
+    SELECT l_orderkey,
+           sum(l_extendedprice * (1 - l_discount)) AS revenue,
+           o_orderdate
+    FROM customer
+    JOIN orders ON c_custkey = o_custkey
+    JOIN lineitem ON l_orderkey = o_orderkey
+    WHERE c_mktsegment = 'BUILDING'
+      AND o_orderdate < CAST('1995-03-15' AS DATE)
+      AND l_shipdate > CAST('1995-03-15' AS DATE)
+    GROUP BY l_orderkey, o_orderdate
+    ORDER BY revenue DESC
+    LIMIT 10
+"""
+
+
+def main() -> None:
+    con = repro.connect()
+    print("Loading TPC-H-like data "
+          f"(lineitem={SCALE_LINEITEM:,}, orders={SCALE_ORDERS:,}, "
+          f"customer={SCALE_CUSTOMER:,}) ...")
+    load(con)
+
+    for name, sql in (("Q1 pricing summary", Q1),
+                      ("Q6 forecast revenue", Q6),
+                      ("Q3 shipping priority", Q3)):
+        started = time.perf_counter()
+        rows = con.execute(sql).fetchall()
+        elapsed = (time.perf_counter() - started) * 1000
+        print(f"\n{name} ({elapsed:.1f} ms):")
+        for row in rows[:5]:
+            print("  ", row)
+        if len(rows) > 5:
+            print(f"   ... {len(rows) - 5} more rows")
+    con.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Quickstart: the embedded analytical database in five minutes.
+
+Covers the core loop of the paper's target user -- a data scientist running
+medium-sized analysis on their own machine: create tables, bulk-load data,
+run OLAP queries, and pull results into NumPy without any server setup.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. In-memory database: zero setup, lives inside this process.
+    # ------------------------------------------------------------------
+    con = repro.connect()
+
+    con.execute("""
+        CREATE TABLE observations (
+            station   VARCHAR NOT NULL,
+            day       DATE,
+            temp_c    DOUBLE,
+            humidity  DOUBLE
+        )
+    """)
+    con.execute("""
+        INSERT INTO observations VALUES
+            ('AMS', CAST('2024-01-01' AS DATE), 4.2, 0.93),
+            ('AMS', CAST('2024-01-02' AS DATE), 5.1, 0.88),
+            ('ROT', CAST('2024-01-01' AS DATE), 4.8, 0.90),
+            ('ROT', CAST('2024-01-02' AS DATE), NULL, 0.85),
+            ('UTR', CAST('2024-01-01' AS DATE), 3.9, NULL)
+    """)
+
+    # Standard analytical SQL: aggregation, grouping, ordering.
+    print("Average temperature per station:")
+    for station, average, count in con.execute("""
+        SELECT station, avg(temp_c) AS avg_temp, count(temp_c) AS n
+        FROM observations
+        GROUP BY station
+        ORDER BY avg_temp DESC
+    """):
+        print(f"  {station}: {average} ({count} readings)")
+
+    # ------------------------------------------------------------------
+    # 2. Bulk append through the Appender -- no per-row SQL overhead.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(0)
+    n = 100_000
+    with con.appender("observations") as appender:
+        appender.append_numpy({
+            "station": np.array(["GEN"] * n, dtype=object),
+            "day": np.zeros(n, dtype=np.int32),        # days since epoch
+            "temp_c": rng.normal(10, 5, n),
+            "humidity": rng.uniform(0.3, 1.0, n),
+        })
+    print(f"\nRows after bulk append: "
+          f"{con.query_value('SELECT count(*) FROM observations'):,}")
+
+    # ------------------------------------------------------------------
+    # 3. Zero-copy transfer out: whole columns as NumPy arrays.
+    # ------------------------------------------------------------------
+    arrays = con.execute("""
+        SELECT temp_c, humidity FROM observations WHERE station = 'GEN'
+    """).fetchnumpy()
+    correlation = np.corrcoef(arrays["temp_c"], arrays["humidity"])[0, 1]
+    print(f"Temp/humidity correlation (computed in NumPy): {correlation:+.4f}")
+
+    # ------------------------------------------------------------------
+    # 4. Persistence: a single file plus a WAL, ACID across restarts.
+    # ------------------------------------------------------------------
+    path = os.path.join(tempfile.mkdtemp(), "weather.qdb")
+    disk = repro.connect(path)
+    disk.execute("CREATE TABLE summary AS "
+                 "SELECT 'demo' AS run, 42 AS answer")
+    disk.close()  # checkpoints into the single file
+
+    disk = repro.connect(path)
+    print(f"\nReloaded from {path}:",
+          disk.execute("SELECT * FROM summary").fetchall())
+    disk.close()
+    os.remove(path)
+
+    con.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro -- "QuackDB", an embedded analytical database.
+
+A from-scratch Python reproduction of the system described in Raasveldt &
+Mühleisen, *Data Management for Data Science: Towards Embedded Analytics*
+(CIDR 2020): an embeddable, vectorized, ACID (MVCC) OLAP database with a
+single-file checksummed storage format, combined OLAP/ETL support, resilience
+features for consumer hardware, cooperative resource usage, and an efficient
+in-process bulk client API.
+
+Quickstart::
+
+    import repro
+
+    con = repro.connect()                      # in-memory database
+    con.execute("CREATE TABLE t (i INTEGER, s VARCHAR)")
+    con.execute("INSERT INTO t VALUES (1, 'duck'), (2, 'goose')")
+    rows = con.execute("SELECT s, i * 2 FROM t WHERE i > 0").fetchall()
+
+Persistent single-file databases are created by passing a path::
+
+    con = repro.connect("analytics.qdb")
+"""
+
+from .errors import (
+    BinderError,
+    CatalogError,
+    ConstraintError,
+    ConversionError,
+    CorruptionError,
+    Error,
+    HardwareError,
+    InternalError,
+    InterruptError,
+    InvalidInputError,
+    MemoryFaultError,
+    OutOfMemoryError,
+    ParserError,
+    StorageError,
+    TransactionConflict,
+    TransactionError,
+    WALError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "connect",
+    "__version__",
+    "Error",
+    "InternalError",
+    "ParserError",
+    "BinderError",
+    "CatalogError",
+    "ConversionError",
+    "InvalidInputError",
+    "ConstraintError",
+    "OutOfMemoryError",
+    "TransactionError",
+    "TransactionConflict",
+    "StorageError",
+    "CorruptionError",
+    "WALError",
+    "HardwareError",
+    "MemoryFaultError",
+    "InterruptError",
+]
+
+
+def connect(database=":memory:", config=None):
+    """Open a database and return a :class:`~repro.client.connection.Connection`.
+
+    Parameters
+    ----------
+    database:
+        Path of the single-file database, or ``":memory:"`` (the default)
+        for a transient in-memory database.
+    config:
+        Optional :class:`~repro.config.DatabaseConfig` or a plain dict of
+        option overrides (e.g. ``{"memory_limit": 256 * 2**20}``).
+    """
+    from .client.connection import connect as _connect
+
+    return _connect(database, config)

@@ -1,0 +1,19 @@
+"""Baseline implementations the paper's claims are measured against."""
+
+from .tuple_engine import (
+    TupleAggregate,
+    TupleFilter,
+    TupleHashJoin,
+    TupleProjection,
+    TupleScan,
+    run_to_list,
+)
+
+__all__ = [
+    "TupleScan",
+    "TupleFilter",
+    "TupleProjection",
+    "TupleAggregate",
+    "TupleHashJoin",
+    "run_to_list",
+]

@@ -1,0 +1,6 @@
+"""Catalog of schemas, tables, and views with transactional (MVCC) DDL."""
+
+from .catalog import Catalog
+from .entry import CatalogEntry, ColumnDefinition, TableEntry, ViewEntry
+
+__all__ = ["Catalog", "CatalogEntry", "ColumnDefinition", "TableEntry", "ViewEntry"]

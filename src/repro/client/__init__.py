@@ -1,0 +1,24 @@
+"""Client API: connections, results, appender, cursor, protocol baselines."""
+
+from .appender import Appender
+from .connection import Connection, connect
+from .cursor import Cursor
+from .protocol import (
+    GIGABIT_PER_SECOND,
+    SocketProtocolClient,
+    deserialize_result,
+    serialize_result,
+)
+from .result import QueryResult
+
+__all__ = [
+    "Connection",
+    "connect",
+    "QueryResult",
+    "Appender",
+    "Cursor",
+    "SocketProtocolClient",
+    "serialize_result",
+    "deserialize_result",
+    "GIGABIT_PER_SECOND",
+]

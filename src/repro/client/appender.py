@@ -1,0 +1,138 @@
+"""Bulk appender: the zero-copy write path of the paper (§6).
+
+*"The same is true for appending data to tables, the client application can
+fill chunks with its data. Once filled, they are handed over to DuckDB and
+appended to persistent storage."*
+
+The appender buffers rows (or takes whole NumPy arrays) and appends them to
+the table in chunk-sized batches inside a single transaction, bypassing SQL
+entirely.  This is the efficient alternative to per-row INSERT statements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConstraintError, InvalidInputError
+from ..storage.wal import WALRecord
+from ..types import DataChunk, VECTOR_SIZE, Vector, cast_vector
+
+__all__ = ["Appender"]
+
+_FLUSH_ROWS = VECTOR_SIZE * 8
+
+
+class Appender:
+    """Accumulates rows and appends them in bulk.  Use as a context manager."""
+
+    def __init__(self, connection, table_name: str) -> None:
+        self._connection = connection
+        self._database = connection.database
+        self._transaction = self._database.transaction_manager.begin()
+        self._table = self._database.catalog.get_table(table_name,
+                                                       self._transaction)
+        self._pending: List[List[Any]] = [[] for _ in self._table.columns]
+        self._pending_rows = 0
+        self.rows_appended = 0
+        self._closed = False
+
+    # -- row-oriented filling -----------------------------------------------
+    def append_row(self, *values: Any) -> None:
+        """Buffer one row; flushed automatically in chunk-sized batches."""
+        if len(values) != len(self._table.columns):
+            raise InvalidInputError(
+                f"append_row got {len(values)} values, table has "
+                f"{len(self._table.columns)} columns"
+            )
+        for column_values, value in zip(self._pending, values):
+            column_values.append(value)
+        self._pending_rows += 1
+        if self._pending_rows >= _FLUSH_ROWS:
+            self.flush()
+
+    def append_rows(self, rows: Sequence[Sequence[Any]]) -> None:
+        for row in rows:
+            self.append_row(*row)
+
+    # -- bulk (NumPy) filling ------------------------------------------------------
+    def append_numpy(self, columns: Dict[str, np.ndarray],
+                     validities: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Append whole NumPy arrays at once -- the zero-copy bulk path.
+
+        ``columns`` maps column names to arrays; all arrays must have equal
+        length.  Arrays whose dtype already matches the column's physical
+        type are wrapped without copying.
+        """
+        self.flush()
+        validities = validities or {}
+        vectors = []
+        length = None
+        for column in self._table.columns:
+            if column.name not in columns:
+                raise InvalidInputError(f"append_numpy is missing column "
+                                        f"{column.name!r}")
+            array = columns[column.name]
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise InvalidInputError("append_numpy arrays differ in length")
+            vector = Vector.from_numpy(np.asarray(array), column.dtype,
+                                       validities.get(column.name))
+            vectors.append(vector)
+        chunk = DataChunk(vectors)
+        self._append_chunk(chunk)
+
+    # -- flushing -------------------------------------------------------------------
+    def flush(self) -> None:
+        """Push buffered rows into the table."""
+        if self._pending_rows == 0:
+            return
+        vectors = []
+        for column, values in zip(self._table.columns, self._pending):
+            vector = Vector.from_values(values, column.dtype)
+            vectors.append(vector)
+        chunk = DataChunk(vectors)
+        self._pending = [[] for _ in self._table.columns]
+        self._pending_rows = 0
+        self._append_chunk(chunk)
+
+    def _append_chunk(self, chunk: DataChunk) -> None:
+        for vector, column in zip(chunk.columns, self._table.columns):
+            if not column.nullable and not vector.all_valid():
+                raise ConstraintError(
+                    f"NOT NULL constraint violated: column {column.name!r} "
+                    f"of table {self._table.name!r}"
+                )
+        self._table.data.append_chunk(self._transaction, chunk)
+        if self._database.storage.wal.enabled:
+            self._transaction.wal_records.append(
+                WALRecord.insert_chunk(self._table.name, chunk))
+        self.rows_appended += chunk.size
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and commit all appended rows."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        self._database.transaction_manager.commit(self._transaction)
+        self._database.maybe_auto_checkpoint()
+
+    def abort(self) -> None:
+        """Discard everything appended through this appender."""
+        if self._closed:
+            return
+        self._closed = True
+        self._database.transaction_manager.rollback(self._transaction)
+
+    def __enter__(self) -> "Appender":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()

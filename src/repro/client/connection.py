@@ -1,0 +1,283 @@
+"""Connections: the embedded client API.
+
+A connection owns a transaction context over a shared
+:class:`~repro.database.Database`.  Statements run in autocommit mode unless
+``BEGIN`` opened an explicit transaction.  Because database and application
+share one address space, query results are handed over as chunks of the
+engine's internal representation (see :mod:`~repro.client.result`) -- the
+transfer-efficiency design of paper §5/§6.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, List, Optional, Sequence
+
+from ..config import DatabaseConfig
+from ..database import Database
+from ..errors import ConnectionError as ClosedError
+from ..errors import InvalidInputError, TransactionContextError
+from ..execution.executor import Executor
+from ..planner.binder import Binder
+from ..planner import bound_statements as bound
+from ..sql import ast, parse
+from ..types import DataChunk
+from .result import QueryResult
+
+__all__ = ["Connection", "connect"]
+
+
+def connect(database: str = ":memory:", config=None) -> "Connection":
+    """Open a database file (or an in-memory database) and connect to it.
+
+    The returned connection owns the database: closing it (or using it as a
+    context manager) closes the database, checkpointing if configured.
+    """
+    if isinstance(config, dict):
+        config = DatabaseConfig.from_dict(config)
+    instance = Database(database, config)
+    connection = Connection(instance, owns_database=True)
+    return connection
+
+
+class Connection:
+    """One client connection: a transaction context plus the execute API."""
+
+    def __init__(self, database: Database, owns_database: bool = False) -> None:
+        self._database = database
+        self._owns_database = owns_database
+        self._transaction = None  # explicit transaction, if BEGIN was issued
+        self._closed = False
+        self._lock = threading.RLock()
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._transaction is not None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("Connection has been closed")
+        self._database.check_open()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        with self._lock:
+            if self._transaction is not None:
+                self._database.transaction_manager.rollback(self._transaction)
+                self._transaction = None
+            self._closed = True
+            if self._owns_database:
+                self._database.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def duplicate(self) -> "Connection":
+        """Another connection to the same database (for concurrent use)."""
+        self._check_open()
+        return Connection(self._database)
+
+    # -- transaction control ------------------------------------------------------
+    def begin(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self._transaction is not None:
+                raise TransactionContextError("Transaction already in progress")
+            self._transaction = self._database.transaction_manager.begin()
+
+    def commit(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self._transaction is None:
+                raise TransactionContextError("No transaction in progress")
+            transaction, self._transaction = self._transaction, None
+            self._database.transaction_manager.commit(transaction)
+        self._database.maybe_auto_checkpoint()
+
+    def rollback(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self._transaction is None:
+                raise TransactionContextError("No transaction in progress")
+            transaction, self._transaction = self._transaction, None
+            self._database.transaction_manager.rollback(transaction)
+
+    # -- execution ---------------------------------------------------------------
+    def execute(self, sql: str, parameters: Optional[Sequence[Any]] = None,
+                stream: bool = False) -> QueryResult:
+        """Parse and run SQL (possibly multiple ``;``-separated statements).
+
+        Returns the result of the last statement.  With ``stream=True`` the
+        final result is *lazy*: chunks are computed as the client polls them
+        (the client becomes the plan's root operator) and, in autocommit
+        mode, the transaction commits when the result is exhausted/closed.
+        """
+        self._check_open()
+        statements = parse(sql)
+        if not statements:
+            raise InvalidInputError("No statement to execute")
+        result: Optional[QueryResult] = None
+        for index, statement in enumerate(statements):
+            if result is not None:
+                result.close()
+            is_last = index == len(statements) - 1
+            result = self._execute_statement(statement, parameters,
+                                             stream=stream and is_last)
+        assert result is not None
+        return result
+
+    def executemany(self, sql: str,
+                    parameter_sets: Iterable[Sequence[Any]]) -> QueryResult:
+        """Run the same statement for each parameter tuple."""
+        result: Optional[QueryResult] = None
+        for parameters in parameter_sets:
+            if result is not None:
+                result.close()
+            result = self.execute(sql, parameters)
+        if result is None:
+            raise InvalidInputError("executemany() with no parameter sets")
+        return result
+
+    def _execute_statement(self, statement: ast.Statement,
+                           parameters: Optional[Sequence[Any]],
+                           stream: bool) -> QueryResult:
+        # Transaction control never runs inside the executor.
+        if isinstance(statement, ast.TransactionStatement):
+            if statement.action == "begin":
+                self.begin()
+            elif statement.action == "commit":
+                self.commit()
+            else:
+                self.rollback()
+            return QueryResult([], [], iter(()), 0)
+        if isinstance(statement, ast.CheckpointStatement):
+            if self._transaction is not None:
+                raise TransactionContextError(
+                    "CHECKPOINT cannot run inside an explicit transaction"
+                )
+            self._database.checkpoint(force=True)
+            return QueryResult([], [], iter(()), 0)
+
+        with self._lock:
+            autocommit = self._transaction is None
+            transaction = self._transaction \
+                or self._database.transaction_manager.begin()
+            try:
+                binder = Binder(self._database.catalog, transaction, parameters)
+                bound_statement = binder.bind_statement(statement)
+            except Exception:
+                # Binding performed no writes: an explicit transaction can
+                # keep going; an implicit one is simply discarded.
+                if autocommit:
+                    self._database.transaction_manager.rollback(transaction)
+                raise
+            try:
+                executor = Executor(
+                    self._database, transaction,
+                    on_context=lambda context: setattr(
+                        self, "_active_context", context))
+                outcome = executor.execute(bound_statement)
+            except Exception:
+                # Execution may have performed partial writes; without
+                # savepoints the whole transaction must abort.
+                self._database.transaction_manager.rollback(transaction)
+                if not autocommit:
+                    self._transaction = None
+                raise
+
+            if stream:
+                return self._streaming_result(outcome, transaction, autocommit)
+            # Eager mode: drain the plan, then commit.
+            try:
+                chunks = [chunk for chunk in outcome.chunks if chunk.size]
+            except Exception:
+                if autocommit:
+                    self._database.transaction_manager.rollback(transaction)
+                else:
+                    self._database.transaction_manager.rollback(transaction)
+                    self._transaction = None
+                raise
+            if autocommit:
+                self._database.transaction_manager.commit(transaction)
+                self._database.maybe_auto_checkpoint()
+            return QueryResult(outcome.names, outcome.types, iter(chunks),
+                               outcome.rowcount)
+
+    def interrupt(self) -> None:
+        """Request cancellation of in-flight query execution.
+
+        Operators check the flag between chunks; the interrupted query
+        raises :class:`~repro.errors.InterruptError` at its next chunk
+        boundary (cooperative cancellation -- the engine never blocks the
+        host application, paper §4).
+        """
+        context = getattr(self, "_active_context", None)
+        if context is not None:
+            context.interrupted = True
+
+    def _streaming_result(self, outcome, transaction, autocommit) -> QueryResult:
+        finished = {"done": False}
+
+        def on_close() -> None:
+            if finished["done"]:
+                return
+            finished["done"] = True
+            if autocommit:
+                if transaction.is_active:
+                    self._database.transaction_manager.commit(transaction)
+                self._database.maybe_auto_checkpoint()
+
+        def guarded_chunks():
+            try:
+                for chunk in outcome.chunks:
+                    yield chunk
+            except Exception:
+                if autocommit and transaction.is_active:
+                    self._database.transaction_manager.rollback(transaction)
+                    finished["done"] = True
+                raise
+
+        return QueryResult(outcome.names, outcome.types, guarded_chunks(),
+                           outcome.rowcount, on_close=on_close)
+
+    # -- convenience -------------------------------------------------------------
+    def query_value(self, sql: str, parameters: Optional[Sequence[Any]] = None) -> Any:
+        """Run a query and return the first value of the first row."""
+        return self.execute(sql, parameters).fetchvalue()
+
+    def table_names(self) -> List[str]:
+        """Names of all tables visible right now."""
+        transaction = self._transaction \
+            or self._database.transaction_manager.begin()
+        try:
+            return [table.name
+                    for table in self._database.catalog.tables(transaction)]
+        finally:
+            if transaction is not self._transaction:
+                self._database.transaction_manager.rollback(transaction)
+
+    def appender(self, table_name: str):
+        """A bulk :class:`~repro.client.appender.Appender` for a table."""
+        from .appender import Appender
+
+        return Appender(self, table_name)
+
+    def cursor(self):
+        """A value-at-a-time cursor (the ODBC/JDBC-style baseline API)."""
+        from .cursor import Cursor
+
+        return Cursor(self)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Connection({self._database!r}, {state})"

@@ -1,0 +1,106 @@
+"""Value-at-a-time cursor: the deliberately traditional baseline API.
+
+Paper §5: *"Common examples are the ODBC and JDBC APIs, but also the SQLite
+APIs. ... when transferring large result sets, the function call overhead
+for each value becomes excessive."*
+
+This cursor reproduces that API shape -- ``step()`` advances one row,
+``column_value(i)`` fetches one value per call -- so the C3 transfer
+experiment can measure exactly the per-value overhead the paper criticizes,
+against the chunk-based bulk API of :class:`~repro.client.result.QueryResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidInputError
+from ..types import DataChunk
+from .result import QueryResult
+
+__all__ = ["Cursor"]
+
+
+class Cursor:
+    """SQLite-style stepping cursor over query results."""
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+        self._result: Optional[QueryResult] = None
+        self._chunk: Optional[DataChunk] = None
+        self._row = -1
+        #: DB-API compatibility attributes.
+        self.rowcount = -1
+        self.description: Optional[List[Tuple]] = None
+
+    # -- execution -------------------------------------------------------
+    def execute(self, sql: str, parameters: Optional[Sequence[Any]] = None) -> "Cursor":
+        self.finalize()
+        self._result = self._connection.execute(sql, parameters, stream=True)
+        self.rowcount = self._result.rowcount
+        self.description = [(name, str(dtype), None, None, None, None, None)
+                            for name, dtype in zip(self._result.names,
+                                                   self._result.types)]
+        self._chunk = None
+        self._row = -1
+        return self
+
+    # -- SQLite-style stepping API ------------------------------------------------
+    def step(self) -> bool:
+        """Advance to the next row; False when the result is exhausted."""
+        if self._result is None:
+            raise InvalidInputError("step() before execute()")
+        self._row += 1
+        while self._chunk is None or self._row >= self._chunk.size:
+            self._chunk = self._result.fetch_chunk()
+            self._row = 0
+            if self._chunk is None:
+                return False
+        return True
+
+    def column_count(self) -> int:
+        if self._result is None:
+            raise InvalidInputError("column_count() before execute()")
+        return len(self._result.names)
+
+    def column_name(self, index: int) -> str:
+        if self._result is None:
+            raise InvalidInputError("column_name() before execute()")
+        return self._result.names[index]
+
+    def column_value(self, index: int) -> Any:
+        """One value of the current row -- one function call per value."""
+        if self._chunk is None:
+            raise InvalidInputError("column_value() before a successful step()")
+        return self._chunk.columns[index].get_value(self._row)
+
+    # -- DB-API style row access -----------------------------------------------------
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        if not self.step():
+            return None
+        return tuple(self.column_value(index)
+                     for index in range(self.column_count()))
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        rows = []
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return rows
+            rows.append(row)
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def finalize(self) -> None:
+        if self._result is not None:
+            self._result.close()
+            self._result = None
+        self._chunk = None
+        self._row = -1
+
+    close = finalize
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finalize()

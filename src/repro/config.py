@@ -1,0 +1,139 @@
+"""Database configuration.
+
+The paper's Cooperation requirement (§4, §6): the embedded database must not
+assume it owns the machine.  DuckDB "allows the user to manually set hard
+limits on memory and CPU core utilization"; the same knobs exist here, plus
+switches for the resilience features (block checksums, buffer memtests) and
+the reactive resource controller.
+
+Options are also reachable at runtime through ``PRAGMA name = value``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from .errors import InvalidInputError
+
+__all__ = ["DatabaseConfig"]
+
+
+_SIZE_SUFFIXES = {
+    "B": 1,
+    "KB": 10**3,
+    "MB": 10**6,
+    "GB": 10**9,
+    "KIB": 2**10,
+    "MIB": 2**20,
+    "GIB": 2**30,
+}
+
+
+def parse_memory_size(value: Any) -> int:
+    """Parse ``"256MB"``-style strings (or plain ints) into a byte count."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value <= 0:
+            raise InvalidInputError("memory size must be positive")
+        return int(value)
+    if not isinstance(value, str):
+        raise InvalidInputError(f"Cannot parse memory size from {value!r}")
+    text = value.strip().upper()
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if text.endswith(suffix):
+            number = text[: -len(suffix)].strip()
+            try:
+                return int(float(number) * _SIZE_SUFFIXES[suffix])
+            except ValueError:
+                raise InvalidInputError(f"Cannot parse memory size from {value!r}") from None
+    try:
+        return int(text)
+    except ValueError:
+        raise InvalidInputError(f"Cannot parse memory size from {value!r}") from None
+
+
+@dataclasses.dataclass
+class DatabaseConfig:
+    """Tunable knobs of a database instance.
+
+    Attributes
+    ----------
+    memory_limit:
+        Hard cap, in bytes, on memory used for buffers and query
+        intermediates.  Operators that would exceed it must spill (external
+        merge join / external sort) or abort with ``OutOfMemoryError``.
+    threads:
+        Maximum worker threads the engine may use.  ``1`` keeps the engine
+        single-threaded (the co-resident application gets the other cores).
+    verify_checksums:
+        Verify the CRC-32 of every storage block on read (paper §6,
+        Resilience).  Disabling this is only intended for benchmarking the
+        cost of verification.
+    buffer_memtest:
+        Run a moving-inversions memory test on buffer allocation, and avoid
+        regions that fail (paper §6 "we plan to integrate memory tests into
+        the buffer manager").
+    reactive_resources:
+        Enable the reactive controller that switches intermediate
+        compression and join algorithms under memory pressure (Figure 1).
+    wal_autocheckpoint:
+        Checkpoint automatically once the WAL exceeds this many bytes
+        (0 disables auto-checkpointing).
+    checkpoint_on_close:
+        Write a checkpoint when the database is cleanly closed.
+    """
+
+    memory_limit: int = 1 << 31  # 2 GiB default
+    threads: int = 1
+    verify_checksums: bool = True
+    buffer_memtest: bool = False
+    reactive_resources: bool = False
+    wal_autocheckpoint: int = 16 << 20  # 16 MiB
+    checkpoint_on_close: bool = True
+
+    @classmethod
+    def from_dict(cls, options: Optional[Dict[str, Any]]) -> "DatabaseConfig":
+        """Build a config from a plain dict, validating option names."""
+        config = cls()
+        if options:
+            for name, value in options.items():
+                config.set_option(name, value)
+        return config
+
+    def set_option(self, name: str, value: Any) -> None:
+        """Set one option by name, coercing the value (used by PRAGMA)."""
+        name = name.lower()
+        if name == "memory_limit":
+            self.memory_limit = parse_memory_size(value)
+        elif name == "threads":
+            threads = int(value)
+            if threads < 1:
+                raise InvalidInputError("threads must be >= 1")
+            self.threads = threads
+        elif name in ("verify_checksums", "buffer_memtest", "reactive_resources",
+                      "checkpoint_on_close"):
+            setattr(self, name, _coerce_bool(value))
+        elif name == "wal_autocheckpoint":
+            self.wal_autocheckpoint = parse_memory_size(value) if value else 0
+        else:
+            raise InvalidInputError(f"Unknown configuration option {name!r}")
+
+    def get_option(self, name: str) -> Any:
+        name = name.lower()
+        if not hasattr(self, name):
+            raise InvalidInputError(f"Unknown configuration option {name!r}")
+        return getattr(self, name)
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "1", "on", "yes"):
+            return True
+        if lowered in ("false", "0", "off", "no"):
+            return False
+    raise InvalidInputError(f"Cannot interpret {value!r} as a boolean")

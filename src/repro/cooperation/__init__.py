@@ -1,0 +1,25 @@
+"""Cooperation: resource monitoring and reactive adaptation (paper §4, Figure 1)."""
+
+from .controller import (
+    HEAVY_PRESSURE_THRESHOLD,
+    LIGHT_PRESSURE_THRESHOLD,
+    ReactiveController,
+    StaticController,
+)
+from .monitor import (
+    ResourceMonitor,
+    ResourceSample,
+    SimulatedApplication,
+    read_process_rss,
+)
+
+__all__ = [
+    "StaticController",
+    "ReactiveController",
+    "LIGHT_PRESSURE_THRESHOLD",
+    "HEAVY_PRESSURE_THRESHOLD",
+    "ResourceMonitor",
+    "ResourceSample",
+    "SimulatedApplication",
+    "read_process_rss",
+]

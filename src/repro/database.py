@@ -1,0 +1,119 @@
+"""The Database: one embedded database instance.
+
+Owns the catalog, the transaction manager, the storage manager (single file
++ WAL), the buffer manager, and the cooperation controller.  Multiple
+:class:`~repro.client.connection.Connection` objects -- potentially on
+different threads, e.g. an ETL writer and a dashboard reader (paper §2) --
+can share one Database; MVCC keeps them consistent.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Optional
+
+from .catalog.catalog import Catalog
+from .config import DatabaseConfig
+from .cooperation.controller import ReactiveController, StaticController
+from .cooperation.monitor import ResourceMonitor, SimulatedApplication
+from .errors import ConnectionError as DatabaseConnectionError
+from .storage.buffer_manager import BufferManager
+from .storage.storage_manager import StorageManager
+from .transaction.manager import TransactionManager
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An embedded analytical database instance (in-memory or single-file)."""
+
+    def __init__(self, path: str = ":memory:",
+                 config: Optional[DatabaseConfig] = None) -> None:
+        self.path = path
+        self.config = config or DatabaseConfig()
+        self.buffer_manager = BufferManager(self.config)
+        self.catalog = Catalog()
+        self.transaction_manager = TransactionManager()
+        self.storage = StorageManager(path, self.config, self.buffer_manager)
+        self.transaction_manager.pre_commit_hooks.append(self.storage.commit_hook)
+        #: Cooperation controller; swapped for a ReactiveController when
+        #: reactive resources are enabled (see :meth:`enable_reactive_resources`).
+        self.resource_controller = StaticController()
+        self._checkpoint_lock = threading.Lock()
+        self._closed = False
+        self.storage.load(self.catalog, self.transaction_manager)
+
+    # -- lifecycle ----------------------------------------------------------
+    def connect(self):
+        """Open a new connection (its own transaction context)."""
+        self.check_open()
+        from .client.connection import Connection
+
+        return Connection(self)
+
+    def check_open(self) -> None:
+        if self._closed:
+            raise DatabaseConnectionError("The database has been closed")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.storage.close(self.catalog, self.transaction_manager)
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint(self, force: bool = False) -> bool:
+        """Fold the WAL into the data file (no-op for in-memory databases)."""
+        self.check_open()
+        with self._checkpoint_lock:
+            return self.storage.checkpoint(self.catalog, self.transaction_manager,
+                                           force=force)
+
+    def maybe_auto_checkpoint(self) -> None:
+        """Checkpoint when the WAL grew past the configured threshold."""
+        if self._closed:
+            return
+        if self.storage.should_auto_checkpoint():
+            with self._checkpoint_lock:
+                if self.storage.should_auto_checkpoint():
+                    self.storage.checkpoint(self.catalog,
+                                            self.transaction_manager)
+
+    # -- cooperation ------------------------------------------------------------
+    def memory_usage(self) -> int:
+        """Approximate resident bytes: buffers + undo + table data."""
+        total = self.buffer_manager.used_bytes
+        total += self.transaction_manager.retired_undo_memory()
+        bootstrap = self.transaction_manager.begin()
+        try:
+            for table in self.catalog.tables(bootstrap):
+                total += table.data.memory_usage()
+        finally:
+            self.transaction_manager.rollback(bootstrap)
+        return total
+
+    def enable_reactive_resources(self, total_ram: int,
+                                  application: Optional[SimulatedApplication] = None,
+                                  clock=None) -> ReactiveController:
+        """Turn on the Figure 1 reactive controller against a RAM budget."""
+        monitor = ResourceMonitor(total_ram, lambda: self.buffer_manager.used_bytes,
+                                  application, clock=clock)
+        controller = ReactiveController(monitor)
+        self.resource_controller = controller
+        self.config.reactive_resources = True
+        return controller
+
+    def disable_reactive_resources(self) -> None:
+        self.resource_controller = StaticController()
+        self.config.reactive_resources = False
+
+    def __repr__(self) -> str:
+        kind = "in-memory" if self.storage.in_memory else self.path
+        return f"Database({kind})"

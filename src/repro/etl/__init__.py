@@ -1,0 +1,6 @@
+"""ETL: CSV sniffing/reading/writing and bulk-load helpers (paper §2)."""
+
+from .csv_reader import SniffResult, read_csv_chunks, sniff_csv
+from .csv_writer import write_csv
+
+__all__ = ["SniffResult", "sniff_csv", "read_csv_chunks", "write_csv"]

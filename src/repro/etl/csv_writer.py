@@ -1,0 +1,49 @@
+"""CSV export (``COPY ... TO 'file.csv'``)."""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, List, Sequence
+
+from ..errors import InvalidInputError
+from ..types import DataChunk, LogicalType, LogicalTypeId, VARCHAR, cast_vector
+
+__all__ = ["write_csv"]
+
+
+def write_csv(path: str, chunks: Iterable[DataChunk], names: Sequence[str],
+              delimiter: str = ",", header: bool = True,
+              null_string: str = "") -> int:
+    """Write chunks to a CSV file; returns the number of rows written.
+
+    Values are rendered through the engine's VARCHAR cast so that output
+    text round-trips through the CSV reader (ISO dates, ``true``/``false``
+    booleans, ``repr`` floats).
+    """
+    rows_written = 0
+    try:
+        handle = open(path, "w", newline="", encoding="utf-8")
+    except OSError as exc:
+        raise InvalidInputError(f"Cannot open {path!r} for writing: {exc}") from None
+    with handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if header:
+            writer.writerow(list(names))
+        for chunk in chunks:
+            if chunk.size == 0:
+                continue
+            rendered = [
+                cast_vector(column, VARCHAR)
+                if column.dtype.id is not LogicalTypeId.VARCHAR else column
+                for column in chunk.columns
+            ]
+            for row_index in range(chunk.size):
+                row = []
+                for column in rendered:
+                    if column.validity[row_index]:
+                        row.append(column.data[row_index])
+                    else:
+                        row.append(null_string)
+                writer.writerow(row)
+            rows_written += chunk.size
+    return rows_written

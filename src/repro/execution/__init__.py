@@ -1,0 +1,18 @@
+"""Vector Volcano execution engine: operators, expressions, executor."""
+
+from .executor import Executor, StatementResult
+from .expression_executor import ExpressionExecutor, evaluate_standalone
+from .intermediates import ChunkBuffer
+from .physical import ExecutionContext, PhysicalOperator
+from .physical_planner import create_physical_plan
+
+__all__ = [
+    "Executor",
+    "StatementResult",
+    "ExpressionExecutor",
+    "evaluate_standalone",
+    "ChunkBuffer",
+    "ExecutionContext",
+    "PhysicalOperator",
+    "create_physical_plan",
+]

@@ -1,0 +1,97 @@
+"""Physical operator base classes and the execution context.
+
+Physical operators implement the paper's "Vector Volcano" model (§6):
+execution pulls chunks from the root; each operator recursively pulls from
+its children.  In Python the pull loop is a generator chain -- each
+operator's :meth:`execute` yields :class:`~repro.types.chunk.DataChunk`\\ s.
+The client result object simply iterates the root generator, which is
+exactly the paper's "the client application becomes the root operator".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..errors import InterruptError
+from ..types import DataChunk, LogicalType
+
+__all__ = ["PhysicalOperator", "ExecutionContext"]
+
+
+class ExecutionContext:
+    """Per-query execution state shared by all operators of one plan."""
+
+    def __init__(self, transaction, database=None, parameters=None) -> None:
+        self.transaction = transaction
+        self.database = database
+        self.parameters = parameters or []
+        #: Uncorrelated subqueries are evaluated once and cached by plan id.
+        self._subquery_results = {}
+        self.interrupted = False
+        #: Statistics filled during execution (rows scanned, spills, ...).
+        self.stats = {}
+
+    @property
+    def buffer_manager(self):
+        return self.database.buffer_manager if self.database is not None else None
+
+    @property
+    def controller(self):
+        """The reactive resource controller (cooperation, Figure 1)."""
+        return self.database.resource_controller if self.database is not None else None
+
+    @property
+    def memory_limit(self) -> int:
+        if self.database is not None:
+            return self.database.config.memory_limit
+        return 1 << 62
+
+    def check_interrupted(self) -> None:
+        if self.interrupted:
+            raise InterruptError("Query execution was interrupted")
+
+    def materialize_subquery(self, plan) -> DataChunk:
+        """Run an uncorrelated subquery plan once; cache the materialization."""
+        key = id(plan)
+        if key not in self._subquery_results:
+            from .physical_planner import create_physical_plan
+
+            physical = create_physical_plan(plan, self)
+            chunks = [chunk for chunk in physical.execute() if chunk.size]
+            if chunks:
+                result = DataChunk.concat_many(chunks)
+            else:
+                from ..types import Vector
+
+                result = DataChunk([Vector.empty(dtype, 0) for dtype in plan.types])
+            self._subquery_results[key] = result
+        return self._subquery_results[key]
+
+    def bump_stat(self, name: str, amount: int = 1) -> None:
+        self.stats[name] = self.stats.get(name, 0) + amount
+
+
+class PhysicalOperator:
+    """Base class: children, output types, and a chunk generator."""
+
+    def __init__(self, context: ExecutionContext,
+                 children: List["PhysicalOperator"],
+                 types: List[LogicalType], names: Optional[List[str]] = None) -> None:
+        self.context = context
+        self.children = children
+        self.types = types
+        self.names = names or [f"col{i}" for i in range(len(types))]
+
+    def execute(self) -> Iterator[DataChunk]:
+        """Yield result chunks; must be overridden."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        line = " " * indent + self._explain_line()
+        parts = [line]
+        for child in self.children:
+            parts.append(child.explain(indent + 2))
+        return "\n".join(parts)
+
+    def _explain_line(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,136 @@
+"""Lowers optimized logical plans onto physical Vector Volcano operators.
+
+The one genuinely physical decision made here is the join implementation:
+equi-joins default to the RAM-hungry hash join, but when the reactive
+controller reports memory pressure (or the build estimate exceeds the
+limit), eligible joins lower to the out-of-core merge join instead --
+the paper's §6 hash-vs-merge trade-off, decided per query at plan time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import InternalError
+from ..planner.window import LogicalWindow
+from ..planner.logical import (
+    LogicalAggregate,
+    LogicalCSVScan,
+    LogicalDistinct,
+    LogicalEmpty,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOperator,
+    LogicalOrder,
+    LogicalProjection,
+    LogicalSetOp,
+    LogicalValues,
+)
+from .aggregate import PhysicalDistinct, PhysicalHashAggregate, PhysicalSetOp
+from .basic import PhysicalFilter, PhysicalLimit, PhysicalProjection
+from .joins import PhysicalHashJoin, PhysicalMergeJoin, PhysicalNestedLoopJoin
+from .physical import ExecutionContext, PhysicalOperator
+from .scan import PhysicalCSVScan, PhysicalEmptyResult, PhysicalTableScan, PhysicalValues
+from .sort import PhysicalOrder, PhysicalTopN
+
+__all__ = ["create_physical_plan"]
+
+#: Per-row byte estimate used for the join build-size heuristic.
+_ESTIMATED_ROW_BYTES = 16
+
+
+def _estimate_build_bytes(plan: LogicalOperator) -> int:
+    """Crude cardinality-based estimate of a join build side's footprint."""
+    if isinstance(plan, LogicalGet):
+        rows = plan.table_entry.data.row_count
+        return rows * len(plan.schema) * _ESTIMATED_ROW_BYTES
+    if isinstance(plan, (LogicalFilter,)):
+        return _estimate_build_bytes(plan.children[0]) // 3
+    if isinstance(plan, LogicalLimit) and plan.limit is not None:
+        return plan.limit * len(plan.schema) * _ESTIMATED_ROW_BYTES
+    if plan.children:
+        return max(_estimate_build_bytes(child) for child in plan.children)
+    return 0
+
+
+def _merge_join_eligible(op: LogicalJoin) -> bool:
+    return len(op.conditions) == 1 and op.join_type in ("inner", "left")
+
+
+def create_physical_plan(plan: LogicalOperator,
+                         context: ExecutionContext) -> PhysicalOperator:
+    """Recursively lower a logical operator tree."""
+    if isinstance(plan, LogicalGet):
+        return PhysicalTableScan(context, plan.table_entry, plan.column_ids,
+                                 plan.types, plan.names, plan.pushed_filters)
+    if isinstance(plan, LogicalCSVScan):
+        return PhysicalCSVScan(context, plan.path, plan.options, plan.types,
+                               plan.names)
+    if isinstance(plan, LogicalValues):
+        return PhysicalValues(context, plan.rows, plan.types, plan.names)
+    if isinstance(plan, LogicalEmpty):
+        return PhysicalEmptyResult(context, [], plan.types, plan.names)
+    if isinstance(plan, LogicalFilter):
+        child = create_physical_plan(plan.children[0], context)
+        return PhysicalFilter(context, child, plan.predicate)
+    if isinstance(plan, LogicalProjection):
+        child = create_physical_plan(plan.children[0], context)
+        return PhysicalProjection(context, child, plan.expressions, plan.names)
+    if isinstance(plan, LogicalAggregate):
+        child = create_physical_plan(plan.children[0], context)
+        return PhysicalHashAggregate(context, child, plan.groups, plan.aggregates,
+                                     plan.types, plan.names)
+    if isinstance(plan, LogicalDistinct):
+        child = create_physical_plan(plan.children[0], context)
+        return PhysicalDistinct(context, child)
+    if isinstance(plan, LogicalWindow):
+        from .window import PhysicalWindow
+
+        child = create_physical_plan(plan.children[0], context)
+        return PhysicalWindow(context, child, plan.windows, plan.types,
+                              plan.names)
+    if isinstance(plan, LogicalOrder):
+        child = create_physical_plan(plan.children[0], context)
+        return PhysicalOrder(context, child, plan.items)
+    if isinstance(plan, LogicalLimit):
+        # Fuse ORDER BY + LIMIT into Top-N: only limit+offset rows stay resident.
+        child_logical = plan.children[0]
+        if isinstance(child_logical, LogicalOrder) and plan.limit is not None:
+            grandchild = create_physical_plan(child_logical.children[0], context)
+            return PhysicalTopN(context, grandchild, child_logical.items,
+                                plan.limit, plan.offset)
+        child = create_physical_plan(plan.children[0], context)
+        return PhysicalLimit(context, child, plan.limit, plan.offset)
+    if isinstance(plan, LogicalSetOp):
+        left = create_physical_plan(plan.children[0], context)
+        right = create_physical_plan(plan.children[1], context)
+        return PhysicalSetOp(context, left, right, plan.op, plan.all,
+                             plan.types, plan.names)
+    if isinstance(plan, LogicalJoin):
+        left = create_physical_plan(plan.children[0], context)
+        right = create_physical_plan(plan.children[1], context)
+        if plan.join_type == "cross" or not plan.conditions:
+            return PhysicalNestedLoopJoin(context, left, right,
+                                          "inner" if plan.join_type == "cross"
+                                          else plan.join_type,
+                                          [], plan.residual)
+        algorithm = "hash"
+        if _merge_join_eligible(plan):
+            estimate = _estimate_build_bytes(plan.children[1])
+            # The hard memory limit overrides everything: a build side that
+            # cannot fit must take the out-of-core path (paper §4: the user
+            # sets hard limits; the engine must respect them).
+            if estimate > context.memory_limit:
+                algorithm = "merge"
+            elif context.controller is not None:
+                algorithm = context.controller.choose_join_algorithm(estimate)
+        if algorithm == "merge" and _merge_join_eligible(plan):
+            context.bump_stat("merge_joins", 1)
+            return PhysicalMergeJoin(context, left, right, plan.join_type,
+                                     plan.conditions, plan.residual)
+        context.bump_stat("hash_joins", 1)
+        return PhysicalHashJoin(context, left, right, plan.join_type,
+                                plan.conditions, plan.residual)
+    raise InternalError(f"Cannot lower logical operator {type(plan).__name__}")

@@ -1,0 +1,272 @@
+"""Sorting: vectorized in-memory sort and an external (run-merging) sorter.
+
+ORDER BY materializes its input; when the input exceeds the sort's memory
+budget, it is split into sorted *runs* (each buffered through a compressed /
+spillable :class:`~repro.execution.intermediates.ChunkBuffer`) which are
+lazily merged pairwise into one sorted stream.  Merging never materializes
+more than a few chunks at a time -- this is the out-of-core machinery that
+also powers the external merge join of the paper's §6 trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import InternalError
+from ..planner.logical import BoundOrderByItem
+from ..types import DataChunk, LogicalTypeId, VECTOR_SIZE
+from .expression_executor import ExpressionExecutor
+from .intermediates import ChunkBuffer
+from .physical import ExecutionContext, PhysicalOperator
+
+__all__ = ["SortKey", "sort_order", "ExternalSorter", "PhysicalOrder",
+           "PhysicalTopN"]
+
+
+class SortKey:
+    """One sort key: a column position plus direction and NULL placement."""
+
+    __slots__ = ("position", "ascending", "nulls_first")
+
+    def __init__(self, position: int, ascending: bool = True,
+                 nulls_first: bool = False) -> None:
+        self.position = position
+        self.ascending = ascending
+        self.nulls_first = nulls_first
+
+
+def _sort_codes(chunk: DataChunk, key: SortKey) -> np.ndarray:
+    """Comparable int64 codes for one key column, honoring direction/NULLs.
+
+    Values are mapped to order-preserving integer codes so that every type
+    (including VARCHAR) sorts with the same integer machinery, descending
+    order is just code reversal, and NULLs get a code outside the valid
+    range.  Integer-family columns skip the ``np.unique`` sort entirely
+    (their values already *are* order-preserving codes).
+    """
+    column = chunk.columns[key.position]
+    count = len(column)
+    if column.dtype.id is LogicalTypeId.VARCHAR:
+        data = column.data.copy()
+        for index in np.flatnonzero(~column.validity):
+            data[index] = ""
+        _, codes = np.unique(data, return_inverse=True)
+        codes = codes.astype(np.int64).reshape(-1)
+        distinct = int(codes.max()) + 1 if count else 1
+    elif column.dtype.numpy_dtype.kind in "ib" and count \
+            and int(column.data.max()) - int(column.data.min()) < (1 << 62):
+        # Values offset to non-negative are already order-preserving codes.
+        low = int(column.data.min())
+        codes = column.data.astype(np.int64) - low
+        distinct = int(codes.max()) + 1
+    else:
+        _, codes = np.unique(column.data, return_inverse=True)
+        codes = codes.astype(np.int64).reshape(-1)
+        distinct = int(codes.max()) + 1 if count else 1
+    if not key.ascending:
+        codes = (distinct - 1) - codes
+    null_code = -1 if key.nulls_first else distinct
+    return np.where(column.validity, codes, null_code)
+
+
+def sort_order(chunk: DataChunk, keys: List[SortKey]) -> np.ndarray:
+    """The stable permutation that sorts ``chunk`` by ``keys``."""
+    if chunk.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    code_arrays = [_sort_codes(chunk, key) for key in keys]
+    # np.lexsort sorts by the LAST array first; pass keys reversed.
+    return np.lexsort(tuple(reversed(code_arrays))).astype(np.int64)
+
+
+class ExternalSorter:
+    """Accumulate chunks, emit them fully sorted; spills into runs.
+
+    ``run_limit_bytes`` bounds the raw bytes sorted in one in-memory run;
+    it defaults to a quarter of the context's memory limit.
+    """
+
+    def __init__(self, types, keys: List[SortKey], context: Optional[ExecutionContext],
+                 run_limit_bytes: Optional[int] = None) -> None:
+        self.types = list(types)
+        self.keys = keys
+        self.context = context
+        if run_limit_bytes is None:
+            limit = context.memory_limit if context is not None else 1 << 62
+            run_limit_bytes = max(limit // 4, 1 << 20)
+        self.run_limit_bytes = run_limit_bytes
+        self._pending: List[DataChunk] = []
+        self._pending_bytes = 0
+        self._runs: List[ChunkBuffer] = []
+        self.row_count = 0
+
+    def append(self, chunk: DataChunk) -> None:
+        if chunk.size == 0:
+            return
+        self._pending.append(chunk)
+        self._pending_bytes += chunk.nbytes()
+        self.row_count += chunk.size
+        if self._pending_bytes >= self.run_limit_bytes:
+            self._flush_run()
+
+    def _flush_run(self) -> None:
+        if not self._pending:
+            return
+        block = DataChunk.concat_many(self._pending) if len(self._pending) > 1 \
+            else self._pending[0]
+        order = sort_order(block, self.keys)
+        sorted_block = block.slice(order)
+        run = ChunkBuffer(self.types, self.context, "sort run")
+        for piece in sorted_block.split(VECTOR_SIZE):
+            run.append(piece)
+        self._runs.append(run)
+        self._pending = []
+        self._pending_bytes = 0
+
+    @property
+    def spilled(self) -> bool:
+        return len(self._runs) > 1 or (bool(self._runs) and bool(self._pending))
+
+    def sorted_chunks(self) -> Iterator[DataChunk]:
+        """Yield all appended rows in sorted order, then free resources."""
+        self._flush_run()
+        if not self._runs:
+            return
+        try:
+            streams = [run.scan() for run in self._runs]
+            # Balanced pairwise merge tree over the sorted runs.
+            while len(streams) > 1:
+                merged = []
+                for index in range(0, len(streams) - 1, 2):
+                    merged.append(self._merge_two(streams[index],
+                                                  streams[index + 1]))
+                if len(streams) % 2:
+                    merged.append(streams[-1])
+                streams = merged
+            yield from streams[0]
+        finally:
+            for run in self._runs:
+                run.close()
+            self._runs = []
+
+    def _merge_two(self, stream_a: Iterator[DataChunk],
+                   stream_b: Iterator[DataChunk]) -> Iterator[DataChunk]:
+        """Merge two sorted chunk streams into one, a few chunks at a time.
+
+        Invariant per round: concatenate the two current chunks, sort the
+        pair, and emit the prefix up to the earlier of the two chunks' last
+        rows -- everything in that prefix is <= anything either stream can
+        still produce.  The remainder carries over, and the stream whose
+        last row was emitted is refilled.
+        """
+        current_a = next(stream_a, None)
+        current_b = next(stream_b, None)
+        while current_a is not None and current_b is not None:
+            if current_a.size == 0:
+                current_a = next(stream_a, None)
+                continue
+            if current_b.size == 0:
+                current_b = next(stream_b, None)
+                continue
+            pair = DataChunk.concat_many([current_a, current_b])
+            order = sort_order(pair, self.keys)
+            positions = np.empty(pair.size, dtype=np.int64)
+            positions[order] = np.arange(pair.size)
+            last_a_position = positions[current_a.size - 1]
+            last_b_position = positions[pair.size - 1]
+            boundary = int(min(last_a_position, last_b_position))
+            sorted_pair = pair.slice(order)
+            emit = sorted_pair.slice(np.arange(0, boundary + 1))
+            for piece in emit.split(VECTOR_SIZE):
+                yield piece
+            carry = sorted_pair.slice(np.arange(boundary + 1, pair.size))
+            if last_a_position <= last_b_position:
+                current_a = next(stream_a, None)
+                current_b = carry
+            else:
+                current_b = next(stream_b, None)
+                current_a = carry
+        remainder = current_a if current_a is not None else current_b
+        if remainder is not None and remainder.size:
+            for piece in remainder.split(VECTOR_SIZE):
+                yield piece
+        leftover_stream = stream_a if current_a is not None else stream_b
+        for chunk in leftover_stream:
+            if chunk.size:
+                for piece in chunk.split(VECTOR_SIZE):
+                    yield piece
+
+
+class PhysicalOrder(PhysicalOperator):
+    """ORDER BY: externally sorts its entire input."""
+
+    def __init__(self, context: ExecutionContext, child: PhysicalOperator,
+                 items: List[BoundOrderByItem]) -> None:
+        super().__init__(context, [child], child.types, child.names)
+        self.items = items
+
+    def execute(self) -> Iterator[DataChunk]:
+        child = self.children[0]
+        executor = ExpressionExecutor(self.context)
+        # Order keys may be arbitrary expressions over the child's output;
+        # compute them into hidden trailing columns so the sorter only ever
+        # deals with column positions.
+        width = len(child.types)
+        key_types = [item.expression.return_type for item in self.items]
+        keys = [SortKey(width + index, item.ascending, item.nulls_first)
+                for index, item in enumerate(self.items)]
+        sorter = ExternalSorter(list(child.types) + key_types, keys, self.context)
+        for chunk in child.execute():
+            self.context.check_interrupted()
+            key_vectors = [executor.execute(item.expression, chunk)
+                           for item in self.items]
+            sorter.append(DataChunk(list(chunk.columns) + key_vectors))
+        if sorter.spilled:
+            self.context.bump_stat("sort_spilled", 1)
+        for chunk in sorter.sorted_chunks():
+            self.context.check_interrupted()
+            yield DataChunk(chunk.columns[:width])
+
+    def _explain_line(self) -> str:
+        return f"ORDER_BY ({len(self.items)} keys)"
+
+
+class PhysicalTopN(PhysicalOperator):
+    """Fused ORDER BY + LIMIT: keeps only the top N+offset rows resident."""
+
+    def __init__(self, context: ExecutionContext, child: PhysicalOperator,
+                 items: List[BoundOrderByItem], limit: int, offset: int) -> None:
+        super().__init__(context, [child], child.types, child.names)
+        self.items = items
+        self.limit = limit
+        self.offset = offset
+
+    def execute(self) -> Iterator[DataChunk]:
+        child = self.children[0]
+        executor = ExpressionExecutor(self.context)
+        width = len(child.types)
+        keep = self.limit + self.offset
+        keys = [SortKey(width + index, item.ascending, item.nulls_first)
+                for index, item in enumerate(self.items)]
+        best: Optional[DataChunk] = None
+        for chunk in child.execute():
+            self.context.check_interrupted()
+            key_vectors = [executor.execute(item.expression, chunk)
+                           for item in self.items]
+            extended = DataChunk(list(chunk.columns) + key_vectors)
+            best = extended if best is None \
+                else DataChunk.concat_many([best, extended])
+            if best.size > keep:
+                order = sort_order(best, keys)[:keep]
+                best = best.slice(order)
+        if best is None or best.size <= self.offset:
+            return
+        order = sort_order(best, keys)
+        selected = order[self.offset:self.offset + self.limit]
+        result = best.slice(selected)
+        for piece in DataChunk(result.columns[:width]).split(VECTOR_SIZE):
+            yield piece
+
+    def _explain_line(self) -> str:
+        return f"TOP_N limit={self.limit} offset={self.offset}"

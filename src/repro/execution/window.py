@@ -1,0 +1,324 @@
+"""Window function execution.
+
+The operator materializes its input (through a compressible, spillable
+:class:`~repro.execution.intermediates.ChunkBuffer`, like every blocking
+operator), then for each window expression:
+
+1. evaluates partition keys and factorizes them into dense partition ids;
+2. sorts rows by (partition id, ORDER BY keys) -- one vectorized sort;
+3. computes the function over the sorted layout with segmented NumPy
+   kernels (boundary masks + cumulative operations);
+4. scatters results back into the original row order, so downstream
+   operators see the input rows unchanged plus the new column.
+
+Running aggregates use ROWS UNBOUNDED PRECEDING .. CURRENT ROW semantics
+(per physical row, not per peer group -- a documented simplification).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import InternalError
+from ..functions.aggregate import compute_aggregate
+from ..planner.window import BoundWindowExpr
+from ..types import BIGINT, DataChunk, LogicalTypeId, VECTOR_SIZE, Vector
+from .expression_executor import ExpressionExecutor
+from .intermediates import ChunkBuffer
+from .keys import factorize_for_groups
+from .physical import ExecutionContext, PhysicalOperator
+from .sort import SortKey, sort_order
+
+__all__ = ["PhysicalWindow"]
+
+
+def _partition_starts_mask(partition_ids_sorted: np.ndarray) -> np.ndarray:
+    """Boolean mask: True where a new partition begins (in sorted order)."""
+    count = len(partition_ids_sorted)
+    mask = np.ones(count, dtype=np.bool_)
+    if count > 1:
+        mask[1:] = partition_ids_sorted[1:] != partition_ids_sorted[:-1]
+    return mask
+
+
+def _segment_base(values: np.ndarray, new_segment: np.ndarray) -> np.ndarray:
+    """Per row: the value of ``values`` at its segment's first row.
+
+    ``new_segment`` marks segment starts; both arrays are in sorted order.
+    """
+    index = np.arange(len(values), dtype=np.int64)
+    start_positions = np.where(new_segment, index, 0)
+    start_positions = np.maximum.accumulate(start_positions)
+    return values[start_positions]
+
+
+class PhysicalWindow(PhysicalOperator):
+    """Computes window columns; output = child columns ++ window columns."""
+
+    def __init__(self, context: ExecutionContext, child: PhysicalOperator,
+                 windows: List[BoundWindowExpr], types, names) -> None:
+        super().__init__(context, [child], types, names)
+        self.windows = windows
+
+    # -- kernels (all operate on the sorted layout) -------------------------
+    def _ranking(self, window: BoundWindowExpr, order_key_codes,
+                 partition_new: np.ndarray) -> Vector:
+        count = len(partition_new)
+        index = np.arange(count, dtype=np.int64)
+        partition_start = _segment_base(index, partition_new)
+        if window.name == "row_number":
+            data = index - partition_start + 1
+            return Vector(BIGINT, data, np.ones(count, dtype=np.bool_))
+        # rank / dense_rank need peer boundaries (ties in the order keys).
+        peer_new = partition_new.copy()
+        if order_key_codes is not None and count > 1:
+            peer_new[1:] |= order_key_codes[1:] != order_key_codes[:-1]
+        if window.name == "rank":
+            peer_start = _segment_base(index, peer_new)
+            data = peer_start - partition_start + 1
+            return Vector(BIGINT, data, np.ones(count, dtype=np.bool_))
+        # dense_rank: count of peer groups so far within the partition.
+        new_group = peer_new.astype(np.int64)
+        group_cum = np.cumsum(new_group)
+        base = _segment_base(group_cum - new_group, partition_new)
+        data = group_cum - base
+        return Vector(BIGINT, data, np.ones(count, dtype=np.bool_))
+
+    def _ntile(self, window: BoundWindowExpr, materialized: DataChunk,
+               executor: ExpressionExecutor, partition_sorted: np.ndarray,
+               partition_new: np.ndarray) -> Vector:
+        """SQL ntile: split each partition into n maximally even buckets."""
+        count = len(partition_sorted)
+        buckets_vector = executor.execute(window.args[0], materialized)
+        buckets = int(buckets_vector.data[0]) if len(buckets_vector) else 1
+        if buckets < 1:
+            raise InternalError("ntile() bucket count must be >= 1")
+        index = np.arange(count, dtype=np.int64)
+        partition_start = _segment_base(index, partition_new)
+        position = index - partition_start  # 0-based within the partition
+        # Partition sizes, broadcast per row.
+        sizes = np.bincount(partition_sorted,
+                            minlength=int(partition_sorted.max()) + 1
+                            if count else 1)
+        size = sizes[partition_sorted]
+        base = size // buckets
+        remainder = size % buckets
+        big = remainder * (base + 1)
+        in_big = position < big
+        with np.errstate(divide="ignore", invalid="ignore"):
+            tile_big = position // np.maximum(base + 1, 1)
+            tile_small = remainder + (position - big) // np.maximum(base, 1)
+        data = np.where(in_big, tile_big, tile_small) + 1
+        return Vector(BIGINT, data.astype(np.int64),
+                      np.ones(count, dtype=np.bool_))
+
+    def _boundary_value(self, window: BoundWindowExpr, argument: Vector,
+                        partition_new: np.ndarray) -> Vector:
+        """first_value/last_value over the whole partition (documented frame)."""
+        count = len(argument)
+        index = np.arange(count, dtype=np.int64)
+        if window.name == "first_value":
+            source = _segment_base(index, partition_new)
+        else:
+            # Each row maps to its partition's last index.
+            starts = np.flatnonzero(partition_new)
+            ends = np.concatenate([starts[1:], [count]]) - 1
+            source = np.repeat(ends, np.diff(np.concatenate([starts, [count]])))
+        data = argument.data[source]
+        validity = argument.validity[source]
+        return Vector(argument.dtype, data.copy(), validity.copy())
+
+    def _offset_function(self, window: BoundWindowExpr, argument: Vector,
+                         default: Optional[Vector],
+                         partition_ids_sorted: np.ndarray,
+                         offset: int) -> Vector:
+        count = len(argument)
+        if window.name == "lead":
+            offset = -offset
+        shifted_data = np.roll(argument.data, offset)
+        shifted_validity = np.roll(argument.validity, offset)
+        shifted_partition = np.roll(partition_ids_sorted, offset)
+        index = np.arange(count, dtype=np.int64)
+        # Out of bounds when the source row falls outside [0, count) or
+        # belongs to a different partition.
+        if offset >= 0:
+            in_range = index >= offset
+        else:
+            in_range = index < count + offset
+        valid_source = in_range & (shifted_partition == partition_ids_sorted)
+        data = shifted_data.copy()
+        validity = shifted_validity & valid_source
+        if default is not None:
+            use_default = ~valid_source
+            data[use_default] = default.data[use_default]
+            validity = np.where(use_default, default.validity, validity)
+        if not validity.all() and data.dtype != object:
+            data[~validity] = 0
+        return Vector(argument.dtype, data, validity)
+
+    def _running_aggregate(self, window: BoundWindowExpr, argument: Optional[Vector],
+                           partition_ids_sorted: np.ndarray,
+                           partition_new: np.ndarray,
+                           partition_count: int) -> Vector:
+        count = len(partition_ids_sorted)
+        if not window.order_items:
+            # Whole-partition aggregate, broadcast to every member row.
+            per_partition = compute_aggregate(
+                window.name, False, argument, partition_ids_sorted,
+                partition_count, window.return_type)
+            data = per_partition.data[partition_ids_sorted]
+            validity = per_partition.validity[partition_ids_sorted]
+            return Vector(window.return_type, data.copy(), validity.copy())
+
+        # Running aggregates: cumulative ops with per-partition reset.
+        name = window.name
+        if name == "count":
+            counted = argument.validity.astype(np.int64) \
+                if argument is not None else np.ones(count, dtype=np.int64)
+            running = np.cumsum(counted)
+            base = _segment_base(running - counted, partition_new)
+            return Vector(BIGINT, running - base,
+                          np.ones(count, dtype=np.bool_))
+        if argument is None:
+            raise InternalError(f"window aggregate {name} needs an argument")
+        valid = argument.validity
+        values = np.where(valid, argument.data, 0)
+        if name in ("sum", "avg"):
+            running_sum = np.cumsum(values.astype(np.float64))
+            running_sum -= _segment_base(
+                running_sum - np.where(valid, values, 0), partition_new)
+            counted = valid.astype(np.int64)
+            running_count = np.cumsum(counted)
+            running_count -= _segment_base(running_count - counted,
+                                           partition_new)
+            validity = running_count > 0
+            if name == "avg":
+                with np.errstate(all="ignore"):
+                    data = running_sum / np.maximum(running_count, 1)
+                return Vector(window.return_type, data, validity)
+            if window.return_type.is_integer():
+                data = np.rint(running_sum).astype(np.int64)
+            else:
+                data = running_sum
+            return Vector(window.return_type, data, validity)
+        if name in ("min", "max"):
+            # Segmented cumulative extreme: per-partition slices (bounded
+            # Python loop over partitions, vectorized within each).
+            out = argument.data.astype(np.float64, copy=True)
+            sentinel = np.inf if name == "min" else -np.inf
+            out[~valid] = sentinel
+            accumulate = np.minimum.accumulate if name == "min" \
+                else np.maximum.accumulate
+            starts = np.flatnonzero(partition_new)
+            ends = np.concatenate([starts[1:], [count]])
+            for start, end in zip(starts, ends):
+                out[start:end] = accumulate(out[start:end])
+            validity = out != sentinel
+            data = np.where(validity, out, 0)
+            if window.return_type.id is not LogicalTypeId.DOUBLE and \
+                    window.return_type.numpy_dtype.kind in "iu":
+                data = np.rint(data).astype(window.return_type.numpy_dtype)
+            else:
+                data = data.astype(window.return_type.numpy_dtype)
+            return Vector(window.return_type, data, validity)
+        raise InternalError(f"Unhandled window aggregate {name}")
+
+    # -- main ------------------------------------------------------------------
+    def _compute_window(self, window: BoundWindowExpr, materialized: DataChunk,
+                        executor: ExpressionExecutor) -> Vector:
+        count = materialized.size
+        if count == 0:
+            return Vector.empty(window.return_type, 0)
+        # 1. Partition ids.
+        if window.partitions:
+            keys = [executor.execute(key, materialized)
+                    for key in window.partitions]
+            partition_ids, partition_count, _ = factorize_for_groups(keys)
+        else:
+            partition_ids = np.zeros(count, dtype=np.int64)
+            partition_count = 1
+        # 2. Sort by (partition, order keys).
+        order_vectors = [executor.execute(item.expression, materialized)
+                         for item in window.order_items]
+        partition_vector = Vector(BIGINT, partition_ids)
+        sort_chunk = DataChunk([partition_vector] + order_vectors)
+        keys = [SortKey(0, True, False)] + [
+            SortKey(position + 1, item.ascending, item.nulls_first)
+            for position, item in enumerate(window.order_items)
+        ]
+        order = sort_order(sort_chunk, keys)
+        partition_sorted = partition_ids[order]
+        partition_new = _partition_starts_mask(partition_sorted)
+
+        # Combined order-key codes (for rank ties), in sorted order.
+        order_key_codes = None
+        if order_vectors:
+            codes, _, _ = factorize_for_groups(
+                [vector.slice(order) for vector in order_vectors])
+            order_key_codes = codes
+
+        # 3. Evaluate the argument (sorted order) and dispatch.
+        name = window.name
+        if name in ("row_number", "rank", "dense_rank"):
+            sorted_result = self._ranking(window, order_key_codes,
+                                          partition_new)
+        elif name == "ntile":
+            sorted_result = self._ntile(window, materialized, executor,
+                                        partition_sorted, partition_new)
+        elif name in ("first_value", "last_value"):
+            argument = executor.execute(window.args[0], materialized).slice(order)
+            sorted_result = self._boundary_value(window, argument,
+                                                 partition_new)
+        elif name in ("lag", "lead"):
+            argument = executor.execute(window.args[0], materialized).slice(order)
+            offset = 1
+            if len(window.args) >= 2:
+                offset_vector = executor.execute(window.args[1], materialized)
+                offset = int(offset_vector.data[0]) if len(offset_vector) else 1
+            default = None
+            if len(window.args) == 3:
+                default = executor.execute(window.args[2],
+                                           materialized).slice(order)
+                from ..types import cast_vector
+
+                default = cast_vector(default, argument.dtype)
+            sorted_result = self._offset_function(window, argument, default,
+                                                  partition_sorted, offset)
+        else:
+            argument = None
+            if window.args:
+                argument = executor.execute(window.args[0],
+                                            materialized).slice(order)
+            sorted_result = self._running_aggregate(
+                window, argument, partition_sorted, partition_new,
+                partition_count)
+
+        # 4. Scatter back to the original row order.
+        result = Vector.empty(window.return_type, count)
+        result.data[order] = sorted_result.data
+        result.validity[order] = sorted_result.validity
+        return result
+
+    def execute(self) -> Iterator[DataChunk]:
+        context = self.context
+        child = self.children[0]
+        executor = ExpressionExecutor(context)
+        with ChunkBuffer(child.types, context, "window input") as buffer:
+            for chunk in child.execute():
+                context.check_interrupted()
+                buffer.append(chunk)
+            materialized = buffer.materialize()
+        if materialized.size == 0:
+            return
+        window_columns = [self._compute_window(window, materialized, executor)
+                          for window in self.windows]
+        result = DataChunk(list(materialized.columns) + window_columns)
+        for piece in result.split(VECTOR_SIZE):
+            context.check_interrupted()
+            yield piece
+
+    def _explain_line(self) -> str:
+        names = ", ".join(window.name for window in self.windows)
+        return f"WINDOW [{names}]"

@@ -1,0 +1,13 @@
+"""Scalar and aggregate function registries."""
+
+from .aggregate import AGGREGATE_NAMES, bind_aggregate, compute_aggregate
+from .scalar import SCALAR_FUNCTIONS, ScalarFunction, lookup_scalar_function
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "bind_aggregate",
+    "compute_aggregate",
+    "SCALAR_FUNCTIONS",
+    "ScalarFunction",
+    "lookup_scalar_function",
+]

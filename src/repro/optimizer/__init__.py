@@ -1,0 +1,5 @@
+"""Logical plan optimizer: folding, filter pushdown, column pruning."""
+
+from .rules import optimize
+
+__all__ = ["optimize"]

@@ -1,0 +1,390 @@
+"""Logical plan optimizer.
+
+Three rewrite passes, run in order:
+
+1. **Constant folding** -- column-free expression subtrees are evaluated at
+   plan time; trivially-true filters disappear, trivially-false ones
+   collapse the subtree to an empty source.
+2. **Filter pushdown** -- WHERE conjuncts migrate toward the scans: through
+   projections (by substitution), through inner joins (splitting per side,
+   turning cross products into equi-joins), through ORDER BY and DISTINCT,
+   and finally *into* :class:`~repro.planner.logical.LogicalGet`, where they
+   are evaluated right after each chunk is fetched.
+3. **Column pruning** -- only the columns an operator's ancestors actually
+   reference are scanned.  This matters doubly here: the paper's workloads
+   "typically only target a subset of the columns of a large table" (§2),
+   and our column store fetches each column independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import BinderError, Error, InternalError
+from ..planner.expressions import (
+    BoundColumnRef,
+    BoundConstant,
+    BoundExpression,
+    BoundOperator,
+)
+from ..planner.logical import (
+    ColumnSchema,
+    JoinCondition,
+    LogicalAggregate,
+    LogicalCSVScan,
+    LogicalDistinct,
+    LogicalEmpty,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOperator,
+    LogicalOrder,
+    LogicalProjection,
+    LogicalSetOp,
+    LogicalValues,
+)
+from ..types import BOOLEAN
+
+__all__ = ["optimize"]
+
+
+def optimize(plan: LogicalOperator) -> LogicalOperator:
+    """Apply all rewrite passes to a bound logical plan."""
+    plan = _fold_operator(plan)
+    plan = _push_filters(plan, [])
+    plan, _ = _prune_columns(plan, set(range(len(plan.schema))))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+def _fold_expression(expression: BoundExpression) -> BoundExpression:
+    children = [_fold_expression(child) for child in expression.children]
+    if children:
+        expression = expression.replace_children(children)
+    if isinstance(expression, BoundConstant) or not expression.is_foldable():
+        return expression
+    try:
+        from ..execution.expression_executor import evaluate_standalone
+
+        value = evaluate_standalone(expression)
+        return BoundConstant(value, expression.return_type)
+    except Error:
+        # Expressions that error at fold time (bad cast of a constant, ...)
+        # are left in place so the error surfaces at execution, per row.
+        return expression
+
+
+def _fold_operator(plan: LogicalOperator) -> LogicalOperator:
+    plan.children = [_fold_operator(child) for child in plan.children]
+    if isinstance(plan, LogicalFilter):
+        plan.predicate = _fold_expression(plan.predicate)
+        if isinstance(plan.predicate, BoundConstant):
+            if plan.predicate.value is True:
+                return plan.children[0]
+            return LogicalEmpty([], list(plan.schema))
+    elif isinstance(plan, LogicalProjection):
+        plan.expressions = [_fold_expression(expression)
+                            for expression in plan.expressions]
+    elif isinstance(plan, LogicalAggregate):
+        plan.groups = [_fold_expression(group) for group in plan.groups]
+        plan.aggregates = [
+            aggregate.replace_children(
+                [_fold_expression(arg) for arg in aggregate.args])
+            if aggregate.args else aggregate
+            for aggregate in plan.aggregates
+        ]
+    elif isinstance(plan, LogicalOrder):
+        for item in plan.items:
+            item.expression = _fold_expression(item.expression)
+    elif isinstance(plan, LogicalJoin):
+        if plan.residual is not None:
+            plan.residual = _fold_expression(plan.residual)
+        plan.conditions = [
+            JoinCondition(_fold_expression(condition.left),
+                          _fold_expression(condition.right))
+            for condition in plan.conditions
+        ]
+    elif isinstance(plan, LogicalValues):
+        plan.rows = [[_fold_expression(value) for value in row]
+                     for row in plan.rows]
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# filter pushdown
+# ---------------------------------------------------------------------------
+
+def _flatten_and(expression: BoundExpression) -> List[BoundExpression]:
+    if isinstance(expression, BoundOperator) and expression.op == "and":
+        out: List[BoundExpression] = []
+        for arg in expression.args:
+            out.extend(_flatten_and(arg))
+        return out
+    return [expression]
+
+
+def _combine_and(conjuncts: Sequence[BoundExpression]) -> BoundExpression:
+    result = conjuncts[0]
+    for part in conjuncts[1:]:
+        result = BoundOperator("and", [result, part], BOOLEAN)
+    return result
+
+
+def _remap_expression(expression: BoundExpression,
+                      mapping: Dict[int, int]) -> BoundExpression:
+    if isinstance(expression, BoundColumnRef):
+        return BoundColumnRef(mapping[expression.position],
+                              expression.return_type, expression.name)
+    children = [_remap_expression(child, mapping)
+                for child in expression.children]
+    if not children:
+        return expression
+    return expression.replace_children(children)
+
+
+def _substitute(expression: BoundExpression,
+                replacements: List[BoundExpression]) -> BoundExpression:
+    """Replace column refs with the given expressions (projection inlining)."""
+    if isinstance(expression, BoundColumnRef):
+        return replacements[expression.position]
+    children = [_substitute(child, replacements) for child in expression.children]
+    if not children:
+        return expression
+    return expression.replace_children(children)
+
+
+def _rebase(expression: BoundExpression, delta: int) -> BoundExpression:
+    if isinstance(expression, BoundColumnRef):
+        return BoundColumnRef(expression.position + delta,
+                              expression.return_type, expression.name)
+    children = [_rebase(child, delta) for child in expression.children]
+    if not children:
+        return expression
+    return expression.replace_children(children)
+
+
+def _wrap_filter(plan: LogicalOperator,
+                 conjuncts: List[BoundExpression]) -> LogicalOperator:
+    if not conjuncts:
+        return plan
+    return LogicalFilter(plan, _combine_and(conjuncts))
+
+
+def _push_filters(plan: LogicalOperator,
+                  conjuncts: List[BoundExpression]) -> LogicalOperator:
+    """Push a list of conjuncts (bound to ``plan``'s output) downward."""
+    if isinstance(plan, LogicalFilter):
+        merged = conjuncts + _flatten_and(plan.predicate)
+        return _push_filters(plan.children[0], merged)
+
+    if isinstance(plan, LogicalProjection):
+        inlined = [_substitute(conjunct, plan.expressions)
+                   for conjunct in conjuncts]
+        child = _push_filters(plan.children[0], inlined)
+        return LogicalProjection(child, plan.expressions, plan.names)
+
+    if isinstance(plan, LogicalGet):
+        plan.pushed_filters.extend(conjuncts)
+        return plan
+
+    if isinstance(plan, LogicalJoin):
+        left_width = len(plan.children[0].schema)
+        total_width = len(plan.schema)
+        left_parts: List[BoundExpression] = []
+        right_parts: List[BoundExpression] = []
+        keep: List[BoundExpression] = []
+        new_conditions = list(plan.conditions)
+        join_type = plan.join_type
+        for conjunct in conjuncts:
+            refs = conjunct.referenced_columns()
+            left_only = all(position < left_width for position in refs)
+            right_only = all(position >= left_width for position in refs)
+            if left_only and join_type in ("inner", "cross", "left"):
+                left_parts.append(conjunct)
+            elif right_only and join_type in ("inner", "cross"):
+                right_parts.append(_rebase(conjunct, -left_width))
+            elif join_type in ("inner", "cross") and isinstance(conjunct, BoundOperator) \
+                    and conjunct.op == "=" and len(conjunct.args) == 2:
+                # An equality spanning both sides becomes a join condition,
+                # turning a cross product into a proper equi-join.
+                first, second = conjunct.args
+                first_refs = first.referenced_columns()
+                second_refs = second.referenced_columns()
+                if first_refs and second_refs \
+                        and max(first_refs) < left_width <= min(second_refs):
+                    new_conditions.append(JoinCondition(
+                        first, _rebase(second, -left_width)))
+                    join_type = "inner"
+                elif first_refs and second_refs \
+                        and max(second_refs) < left_width <= min(first_refs):
+                    new_conditions.append(JoinCondition(
+                        second, _rebase(first, -left_width)))
+                    join_type = "inner"
+                else:
+                    keep.append(conjunct)
+            else:
+                keep.append(conjunct)
+        if join_type == "cross" and new_conditions:
+            join_type = "inner"
+        left = _push_filters(plan.children[0], left_parts)
+        right = _push_filters(plan.children[1], right_parts)
+        new_join = LogicalJoin(left, right, join_type, new_conditions,
+                               plan.residual)
+        return _wrap_filter(new_join, keep)
+
+    if isinstance(plan, LogicalAggregate):
+        group_width = len(plan.groups)
+        pushable: List[BoundExpression] = []
+        keep = []
+        for conjunct in conjuncts:
+            refs = conjunct.referenced_columns()
+            if refs and all(position < group_width for position in refs):
+                pushable.append(_substitute(
+                    conjunct,
+                    list(plan.groups) + [None] * len(plan.aggregates)))  # type: ignore[list-item]
+            else:
+                keep.append(conjunct)
+        child = _push_filters(plan.children[0], pushable)
+        new_aggregate = LogicalAggregate(child, plan.groups, plan.aggregates,
+                                         plan.schema)
+        return _wrap_filter(new_aggregate, keep)
+
+    if isinstance(plan, (LogicalOrder, LogicalDistinct)):
+        child = _push_filters(plan.children[0], conjuncts)
+        if isinstance(plan, LogicalOrder):
+            return LogicalOrder(child, plan.items)
+        return LogicalDistinct(child)
+
+    # LIMIT, set operations, VALUES, CSV scans: filters stay above.
+    plan.children = [_push_filters(child, []) for child in plan.children]
+    return _wrap_filter(plan, conjuncts)
+
+
+# ---------------------------------------------------------------------------
+# column pruning
+# ---------------------------------------------------------------------------
+
+def _expression_refs(expressions) -> Set[int]:
+    out: Set[int] = set()
+    for expression in expressions:
+        out |= expression.referenced_columns()
+    return out
+
+
+def _prune_columns(plan: LogicalOperator,
+                   required: Set[int]) -> Tuple[LogicalOperator, Dict[int, int]]:
+    """Drop unused output columns; returns the plan and old->new positions."""
+    if isinstance(plan, LogicalGet):
+        needed = set(required) | _expression_refs(plan.pushed_filters)
+        if not needed:
+            needed = {0}  # a scan must produce at least one column
+        keep = sorted(needed)
+        mapping = {old: new for new, old in enumerate(keep)}
+        plan.column_ids = [plan.column_ids[old] for old in keep]
+        plan.schema = [plan.schema[old] for old in keep]
+        plan.pushed_filters = [_remap_expression(predicate, mapping)
+                               for predicate in plan.pushed_filters]
+        return plan, mapping
+
+    if isinstance(plan, LogicalProjection):
+        keep = sorted(required) if required else [0]
+        child_required = _expression_refs(plan.expressions[old] for old in keep)
+        child, child_mapping = _prune_columns(plan.children[0], child_required)
+        expressions = [_remap_expression(plan.expressions[old], child_mapping)
+                       for old in keep]
+        names = [plan.schema[old].name for old in keep]
+        mapping = {old: new for new, old in enumerate(keep)}
+        return LogicalProjection(child, expressions, names), mapping
+
+    if isinstance(plan, LogicalFilter):
+        child_required = set(required) | plan.predicate.referenced_columns()
+        child, mapping = _prune_columns(plan.children[0], child_required)
+        predicate = _remap_expression(plan.predicate, mapping)
+        return LogicalFilter(child, predicate), mapping
+
+    if isinstance(plan, LogicalJoin):
+        left_width = len(plan.children[0].schema)
+        combined = set(required)
+        if plan.residual is not None:
+            combined |= plan.residual.referenced_columns()
+        left_required = {position for position in combined if position < left_width}
+        right_required = {position - left_width for position in combined
+                          if position >= left_width}
+        for condition in plan.conditions:
+            left_required |= condition.left.referenced_columns()
+            right_required |= condition.right.referenced_columns()
+        left, left_mapping = _prune_columns(plan.children[0], left_required)
+        right, right_mapping = _prune_columns(plan.children[1], right_required)
+        new_left_width = len(left.schema)
+        conditions = [
+            JoinCondition(_remap_expression(condition.left, left_mapping),
+                          _remap_expression(condition.right, right_mapping))
+            for condition in plan.conditions
+        ]
+        combined_mapping = dict(left_mapping)
+        for old, new in right_mapping.items():
+            combined_mapping[old + left_width] = new + new_left_width
+        residual = _remap_expression(plan.residual, combined_mapping) \
+            if plan.residual is not None else None
+        return LogicalJoin(left, right, plan.join_type, conditions, residual), \
+            combined_mapping
+
+    if isinstance(plan, LogicalAggregate):
+        group_width = len(plan.groups)
+        keep_aggregates = sorted(position - group_width for position in required
+                                 if position >= group_width)
+        aggregates = [plan.aggregates[index] for index in keep_aggregates]
+        child_required = _expression_refs(plan.groups)
+        child_required |= _expression_refs(
+            arg for aggregate in aggregates for arg in aggregate.args)
+        child, child_mapping = _prune_columns(plan.children[0], child_required)
+        groups = [_remap_expression(group, child_mapping) for group in plan.groups]
+        aggregates = [
+            aggregate.replace_children([
+                _remap_expression(arg, child_mapping) for arg in aggregate.args])
+            if aggregate.args else aggregate
+            for aggregate in aggregates
+        ]
+        schema = plan.schema[:group_width] + [
+            plan.schema[group_width + index] for index in keep_aggregates
+        ]
+        mapping = {position: position for position in range(group_width)}
+        for new_index, old_index in enumerate(keep_aggregates):
+            mapping[group_width + old_index] = group_width + new_index
+        return LogicalAggregate(child, groups, aggregates, schema), mapping
+
+    if isinstance(plan, LogicalOrder):
+        child_required = set(required) | _expression_refs(
+            item.expression for item in plan.items)
+        child, mapping = _prune_columns(plan.children[0], child_required)
+        for item in plan.items:
+            item.expression = _remap_expression(item.expression, mapping)
+        return LogicalOrder(child, plan.items), mapping
+
+    if isinstance(plan, LogicalLimit):
+        child, mapping = _prune_columns(plan.children[0], required)
+        return LogicalLimit(child, plan.limit, plan.offset), mapping
+
+    if isinstance(plan, LogicalValues):
+        keep = sorted(required) if required else list(range(len(plan.schema)))
+        plan.rows = [[row[old] for old in keep] for row in plan.rows]
+        plan.schema = [plan.schema[old] for old in keep]
+        mapping = {old: new for new, old in enumerate(keep)}
+        return plan, mapping
+
+    # DISTINCT, set operations, CSV scans, EMPTY: all columns are semantic.
+    full = set(range(len(plan.schema)))
+    identity = {position: position for position in full}
+    new_children = []
+    for child in plan.children:
+        pruned, child_mapping = _prune_columns(
+            child, set(range(len(child.schema))))
+        if any(child_mapping[position] != position for position in child_mapping):
+            raise InternalError("Full-requirement pruning changed a child schema")
+        new_children.append(pruned)
+    plan.children = new_children
+    return plan, identity

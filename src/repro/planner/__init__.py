@@ -1,0 +1,66 @@
+"""Binder and logical planner: AST -> typed logical plans."""
+
+from .binder import BindContext, Binder, TableBinding
+from .bound_statements import (
+    BoundCheckpoint,
+    BoundCopyFrom,
+    BoundCopyTo,
+    BoundCreateTable,
+    BoundCreateView,
+    BoundDelete,
+    BoundDrop,
+    BoundExplain,
+    BoundInsert,
+    BoundPragma,
+    BoundSelect,
+    BoundStatement,
+    BoundTransaction,
+    BoundUpdate,
+)
+from .expressions import (
+    BoundAggregate,
+    BoundCase,
+    BoundCast,
+    BoundColumnRef,
+    BoundConstant,
+    BoundExpression,
+    BoundFunction,
+    BoundInList,
+    BoundIsNull,
+    BoundLike,
+    BoundOperator,
+)
+from .logical import (
+    BoundOrderByItem,
+    ColumnSchema,
+    JoinCondition,
+    LogicalAggregate,
+    LogicalCSVScan,
+    LogicalDistinct,
+    LogicalEmpty,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOperator,
+    LogicalOrder,
+    LogicalProjection,
+    LogicalSetOp,
+    LogicalValues,
+)
+from .subquery import BoundExistsSubquery, BoundInSubquery, BoundScalarSubquery
+
+__all__ = [
+    "Binder", "BindContext", "TableBinding",
+    "BoundStatement", "BoundSelect", "BoundInsert", "BoundUpdate", "BoundDelete",
+    "BoundCreateTable", "BoundCreateView", "BoundDrop", "BoundTransaction",
+    "BoundCheckpoint", "BoundPragma", "BoundCopyFrom", "BoundCopyTo", "BoundExplain",
+    "BoundExpression", "BoundConstant", "BoundColumnRef", "BoundOperator",
+    "BoundCast", "BoundCase", "BoundIsNull", "BoundInList", "BoundLike",
+    "BoundFunction", "BoundAggregate",
+    "BoundScalarSubquery", "BoundInSubquery", "BoundExistsSubquery",
+    "ColumnSchema", "LogicalOperator", "LogicalGet", "LogicalCSVScan",
+    "LogicalValues", "LogicalFilter", "LogicalProjection", "LogicalAggregate",
+    "LogicalJoin", "LogicalOrder", "LogicalLimit", "LogicalDistinct",
+    "LogicalSetOp", "LogicalEmpty", "BoundOrderByItem", "JoinCondition",
+]

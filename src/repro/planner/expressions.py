@@ -1,0 +1,298 @@
+"""Bound (typed, resolved) expressions.
+
+The binder turns parser AST expressions into these nodes: every column
+reference is resolved to a *position* in the input chunk of the operator
+that evaluates the expression, and every node carries its result type.
+Structural equality (``same_as``) lets the binder deduplicate group keys and
+aggregate expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..types import BOOLEAN, LogicalType
+from ..errors import InternalError
+
+__all__ = [
+    "BoundExpression", "BoundConstant", "BoundColumnRef", "BoundOperator",
+    "BoundCast", "BoundCase", "BoundIsNull", "BoundInList", "BoundLike",
+    "BoundFunction", "BoundAggregate",
+]
+
+
+class BoundExpression:
+    """Base class: a typed expression tree evaluated over a DataChunk."""
+
+    __slots__ = ("return_type",)
+
+    def __init__(self, return_type: LogicalType) -> None:
+        self.return_type = return_type
+
+    @property
+    def children(self) -> Sequence["BoundExpression"]:
+        return ()
+
+    def replace_children(self, new_children: List["BoundExpression"]) -> "BoundExpression":
+        """A copy of this node with different children (used by rewrites)."""
+        if new_children:
+            raise InternalError(f"{type(self).__name__} has no children to replace")
+        return self
+
+    def same_as(self, other: "BoundExpression") -> bool:
+        """Structural equality."""
+        if type(self) is not type(other) or self.return_type != other.return_type:
+            return False
+        if not self._fields_equal(other):
+            return False
+        mine, theirs = self.children, other.children
+        if len(mine) != len(theirs):
+            return False
+        return all(a.same_as(b) for a, b in zip(mine, theirs))
+
+    def _fields_equal(self, other: "BoundExpression") -> bool:
+        return True
+
+    def is_foldable(self) -> bool:
+        """True when the expression references no input columns (constant)."""
+        return all(child.is_foldable() for child in self.children) \
+            and not isinstance(self, BoundColumnRef)
+
+    def referenced_columns(self) -> set:
+        """Set of input positions this expression reads."""
+        out = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BoundColumnRef):
+                out.add(node.position)
+            stack.extend(node.children)
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}[{self.return_type}]"
+
+
+class BoundConstant(BoundExpression):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any, return_type: LogicalType) -> None:
+        super().__init__(return_type)
+        self.value = value
+
+    def _fields_equal(self, other: "BoundConstant") -> bool:
+        return self.value == other.value and type(self.value) is type(other.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+class BoundColumnRef(BoundExpression):
+    """A positional reference into the evaluating operator's input chunk."""
+
+    __slots__ = ("position", "name")
+
+    def __init__(self, position: int, return_type: LogicalType, name: str = "") -> None:
+        super().__init__(return_type)
+        self.position = position
+        self.name = name
+
+    def _fields_equal(self, other: "BoundColumnRef") -> bool:
+        return self.position == other.position
+
+    def __repr__(self) -> str:
+        label = self.name or "?"
+        return f"Column(#{self.position} {label})"
+
+
+class BoundOperator(BoundExpression):
+    """Built-in operator: arithmetic, comparison, logic, unary, concat."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, args: List[BoundExpression],
+                 return_type: LogicalType) -> None:
+        super().__init__(return_type)
+        self.op = op
+        self.args = args
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        return self.args
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundOperator":
+        return BoundOperator(self.op, list(new_children), self.return_type)
+
+    def _fields_equal(self, other: "BoundOperator") -> bool:
+        return self.op == other.op
+
+    def __repr__(self) -> str:
+        return f"Op({self.op}, {list(self.args)!r})"
+
+
+class BoundCast(BoundExpression):
+    __slots__ = ("child",)
+
+    def __init__(self, child: BoundExpression, return_type: LogicalType) -> None:
+        super().__init__(return_type)
+        self.child = child
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        return (self.child,)
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundCast":
+        return BoundCast(new_children[0], self.return_type)
+
+
+class BoundCase(BoundExpression):
+    """Searched CASE (the binder rewrites simple CASE into this form)."""
+
+    __slots__ = ("whens", "else_result")
+
+    def __init__(self, whens: List[Tuple[BoundExpression, BoundExpression]],
+                 else_result: BoundExpression, return_type: LogicalType) -> None:
+        super().__init__(return_type)
+        self.whens = whens
+        self.else_result = else_result
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        out: List[BoundExpression] = []
+        for condition, result in self.whens:
+            out.append(condition)
+            out.append(result)
+        out.append(self.else_result)
+        return out
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundCase":
+        whens = []
+        for index in range(len(self.whens)):
+            whens.append((new_children[2 * index], new_children[2 * index + 1]))
+        return BoundCase(whens, new_children[-1], self.return_type)
+
+
+class BoundIsNull(BoundExpression):
+    __slots__ = ("child", "negated")
+
+    def __init__(self, child: BoundExpression, negated: bool) -> None:
+        super().__init__(BOOLEAN)
+        self.child = child
+        self.negated = negated
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        return (self.child,)
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundIsNull":
+        return BoundIsNull(new_children[0], self.negated)
+
+    def _fields_equal(self, other: "BoundIsNull") -> bool:
+        return self.negated == other.negated
+
+
+class BoundInList(BoundExpression):
+    __slots__ = ("child", "items", "negated")
+
+    def __init__(self, child: BoundExpression, items: List[BoundExpression],
+                 negated: bool) -> None:
+        super().__init__(BOOLEAN)
+        self.child = child
+        self.items = items
+        self.negated = negated
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        return [self.child] + list(self.items)
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundInList":
+        return BoundInList(new_children[0], list(new_children[1:]), self.negated)
+
+    def _fields_equal(self, other: "BoundInList") -> bool:
+        return self.negated == other.negated
+
+
+class BoundLike(BoundExpression):
+    __slots__ = ("child", "pattern", "negated", "case_insensitive")
+
+    def __init__(self, child: BoundExpression, pattern: BoundExpression,
+                 negated: bool, case_insensitive: bool) -> None:
+        super().__init__(BOOLEAN)
+        self.child = child
+        self.pattern = pattern
+        self.negated = negated
+        self.case_insensitive = case_insensitive
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        return (self.child, self.pattern)
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundLike":
+        return BoundLike(new_children[0], new_children[1], self.negated,
+                         self.case_insensitive)
+
+    def _fields_equal(self, other: "BoundLike") -> bool:
+        return (self.negated == other.negated
+                and self.case_insensitive == other.case_insensitive)
+
+
+class BoundFunction(BoundExpression):
+    """A scalar function call resolved against the function registry."""
+
+    __slots__ = ("name", "args", "function")
+
+    def __init__(self, name: str, args: List[BoundExpression],
+                 return_type: LogicalType, function) -> None:
+        super().__init__(return_type)
+        self.name = name
+        self.args = args
+        #: The vectorized implementation: callable(vectors, count) -> Vector.
+        self.function = function
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        return self.args
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundFunction":
+        return BoundFunction(self.name, list(new_children), self.return_type,
+                             self.function)
+
+    def _fields_equal(self, other: "BoundFunction") -> bool:
+        return self.name == other.name
+
+    def __repr__(self) -> str:
+        return f"Function({self.name}, {list(self.args)!r})"
+
+
+class BoundAggregate(BoundExpression):
+    """An aggregate call; only valid inside a LogicalAggregate."""
+
+    __slots__ = ("name", "args", "distinct")
+
+    def __init__(self, name: str, args: List[BoundExpression], distinct: bool,
+                 return_type: LogicalType) -> None:
+        super().__init__(return_type)
+        self.name = name
+        self.args = args
+        self.distinct = distinct
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        return self.args
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundAggregate":
+        return BoundAggregate(self.name, list(new_children), self.distinct,
+                              self.return_type)
+
+    def _fields_equal(self, other: "BoundAggregate") -> bool:
+        return self.name == other.name and self.distinct == other.distinct
+
+    def __repr__(self) -> str:
+        distinct = "DISTINCT " if self.distinct else ""
+        return f"Aggregate({self.name}({distinct}{list(self.args)!r}))"
+
+
+def contains_aggregate(expression: BoundExpression) -> bool:
+    if isinstance(expression, BoundAggregate):
+        return True
+    return any(contains_aggregate(child) for child in expression.children)

@@ -1,0 +1,76 @@
+"""Bound subquery expressions (uncorrelated).
+
+The execution context evaluates each subquery plan at most once per query
+and caches the result -- an uncorrelated subquery is a constant from the
+outer query's point of view.  Correlated subqueries are rejected at bind
+time (documented limitation; the paper's workloads are scan/join/aggregate
+analytics, not nested-loop rewrites).
+"""
+
+from __future__ import annotations
+
+from ..types import BOOLEAN, LogicalType
+from .expressions import BoundExpression
+from .logical import LogicalOperator
+
+__all__ = ["BoundScalarSubquery", "BoundInSubquery", "BoundExistsSubquery"]
+
+
+class BoundScalarSubquery(BoundExpression):
+    """``(SELECT one_value)`` -- errors at run time if >1 row."""
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: LogicalOperator, return_type: LogicalType) -> None:
+        super().__init__(return_type)
+        self.plan = plan
+
+    def _fields_equal(self, other: "BoundScalarSubquery") -> bool:
+        return self.plan is other.plan
+
+    def is_foldable(self) -> bool:
+        # A subquery needs a live execution context; never fold at bind time.
+        return False
+
+
+class BoundInSubquery(BoundExpression):
+    """``x IN (SELECT col)`` with SQL three-valued NULL semantics."""
+
+    __slots__ = ("child", "plan", "negated")
+
+    def __init__(self, child: BoundExpression, plan: LogicalOperator,
+                 negated: bool) -> None:
+        super().__init__(BOOLEAN)
+        self.child = child
+        self.plan = plan
+        self.negated = negated
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def replace_children(self, new_children):
+        return BoundInSubquery(new_children[0], self.plan, self.negated)
+
+    def _fields_equal(self, other: "BoundInSubquery") -> bool:
+        return self.plan is other.plan and self.negated == other.negated
+
+    def is_foldable(self) -> bool:
+        # A subquery needs a live execution context; never fold at bind time.
+        return False
+
+
+class BoundExistsSubquery(BoundExpression):
+    __slots__ = ("plan", "negated")
+
+    def __init__(self, plan: LogicalOperator, negated: bool) -> None:
+        super().__init__(BOOLEAN)
+        self.plan = plan
+        self.negated = negated
+
+    def _fields_equal(self, other: "BoundExistsSubquery") -> bool:
+        return self.plan is other.plan and self.negated == other.negated
+
+    def is_foldable(self) -> bool:
+        # A subquery needs a live execution context; never fold at bind time.
+        return False

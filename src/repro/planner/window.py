@@ -1,0 +1,159 @@
+"""Bound window expressions: ``func(...) OVER (PARTITION BY ... ORDER BY ...)``.
+
+Windowed analytics are the bread and butter of the paper's dashboard
+workloads (§2): rankings, running totals, deltas against the previous row.
+Supported functions:
+
+* ranking -- ``row_number()``, ``rank()``, ``dense_rank()``;
+* offset -- ``lag(x [, offset [, default]])``, ``lead(...)``;
+* windowed aggregates -- ``sum/avg/min/max/count(x)``; without ORDER BY the
+  value is the whole-partition aggregate, with ORDER BY it is the running
+  (ROWS UNBOUNDED PRECEDING .. CURRENT ROW) aggregate.
+
+Explicit frame clauses are not supported (documented limitation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import BinderError
+from ..functions.aggregate import bind_aggregate
+from ..types import BIGINT, DOUBLE, LogicalType, common_type
+from .expressions import BoundExpression
+from .logical import BoundOrderByItem, ColumnSchema, LogicalOperator
+
+__all__ = ["BoundWindowExpr", "LogicalWindow", "WINDOW_FUNCTION_NAMES",
+           "bind_window_function", "contains_window"]
+
+#: Ranking/offset functions exclusive to windows; aggregates also qualify.
+RANKING_FUNCTIONS = frozenset(["row_number", "rank", "dense_rank"])
+OFFSET_FUNCTIONS = frozenset(["lag", "lead"])
+BOUNDARY_FUNCTIONS = frozenset(["first_value", "last_value"])
+WINDOW_AGGREGATES = frozenset(["sum", "avg", "min", "max", "count"])
+WINDOW_FUNCTION_NAMES = (RANKING_FUNCTIONS | OFFSET_FUNCTIONS
+                         | BOUNDARY_FUNCTIONS | WINDOW_AGGREGATES
+                         | frozenset(["ntile"]))
+
+
+def bind_window_function(name: str, arg_types: Sequence[LogicalType],
+                         star_argument: bool) -> LogicalType:
+    """Resolve a window function's result type (raises BinderError)."""
+    name = name.lower()
+    if name in RANKING_FUNCTIONS:
+        if arg_types or star_argument:
+            raise BinderError(f"{name}() takes no arguments")
+        return BIGINT
+    if name == "ntile":
+        if star_argument or len(arg_types) != 1:
+            raise BinderError("ntile() expects one (constant) argument")
+        if not arg_types[0].is_integer():
+            raise BinderError("ntile() bucket count must be an integer")
+        return BIGINT
+    if name in BOUNDARY_FUNCTIONS:
+        if star_argument or len(arg_types) != 1:
+            raise BinderError(f"{name}() expects exactly one argument")
+        return arg_types[0]
+    if name in OFFSET_FUNCTIONS:
+        if star_argument or not 1 <= len(arg_types) <= 3:
+            raise BinderError(f"{name}() expects 1-3 arguments")
+        result = arg_types[0]
+        if len(arg_types) == 3:
+            unified = common_type(result, arg_types[2])
+            if unified is None:
+                raise BinderError(
+                    f"{name}() default value type {arg_types[2]} does not "
+                    f"match argument type {result}"
+                )
+            result = unified
+        return result
+    if name in WINDOW_AGGREGATES:
+        return bind_aggregate(name, arg_types, star_argument)[0]
+    raise BinderError(f"{name}() is not a window function")
+
+
+class BoundWindowExpr(BoundExpression):
+    """A window computation over the evaluating operator's input."""
+
+    __slots__ = ("name", "args", "partitions", "order_items", "offset",
+                 "default")
+
+    def __init__(self, name: str, args: List[BoundExpression],
+                 partitions: List[BoundExpression],
+                 order_items: List[BoundOrderByItem],
+                 return_type: LogicalType) -> None:
+        super().__init__(return_type)
+        self.name = name
+        self.args = args
+        self.partitions = partitions
+        self.order_items = order_items
+
+    @property
+    def children(self) -> Sequence[BoundExpression]:
+        out: List[BoundExpression] = list(self.args) + list(self.partitions)
+        out.extend(item.expression for item in self.order_items)
+        return out
+
+    def replace_children(self, new_children: List[BoundExpression]) -> "BoundWindowExpr":
+        arg_count = len(self.args)
+        partition_count = len(self.partitions)
+        args = list(new_children[:arg_count])
+        partitions = list(new_children[arg_count:arg_count + partition_count])
+        order_items = []
+        for item, expression in zip(self.order_items,
+                                    new_children[arg_count + partition_count:]):
+            order_items.append(BoundOrderByItem(expression, item.ascending,
+                                                item.nulls_first))
+        return BoundWindowExpr(self.name, args, partitions, order_items,
+                               self.return_type)
+
+    def _fields_equal(self, other: "BoundWindowExpr") -> bool:
+        if self.name != other.name:
+            return False
+        if len(self.order_items) != len(other.order_items):
+            return False
+        for mine, theirs in zip(self.order_items, other.order_items):
+            if mine.ascending != theirs.ascending or \
+                    mine.nulls_first != theirs.nulls_first:
+                return False
+        return True
+
+    def is_foldable(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return (f"Window({self.name}, partitions={len(self.partitions)}, "
+                f"order={len(self.order_items)})")
+
+
+class LogicalWindow(LogicalOperator):
+    """Window computation: output = child schema ++ one column per window."""
+
+    def __init__(self, child: LogicalOperator,
+                 windows: List[BoundWindowExpr]) -> None:
+        schema = list(child.schema) + [
+            ColumnSchema(f"__window_{index}", window.return_type)
+            for index, window in enumerate(windows)
+        ]
+        super().__init__([child], schema)
+        self.windows = windows
+
+    def _explain_line(self) -> str:
+        names = ", ".join(window.name for window in self.windows)
+        return f"WINDOW [{names}]"
+
+
+def contains_window(expression: BoundExpression) -> bool:
+    if isinstance(expression, BoundWindowExpr):
+        return True
+    return any(contains_window(child) for child in expression.children)
+
+
+def collect_windows(expression: BoundExpression,
+                    collected: List[BoundWindowExpr]) -> None:
+    if isinstance(expression, BoundWindowExpr):
+        if not any(expression.same_as(existing) for existing in collected):
+            collected.append(expression)
+        return
+    for child in expression.children:
+        collect_windows(child, collected)

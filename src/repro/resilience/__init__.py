@@ -1,0 +1,46 @@
+"""Resilience: fault injection, memory tests, AN codes, failure model (paper §3)."""
+
+from .ancodes import (
+    ANCodedVector,
+    DEFAULT_A,
+    an_decode,
+    an_encode,
+    an_verify,
+    inject_bit_flips,
+)
+from .failures import (
+    FailureKind,
+    FailureRates,
+    FleetReport,
+    FleetSimulator,
+    TABLE1_RATES,
+)
+from .faults import CouplingFault, FaultyMemory, PlainMemory, StuckBit
+from .memtest import (
+    DEFAULT_PATTERNS,
+    MemtestReport,
+    moving_inversions,
+    quick_pattern_test,
+)
+
+__all__ = [
+    "ANCodedVector",
+    "DEFAULT_A",
+    "an_encode",
+    "an_decode",
+    "an_verify",
+    "inject_bit_flips",
+    "FailureKind",
+    "FailureRates",
+    "FleetReport",
+    "FleetSimulator",
+    "TABLE1_RATES",
+    "FaultyMemory",
+    "PlainMemory",
+    "StuckBit",
+    "CouplingFault",
+    "moving_inversions",
+    "quick_pattern_test",
+    "MemtestReport",
+    "DEFAULT_PATTERNS",
+]

@@ -1,0 +1,132 @@
+"""AN-code data hardening (paper §3, after Kolditz et al., SIGMOD 2018).
+
+*"error detection is efficiently implemented through the use of AN codes,
+resulting in resilience against random bit flips in the data while
+operating between 1.1x and 1.6x slower."*
+
+An AN code multiplies every value by a constant ``A`` before storing it;
+a value is valid iff it remains divisible by ``A``.  A random bit flip
+turns ``A * n`` into ``A * n + 2^k``, which is divisible by ``A`` only if
+``A`` divides ``2^k`` -- impossible for odd ``A`` -- so *any single-bit
+flip is detected*.  ``A = 641`` is the classic "super-A" constant from the
+AN-coding literature: it also detects all two-bit flips in 64-bit words.
+
+The implementation is fully vectorized: encode, decode, and verify are one
+NumPy multiply / modulo over whole arrays, so the overhead profile matches
+the paper's claim (a constant factor on top of the raw operation, not a
+per-value penalty).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CorruptionError
+from ..types import LogicalType, Vector
+
+__all__ = ["DEFAULT_A", "an_encode", "an_decode", "an_verify",
+            "ANCodedVector", "inject_bit_flips"]
+
+#: The classic golden AN constant: odd (detects all 1-bit flips) and chosen
+#: so all 2-bit flips in 64-bit words are detected as well.
+DEFAULT_A = 641
+
+
+def an_encode(values: np.ndarray, a: int = DEFAULT_A) -> np.ndarray:
+    """Encode integers: ``code = A * value`` (int64 arithmetic)."""
+    return values.astype(np.int64) * np.int64(a)
+
+
+def an_verify(codes: np.ndarray, a: int = DEFAULT_A) -> np.ndarray:
+    """Boolean mask of code words that are still valid multiples of A."""
+    return codes % np.int64(a) == 0
+
+
+def an_decode(codes: np.ndarray, a: int = DEFAULT_A,
+              check: bool = True) -> np.ndarray:
+    """Decode code words back to values, verifying divisibility first."""
+    if check:
+        bad = ~an_verify(codes, a)
+        if bad.any():
+            position = int(np.flatnonzero(bad)[0])
+            raise CorruptionError(
+                f"AN-code verification failed at position {position}: "
+                f"code word {int(codes[position])} is not a multiple of {a} "
+                "-- memory corruption detected"
+            )
+    return codes // np.int64(a)
+
+
+def inject_bit_flips(codes: np.ndarray, count: int, seed: int = 0,
+                     max_bit: int = 62) -> np.ndarray:
+    """Flip ``count`` random bits across the array (fault injection)."""
+    rng = np.random.default_rng(seed)
+    flipped = codes.copy()
+    positions = rng.integers(0, len(codes), size=count)
+    bits = rng.integers(0, max_bit, size=count)
+    for position, bit in zip(positions, bits):
+        flipped[position] ^= np.int64(1) << np.int64(bit)
+    return flipped
+
+
+class ANCodedVector:
+    """An integer vector stored AN-encoded in memory.
+
+    Aggregations can run *directly on the encoded data*: the sum of code
+    words is ``A * sum(values)``, so one final verification plus one divide
+    yields the true sum -- with end-to-end protection: a bit flip anywhere
+    in the resident data makes the final divisibility check fail.
+    """
+
+    def __init__(self, vector: Vector, a: int = DEFAULT_A) -> None:
+        if not vector.dtype.is_integer():
+            raise CorruptionError("AN coding requires an integer vector")
+        self.dtype = vector.dtype
+        self.a = a
+        self.codes = an_encode(vector.data, a)
+        self.validity = vector.validity.copy()
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def verify(self) -> None:
+        """Check every resident code word (the periodic scrub)."""
+        valid_codes = self.codes[self.validity]
+        bad = ~an_verify(valid_codes, self.a)
+        if bad.any():
+            raise CorruptionError(
+                f"AN-code scrub found {int(bad.sum())} corrupted word(s)"
+            )
+
+    def decode(self) -> Vector:
+        data = an_decode(self.codes, self.a, check=True)
+        return Vector(self.dtype, data.astype(self.dtype.numpy_dtype),
+                      self.validity.copy())
+
+    def checked_sum(self) -> int:
+        """Sum computed on encoded data, verified end to end.
+
+        Fast path: with no NULLs the verification runs directly over the
+        resident code array (no gather/copy) -- one modulo pass and one sum
+        pass on top of the unprotected aggregation, keeping the overhead a
+        small constant factor as the paper's cited AN-coding work reports.
+        """
+        if bool(self.validity.all()):
+            valid_codes = self.codes
+        else:
+            valid_codes = self.codes[self.validity]
+        bad_words = int(np.count_nonzero(valid_codes % np.int64(self.a)))
+        if bad_words:
+            raise CorruptionError(
+                f"AN-code verification failed for {bad_words} word(s) "
+                "during aggregation"
+            )
+        total = int(valid_codes.sum())
+        if total % self.a != 0:
+            raise CorruptionError("AN-coded sum failed final verification")
+        return total // self.a
+
+    def nbytes(self) -> int:
+        return self.codes.nbytes + self.validity.nbytes

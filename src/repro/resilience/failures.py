@@ -1,0 +1,149 @@
+"""Hardware failure model: reproduces the paper's Table 1.
+
+Table 1 (from Nightingale, Douceur & Orgovan, EuroSys 2011 -- "Cycles,
+Cells and Platters", cited by the paper) gives 30-day failure probabilities
+for consumer machines:
+
+    ============  ==============  ====================
+    Failure       Pr[1st failure] Pr[2nd fail | 1 fail]
+    ============  ==============  ====================
+    CPU (MCE)     1 in 190        1 in 2.9
+    DRAM bit flip 1 in 1700       1 in 12
+    Disk failure  1 in 270        1 in 3.5
+    ============  ==============  ====================
+
+The model simulates a fleet of consumer PCs over consecutive 30-day
+windows.  A machine that has *not* failed before draws against the
+first-failure rate; a machine that already suffered a failure of some kind
+draws against the (two orders of magnitude higher) recurrence rate -- the
+paper's point that "a system that has failed once is very likely to fail
+again".  The bench T1 re-derives the table's numbers empirically from this
+simulator and classifies each failure as detected vs silent, driving the
+detection machinery (MCEs are always detected; DRAM flips and disk
+corruption are silent unless checksums / memtests / AN codes catch them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FailureRates", "TABLE1_RATES", "FleetSimulator", "FleetReport",
+           "FailureKind"]
+
+
+class FailureKind:
+    CPU_MCE = "cpu_mce"
+    DRAM_BIT_FLIP = "dram_bit_flip"
+    DISK_FAILURE = "disk_failure"
+
+    ALL = (CPU_MCE, DRAM_BIT_FLIP, DISK_FAILURE)
+
+    #: Which failures the hardware reports on its own (paper §3: MCEs stop
+    #: the machine; DRAM flips and many disk errors are silent).
+    SELF_DETECTING = {CPU_MCE: True, DRAM_BIT_FLIP: False, DISK_FAILURE: False}
+
+
+class FailureRates:
+    """Per-kind 30-day probabilities: first failure and recurrence."""
+
+    def __init__(self, first: Dict[str, float], recurrence: Dict[str, float]) -> None:
+        self.first = first
+        self.recurrence = recurrence
+
+
+#: The paper's Table 1, expressed as probabilities.
+TABLE1_RATES = FailureRates(
+    first={
+        FailureKind.CPU_MCE: 1 / 190,
+        FailureKind.DRAM_BIT_FLIP: 1 / 1700,
+        FailureKind.DISK_FAILURE: 1 / 270,
+    },
+    recurrence={
+        FailureKind.CPU_MCE: 1 / 2.9,
+        FailureKind.DRAM_BIT_FLIP: 1 / 12,
+        FailureKind.DISK_FAILURE: 1 / 3.5,
+    },
+)
+
+
+class FleetReport:
+    """Aggregated outcome of a fleet simulation."""
+
+    def __init__(self) -> None:
+        self.machines = 0
+        self.windows = 0
+        #: Per kind: machines whose FIRST 30-day window had that failure.
+        self.first_window_failures: Dict[str, int] = {k: 0 for k in FailureKind.ALL}
+        #: Per kind: recurrences among machines that had failed before.
+        self.recurrence_opportunities: Dict[str, int] = {k: 0 for k in FailureKind.ALL}
+        self.recurrences: Dict[str, int] = {k: 0 for k in FailureKind.ALL}
+        self.silent_failures = 0
+        self.detected_failures = 0
+
+    def first_failure_probability(self, kind: str) -> float:
+        if self.machines == 0:
+            return 0.0
+        return self.first_window_failures[kind] / self.machines
+
+    def recurrence_probability(self, kind: str) -> float:
+        opportunities = self.recurrence_opportunities[kind]
+        if opportunities == 0:
+            return 0.0
+        return self.recurrences[kind] / opportunities
+
+    def as_table(self) -> List[Tuple[str, float, float]]:
+        """Rows shaped like the paper's Table 1 (kind, Pr1st, Pr2nd)."""
+        labels = {
+            FailureKind.CPU_MCE: "CPU (MCE)",
+            FailureKind.DRAM_BIT_FLIP: "DRAM bit flip",
+            FailureKind.DISK_FAILURE: "Disk failure",
+        }
+        return [
+            (labels[kind],
+             self.first_failure_probability(kind),
+             self.recurrence_probability(kind))
+            for kind in FailureKind.ALL
+        ]
+
+
+class FleetSimulator:
+    """Monte-Carlo over a fleet of consumer machines in 30-day windows."""
+
+    def __init__(self, rates: FailureRates = TABLE1_RATES, seed: int = 0) -> None:
+        self.rates = rates
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, machines: int, windows: int = 2) -> FleetReport:
+        """Simulate ``machines`` machines for ``windows`` 30-day windows.
+
+        Vectorized: each window draws one uniform per (machine, kind) and
+        compares against that machine's current rate (first vs recurrence).
+        """
+        report = FleetReport()
+        report.machines = machines
+        report.windows = windows
+        # has_failed[kind_index, machine]: any prior failure of that kind.
+        ever_failed = np.zeros((len(FailureKind.ALL), machines), dtype=np.bool_)
+        for window in range(windows):
+            for kind_index, kind in enumerate(FailureKind.ALL):
+                first_rate = self.rates.first[kind]
+                again_rate = self.rates.recurrence[kind]
+                prior = ever_failed[kind_index]
+                rates = np.where(prior, again_rate, first_rate)
+                draws = self._rng.random(machines)
+                failed = draws < rates
+                if window == 0:
+                    report.first_window_failures[kind] += int(
+                        failed[~prior].sum())
+                else:
+                    report.recurrence_opportunities[kind] += int(prior.sum())
+                    report.recurrences[kind] += int((failed & prior).sum())
+                fail_count = int(failed.sum())
+                if FailureKind.SELF_DETECTING[kind]:
+                    report.detected_failures += fail_count
+                else:
+                    report.silent_failures += fail_count
+                ever_failed[kind_index] |= failed
+        return report

@@ -1,0 +1,7 @@
+"""SQL frontend: lexer, AST, and recursive-descent parser."""
+
+from . import ast
+from .lexer import Token, TokenType, tokenize
+from .parser import Parser, parse, parse_one
+
+__all__ = ["ast", "Token", "TokenType", "tokenize", "Parser", "parse", "parse_one"]

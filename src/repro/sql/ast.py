@@ -1,0 +1,503 @@
+"""Abstract syntax tree produced by the parser and consumed by the binder.
+
+Plain data classes, no behavior beyond ``__repr__``: the binder turns these
+into typed bound expressions and logical operators.  Every node keeps the
+source ``position`` of its first token for error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    # expressions
+    "Expression", "Literal", "ColumnRef", "Star", "UnaryOp", "BinaryOp",
+    "IsNull", "InList", "InSubquery", "Between", "Case", "CastExpr",
+    "FunctionCall", "Parameter", "LikeExpr", "ExistsExpr", "ScalarSubquery",
+    "WindowExpr",
+    # table references
+    "TableRef", "BaseTableRef", "SubqueryRef", "JoinRef", "TableFunctionRef",
+    # statements
+    "Statement", "SelectStatement", "SetOpStatement", "InsertStatement",
+    "UpdateStatement", "DeleteStatement", "CreateTableStatement",
+    "CreateViewStatement", "DropStatement", "TransactionStatement",
+    "CheckpointStatement", "PragmaStatement", "CopyStatement",
+    "ExplainStatement", "ColumnSpec", "OrderByItem",
+]
+
+
+class _Node:
+    position: int = -1
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in getattr(self, "__slots__", [])
+            if name != "position"
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expression(_Node):
+    __slots__ = ("position",)
+
+    def __init__(self, position: int = -1) -> None:
+        self.position = position
+
+
+class Literal(Expression):
+    """A constant: int, float, str, bool, or None."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any, position: int = -1) -> None:
+        super().__init__(position)
+        self.value = value
+
+
+class ColumnRef(Expression):
+    """``col`` or ``table.col`` (parts in source order)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[str], position: int = -1) -> None:
+        super().__init__(position)
+        self.parts = parts
+
+    @property
+    def column_name(self) -> str:
+        return self.parts[-1]
+
+    @property
+    def table_name(self) -> Optional[str]:
+        return self.parts[-2] if len(self.parts) > 1 else None
+
+
+class Star(Expression):
+    """``*`` or ``table.*`` in a select list or COUNT(*)."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table: Optional[str] = None, position: int = -1) -> None:
+        super().__init__(position)
+        self.table = table
+
+
+class UnaryOp(Expression):
+    """``-x``, ``+x``, ``NOT x``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expression, position: int = -1) -> None:
+        super().__init__(position)
+        self.op = op
+        self.operand = operand
+
+
+class BinaryOp(Expression):
+    """Arithmetic, comparison, string concat, AND/OR."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class IsNull(Expression):
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: Expression, negated: bool, position: int = -1) -> None:
+        super().__init__(position)
+        self.operand = operand
+        self.negated = negated
+
+
+class InList(Expression):
+    __slots__ = ("operand", "items", "negated")
+
+    def __init__(self, operand: Expression, items: List[Expression], negated: bool,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.operand = operand
+        self.items = items
+        self.negated = negated
+
+
+class InSubquery(Expression):
+    __slots__ = ("operand", "subquery", "negated")
+
+    def __init__(self, operand: Expression, subquery: "SelectStatement",
+                 negated: bool, position: int = -1) -> None:
+        super().__init__(position)
+        self.operand = operand
+        self.subquery = subquery
+        self.negated = negated
+
+
+class Between(Expression):
+    __slots__ = ("operand", "low", "high", "negated")
+
+    def __init__(self, operand: Expression, low: Expression, high: Expression,
+                 negated: bool, position: int = -1) -> None:
+        super().__init__(position)
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+
+class Case(Expression):
+    """``CASE [operand] WHEN .. THEN .. [ELSE ..] END``."""
+
+    __slots__ = ("operand", "whens", "else_result")
+
+    def __init__(self, operand: Optional[Expression],
+                 whens: List[Tuple[Expression, Expression]],
+                 else_result: Optional[Expression], position: int = -1) -> None:
+        super().__init__(position)
+        self.operand = operand
+        self.whens = whens
+        self.else_result = else_result
+
+
+class CastExpr(Expression):
+    """``CAST(x AS TYPE)`` or ``x::TYPE``."""
+
+    __slots__ = ("operand", "type_name")
+
+    def __init__(self, operand: Expression, type_name: str, position: int = -1) -> None:
+        super().__init__(position)
+        self.operand = operand
+        self.type_name = type_name
+
+
+class FunctionCall(Expression):
+    """Scalar or aggregate function call (the binder decides which)."""
+
+    __slots__ = ("name", "args", "distinct")
+
+    def __init__(self, name: str, args: List[Expression], distinct: bool = False,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.name = name.lower()
+        self.args = args
+        self.distinct = distinct
+
+
+class WindowExpr(Expression):
+    """``func(args) OVER (PARTITION BY ... ORDER BY ...)``."""
+
+    __slots__ = ("name", "args", "partition_by", "order_by")
+
+    def __init__(self, name: str, args: List[Expression],
+                 partition_by: List[Expression],
+                 order_by: List["OrderByItem"], position: int = -1) -> None:
+        super().__init__(position)
+        self.name = name.lower()
+        self.args = args
+        self.partition_by = partition_by
+        self.order_by = order_by
+
+
+class Parameter(Expression):
+    """A ``?`` placeholder, numbered left to right from 0."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int, position: int = -1) -> None:
+        super().__init__(position)
+        self.index = index
+
+
+class LikeExpr(Expression):
+    __slots__ = ("operand", "pattern", "negated", "case_insensitive")
+
+    def __init__(self, operand: Expression, pattern: Expression, negated: bool,
+                 case_insensitive: bool, position: int = -1) -> None:
+        super().__init__(position)
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self.case_insensitive = case_insensitive
+
+
+class ExistsExpr(Expression):
+    __slots__ = ("subquery", "negated")
+
+    def __init__(self, subquery: "SelectStatement", negated: bool,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.subquery = subquery
+        self.negated = negated
+
+
+class ScalarSubquery(Expression):
+    __slots__ = ("subquery",)
+
+    def __init__(self, subquery: "SelectStatement", position: int = -1) -> None:
+        super().__init__(position)
+        self.subquery = subquery
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+class TableRef(_Node):
+    __slots__ = ("position",)
+
+    def __init__(self, position: int = -1) -> None:
+        self.position = position
+
+
+class BaseTableRef(TableRef):
+    """A named table or view, optionally aliased."""
+
+    __slots__ = ("name", "alias")
+
+    def __init__(self, name: str, alias: Optional[str] = None,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.name = name
+        self.alias = alias
+
+
+class SubqueryRef(TableRef):
+    """``(SELECT ...) AS alias`` in a FROM clause."""
+
+    __slots__ = ("subquery", "alias", "column_aliases")
+
+    def __init__(self, subquery: "Statement", alias: Optional[str],
+                 column_aliases: Optional[List[str]] = None,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.subquery = subquery
+        self.alias = alias
+        self.column_aliases = column_aliases
+
+
+class JoinRef(TableRef):
+    """``left <join type> right [ON cond | USING (cols)]``."""
+
+    __slots__ = ("left", "right", "join_type", "condition", "using_columns")
+
+    def __init__(self, left: TableRef, right: TableRef, join_type: str,
+                 condition: Optional[Expression] = None,
+                 using_columns: Optional[List[str]] = None,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.left = left
+        self.right = right
+        self.join_type = join_type  # inner / left / right / full / cross
+        self.condition = condition
+        self.using_columns = using_columns
+
+
+class TableFunctionRef(TableRef):
+    """A table-producing function in FROM, e.g. ``read_csv('f.csv')``."""
+
+    __slots__ = ("name", "args", "alias")
+
+    def __init__(self, name: str, args: List[Expression], alias: Optional[str],
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.name = name.lower()
+        self.args = args
+        self.alias = alias
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Statement(_Node):
+    __slots__ = ("position",)
+
+    def __init__(self, position: int = -1) -> None:
+        self.position = position
+
+
+class OrderByItem(_Node):
+    __slots__ = ("expression", "ascending", "nulls_first")
+
+    def __init__(self, expression: Expression, ascending: bool = True,
+                 nulls_first: Optional[bool] = None) -> None:
+        self.expression = expression
+        self.ascending = ascending
+        #: None means the default: NULLS LAST for ASC, NULLS FIRST for DESC.
+        self.nulls_first = nulls_first
+
+
+class SelectStatement(Statement):
+    __slots__ = ("ctes", "select_list", "distinct", "from_clause", "where",
+                 "group_by", "having", "order_by", "limit", "offset")
+
+    def __init__(self, position: int = -1) -> None:
+        super().__init__(position)
+        #: Common table expressions: list of (name, SelectStatement).
+        self.ctes: List[Tuple[str, "Statement"]] = []
+        #: List of (expression, alias or None).
+        self.select_list: List[Tuple[Expression, Optional[str]]] = []
+        self.distinct = False
+        self.from_clause: Optional[TableRef] = None
+        self.where: Optional[Expression] = None
+        self.group_by: List[Expression] = []
+        self.having: Optional[Expression] = None
+        self.order_by: List[OrderByItem] = []
+        self.limit: Optional[Expression] = None
+        self.offset: Optional[Expression] = None
+
+
+class SetOpStatement(Statement):
+    """``left UNION [ALL] / EXCEPT / INTERSECT right``."""
+
+    __slots__ = ("op", "all", "left", "right", "order_by", "limit", "offset", "ctes")
+
+    def __init__(self, op: str, all_: bool, left: Statement, right: Statement,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.op = op  # union / except / intersect
+        self.all = all_
+        self.left = left
+        self.right = right
+        self.order_by: List[OrderByItem] = []
+        self.limit: Optional[Expression] = None
+        self.offset: Optional[Expression] = None
+        self.ctes: List[Tuple[str, Statement]] = []
+
+
+class InsertStatement(Statement):
+    __slots__ = ("table", "columns", "values", "select")
+
+    def __init__(self, table: str, columns: Optional[List[str]],
+                 values: Optional[List[List[Expression]]],
+                 select: Optional[Statement], position: int = -1) -> None:
+        super().__init__(position)
+        self.table = table
+        self.columns = columns
+        self.values = values
+        self.select = select
+
+
+class UpdateStatement(Statement):
+    __slots__ = ("table", "assignments", "where")
+
+    def __init__(self, table: str, assignments: List[Tuple[str, Expression]],
+                 where: Optional[Expression], position: int = -1) -> None:
+        super().__init__(position)
+        self.table = table
+        self.assignments = assignments
+        self.where = where
+
+
+class DeleteStatement(Statement):
+    __slots__ = ("table", "where")
+
+    def __init__(self, table: str, where: Optional[Expression],
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.table = table
+        self.where = where
+
+
+class ColumnSpec(_Node):
+    """One column in CREATE TABLE: name, type text, constraints."""
+
+    __slots__ = ("name", "type_name", "nullable", "default")
+
+    def __init__(self, name: str, type_name: str, nullable: bool = True,
+                 default: Optional[Expression] = None) -> None:
+        self.name = name
+        self.type_name = type_name
+        self.nullable = nullable
+        self.default = default
+
+
+class CreateTableStatement(Statement):
+    __slots__ = ("name", "columns", "if_not_exists", "as_select")
+
+    def __init__(self, name: str, columns: List[ColumnSpec], if_not_exists: bool,
+                 as_select: Optional[Statement], position: int = -1) -> None:
+        super().__init__(position)
+        self.name = name
+        self.columns = columns
+        self.if_not_exists = if_not_exists
+        self.as_select = as_select
+
+
+class CreateViewStatement(Statement):
+    __slots__ = ("name", "select", "sql", "or_replace")
+
+    def __init__(self, name: str, select: Statement, sql: str, or_replace: bool,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.name = name
+        self.select = select
+        self.sql = sql
+        self.or_replace = or_replace
+
+
+class DropStatement(Statement):
+    __slots__ = ("kind", "name", "if_exists")
+
+    def __init__(self, kind: str, name: str, if_exists: bool,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.kind = kind  # "table" or "view"
+        self.name = name
+        self.if_exists = if_exists
+
+
+class TransactionStatement(Statement):
+    __slots__ = ("action",)
+
+    def __init__(self, action: str, position: int = -1) -> None:
+        super().__init__(position)
+        self.action = action  # begin / commit / rollback
+
+
+class CheckpointStatement(Statement):
+    __slots__ = ()
+
+
+class PragmaStatement(Statement):
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Any, position: int = -1) -> None:
+        super().__init__(position)
+        self.name = name
+        self.value = value  # None for a read, otherwise the literal value
+
+
+class CopyStatement(Statement):
+    """``COPY table FROM 'file' (options)`` / ``COPY table TO 'file'``."""
+
+    __slots__ = ("table", "path", "direction", "options", "select")
+
+    def __init__(self, table: Optional[str], path: str, direction: str,
+                 options: dict, select: Optional[Statement] = None,
+                 position: int = -1) -> None:
+        super().__init__(position)
+        self.table = table
+        self.path = path
+        self.direction = direction  # "from" or "to"
+        self.options = options
+        self.select = select
+
+
+class ExplainStatement(Statement):
+    __slots__ = ("statement", "analyze")
+
+    def __init__(self, statement: Statement, position: int = -1) -> None:
+        super().__init__(position)
+        self.statement = statement
+        #: EXPLAIN ANALYZE: execute the plan and report runtime statistics.
+        self.analyze = False

@@ -1,0 +1,183 @@
+"""SQL tokenizer.
+
+Hand-written single-pass lexer: identifiers (optionally ``"quoted"``),
+case-insensitive keywords, integer/float/scientific literals, ``'string'``
+literals with doubled-quote escapes, one- and two-character operators,
+``--`` line comments and ``/* */`` block comments, and ``?`` parameter
+markers.  Tokens carry their source position so parse errors can point at
+the offending character.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from ..errors import ParserError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PARAMETER = "parameter"
+    EOF = "eof"
+
+
+#: Reserved words recognized by the parser.  Identifiers matching these
+#: (case-insensitively) become KEYWORD tokens with upper-cased text.
+KEYWORDS = frozenset("""
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET DISTINCT ALL
+    AS AND OR NOT IN IS NULL BETWEEN LIKE ILIKE CASE WHEN THEN ELSE END
+    CAST EXISTS UNION EXCEPT INTERSECT
+    JOIN INNER LEFT RIGHT FULL OUTER CROSS ON USING
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE VIEW DROP IF REPLACE TEMPORARY TEMP
+    PRIMARY KEY NOT DEFAULT UNIQUE CHECK REFERENCES
+    BEGIN COMMIT ROLLBACK TRANSACTION START
+    CHECKPOINT PRAGMA EXPLAIN ANALYZE
+    COPY TO WITH HEADER DELIMITER
+    ASC DESC NULLS FIRST LAST
+    TRUE FALSE
+    OVER PARTITION
+""".split())
+
+_TWO_CHAR_OPERATORS = {"<=", ">=", "<>", "!=", "==", "||", "::"}
+_ONE_CHAR_OPERATORS = set("+-*/%<>=(),.;")
+
+
+class Token:
+    """One lexical token with its position in the source text."""
+
+    __slots__ = ("type", "text", "position")
+
+    def __init__(self, token_type: TokenType, text: str, position: int) -> None:
+        self.type = token_type
+        self.text = text
+        self.position = position
+
+    def is_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text in keywords
+
+    def is_operator(self, *operators: str) -> bool:
+        return self.type is TokenType.OPERATOR and self.text in operators
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.text!r}@{self.position})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize a SQL string; raises :class:`~repro.errors.ParserError`."""
+    tokens: List[Token] = []
+    length = len(sql)
+    position = 0
+    while position < length:
+        char = sql[position]
+        # Whitespace.
+        if char.isspace():
+            position += 1
+            continue
+        # Line comment.
+        if sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        # Block comment.
+        if sql.startswith("/*", position):
+            end = sql.find("*/", position + 2)
+            if end < 0:
+                raise ParserError("Unterminated block comment", position)
+            position = end + 2
+            continue
+        # String literal.
+        if char == "'":
+            start = position
+            position += 1
+            parts = []
+            while True:
+                if position >= length:
+                    raise ParserError("Unterminated string literal", start)
+                if sql[position] == "'":
+                    if position + 1 < length and sql[position + 1] == "'":
+                        parts.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                parts.append(sql[position])
+                position += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            continue
+        # Quoted identifier.
+        if char == '"':
+            start = position
+            position += 1
+            parts = []
+            while True:
+                if position >= length:
+                    raise ParserError("Unterminated quoted identifier", start)
+                if sql[position] == '"':
+                    if position + 1 < length and sql[position + 1] == '"':
+                        parts.append('"')
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                parts.append(sql[position])
+                position += 1
+            tokens.append(Token(TokenType.IDENTIFIER, "".join(parts), start))
+            continue
+        # Number: digits, optional decimal part, optional exponent.
+        if char.isdigit() or (char == "." and position + 1 < length
+                              and sql[position + 1].isdigit()):
+            start = position
+            while position < length and sql[position].isdigit():
+                position += 1
+            if position < length and sql[position] == ".":
+                position += 1
+                while position < length and sql[position].isdigit():
+                    position += 1
+            if position < length and sql[position] in "eE":
+                lookahead = position + 1
+                if lookahead < length and sql[lookahead] in "+-":
+                    lookahead += 1
+                if lookahead < length and sql[lookahead].isdigit():
+                    position = lookahead
+                    while position < length and sql[position].isdigit():
+                        position += 1
+            tokens.append(Token(TokenType.NUMBER, sql[start:position], start))
+            continue
+        # Identifier or keyword.
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (sql[position].isalnum() or sql[position] == "_"):
+                position += 1
+            text = sql[start:position]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, text, start))
+            continue
+        # Parameter marker.
+        if char == "?":
+            tokens.append(Token(TokenType.PARAMETER, "?", position))
+            position += 1
+            continue
+        # Operators.
+        two = sql[position:position + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, two, position))
+            position += 2
+            continue
+        if char in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, char, position))
+            position += 1
+            continue
+        raise ParserError(f"Unexpected character {char!r} in SQL", position)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,303 @@
+"""The single-file block storage format (paper §6).
+
+*"DuckDB uses a single-file storage format ... The storage file is
+partitioned into fixed-size blocks of 256KB which are read and written in
+their entirety. The first block contains a header that points to the table
+catalog and a list of free blocks. ... Checkpoints will first write new
+blocks that contain the updated data to the file and as a last step update
+the root pointer and the free list in the header atomically."*
+
+Layout of a database file::
+
+    offset 0      : header slot A (4 KiB)
+    offset 4096   : header slot B (4 KiB)
+    offset 8192   : block 0, block 1, ... (256 KiB each)
+
+Atomicity of the root-pointer flip uses the classic double-header scheme:
+checkpoints alternate between the two slots, each slot carries a
+monotonically increasing epoch and its own CRC, and on open the valid slot
+with the highest epoch wins.  A crash mid-checkpoint leaves the previous
+slot untouched, so the database always opens at the last completed
+checkpoint.
+
+Every block stores a CRC-32 over its payload, verified on every read
+(Resilience, §6): a bit flipped on disk surfaces as
+:class:`~repro.errors.CorruptionError` instead of silently corrupting query
+results.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import List, Optional, Set
+
+from ..errors import CorruptionError, StorageError
+from .checksum import checksum, verify_checksum
+
+__all__ = ["BlockFile", "MetaBlockWriter", "MetaBlockReader", "BLOCK_SIZE"]
+
+#: Total on-disk size of one block, including its 8-byte checksum header.
+BLOCK_SIZE = 256 * 1024
+#: Usable payload bytes per block.
+BLOCK_PAYLOAD = BLOCK_SIZE - 8
+
+_HEADER_SLOT_SIZE = 4096
+_BLOCKS_OFFSET = 2 * _HEADER_SLOT_SIZE
+_MAGIC = b"QUACKDB1"
+#: magic(8) epoch(Q) root(q) free_list_root(q) block_count(Q) crc(I)
+_HEADER_STRUCT = struct.Struct("<8sQqqQI")
+_BLOCK_HEADER = struct.Struct("<II")  # crc32, payload length
+
+INVALID_BLOCK = -1
+
+
+class BlockFile:
+    """Low-level access to the single database file."""
+
+    def __init__(self, path: str, create: bool = True, verify_checksums: bool = True) -> None:
+        self.path = path
+        self.verify_checksums = verify_checksums
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        mode = "r+b" if exists else "w+b"
+        self._file = open(path, mode)
+        self._free: Set[int] = set()
+        if exists:
+            self.epoch, self.root_block, self.free_list_root, self.block_count = \
+                self._read_best_header()
+            # Blocks written after the last header flip (e.g. by a crashed
+            # checkpoint) still occupy file space; account for them so block
+            # ids stay consistent.  Unreferenced ones are simply dead space
+            # until a later checkpoint's free list reclaims the range.
+            file_size = os.path.getsize(path)
+            derived = max(0, (file_size - _BLOCKS_OFFSET)) // BLOCK_SIZE
+            self.block_count = max(self.block_count, derived)
+        else:
+            if not create:
+                raise StorageError(f"Database file {path!r} does not exist")
+            self.epoch = 0
+            self.root_block = INVALID_BLOCK
+            self.free_list_root = INVALID_BLOCK
+            self.block_count = 0
+            # Write both header slots so a fresh file is always openable.
+            self._write_header_slot(0)
+            self._write_header_slot(1)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    # -- header management ----------------------------------------------------
+    def _header_bytes(self) -> bytes:
+        body = _HEADER_STRUCT.pack(_MAGIC, self.epoch, self.root_block,
+                                   self.free_list_root, self.block_count, 0)
+        crc = checksum(body[:-4])
+        return _HEADER_STRUCT.pack(_MAGIC, self.epoch, self.root_block,
+                                   self.free_list_root, self.block_count, crc)
+
+    def _write_header_slot(self, slot: int) -> None:
+        payload = self._header_bytes().ljust(_HEADER_SLOT_SIZE, b"\x00")
+        self._file.seek(slot * _HEADER_SLOT_SIZE)
+        self._file.write(payload)
+
+    def _parse_header_slot(self, slot: int):
+        self._file.seek(slot * _HEADER_SLOT_SIZE)
+        raw = self._file.read(_HEADER_SLOT_SIZE)
+        if len(raw) < _HEADER_STRUCT.size:
+            return None
+        magic, epoch, root, free_root, count, crc = _HEADER_STRUCT.unpack_from(raw, 0)
+        if magic != _MAGIC:
+            return None
+        body = _HEADER_STRUCT.pack(magic, epoch, root, free_root, count, 0)
+        if checksum(body[:-4]) != crc:
+            return None
+        return epoch, root, free_root, count
+
+    def _read_best_header(self):
+        slots = [self._parse_header_slot(0), self._parse_header_slot(1)]
+        valid = [slot for slot in slots if slot is not None]
+        if not valid:
+            raise CorruptionError(
+                f"{self.path!r} is not a valid database file: both header slots "
+                "are missing or corrupted"
+            )
+        return max(valid, key=lambda slot: slot[0])
+
+    def flip_header(self, root_block: int, free_list_root: int = INVALID_BLOCK) -> None:
+        """Atomically publish a new root pointer (the checkpoint's last step).
+
+        Data blocks are flushed first; only then is the alternate header slot
+        overwritten and flushed.  Until that second fsync completes, readers
+        crash-recovering the file still see the previous checkpoint.
+        """
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.epoch += 1
+        self.root_block = root_block
+        self.free_list_root = free_list_root
+        self._write_header_slot(self.epoch % 2)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    # -- block io ----------------------------------------------------------------
+    def _block_offset(self, block_id: int) -> int:
+        if block_id < 0 or block_id >= self.block_count:
+            raise StorageError(f"Block id {block_id} out of range (file has "
+                               f"{self.block_count} blocks)")
+        return _BLOCKS_OFFSET + block_id * BLOCK_SIZE
+
+    def allocate_block(self, fresh_only: bool = False) -> int:
+        """Reuse a free block or extend the file by one block.
+
+        ``fresh_only`` forces file extension: used for the free-list chain,
+        whose block ids must not appear in the very list being serialized.
+        """
+        if self._free and not fresh_only:
+            return self._free.pop()
+        block_id = self.block_count
+        self.block_count += 1
+        # Extend the file eagerly so reads of unwritten blocks fail loudly
+        # on checksum rather than on short reads.
+        self._file.seek(_BLOCKS_OFFSET + block_id * BLOCK_SIZE + BLOCK_SIZE - 1)
+        self._file.write(b"\x00")
+        return block_id
+
+    def free_block(self, block_id: int) -> None:
+        if 0 <= block_id < self.block_count:
+            self._free.add(block_id)
+
+    def set_free_list(self, free_blocks) -> None:
+        """Install the free set recovered from the checkpoint metadata."""
+        self._free = set(free_blocks)
+
+    @property
+    def free_blocks(self) -> List[int]:
+        return sorted(self._free)
+
+    def write_block(self, block_id: int, payload: bytes) -> None:
+        """Write one block in its entirety (payload + CRC header)."""
+        if len(payload) > BLOCK_PAYLOAD:
+            raise StorageError(
+                f"Block payload of {len(payload)} bytes exceeds capacity {BLOCK_PAYLOAD}"
+            )
+        offset = self._block_offset(block_id)
+        header = _BLOCK_HEADER.pack(checksum(payload), len(payload))
+        self._file.seek(offset)
+        self._file.write(header)
+        self._file.write(payload)
+
+    def read_block(self, block_id: int) -> bytes:
+        """Read one block, verifying its checksum (unless disabled)."""
+        offset = self._block_offset(block_id)
+        self._file.seek(offset)
+        raw = self._file.read(BLOCK_SIZE)
+        if len(raw) < _BLOCK_HEADER.size:
+            raise CorruptionError(f"Block {block_id} is truncated")
+        stored_crc, length = _BLOCK_HEADER.unpack_from(raw, 0)
+        if length > BLOCK_PAYLOAD:
+            raise CorruptionError(f"Block {block_id} declares impossible length {length}")
+        payload = raw[_BLOCK_HEADER.size:_BLOCK_HEADER.size + length]
+        if len(payload) < length:
+            raise CorruptionError(f"Block {block_id} is truncated")
+        if self.verify_checksums:
+            verify_checksum(payload, stored_crc, context=f"block {block_id}")
+        return payload
+
+    def flush(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "BlockFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MetaBlockWriter:
+    """Writes an arbitrarily long byte stream across a chain of blocks.
+
+    Each block's payload starts with the 8-byte id of the next block in the
+    chain (:data:`INVALID_BLOCK` terminates).  Used for checkpoint metadata
+    and any serialized structure larger than one block.
+    """
+
+    def __init__(self, block_file: BlockFile, fresh_only: bool = False) -> None:
+        self._file = block_file
+        self._buffer = bytearray()
+        self._fresh_only = fresh_only
+        self.written_blocks: List[int] = []
+
+    def write(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @staticmethod
+    def blocks_needed(payload_length: int) -> int:
+        """How many chain blocks a payload of this size occupies."""
+        chunk_capacity = BLOCK_PAYLOAD - 8
+        return max(1, -(-payload_length // chunk_capacity))
+
+    def finalize(self) -> int:
+        """Flush the stream to freshly allocated blocks; returns the head id."""
+        chunks = self._chunks()
+        block_ids = [self._file.allocate_block(self._fresh_only) for _ in chunks]
+        return self._write_chain(chunks, block_ids)
+
+    def finalize_into(self, block_ids: List[int]) -> int:
+        """Flush the stream into pre-allocated blocks (must be enough)."""
+        chunks = self._chunks()
+        if len(chunks) > len(block_ids):
+            raise StorageError(
+                f"Chain needs {len(chunks)} blocks, only {len(block_ids)} "
+                "were pre-allocated"
+            )
+        return self._write_chain(chunks, list(block_ids[:len(chunks)]))
+
+    def _chunks(self) -> List[bytes]:
+        chunk_capacity = BLOCK_PAYLOAD - 8
+        data = bytes(self._buffer)
+        chunks = [data[i:i + chunk_capacity]
+                  for i in range(0, len(data), chunk_capacity)]
+        return chunks or [b""]
+
+    def _write_chain(self, chunks: List[bytes], block_ids: List[int]) -> int:
+        self.written_blocks = list(block_ids)
+        for index, chunk in enumerate(chunks):
+            next_id = block_ids[index + 1] if index + 1 < len(block_ids) else INVALID_BLOCK
+            self._file.write_block(block_ids[index], struct.pack("<q", next_id) + chunk)
+        return block_ids[0]
+
+
+class MetaBlockReader:
+    """Reads back a byte stream written by :class:`MetaBlockWriter`."""
+
+    def __init__(self, block_file: BlockFile, head_block: int) -> None:
+        parts = []
+        block_id = head_block
+        seen = set()
+        while block_id != INVALID_BLOCK:
+            if block_id in seen:
+                raise CorruptionError("Metadata block chain contains a cycle")
+            seen.add(block_id)
+            payload = block_file.read_block(block_id)
+            if len(payload) < 8:
+                raise CorruptionError(f"Metadata block {block_id} is too short")
+            (next_id,) = struct.unpack_from("<q", payload, 0)
+            parts.append(payload[8:])
+            block_id = next_id
+        self.data = b"".join(parts)
+        self.blocks_read = sorted(seen)
+        self._offset = 0
+
+    def read(self, count: int) -> bytes:
+        if self._offset + count > len(self.data):
+            raise CorruptionError("Metadata stream ended unexpectedly")
+        out = self.data[self._offset:self._offset + count]
+        self._offset += count
+        return out
+
+    def remaining(self) -> int:
+        return len(self.data) - self._offset

@@ -1,0 +1,272 @@
+"""Compression codecs for column segments and query intermediates.
+
+Two roles, both from the paper:
+
+* **storage** -- column segments are compressed inside 256 KiB blocks;
+* **cooperation (Figure 1)** -- under memory pressure the reactive controller
+  re-compresses *in-memory intermediates* (hash tables, sort runs) first with
+  a lightweight codec, then with a heavy one, trading CPU cycles for RAM.
+
+Codec taxonomy follows the paper's "no / light / heavy" levels:
+
+========  ======================  =========================================
+Level     Codec                    Characteristics
+========  ======================  =========================================
+NONE      :class:`NoneCodec`      memcpy; zero CPU cost, zero savings
+LIGHT     :class:`RleCodec`,      one cheap NumPy pass; good on repetitive
+          :class:`DictionaryCodec`, data (sorted keys, categorical strings)
+          :class:`BitPackCodec`
+HEAVY     :class:`ZlibCodec`      general-purpose entropy coding; highest
+                                  ratio, highest CPU cost
+========  ======================  =========================================
+
+Each codec converts a NumPy array to bytes and back.  VARCHAR (object)
+arrays are serialized as length-prefixed UTF-8.  All payloads are
+self-describing: :func:`decode_array` only needs the bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CorruptionError, InternalError
+
+__all__ = [
+    "CompressionLevel",
+    "CompressionType",
+    "encode_array",
+    "decode_array",
+    "best_codec_for",
+]
+
+
+class CompressionLevel(enum.IntEnum):
+    """The three reactive compression levels of Figure 1."""
+
+    NONE = 0
+    LIGHT = 1
+    HEAVY = 2
+
+
+class CompressionType(enum.IntEnum):
+    """On-wire codec identifiers (stored in the segment header)."""
+
+    RAW = 0
+    RLE = 1
+    DICTIONARY = 2
+    BITPACK = 3
+    ZLIB = 4
+    STRINGS = 5        # length-prefixed UTF-8, uncompressed
+    STRINGS_ZLIB = 6   # length-prefixed UTF-8, zlib-compressed
+
+
+_HEADER = struct.Struct("<BBQ")  # codec, dtype code, element count
+
+_DTYPE_CODES = {
+    np.dtype(np.bool_): 0,
+    np.dtype(np.int8): 1,
+    np.dtype(np.int16): 2,
+    np.dtype(np.int32): 3,
+    np.dtype(np.int64): 4,
+    np.dtype(np.float32): 5,
+    np.dtype(np.float64): 6,
+    np.dtype(object): 7,
+    np.dtype(np.uint8): 8,
+    np.dtype(np.uint32): 9,
+    np.dtype(np.uint64): 10,
+}
+_CODES_DTYPE = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+
+def _encode_strings(array: np.ndarray) -> bytes:
+    """Length-prefixed UTF-8 for object arrays; None encoded as length -1."""
+    parts = []
+    for value in array:
+        if value is None:
+            parts.append(struct.pack("<i", -1))
+        else:
+            raw = value.encode("utf-8") if isinstance(value, str) else str(value).encode("utf-8")
+            parts.append(struct.pack("<i", len(raw)))
+            parts.append(raw)
+    return b"".join(parts)
+
+
+def _decode_strings(payload: bytes, count: int) -> np.ndarray:
+    out = np.empty(count, dtype=object)
+    offset = 0
+    for index in range(count):
+        (length,) = struct.unpack_from("<i", payload, offset)
+        offset += 4
+        if length < 0:
+            out[index] = None
+        else:
+            out[index] = payload[offset:offset + length].decode("utf-8")
+            offset += length
+    return out
+
+
+def _rle_encode(array: np.ndarray) -> Optional[bytes]:
+    """Run-length encode; returns None when RLE would not shrink the data."""
+    if len(array) == 0:
+        return struct.pack("<Q", 0)
+    changes = np.flatnonzero(array[1:] != array[:-1]) + 1
+    starts = np.concatenate([[0], changes])
+    if starts.size * (array.itemsize + 8) >= array.nbytes:
+        return None
+    run_values = array[starts]
+    run_lengths = np.diff(np.concatenate([starts, [len(array)]])).astype(np.uint64)
+    return (struct.pack("<Q", starts.size)
+            + run_lengths.tobytes()
+            + run_values.tobytes())
+
+
+def _rle_decode(payload: bytes, dtype: np.dtype, count: int) -> np.ndarray:
+    (runs,) = struct.unpack_from("<Q", payload, 0)
+    offset = 8
+    lengths = np.frombuffer(payload, dtype=np.uint64, count=runs, offset=offset)
+    offset += runs * 8
+    values = np.frombuffer(payload, dtype=dtype, count=runs, offset=offset)
+    out = np.repeat(values, lengths.astype(np.int64))
+    if len(out) != count:
+        raise CorruptionError("RLE payload decodes to wrong element count")
+    return out
+
+
+def _dictionary_encode(array: np.ndarray) -> Optional[bytes]:
+    """Dictionary encoding for integer arrays with few distinct values."""
+    unique, inverse = np.unique(array, return_inverse=True)
+    if unique.size > 255 or unique.size * array.itemsize + len(array) >= array.nbytes:
+        return None
+    codes = inverse.astype(np.uint8)
+    return (struct.pack("<H", unique.size)
+            + unique.tobytes()
+            + codes.tobytes())
+
+
+def _dictionary_decode(payload: bytes, dtype: np.dtype, count: int) -> np.ndarray:
+    (size,) = struct.unpack_from("<H", payload, 0)
+    offset = 2
+    unique = np.frombuffer(payload, dtype=dtype, count=size, offset=offset)
+    offset += size * dtype.itemsize
+    codes = np.frombuffer(payload, dtype=np.uint8, count=count, offset=offset)
+    return unique[codes]
+
+
+def _bitpack_encode(array: np.ndarray) -> Optional[bytes]:
+    """Frame-of-reference + width reduction for integer arrays."""
+    if array.size == 0 or array.dtype.kind != "i":
+        return None
+    low = int(array.min())
+    high = int(array.max())
+    span = high - low
+    for candidate, code in ((np.uint8, 0), (np.uint16, 1), (np.uint32, 2)):
+        if span <= np.iinfo(candidate).max:
+            if np.dtype(candidate).itemsize >= array.itemsize:
+                return None
+            packed = (array.astype(np.int64) - low).astype(candidate)
+            return struct.pack("<qB", low, code) + packed.tobytes()
+    return None
+
+
+def _bitpack_decode(payload: bytes, dtype: np.dtype, count: int) -> np.ndarray:
+    low, code = struct.unpack_from("<qB", payload, 0)
+    packed_dtype = (np.uint8, np.uint16, np.uint32)[code]
+    packed = np.frombuffer(payload, dtype=packed_dtype, count=count, offset=9)
+    return (packed.astype(np.int64) + low).astype(dtype)
+
+
+def encode_array(array: np.ndarray, level: CompressionLevel = CompressionLevel.NONE) -> bytes:
+    """Serialize an array at the given compression level.
+
+    LIGHT tries RLE, then dictionary, then bit-packing, keeping the first
+    that actually shrinks the payload; HEAVY additionally zlib-compresses.
+    The result always round-trips through :func:`decode_array`.
+    """
+    import zlib
+
+    dtype_code = _DTYPE_CODES.get(array.dtype)
+    if dtype_code is None:
+        raise InternalError(f"Cannot serialize arrays of dtype {array.dtype}")
+    count = len(array)
+
+    if array.dtype == object:
+        payload = _encode_strings(array)
+        if level is CompressionLevel.HEAVY:
+            return _HEADER.pack(CompressionType.STRINGS_ZLIB, dtype_code, count) \
+                + zlib.compress(payload, 6)
+        return _HEADER.pack(CompressionType.STRINGS, dtype_code, count) + payload
+
+    contiguous = np.ascontiguousarray(array)
+    if level is CompressionLevel.NONE:
+        return _HEADER.pack(CompressionType.RAW, dtype_code, count) + contiguous.tobytes()
+
+    if level is CompressionLevel.LIGHT:
+        rle = _rle_encode(contiguous)
+        if rle is not None:
+            return _HEADER.pack(CompressionType.RLE, dtype_code, count) + rle
+        if contiguous.dtype.kind == "i":
+            packed = _dictionary_encode(contiguous)
+            if packed is not None:
+                return _HEADER.pack(CompressionType.DICTIONARY, dtype_code, count) + packed
+            packed = _bitpack_encode(contiguous)
+            if packed is not None:
+                return _HEADER.pack(CompressionType.BITPACK, dtype_code, count) + packed
+        return _HEADER.pack(CompressionType.RAW, dtype_code, count) + contiguous.tobytes()
+
+    if level is CompressionLevel.HEAVY:
+        # HEAVY means "spend the CPU, get the smallest": take the better of
+        # the zlib encoding and the best lightweight encoding.
+        heavy = _HEADER.pack(CompressionType.ZLIB, dtype_code, count) \
+            + zlib.compress(contiguous.tobytes(), 6)
+        light = encode_array(contiguous, CompressionLevel.LIGHT)
+        return heavy if len(heavy) <= len(light) else light
+
+    raise InternalError(f"Unknown compression level {level!r}")
+
+
+def decode_array(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_array`; raises CorruptionError on bad data."""
+    import zlib
+
+    if len(payload) < _HEADER.size:
+        raise CorruptionError("Compressed segment shorter than its header")
+    codec_code, dtype_code, count = _HEADER.unpack_from(payload, 0)
+    body = payload[_HEADER.size:]
+    dtype = _CODES_DTYPE.get(dtype_code)
+    if dtype is None:
+        raise CorruptionError(f"Unknown dtype code {dtype_code} in segment header")
+    try:
+        codec = CompressionType(codec_code)
+    except ValueError:
+        raise CorruptionError(f"Unknown codec code {codec_code} in segment header") from None
+
+    try:
+        if codec is CompressionType.RAW:
+            return np.frombuffer(body, dtype=dtype, count=count).copy()
+        if codec is CompressionType.RLE:
+            return _rle_decode(body, dtype, count)
+        if codec is CompressionType.DICTIONARY:
+            return _dictionary_decode(body, dtype, count).copy()
+        if codec is CompressionType.BITPACK:
+            return _bitpack_decode(body, dtype, count)
+        if codec is CompressionType.ZLIB:
+            raw = zlib.decompress(body)
+            return np.frombuffer(raw, dtype=dtype, count=count).copy()
+        if codec is CompressionType.STRINGS:
+            return _decode_strings(body, count)
+        if codec is CompressionType.STRINGS_ZLIB:
+            return _decode_strings(zlib.decompress(body), count)
+    except (ValueError, struct.error, zlib.error) as exc:
+        raise CorruptionError(f"Segment payload is corrupted: {exc}") from None
+    raise InternalError(f"Unhandled codec {codec}")
+
+
+def best_codec_for(array: np.ndarray, level: CompressionLevel) -> Tuple[bytes, float]:
+    """Encode and report the achieved compression ratio (orig/encoded)."""
+    encoded = encode_array(array, level)
+    original = max(array.nbytes if array.dtype != object else len(_encode_strings(array)), 1)
+    return encoded, original / max(len(encoded), 1)

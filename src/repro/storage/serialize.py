@@ -1,0 +1,136 @@
+"""Structured binary serialization used by the WAL and checkpoint formats.
+
+A deliberately boring length-prefixed format: explicit little-endian struct
+packing, no pickle (the database file must not execute code on load), every
+variable-length field length-prefixed.  Readers raise
+:class:`~repro.errors.CorruptionError` on any malformed input instead of
+guessing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import CorruptionError
+
+__all__ = ["BinaryWriter", "BinaryReader"]
+
+
+class BinaryWriter:
+    """Appends typed fields to a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def write_bool(self, value: bool) -> None:
+        self._parts.append(b"\x01" if value else b"\x00")
+
+    def write_uint8(self, value: int) -> None:
+        self._parts.append(struct.pack("<B", value))
+
+    def write_uint32(self, value: int) -> None:
+        self._parts.append(struct.pack("<I", value))
+
+    def write_uint64(self, value: int) -> None:
+        self._parts.append(struct.pack("<Q", value))
+
+    def write_int64(self, value: int) -> None:
+        self._parts.append(struct.pack("<q", value))
+
+    def write_double(self, value: float) -> None:
+        self._parts.append(struct.pack("<d", value))
+
+    def write_string(self, value: str) -> None:
+        raw = value.encode("utf-8")
+        self._parts.append(struct.pack("<I", len(raw)))
+        self._parts.append(raw)
+
+    def write_optional_string(self, value: Optional[str]) -> None:
+        if value is None:
+            self._parts.append(struct.pack("<i", -1))
+        else:
+            raw = value.encode("utf-8")
+            self._parts.append(struct.pack("<i", len(raw)))
+            self._parts.append(raw)
+
+    def write_bytes(self, value: bytes) -> None:
+        self._parts.append(struct.pack("<Q", len(value)))
+        self._parts.append(value)
+
+    def write_int64_array(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array, dtype=np.int64)
+        self._parts.append(struct.pack("<Q", len(array)))
+        self._parts.append(array.tobytes())
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+
+class BinaryReader:
+    """Reads typed fields back, validating lengths as it goes."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._offset = offset
+
+    def _take(self, count: int) -> bytes:
+        if self._offset + count > len(self._data):
+            raise CorruptionError("Serialized data ended unexpectedly")
+        out = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return out
+
+    def read_bool(self) -> bool:
+        return self._take(1) != b"\x00"
+
+    def read_uint8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def read_uint32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def read_uint64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def read_int64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def read_double(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def read_string(self) -> str:
+        length = self.read_uint32()
+        if length > len(self._data):
+            raise CorruptionError(f"Declared string length {length} exceeds stream size")
+        return self._take(length).decode("utf-8")
+
+    def read_optional_string(self) -> Optional[str]:
+        (length,) = struct.unpack("<i", self._take(4))
+        if length < 0:
+            return None
+        return self._take(length).decode("utf-8")
+
+    def read_bytes(self) -> bytes:
+        length = self.read_uint64()
+        if length > len(self._data):
+            raise CorruptionError(f"Declared byte length {length} exceeds stream size")
+        return self._take(length)
+
+    def read_int64_array(self) -> np.ndarray:
+        count = self.read_uint64()
+        if count * 8 > len(self._data):
+            raise CorruptionError(f"Declared array length {count} exceeds stream size")
+        return np.frombuffer(self._take(count * 8), dtype=np.int64).copy()
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def exhausted(self) -> bool:
+        return self._offset >= len(self._data)

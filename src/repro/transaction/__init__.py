@@ -1,0 +1,32 @@
+"""HyPer-style serializable MVCC (Neumann et al., SIGMOD 2015).
+
+The paper adopts this design for DuckDB (§6): data is updated in place
+immediately, pre-images go to undo buffers, readers reconstruct their
+snapshot from undo chains, and the first writer to a row wins -- the second
+concurrent writer aborts with :class:`~repro.errors.TransactionConflict`.
+"""
+
+from .manager import TransactionManager
+from .transaction import Transaction, TransactionState
+from .undo import DeleteUndo, InsertUndo, UpdateUndo
+from .version import (
+    ABORTED_MARKER,
+    NOT_DELETED,
+    TRANSACTION_ID_START,
+    version_visible,
+    versions_visible,
+)
+
+__all__ = [
+    "TransactionManager",
+    "Transaction",
+    "TransactionState",
+    "UpdateUndo",
+    "DeleteUndo",
+    "InsertUndo",
+    "TRANSACTION_ID_START",
+    "ABORTED_MARKER",
+    "NOT_DELETED",
+    "version_visible",
+    "versions_visible",
+]

@@ -1,0 +1,120 @@
+"""Transaction manager: begins, commits, aborts, and garbage-collects.
+
+Lock-free in spirit, lock-based in implementation: the paper's argument for
+MVCC is that long-running OLAP queries must not block concurrent ETL writers
+(§2, dashboard scenario).  Readers here never take the commit lock -- they
+only capture a snapshot timestamp at begin; the short critical sections below
+serialize only begin/commit bookkeeping, not query execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..errors import InternalError
+from .transaction import Transaction, TransactionState
+from .version import TRANSACTION_ID_START
+
+__all__ = ["TransactionManager"]
+
+
+class TransactionManager:
+    """Hands out transactions and assigns commit timestamps."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # Commit timestamps start at 1; 0 is reserved for "pre-history"
+        # (bootstrap catalog entries and checkpoint-loaded data).
+        self._last_commit_id = 1
+        self._next_transaction_id = TRANSACTION_ID_START
+        self._active: Dict[int, Transaction] = {}
+        #: Callbacks run (under the commit lock) with each committing
+        #: transaction, before its tags flip -- the WAL hooks in here.
+        self.pre_commit_hooks: List[Callable[[Transaction, int], None]] = []
+        #: Committed transactions whose undo buffers may still be needed by
+        #: older active snapshots; cleaned up as snapshots advance.
+        self._retired: List[Transaction] = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def begin(self) -> Transaction:
+        """Start a transaction whose snapshot is "everything committed so far"."""
+        with self._lock:
+            transaction = Transaction(self, self._next_transaction_id, self._last_commit_id)
+            self._next_transaction_id += 1
+            self._active[transaction.transaction_id] = transaction
+            return transaction
+
+    def commit(self, transaction: Transaction) -> int:
+        """Commit: assign a commit id, flip version tags, run WAL hooks."""
+        transaction.check_active()
+        with self._lock:
+            commit_id = self._last_commit_id + 1
+            try:
+                for hook in self.pre_commit_hooks:
+                    hook(transaction, commit_id)
+            except Exception:
+                # A failed WAL write must not leave a half-committed state.
+                del self._active[transaction.transaction_id]
+                transaction.apply_rollback()
+                raise
+            # Flip all version tags BEFORE publishing the new commit id:
+            # a reader that begins mid-flip must snapshot the previous commit
+            # id, under which both the old (transaction-id) and the new
+            # (commit-id) tags are invisible -- no torn reads.
+            transaction.apply_commit(commit_id)
+            self._last_commit_id = commit_id
+            del self._active[transaction.transaction_id]
+            if transaction.update_log:
+                self._retired.append(transaction)
+            self._vacuum_locked()
+            return commit_id
+
+    def rollback(self, transaction: Transaction) -> None:
+        """Abort: restore all pre-images and drop the transaction."""
+        transaction.check_active()
+        with self._lock:
+            transaction.apply_rollback()
+            del self._active[transaction.transaction_id]
+            self._vacuum_locked()
+
+    # -- snapshot bookkeeping -------------------------------------------------
+    @property
+    def last_commit_id(self) -> int:
+        return self._last_commit_id
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def lowest_active_start(self) -> int:
+        """Oldest snapshot still in use (== last commit id if none active)."""
+        with self._lock:
+            return self._lowest_active_start_locked()
+
+    def _lowest_active_start_locked(self) -> int:
+        if not self._active:
+            return self._last_commit_id
+        return min(txn.start_time for txn in self._active.values())
+
+    def _vacuum_locked(self) -> None:
+        """Drop undo buffers no active snapshot can still need.
+
+        An update undo entry with commit id ``v`` is needed only by snapshots
+        with ``start_time < v``; once every active transaction started at or
+        after ``v``, the pre-image is garbage.
+        """
+        threshold = self._lowest_active_start_locked()
+        remaining = []
+        for transaction in self._retired:
+            if transaction.commit_id is not None and transaction.commit_id <= threshold:
+                for update in transaction.update_log:
+                    update.column.remove_undo(update)
+            else:
+                remaining.append(transaction)
+        self._retired = remaining
+
+    def retired_undo_memory(self) -> int:
+        """Bytes of committed-but-unreclaimed undo buffers (for monitoring)."""
+        with self._lock:
+            return sum(txn.undo_memory() for txn in self._retired)

@@ -1,0 +1,48 @@
+"""Version numbering and visibility rules for HyPer-style MVCC.
+
+The scheme follows Neumann et al. (SIGMOD 2015), which the paper adopts for
+DuckDB: commit timestamps are small monotonically increasing integers, while
+*transaction ids* of in-flight transactions live in a disjoint high range
+(``>= TRANSACTION_ID_START``).  A version tag ``v`` written into
+``inserted_by`` / ``deleted_by`` arrays or undo entries is therefore either
+
+* ``0`` (:data:`NOT_DELETED`) -- no writer at all,
+* a commit id -- the write committed at that timestamp,
+* a transaction id -- the write belongs to a still-running transaction, or
+* :data:`ABORTED_MARKER` -- the writing transaction rolled back.
+
+Visibility for a transaction with ``(transaction_id, start_time)`` is then a
+single comparison: a version is visible iff it is the transaction's own id or
+a commit id at most ``start_time``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "TRANSACTION_ID_START",
+    "ABORTED_MARKER",
+    "NOT_DELETED",
+    "version_visible",
+    "versions_visible",
+]
+
+#: First value of the transaction-id range.  Commit ids stay far below this.
+TRANSACTION_ID_START = 1 << 62
+
+#: Version tag of writes whose transaction aborted: visible to no one.
+ABORTED_MARKER = (1 << 63) - 1
+
+#: ``deleted_by`` value of rows that were never deleted.
+NOT_DELETED = 0
+
+
+def version_visible(version: int, transaction_id: int, start_time: int) -> bool:
+    """Is a single version tag visible to the given transaction snapshot?"""
+    return version == transaction_id or version <= start_time
+
+
+def versions_visible(versions: np.ndarray, transaction_id: int, start_time: int) -> np.ndarray:
+    """Vectorized :func:`version_visible` over an int64 version array."""
+    return (versions == transaction_id) | (versions <= start_time)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import tempfile
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def con():
+    """A fresh in-memory database connection."""
+    connection = repro.connect()
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    """A path for a persistent database file in a temp directory."""
+    return str(tmp_path / "test.qdb")
+
+
+@pytest.fixture
+def file_con(db_path):
+    """A connection to a persistent single-file database."""
+    connection = repro.connect(db_path)
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def populated(con):
+    """An in-memory connection with a small, NULL-bearing sample table."""
+    con.execute("CREATE TABLE sample (i INTEGER, s VARCHAR, d DOUBLE)")
+    con.execute(
+        "INSERT INTO sample VALUES "
+        "(1, 'alpha', 1.5), (2, 'beta', 2.5), (3, 'alpha', NULL), "
+        "(4, NULL, 4.5), (5, 'gamma', 0.5)"
+    )
+    return con

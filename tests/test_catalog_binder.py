@@ -1,0 +1,193 @@
+"""Catalog unit tests and binder name-resolution/typing edge cases."""
+
+import pytest
+
+import repro
+from repro.catalog import Catalog, ColumnDefinition, TableEntry
+from repro.errors import BinderError, CatalogError, TransactionConflict
+from repro.storage.table_data import TableData
+from repro.transaction import TransactionManager
+from repro.types import INTEGER, VARCHAR
+
+
+def make_table(name, columns=("a",)):
+    definitions = [ColumnDefinition(column, INTEGER) for column in columns]
+    data = TableData([INTEGER] * len(columns))
+    return TableEntry(name, definitions, data, 0)
+
+
+class TestCatalogUnit:
+    def setup_method(self):
+        self.manager = TransactionManager()
+        self.catalog = Catalog()
+
+    def test_create_and_lookup_case_insensitive(self):
+        transaction = self.manager.begin()
+        self.catalog.create_entry(make_table("MyTable"), transaction)
+        self.manager.commit(transaction)
+        reader = self.manager.begin()
+        assert self.catalog.get_table("mytable", reader).name == "MyTable"
+        assert self.catalog.get_table("MYTABLE", reader).name == "MyTable"
+
+    def test_duplicate_create_rejected(self):
+        transaction = self.manager.begin()
+        self.catalog.create_entry(make_table("t"), transaction)
+        with pytest.raises(CatalogError):
+            self.catalog.create_entry(make_table("t"), transaction)
+
+    def test_if_not_exists_suppresses(self):
+        transaction = self.manager.begin()
+        assert self.catalog.create_entry(make_table("t"), transaction)
+        assert not self.catalog.create_entry(make_table("t"), transaction,
+                                             if_not_exists=True)
+
+    def test_drop_missing_with_if_exists(self):
+        transaction = self.manager.begin()
+        assert not self.catalog.drop_entry("ghost", transaction, if_exists=True)
+        with pytest.raises(CatalogError):
+            self.catalog.drop_entry("ghost", transaction)
+
+    def test_concurrent_drop_conflicts(self):
+        setup = self.manager.begin()
+        self.catalog.create_entry(make_table("t"), setup)
+        self.manager.commit(setup)
+        first = self.manager.begin()
+        second = self.manager.begin()
+        self.catalog.drop_entry("t", first)
+        with pytest.raises(TransactionConflict):
+            self.catalog.drop_entry("t", second)
+        self.manager.rollback(first)
+        self.manager.rollback(second)
+
+    def test_prune_removes_dead_versions(self):
+        transaction = self.manager.begin()
+        self.catalog.create_entry(make_table("t"), transaction)
+        self.manager.commit(transaction)
+        dropper = self.manager.begin()
+        self.catalog.drop_entry("t", dropper)
+        self.manager.commit(dropper)
+        self.catalog.prune(self.manager.lowest_active_start())
+        assert "t" not in self.catalog._entries
+
+    def test_tables_iteration_sorted(self):
+        transaction = self.manager.begin()
+        for name in ("zebra", "alpha", "mid"):
+            self.catalog.create_entry(make_table(name), transaction)
+        names = [table.name for table in self.catalog.tables(transaction)]
+        assert names == ["alpha", "mid", "zebra"]
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(CatalogError):
+            make_table("t", ("a", "A"))
+
+    def test_table_without_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableEntry("t", [], TableData([]), 0)
+
+
+class TestBinderResolution:
+    def test_ambiguous_column(self, con):
+        con.execute("CREATE TABLE a (x INTEGER)")
+        con.execute("CREATE TABLE b (x INTEGER)")
+        with pytest.raises(BinderError, match="ambiguous"):
+            con.execute("SELECT x FROM a, b")
+
+    def test_qualified_disambiguates(self, con):
+        con.execute("CREATE TABLE a (x INTEGER)")
+        con.execute("CREATE TABLE b (x INTEGER)")
+        con.execute("INSERT INTO a VALUES (1)")
+        con.execute("INSERT INTO b VALUES (2)")
+        assert con.execute("SELECT a.x, b.x FROM a, b").fetchone() == (1, 2)
+
+    def test_duplicate_alias_rejected(self, con):
+        con.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(BinderError, match="[Dd]uplicate"):
+            con.execute("SELECT 1 FROM t one, t one")
+
+    def test_alias_hides_table_name(self, con):
+        con.execute("CREATE TABLE t (x INTEGER)")
+        con.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(BinderError):
+            con.execute("SELECT t.x FROM t renamed")
+        assert con.query_value("SELECT renamed.x FROM t renamed") == 1
+
+    def test_unknown_alias_qualifier(self, con):
+        con.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(BinderError):
+            con.execute("SELECT ghost.x FROM t")
+
+    def test_using_column_missing(self, con):
+        con.execute("CREATE TABLE a (x INTEGER)")
+        con.execute("CREATE TABLE b (y INTEGER)")
+        with pytest.raises(BinderError):
+            con.execute("SELECT 1 FROM a JOIN b USING (x)")
+
+    def test_select_star_with_qualifier(self, con):
+        con.execute("CREATE TABLE a (x INTEGER)")
+        con.execute("CREATE TABLE b (y VARCHAR)")
+        con.execute("INSERT INTO a VALUES (1)")
+        con.execute("INSERT INTO b VALUES ('s')")
+        rows = con.execute("SELECT b.* FROM a, b").fetchall()
+        assert rows == [("s",)]
+
+    def test_star_of_unknown_table(self, con):
+        con.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(BinderError):
+            con.execute("SELECT nope.* FROM t")
+
+    def test_subquery_alias_columns(self, con):
+        rows = con.execute(
+            "SELECT renamed.a FROM (SELECT 1 AS x) AS renamed(a)").fetchall()
+        assert rows == [(1,)]
+
+    def test_subquery_alias_count_mismatch(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT 1 FROM (SELECT 1, 2) t(a)")
+
+
+class TestBinderTyping:
+    def test_incomparable_types(self, con):
+        con.execute("CREATE TABLE t (s VARCHAR, i INTEGER)")
+        with pytest.raises(BinderError):
+            con.execute("SELECT 1 FROM t WHERE s = i")
+
+    def test_arithmetic_on_strings_rejected(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT 'a' + 1")
+
+    def test_where_must_be_boolean(self, populated):
+        with pytest.raises(BinderError):
+            populated.execute("SELECT 1 FROM sample WHERE i + 1")
+
+    def test_case_incompatible_branches(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT CASE WHEN true THEN 1 ELSE 'x' END")
+
+    def test_in_list_incompatible(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT 1 IN (1, 'x')")
+
+    def test_not_requires_boolean(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT NOT 'text'")
+
+    def test_unary_minus_requires_numeric(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT -'text'")
+
+    def test_concat_coerces_via_common_type_only(self, con):
+        # || requires VARCHAR-compatible operands; ints do not implicitly
+        # become strings.
+        with pytest.raises(BinderError):
+            con.execute("SELECT 1 || 2")
+
+    def test_null_literal_adapts(self, con):
+        assert con.execute("SELECT NULL + 1").fetchvalue() is None
+        assert con.execute("SELECT -NULL").fetchvalue() is None
+        assert con.execute("SELECT NULL || 'x'").fetchvalue() is None
+
+    def test_date_compares_with_timestamp(self, con):
+        value = con.execute(
+            "SELECT CAST('2020-01-01' AS DATE) < "
+            "CAST('2020-01-01 10:00:00' AS TIMESTAMP)").fetchvalue()
+        assert value is True

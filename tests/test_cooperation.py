@@ -1,0 +1,178 @@
+"""Cooperation tests: monitor, reactive controller, join/compression choices."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cooperation import (
+    ReactiveController,
+    ResourceMonitor,
+    SimulatedApplication,
+    StaticController,
+)
+from repro.storage.compression import CompressionLevel
+
+MB = 1 << 20
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSimulatedApplication:
+    def test_phases(self):
+        clock = FakeClock()
+        app = SimulatedApplication(
+            [(10.0, 100 * MB, 0.2), (10.0, 500 * MB, 0.8)], clock=clock)
+        assert app.ram_usage() == 100 * MB
+        clock.advance(12)
+        assert app.ram_usage() == 500 * MB
+        assert app.cpu_usage() == 0.8
+
+    def test_profile_repeats(self):
+        clock = FakeClock()
+        app = SimulatedApplication([(5.0, 1, 0.0), (5.0, 2, 0.0)], clock=clock)
+        clock.advance(11)  # wraps into the first phase again
+        assert app.ram_usage() == 1
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedApplication([])
+
+
+class TestResourceMonitor:
+    def test_sample_combines_sources(self):
+        clock = FakeClock()
+        app = SimulatedApplication([(100.0, 300 * MB, 0.5)], clock=clock)
+        monitor = ResourceMonitor(1000 * MB, lambda: 200 * MB, app, clock=clock)
+        sample = monitor.sample()
+        assert sample.app_ram == 300 * MB
+        assert sample.dbms_ram == 200 * MB
+        assert sample.ram_pressure == pytest.approx(0.5)
+        assert monitor.history == [sample]
+
+    def test_without_application(self):
+        monitor = ResourceMonitor(100 * MB, lambda: 50 * MB)
+        assert monitor.sample().ram_pressure == pytest.approx(0.5)
+
+
+class TestStaticController:
+    def test_fixed_behaviour(self):
+        controller = StaticController()
+        assert controller.compression_level() is CompressionLevel.NONE
+        assert controller.choose_join_algorithm(10**12) == "hash"
+
+    def test_configurable_level(self):
+        controller = StaticController(CompressionLevel.HEAVY)
+        assert controller.compression_level() is CompressionLevel.HEAVY
+
+
+class TestReactiveController:
+    def controller_with_app_ram(self, clock, phases, total=1000 * MB,
+                                dbms=0):
+        app = SimulatedApplication(phases, clock=clock)
+        monitor = ResourceMonitor(total, lambda: dbms, app, clock=clock)
+        return ReactiveController(monitor)
+
+    def test_escalates_none_light_heavy(self):
+        """The Figure 1 staircase: rising app RAM escalates compression."""
+        clock = FakeClock()
+        controller = self.controller_with_app_ram(clock, [
+            (10.0, 200 * MB, 0.1),   # pressure 0.2 -> NONE
+            (10.0, 600 * MB, 0.1),   # pressure 0.6 -> LIGHT
+            (10.0, 900 * MB, 0.1),   # pressure 0.9 -> HEAVY
+        ])
+        assert controller.compression_level() is CompressionLevel.NONE
+        clock.advance(10)
+        assert controller.compression_level() is CompressionLevel.LIGHT
+        clock.advance(10)
+        assert controller.compression_level() is CompressionLevel.HEAVY
+
+    def test_deescalates_when_pressure_drops(self):
+        clock = FakeClock()
+        controller = self.controller_with_app_ram(clock, [
+            (10.0, 900 * MB, 0.1),
+            (10.0, 100 * MB, 0.1),
+        ])
+        assert controller.compression_level() is CompressionLevel.HEAVY
+        clock.advance(10)
+        assert controller.compression_level() is CompressionLevel.NONE
+
+    def test_hysteresis_prevents_oscillation(self):
+        clock = FakeClock()
+        # Pressure hovers just below the LIGHT threshold after being above.
+        controller = self.controller_with_app_ram(clock, [
+            (10.0, 600 * MB, 0.1),   # 0.6 -> LIGHT
+            (10.0, 480 * MB, 0.1),   # 0.48, within hysteresis of 0.5
+            (10.0, 300 * MB, 0.1),   # 0.3, clearly below -> NONE
+        ])
+        assert controller.compression_level() is CompressionLevel.LIGHT
+        clock.advance(10)
+        assert controller.compression_level() is CompressionLevel.LIGHT  # sticky
+        clock.advance(10)
+        assert controller.compression_level() is CompressionLevel.NONE
+
+    def test_decision_trace_recorded(self):
+        clock = FakeClock()
+        controller = self.controller_with_app_ram(clock, [(10.0, 100 * MB, 0.1)])
+        controller.compression_level()
+        controller.compression_level()
+        assert len(controller.decisions) == 2
+
+    def test_join_choice_under_pressure(self):
+        clock = FakeClock()
+        controller = self.controller_with_app_ram(clock, [
+            (10.0, 100 * MB, 0.1),   # plenty of headroom
+            (10.0, 950 * MB, 0.9),   # almost no headroom
+        ])
+        assert controller.choose_join_algorithm(100 * MB) == "hash"
+        clock.advance(10)
+        assert controller.choose_join_algorithm(100 * MB) == "merge"
+
+    def test_small_build_stays_hash_even_under_pressure(self):
+        clock = FakeClock()
+        controller = self.controller_with_app_ram(clock, [(10.0, 900 * MB, 0.9)])
+        assert controller.choose_join_algorithm(1 * MB) == "hash"
+
+
+class TestDatabaseIntegration:
+    def test_enable_reactive_resources(self, con):
+        controller = con.database.enable_reactive_resources(1000 * MB)
+        assert con.database.resource_controller is controller
+        con.database.disable_reactive_resources()
+        assert isinstance(con.database.resource_controller, StaticController)
+
+    def test_intermediates_compressed_under_pressure(self, con):
+        """End-to-end Figure 1 behaviour: an aggregation run while the app
+        hogs RAM buffers its intermediates compressed."""
+        clock = FakeClock()
+        app = SimulatedApplication([(1000.0, 900 * MB, 0.1)], clock=clock)
+        con.database.enable_reactive_resources(1000 * MB, app, clock=clock)
+        con.execute("CREATE TABLE t (g INTEGER, v INTEGER)")
+        with con.appender("t") as appender:
+            appender.append_numpy({
+                "g": (np.arange(20_000) % 7).astype(np.int32),
+                "v": np.ones(20_000, dtype=np.int32),
+            })
+        rows = con.execute(
+            "SELECT g, sum(v) FROM t GROUP BY g ORDER BY g").fetchall()
+        assert [count for _, count in rows] == [2858, 2857, 2857, 2857,
+                                                2857, 2857, 2857]
+        controller = con.database.resource_controller
+        assert any(level is CompressionLevel.HEAVY
+                   for _, _, level in controller.decisions)
+        con.database.disable_reactive_resources()
+
+    def test_pragma_reactive_resources(self, con):
+        con.execute("PRAGMA reactive_resources=true")
+        assert con.database.config.reactive_resources is True
+
+    def test_memory_usage_reported(self, populated):
+        assert populated.database.memory_usage() > 0

@@ -1,0 +1,197 @@
+"""ETL tests: CSV sniffing, streaming reads, writes, COPY, recoding."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import InvalidInputError
+from repro.etl import read_csv_chunks, sniff_csv, write_csv
+from repro.types import BIGINT, BOOLEAN, DATE, DOUBLE, TIMESTAMP, VARCHAR
+
+
+def write_file(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestSniffer:
+    def test_comma_with_header(self, tmp_path):
+        path = write_file(tmp_path, "a.csv",
+                          "id,name,score\n1,ann,1.5\n2,bob,2.5\n")
+        sniffed = sniff_csv(path)
+        assert sniffed.delimiter == ","
+        assert sniffed.has_header
+        assert sniffed.names == ["id", "name", "score"]
+        assert sniffed.types == [BIGINT, VARCHAR, DOUBLE]
+
+    def test_semicolon_delimiter(self, tmp_path):
+        path = write_file(tmp_path, "b.csv", "a;b\n1;2\n3;4\n")
+        sniffed = sniff_csv(path)
+        assert sniffed.delimiter == ";"
+        assert sniffed.types == [BIGINT, BIGINT]
+
+    def test_tab_and_pipe(self, tmp_path):
+        tab = write_file(tmp_path, "c.csv", "a\tb\n1\t2\n")
+        assert sniff_csv(tab).delimiter == "\t"
+        pipe = write_file(tmp_path, "d.csv", "a|b\n1|2\n")
+        assert sniff_csv(pipe).delimiter == "|"
+
+    def test_no_header_generates_names(self, tmp_path):
+        path = write_file(tmp_path, "e.csv", "1,2.5\n3,4.5\n")
+        sniffed = sniff_csv(path)
+        assert not sniffed.has_header
+        assert sniffed.names == ["column0", "column1"]
+
+    def test_all_text_no_header_hint(self, tmp_path):
+        # First row text + later rows numeric => header.
+        path = write_file(tmp_path, "f.csv", "x,y\nfoo,1\nbar,2\n")
+        sniffed = sniff_csv(path)
+        assert sniffed.has_header
+        assert sniffed.types == [VARCHAR, BIGINT]
+
+    def test_type_widening(self, tmp_path):
+        path = write_file(tmp_path, "g.csv", "v\n1\n2.5\n")
+        assert sniff_csv(path).types == [DOUBLE]
+        path = write_file(tmp_path, "h.csv", "v\n1\nhello\n")
+        assert sniff_csv(path).types == [VARCHAR]
+
+    def test_date_and_timestamp_detection(self, tmp_path):
+        path = write_file(tmp_path, "i.csv",
+                          "d,ts\n2020-01-01,2020-01-01 10:00:00\n")
+        assert sniff_csv(path).types == [DATE, TIMESTAMP]
+
+    def test_boolean_detection(self, tmp_path):
+        path = write_file(tmp_path, "j.csv", "flag\ntrue\nfalse\n")
+        assert sniff_csv(path).types == [BOOLEAN]
+
+    def test_nulls_do_not_affect_types(self, tmp_path):
+        path = write_file(tmp_path, "k.csv", "v\n1\n\nNA\n3\n")
+        assert sniff_csv(path).types == [BIGINT]
+
+    def test_all_null_column_defaults_varchar(self, tmp_path):
+        path = write_file(tmp_path, "l.csv", "v,w\n,1\nNA,2\n")
+        assert sniff_csv(path).types == [VARCHAR, BIGINT]
+
+    def test_missing_file(self):
+        with pytest.raises(InvalidInputError):
+            sniff_csv("/nonexistent/file.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = write_file(tmp_path, "m.csv", "")
+        with pytest.raises(InvalidInputError):
+            sniff_csv(path)
+
+
+class TestReader:
+    def test_streaming_chunks(self, tmp_path):
+        lines = "v\n" + "\n".join(str(i) for i in range(5000)) + "\n"
+        path = write_file(tmp_path, "big.csv", lines)
+        chunks = list(read_csv_chunks(path, [BIGINT], header=True,
+                                      chunk_size=2048))
+        assert sum(chunk.size for chunk in chunks) == 5000
+        assert len(chunks) > 1  # actually streamed
+        total = sum(int(chunk.columns[0].data[chunk.columns[0].validity].sum())
+                    for chunk in chunks)
+        assert total == sum(range(5000))
+
+    def test_null_tokens(self, tmp_path):
+        # Blank lines are skipped (csv convention); explicit tokens are NULL.
+        path = write_file(tmp_path, "n.csv", "v\n1\n\nNULL\nna\n4\n")
+        chunks = list(read_csv_chunks(path, [BIGINT], header=True))
+        assert chunks[0].columns[0].to_pylist() == [1, None, None, 4]
+
+    def test_null_tokens_multi_column(self, tmp_path):
+        path = write_file(tmp_path, "n2.csv", "a,b\n1,\nN/A,2\n")
+        chunk = next(read_csv_chunks(path, [BIGINT, BIGINT], header=True))
+        assert chunk.to_rows() == [(1, None), (None, 2)]
+
+    def test_short_rows_padded_with_null(self, tmp_path):
+        path = write_file(tmp_path, "o.csv", "a,b\n1,2\n3\n")
+        chunk = next(read_csv_chunks(path, [BIGINT, BIGINT], header=True))
+        assert chunk.to_rows() == [(1, 2), (3, None)]
+
+    def test_quoted_fields(self, tmp_path):
+        path = write_file(tmp_path, "p.csv",
+                          'a,b\n"hello, world",2\n"say ""hi""",3\n')
+        chunk = next(read_csv_chunks(path, [VARCHAR, BIGINT], header=True))
+        assert chunk.row(0) == ("hello, world", 2)
+        assert chunk.row(1) == ('say "hi"', 3)
+
+
+class TestWriter:
+    def test_round_trip_via_files(self, tmp_path, populated):
+        out = str(tmp_path / "out.csv")
+        chunks = populated.execute("SELECT * FROM sample ORDER BY i").chunks()
+        count = write_csv(out, chunks, ["i", "s", "d"])
+        assert count == 5
+        sniffed = sniff_csv(out)
+        assert sniffed.names == ["i", "s", "d"]
+        back = list(read_csv_chunks(out, sniffed.types, header=True))
+        assert sum(chunk.size for chunk in back) == 5
+
+
+class TestCopyStatements:
+    def test_copy_to_and_from(self, tmp_path, populated):
+        out = str(tmp_path / "dump.csv")
+        result = populated.execute(f"COPY sample TO '{out}'")
+        assert result.rowcount == 5
+        populated.execute("CREATE TABLE restored (i INTEGER, s VARCHAR, d DOUBLE)")
+        result = populated.execute(f"COPY restored FROM '{out}'")
+        assert result.rowcount == 5
+        original = populated.execute("SELECT * FROM sample ORDER BY i").fetchall()
+        restored = populated.execute("SELECT * FROM restored ORDER BY i").fetchall()
+        assert restored == original
+
+    def test_copy_query_to(self, tmp_path, populated):
+        out = str(tmp_path / "q.csv")
+        populated.execute(
+            f"COPY (SELECT s, count(*) AS n FROM sample GROUP BY s) TO '{out}'")
+        sniffed = sniff_csv(out)
+        assert sniffed.names == ["s", "n"]
+
+    def test_copy_from_column_count_mismatch(self, tmp_path, populated):
+        out = str(tmp_path / "bad.csv")
+        (tmp_path / "bad.csv").write_text("a,b\n1,2\n")
+        populated.execute("CREATE TABLE narrow (x INTEGER)")
+        with pytest.raises(InvalidInputError):
+            populated.execute(f"COPY narrow FROM '{out}'")
+
+    def test_copy_delimiter_option(self, tmp_path, populated):
+        out = str(tmp_path / "semi.csv")
+        populated.execute(f"COPY sample TO '{out}' (DELIMITER ';')")
+        content = (tmp_path / "semi.csv").read_text()
+        assert ";" in content.splitlines()[0]
+
+    def test_copy_is_transactional(self, tmp_path, con):
+        out = str(tmp_path / "x.csv")
+        (tmp_path / "x.csv").write_text("v\n1\n2\n")
+        con.execute("CREATE TABLE t (v INTEGER)")
+        con.execute("BEGIN")
+        con.execute(f"COPY t FROM '{out}'")
+        con.execute("ROLLBACK")
+        assert con.query_value("SELECT count(*) FROM t") == 0
+
+
+class TestDirectCSVQueries:
+    def test_select_from_csv_file(self, tmp_path, con):
+        path = write_file(tmp_path, "direct.csv",
+                          "region,amount\neast,10\nwest,20\neast,5\n")
+        rows = con.execute(
+            f"SELECT region, sum(amount) FROM '{path}' GROUP BY region "
+            "ORDER BY region").fetchall()
+        assert rows == [("east", 15), ("west", 20)]
+
+    def test_read_csv_function(self, tmp_path, con):
+        path = write_file(tmp_path, "fn.csv", "x\n1\n2\n")
+        assert con.query_value(
+            f"SELECT sum(x) FROM read_csv('{path}')") == 3
+
+    def test_etl_pipeline_csv_to_table(self, tmp_path, con):
+        """Paper §2: scan a file, reshape, append to a persistent table."""
+        path = write_file(tmp_path, "raw.csv",
+                          "id,value\n1,-999\n2,10\n3,-999\n4,20\n")
+        con.execute("CREATE TABLE clean AS "
+                    f"SELECT id, nullif(value, -999) AS value FROM '{path}'")
+        rows = con.execute("SELECT id, value FROM clean ORDER BY id").fetchall()
+        assert rows == [(1, None), (2, 10), (3, None), (4, 20)]

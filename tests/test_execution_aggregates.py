@@ -1,0 +1,199 @@
+"""Aggregation tests: grouping, NULL handling, DISTINCT, HAVING."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import BinderError
+
+
+class TestUngrouped:
+    def test_count_star(self, populated):
+        assert populated.query_value("SELECT count(*) FROM sample") == 5
+
+    def test_count_column_skips_nulls(self, populated):
+        assert populated.query_value("SELECT count(s) FROM sample") == 4
+        assert populated.query_value("SELECT count(d) FROM sample") == 4
+
+    def test_sum_avg(self, populated):
+        assert populated.query_value("SELECT sum(i) FROM sample") == 15
+        assert populated.query_value("SELECT avg(i) FROM sample") == 3.0
+
+    def test_sum_ignores_nulls(self, populated):
+        assert populated.query_value("SELECT sum(d) FROM sample") == \
+            pytest.approx(9.0)
+
+    def test_min_max(self, populated):
+        assert populated.query_value("SELECT min(d) FROM sample") == 0.5
+        assert populated.query_value("SELECT max(d) FROM sample") == 4.5
+
+    def test_min_max_strings(self, populated):
+        assert populated.query_value("SELECT min(s) FROM sample") == "alpha"
+        assert populated.query_value("SELECT max(s) FROM sample") == "gamma"
+
+    def test_stddev(self, con):
+        con.execute("CREATE TABLE v (x DOUBLE)")
+        con.execute("INSERT INTO v VALUES (1), (2), (3), (4)")
+        import statistics
+
+        assert con.query_value("SELECT stddev(x) FROM v") == \
+            pytest.approx(statistics.stdev([1, 2, 3, 4]))
+        assert con.query_value("SELECT var_samp(x) FROM v") == \
+            pytest.approx(statistics.variance([1, 2, 3, 4]))
+
+    def test_stddev_single_row_is_null(self, con):
+        con.execute("CREATE TABLE v (x DOUBLE)")
+        con.execute("INSERT INTO v VALUES (1)")
+        assert con.query_value("SELECT stddev(x) FROM v") is None
+
+    def test_aggregates_over_empty_table(self, con):
+        con.execute("CREATE TABLE e (x INTEGER)")
+        row = con.execute(
+            "SELECT count(*), count(x), sum(x), min(x), avg(x) FROM e"
+        ).fetchone()
+        assert row == (0, 0, None, None, None)
+
+    def test_aggregates_over_all_null(self, con):
+        con.execute("CREATE TABLE n (x INTEGER)")
+        con.execute("INSERT INTO n VALUES (NULL), (NULL)")
+        row = con.execute("SELECT count(x), sum(x), max(x) FROM n").fetchone()
+        assert row == (0, None, None)
+
+    def test_expression_inside_aggregate(self, populated):
+        assert populated.query_value("SELECT sum(i * 2) FROM sample") == 30
+
+    def test_expression_of_aggregates(self, populated):
+        value = populated.query_value(
+            "SELECT sum(i) * 1.0 / count(*) FROM sample")
+        assert value == pytest.approx(3.0)
+
+    def test_sum_type_integer_stays_integer(self, populated):
+        result = populated.execute("SELECT sum(i) FROM sample")
+        from repro.types import BIGINT
+
+        assert result.types[0] == BIGINT
+
+
+class TestGrouped:
+    def test_group_by(self, populated):
+        rows = populated.execute(
+            "SELECT s, count(*), sum(i) FROM sample GROUP BY s "
+            "ORDER BY s NULLS FIRST").fetchall()
+        assert rows == [(None, 1, 4), ("alpha", 2, 4), ("beta", 1, 2),
+                        ("gamma", 1, 5)]
+
+    def test_null_forms_its_own_group(self, populated):
+        rows = populated.execute(
+            "SELECT s FROM sample GROUP BY s").fetchall()
+        assert (None,) in rows
+        assert len(rows) == 4
+
+    def test_group_by_expression(self, populated):
+        rows = populated.execute(
+            "SELECT i % 2, count(*) FROM sample GROUP BY i % 2 ORDER BY 1"
+        ).fetchall()
+        assert rows == [(0, 2), (1, 3)]
+
+    def test_group_by_position_and_alias(self, populated):
+        by_position = populated.execute(
+            "SELECT s, count(*) FROM sample GROUP BY 1 ORDER BY 1 NULLS FIRST"
+        ).fetchall()
+        by_alias = populated.execute(
+            "SELECT s AS tag, count(*) FROM sample GROUP BY tag "
+            "ORDER BY 1 NULLS FIRST").fetchall()
+        assert by_position == by_alias
+
+    def test_multi_column_groups(self, con):
+        con.execute("CREATE TABLE g (a INTEGER, b VARCHAR, x INTEGER)")
+        con.execute("INSERT INTO g VALUES (1,'x',10), (1,'x',11), (1,'y',12), "
+                    "(2,'x',13)")
+        rows = con.execute(
+            "SELECT a, b, sum(x) FROM g GROUP BY a, b ORDER BY a, b").fetchall()
+        assert rows == [(1, "x", 21), (1, "y", 12), (2, "x", 13)]
+
+    def test_bare_column_requires_group_by(self, populated):
+        with pytest.raises(BinderError):
+            populated.execute("SELECT s, sum(i) FROM sample")
+
+    def test_group_key_usable_in_expressions(self, populated):
+        rows = populated.execute(
+            "SELECT upper(s), count(*) FROM sample WHERE s IS NOT NULL "
+            "GROUP BY s ORDER BY 1").fetchall()
+        assert rows == [("ALPHA", 2), ("BETA", 1), ("GAMMA", 1)]
+
+    def test_having(self, populated):
+        rows = populated.execute(
+            "SELECT s, count(*) AS c FROM sample GROUP BY s HAVING count(*) > 1"
+        ).fetchall()
+        assert rows == [("alpha", 2)]
+
+    def test_having_without_groups_rejected(self, populated):
+        with pytest.raises(BinderError):
+            populated.execute("SELECT i FROM sample HAVING i > 1")
+
+    def test_aggregate_in_where_rejected(self, populated):
+        with pytest.raises(BinderError):
+            populated.execute("SELECT i FROM sample WHERE sum(i) > 1")
+
+    def test_nested_aggregate_rejected(self, populated):
+        with pytest.raises(BinderError):
+            populated.execute("SELECT sum(count(*)) FROM sample")
+
+    def test_order_by_aggregate(self, populated):
+        rows = populated.execute(
+            "SELECT s, sum(i) FROM sample GROUP BY s ORDER BY sum(i) DESC, "
+            "s NULLS FIRST").fetchall()
+        assert rows[0][1] == 5
+
+    def test_many_groups(self, con):
+        con.execute("CREATE TABLE m (k INTEGER, v INTEGER)")
+        with con.appender("m") as appender:
+            n = 50_000
+            appender.append_numpy({
+                "k": (np.arange(n) % 1000).astype(np.int32),
+                "v": np.ones(n, dtype=np.int32),
+            })
+        rows = con.execute(
+            "SELECT k, count(*) FROM m GROUP BY k ORDER BY k LIMIT 3").fetchall()
+        assert rows == [(0, 50), (1, 50), (2, 50)]
+        assert con.query_value(
+            "SELECT count(*) FROM (SELECT k FROM m GROUP BY k) sub") == 1000
+
+
+class TestDistinctAggregates:
+    def test_count_distinct(self, populated):
+        assert populated.query_value(
+            "SELECT count(DISTINCT s) FROM sample") == 3
+
+    def test_sum_distinct(self, con):
+        con.execute("CREATE TABLE d (x INTEGER)")
+        con.execute("INSERT INTO d VALUES (1), (1), (2), (2), (3)")
+        assert con.query_value("SELECT sum(DISTINCT x) FROM d") == 6
+        assert con.query_value("SELECT sum(x) FROM d") == 9
+
+    def test_count_distinct_grouped(self, con):
+        con.execute("CREATE TABLE d (g VARCHAR, x INTEGER)")
+        con.execute("INSERT INTO d VALUES ('a',1), ('a',1), ('a',2), ('b',5)")
+        rows = con.execute(
+            "SELECT g, count(DISTINCT x) FROM d GROUP BY g ORDER BY g").fetchall()
+        assert rows == [("a", 2), ("b", 1)]
+
+    def test_count_distinct_strings(self, con):
+        con.execute("CREATE TABLE d (s VARCHAR)")
+        con.execute("INSERT INTO d VALUES ('x'), ('x'), ('y'), (NULL)")
+        assert con.query_value("SELECT count(DISTINCT s) FROM d") == 2
+
+    def test_distinct_on_scalar_function_rejected(self, populated):
+        with pytest.raises(BinderError):
+            populated.execute("SELECT upper(DISTINCT s) FROM sample")
+
+
+class TestFirstAggregate:
+    def test_first(self, con):
+        con.execute("CREATE TABLE f (g INTEGER, v VARCHAR)")
+        con.execute("INSERT INTO f VALUES (1, 'a'), (1, 'b'), (2, 'c')")
+        rows = con.execute(
+            "SELECT g, first(v) FROM f GROUP BY g ORDER BY g").fetchall()
+        assert rows == [(1, "a"), (2, "c")]

@@ -1,0 +1,223 @@
+"""Expression semantics: three-valued logic, arithmetic, CASE, IN, LIKE."""
+
+import math
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def truth(con):
+    """A table covering the boolean truth-value triangle (incl. NULL)."""
+    con.execute("CREATE TABLE tv (a BOOLEAN, b BOOLEAN)")
+    values = [None, False, True]
+    rows = ", ".join(
+        f"({'NULL' if a is None else str(a).lower()}, "
+        f"{'NULL' if b is None else str(b).lower()})"
+        for a in values for b in values
+    )
+    con.execute(f"INSERT INTO tv VALUES {rows}")
+    return con
+
+
+def sql_and(a, b):
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def sql_or(a, b):
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+class TestThreeValuedLogic:
+    def test_and(self, truth):
+        rows = truth.execute("SELECT a, b, a AND b FROM tv").fetchall()
+        for a, b, result in rows:
+            assert result == sql_and(a, b), (a, b)
+
+    def test_or(self, truth):
+        rows = truth.execute("SELECT a, b, a OR b FROM tv").fetchall()
+        for a, b, result in rows:
+            assert result == sql_or(a, b), (a, b)
+
+    def test_not(self, truth):
+        rows = truth.execute("SELECT a, NOT a FROM tv").fetchall()
+        for a, result in rows:
+            expected = None if a is None else not a
+            assert result == expected
+
+    def test_null_comparison_is_null(self, con):
+        assert con.execute("SELECT NULL = NULL").fetchvalue() is None
+        assert con.execute("SELECT 1 = NULL").fetchvalue() is None
+        assert con.execute("SELECT 1 < NULL").fetchvalue() is None
+
+    def test_is_null_on_null_literal(self, con):
+        assert con.execute("SELECT NULL IS NULL").fetchvalue() is True
+        assert con.execute("SELECT 1 IS NOT NULL").fetchvalue() is True
+
+    def test_where_null_filters_out(self, populated):
+        # A NULL predicate result excludes the row (not an error).
+        rows = populated.execute("SELECT i FROM sample WHERE d > 100 OR NULL"
+                                 ).fetchall()
+        assert rows == []
+
+
+class TestArithmetic:
+    def test_integer_ops(self, con):
+        assert con.execute("SELECT 7 + 3, 7 - 3, 7 * 3, 7 % 3").fetchone() == \
+            (10, 4, 21, 1)
+
+    def test_division_is_double(self, con):
+        assert con.execute("SELECT 7 / 2").fetchvalue() == 3.5
+
+    def test_division_by_zero_is_null(self, con):
+        assert con.execute("SELECT 1 / 0").fetchvalue() is None
+        assert con.execute("SELECT 1 % 0").fetchvalue() is None
+        assert con.execute("SELECT 1.0 / 0.0").fetchvalue() is None
+
+    def test_null_propagation(self, con):
+        assert con.execute("SELECT 1 + NULL").fetchvalue() is None
+        assert con.execute("SELECT NULL * 2.5").fetchvalue() is None
+
+    def test_unary_minus(self, con):
+        assert con.execute("SELECT -(2 + 3)").fetchvalue() == -5
+        assert con.execute("SELECT -x FROM (SELECT -4 AS x) t").fetchvalue() == 4
+
+    def test_integer_overflow_promotes_to_bigint(self, con):
+        value = con.execute("SELECT 2000000000 + 2000000000").fetchvalue()
+        assert value == 4_000_000_000
+
+    def test_float_int_mix(self, con):
+        assert con.execute("SELECT 1 + 0.5").fetchvalue() == 1.5
+
+    def test_operator_precedence(self, con):
+        assert con.execute("SELECT 2 + 3 * 4 - 6 / 3").fetchvalue() == 12.0
+
+    def test_comparison_chaining_via_and(self, con):
+        assert con.execute("SELECT 1 < 2 AND 2 < 3").fetchvalue() is True
+
+
+class TestCase:
+    def test_searched(self, populated):
+        rows = populated.execute(
+            "SELECT i, CASE WHEN i < 2 THEN 'low' WHEN i < 4 THEN 'mid' "
+            "ELSE 'high' END FROM sample ORDER BY i").fetchall()
+        assert [r[1] for r in rows] == ["low", "mid", "mid", "high", "high"]
+
+    def test_first_match_wins(self, con):
+        value = con.execute(
+            "SELECT CASE WHEN true THEN 1 WHEN true THEN 2 END").fetchvalue()
+        assert value == 1
+
+    def test_no_else_yields_null(self, con):
+        assert con.execute("SELECT CASE WHEN false THEN 1 END").fetchvalue() is None
+
+    def test_simple_case(self, populated):
+        rows = populated.execute(
+            "SELECT CASE s WHEN 'alpha' THEN 1 WHEN 'beta' THEN 2 ELSE 0 END "
+            "FROM sample ORDER BY i").fetchall()
+        assert [r[0] for r in rows] == [1, 2, 1, 0, 0]
+
+    def test_branch_type_unification(self, con):
+        assert con.execute(
+            "SELECT CASE WHEN true THEN 1 ELSE 2.5 END").fetchvalue() == 1.0
+
+    def test_null_condition_is_not_taken(self, con):
+        assert con.execute(
+            "SELECT CASE WHEN NULL THEN 'x' ELSE 'y' END").fetchvalue() == "y"
+
+
+class TestInList:
+    def test_basic(self, con):
+        assert con.execute("SELECT 2 IN (1, 2, 3)").fetchvalue() is True
+        assert con.execute("SELECT 9 IN (1, 2, 3)").fetchvalue() is False
+
+    def test_null_operand(self, con):
+        assert con.execute("SELECT NULL IN (1, 2)").fetchvalue() is None
+
+    def test_null_in_list_no_match(self, con):
+        # 9 IN (1, NULL): unknown, because NULL *might* equal 9.
+        assert con.execute("SELECT 9 IN (1, NULL)").fetchvalue() is None
+
+    def test_null_in_list_with_match(self, con):
+        assert con.execute("SELECT 1 IN (1, NULL)").fetchvalue() is True
+
+    def test_not_in(self, con):
+        assert con.execute("SELECT 9 NOT IN (1, 2)").fetchvalue() is True
+        assert con.execute("SELECT 1 NOT IN (1, 2)").fetchvalue() is False
+        assert con.execute("SELECT 9 NOT IN (1, NULL)").fetchvalue() is None
+
+    def test_string_in(self, con):
+        assert con.execute("SELECT 'b' IN ('a', 'b')").fetchvalue() is True
+
+    def test_mixed_numeric_types(self, con):
+        assert con.execute("SELECT 2.0 IN (1, 2, 3)").fetchvalue() is True
+
+
+class TestLike:
+    @pytest.mark.parametrize("value,pattern,expected", [
+        ("hello", "hello", True),
+        ("hello", "h%", True),
+        ("hello", "%llo", True),
+        ("hello", "h_llo", True),
+        ("hello", "H%", False),
+        ("hello", "%z%", False),
+        ("", "%", True),
+        ("a.b", "a.b", True),
+        ("axb", "a.b", False),       # dot is literal, not regex
+        ("50%", "50%", True),    # percent as final char of pattern
+        ("a\nb", "a%b", True),        # % crosses newlines
+    ])
+    def test_like(self, con, value, pattern, expected):
+        result = con.execute("SELECT ? LIKE ?", [value, pattern]).fetchvalue()
+        assert result is expected
+
+    def test_ilike(self, con):
+        assert con.execute("SELECT 'HeLLo' ILIKE 'hello'").fetchvalue() is True
+
+    def test_like_null(self, con):
+        assert con.execute("SELECT NULL LIKE 'x'").fetchvalue() is None
+        assert con.execute("SELECT 'x' LIKE NULL").fetchvalue() is None
+
+    def test_not_like(self, con):
+        assert con.execute("SELECT 'abc' NOT LIKE 'z%'").fetchvalue() is True
+
+
+class TestConcatAndStrings:
+    def test_concat_operator_propagates_null(self, con):
+        assert con.execute("SELECT 'a' || NULL").fetchvalue() is None
+
+    def test_concat_function_skips_null(self, con):
+        assert con.execute("SELECT concat('a', NULL, 'b')").fetchvalue() == "ab"
+
+    def test_chained_concat(self, con):
+        assert con.execute("SELECT 'a' || 'b' || 'c'").fetchvalue() == "abc"
+
+
+class TestCasts:
+    def test_cast_in_query(self, populated):
+        rows = populated.execute(
+            "SELECT CAST(i AS VARCHAR) FROM sample WHERE i = 1").fetchall()
+        assert rows == [("1",)]
+
+    def test_double_colon(self, con):
+        assert con.execute("SELECT '42'::INTEGER + 1").fetchvalue() == 43
+
+    def test_cast_failure_at_runtime(self, populated):
+        populated.execute("INSERT INTO sample VALUES (9, 'not a number', 1.0)")
+        with pytest.raises(repro.ConversionError):
+            populated.execute("SELECT CAST(s AS INTEGER) FROM sample").fetchall()
+
+    def test_cast_null(self, con):
+        assert con.execute("SELECT CAST(NULL AS INTEGER)").fetchvalue() is None
+
+    def test_boolean_to_integer(self, con):
+        assert con.execute("SELECT CAST(true AS INTEGER)").fetchvalue() == 1

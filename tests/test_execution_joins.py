@@ -1,0 +1,238 @@
+"""Join tests: all types, algorithms, keys, and edge cases."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.client.connection import Connection
+from repro.cooperation.controller import ReactiveController
+from repro.cooperation.monitor import ResourceMonitor
+
+
+@pytest.fixture
+def joined(con):
+    con.execute("CREATE TABLE l (id INTEGER, tag VARCHAR)")
+    con.execute("CREATE TABLE r (id INTEGER, val DOUBLE)")
+    con.execute("INSERT INTO l VALUES (1, 'one'), (2, 'two'), (3, 'three'), "
+                "(NULL, 'nil')")
+    con.execute("INSERT INTO r VALUES (2, 2.0), (3, 3.0), (3, 3.5), (4, 4.0), "
+                "(NULL, 0.0)")
+    return con
+
+
+class TestInnerJoin:
+    def test_basic(self, joined):
+        rows = joined.execute(
+            "SELECT l.id, r.val FROM l JOIN r ON l.id = r.id ORDER BY 1, 2"
+        ).fetchall()
+        assert rows == [(2, 2.0), (3, 3.0), (3, 3.5)]
+
+    def test_null_keys_never_match(self, joined):
+        rows = joined.execute(
+            "SELECT count(*) FROM l JOIN r ON l.id = r.id WHERE l.id IS NULL"
+        ).fetchall()
+        assert rows == [(0,)]
+
+    def test_using(self, joined):
+        rows = joined.execute(
+            "SELECT tag, val FROM l JOIN r USING (id) ORDER BY val").fetchall()
+        assert rows == [("two", 2.0), ("three", 3.0), ("three", 3.5)]
+
+    def test_where_to_join_condition(self, joined):
+        # Comma join + WHERE equality should behave as an inner join.
+        rows = joined.execute(
+            "SELECT l.id, r.val FROM l, r WHERE l.id = r.id ORDER BY 1, 2"
+        ).fetchall()
+        assert rows == [(2, 2.0), (3, 3.0), (3, 3.5)]
+
+    def test_string_keys(self, con):
+        con.execute("CREATE TABLE a (k VARCHAR, x INTEGER)")
+        con.execute("CREATE TABLE b (k VARCHAR, y INTEGER)")
+        con.execute("INSERT INTO a VALUES ('p', 1), ('q', 2), (NULL, 3)")
+        con.execute("INSERT INTO b VALUES ('q', 20), ('r', 30), (NULL, 40)")
+        rows = con.execute(
+            "SELECT a.k, x, y FROM a JOIN b ON a.k = b.k").fetchall()
+        assert rows == [("q", 2, 20)]
+
+    def test_multi_key(self, con):
+        con.execute("CREATE TABLE a (k1 INTEGER, k2 VARCHAR, x INTEGER)")
+        con.execute("CREATE TABLE b (k1 INTEGER, k2 VARCHAR, y INTEGER)")
+        con.execute("INSERT INTO a VALUES (1, 'x', 10), (1, 'y', 11), (2, 'x', 12)")
+        con.execute("INSERT INTO b VALUES (1, 'x', 100), (2, 'x', 200), (2, 'z', 201)")
+        rows = con.execute(
+            "SELECT x, y FROM a JOIN b ON a.k1 = b.k1 AND a.k2 = b.k2 "
+            "ORDER BY x").fetchall()
+        assert rows == [(10, 100), (12, 200)]
+
+    def test_expression_keys(self, joined):
+        rows = joined.execute(
+            "SELECT l.id FROM l JOIN r ON l.id + 1 = r.id ORDER BY 1").fetchall()
+        # l.id=2 matches both r.id=3 rows.
+        assert rows == [(1,), (2,), (2,), (3,)]
+
+    def test_residual_condition(self, joined):
+        rows = joined.execute(
+            "SELECT l.id, r.val FROM l JOIN r ON l.id = r.id AND r.val > 3.0"
+        ).fetchall()
+        assert rows == [(3, 3.5)]
+
+    def test_non_equi_join(self, joined):
+        rows = joined.execute(
+            "SELECT l.id, r.id FROM l JOIN r ON l.id < r.id "
+            "WHERE r.id = 4 ORDER BY 1").fetchall()
+        assert rows == [(1, 4), (2, 4), (3, 4)]
+
+    def test_self_join(self, joined):
+        rows = joined.execute(
+            "SELECT a.id, b.id FROM l a JOIN l b ON a.id = b.id - 1 "
+            "ORDER BY 1").fetchall()
+        assert rows == [(1, 2), (2, 3)]
+
+
+class TestOuterJoins:
+    def test_left_join(self, joined):
+        rows = joined.execute(
+            "SELECT l.id, l.tag, r.val FROM l LEFT JOIN r ON l.id = r.id "
+            "ORDER BY l.id NULLS FIRST, r.val").fetchall()
+        assert rows == [(None, "nil", None), (1, "one", None),
+                        (2, "two", 2.0), (3, "three", 3.0), (3, "three", 3.5)]
+
+    def test_right_join(self, joined):
+        rows = joined.execute(
+            "SELECT l.tag, r.id FROM l RIGHT JOIN r ON l.id = r.id "
+            "ORDER BY r.id NULLS FIRST, l.tag").fetchall()
+        assert rows == [(None, None), ("two", 2), ("three", 3), ("three", 3),
+                        (None, 4)]
+
+    def test_full_join(self, joined):
+        rows = joined.execute(
+            "SELECT l.id, r.id FROM l FULL JOIN r ON l.id = r.id").fetchall()
+        left_ids = sorted(row[0] for row in rows if row[0] is not None)
+        right_ids = sorted(row[1] for row in rows if row[1] is not None)
+        assert left_ids == [1, 2, 3, 3]
+        assert right_ids == [2, 3, 3, 4]
+        # Unmatched rows from both sides present.
+        assert (None, 4) in rows
+        assert any(row[0] == 1 and row[1] is None for row in rows)
+
+    def test_left_join_with_residual(self, joined):
+        rows = joined.execute(
+            "SELECT l.id, r.val FROM l LEFT JOIN r ON l.id = r.id AND r.val > 3 "
+            "ORDER BY l.id NULLS FIRST, r.val").fetchall()
+        # Only (3, 3.5) survives the residual; others null-extend.
+        assert (3, 3.5) in rows
+        assert (2, None) in rows
+        assert len(rows) == 4
+
+    def test_cross_join(self, joined):
+        count = joined.query_value("SELECT count(*) FROM l CROSS JOIN r")
+        assert count == 20
+
+
+class TestMergeJoin:
+    def _merge_controller(self):
+        """A controller that always picks merge join."""
+
+        class AlwaysMerge:
+            def compression_level(self):
+                from repro.storage.compression import CompressionLevel
+
+                return CompressionLevel.NONE
+
+            def choose_join_algorithm(self, estimate):
+                return "merge"
+
+        return AlwaysMerge()
+
+    def test_merge_matches_hash(self, con):
+        con.execute("CREATE TABLE a (k INTEGER, x INTEGER)")
+        con.execute("CREATE TABLE b (k INTEGER, y INTEGER)")
+        rng = np.random.default_rng(42)
+        with con.appender("a") as appender:
+            keys = rng.integers(0, 500, 3000).astype(np.int32)
+            appender.append_numpy({"k": keys,
+                                   "x": np.arange(3000, dtype=np.int32)})
+        with con.appender("b") as appender:
+            keys = rng.integers(0, 500, 2000).astype(np.int32)
+            appender.append_numpy({"k": keys,
+                                   "y": np.arange(2000, dtype=np.int32)})
+        sql = ("SELECT a.k, x, y FROM a JOIN b ON a.k = b.k "
+               "ORDER BY 1, 2, 3")
+        hash_rows = con.execute(sql).fetchall()
+        con.database.resource_controller = self._merge_controller()
+        merge_rows = con.execute(sql).fetchall()
+        con.database.disable_reactive_resources()
+        assert merge_rows == hash_rows
+        assert len(hash_rows) > 0
+
+    def test_merge_left_join_matches_hash(self, con):
+        con.execute("CREATE TABLE a (k INTEGER)")
+        con.execute("CREATE TABLE b (k INTEGER)")
+        con.execute("INSERT INTO a VALUES (1), (2), (2), (5), (NULL)")
+        con.execute("INSERT INTO b VALUES (2), (2), (3), (NULL)")
+        sql = ("SELECT a.k, b.k FROM a LEFT JOIN b ON a.k = b.k "
+               "ORDER BY 1 NULLS FIRST, 2 NULLS FIRST")
+        hash_rows = con.execute(sql).fetchall()
+        con.database.resource_controller = self._merge_controller()
+        merge_rows = con.execute(sql).fetchall()
+        con.database.disable_reactive_resources()
+        assert merge_rows == hash_rows
+
+    def test_merge_join_duplicates_across_chunks(self, con):
+        # Keys with heavy duplication exercise the merge window carry logic.
+        con.execute("CREATE TABLE a (k INTEGER)")
+        con.execute("CREATE TABLE b (k INTEGER)")
+        with con.appender("a") as appender:
+            appender.append_numpy(
+                {"k": np.repeat(np.arange(4, dtype=np.int32), 2500)})
+        with con.appender("b") as appender:
+            appender.append_numpy(
+                {"k": np.repeat(np.arange(4, dtype=np.int32), 3)})
+        con.database.resource_controller = self._merge_controller()
+        count = con.query_value(
+            "SELECT count(*) FROM a JOIN b ON a.k = b.k")
+        con.database.disable_reactive_resources()
+        assert count == 4 * 2500 * 3
+
+
+class TestJoinScale:
+    def test_large_join_across_chunks(self, con):
+        con.execute("CREATE TABLE f (k INTEGER, v INTEGER)")
+        con.execute("CREATE TABLE d (k INTEGER, name VARCHAR)")
+        n = 20_000
+        with con.appender("f") as appender:
+            appender.append_numpy({
+                "k": (np.arange(n) % 100).astype(np.int32),
+                "v": np.arange(n, dtype=np.int32),
+            })
+        with con.appender("d") as appender:
+            appender.append_numpy({
+                "k": np.arange(100, dtype=np.int32),
+                "name": np.array([f"dim{i}" for i in range(100)], dtype=object),
+            })
+        count = con.query_value("SELECT count(*) FROM f JOIN d ON f.k = d.k")
+        assert count == n
+        total = con.query_value(
+            "SELECT sum(v) FROM f JOIN d ON f.k = d.k WHERE d.name = 'dim0'")
+        assert total == sum(range(0, n, 100))
+
+    def test_empty_build_side(self, con):
+        con.execute("CREATE TABLE a (k INTEGER)")
+        con.execute("CREATE TABLE b (k INTEGER)")
+        con.execute("INSERT INTO a VALUES (1), (2)")
+        assert con.query_value(
+            "SELECT count(*) FROM a JOIN b ON a.k = b.k") == 0
+        rows = con.execute(
+            "SELECT a.k, b.k FROM a LEFT JOIN b ON a.k = b.k ORDER BY 1"
+        ).fetchall()
+        assert rows == [(1, None), (2, None)]
+
+    def test_empty_probe_side(self, con):
+        con.execute("CREATE TABLE a (k INTEGER)")
+        con.execute("CREATE TABLE b (k INTEGER)")
+        con.execute("INSERT INTO b VALUES (1)")
+        assert con.query_value(
+            "SELECT count(*) FROM a JOIN b ON a.k = b.k") == 0
+        rows = con.execute(
+            "SELECT a.k, b.k FROM a RIGHT JOIN b ON a.k = b.k").fetchall()
+        assert rows == [(None, 1)]

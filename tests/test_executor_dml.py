@@ -1,0 +1,215 @@
+"""DML execution paths: INSERT variants, CTAS, defaults, multi-statement."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import BinderError, CatalogError, ConstraintError
+
+
+class TestInsert:
+    def test_insert_from_select(self, populated):
+        populated.execute("CREATE TABLE copy1 (i INTEGER, s VARCHAR, d DOUBLE)")
+        result = populated.execute(
+            "INSERT INTO copy1 SELECT * FROM sample WHERE i <= 3")
+        assert result.rowcount == 3
+        assert populated.query_value("SELECT count(*) FROM copy1") == 3
+
+    def test_insert_from_select_with_cast(self, con):
+        con.execute("CREATE TABLE src (x INTEGER)")
+        con.execute("INSERT INTO src VALUES (1), (2)")
+        con.execute("CREATE TABLE dst (x DOUBLE)")
+        con.execute("INSERT INTO dst SELECT x FROM src")
+        assert con.execute("SELECT x FROM dst ORDER BY x").fetchall() == \
+            [(1.0,), (2.0,)]
+
+    def test_insert_column_subset_fills_defaults(self, con):
+        con.execute("CREATE TABLE t (a INTEGER, b VARCHAR DEFAULT 'dflt', "
+                    "c DOUBLE DEFAULT 2.5)")
+        con.execute("INSERT INTO t (a) VALUES (1)")
+        con.execute("INSERT INTO t (c, a) VALUES (9.0, 2)")
+        rows = con.execute("SELECT a, b, c FROM t ORDER BY a").fetchall()
+        assert rows == [(1, "dflt", 2.5), (2, "dflt", 9.0)]
+
+    def test_insert_missing_column_without_default_is_null(self, con):
+        con.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        con.execute("INSERT INTO t (a) VALUES (1)")
+        assert con.execute("SELECT b FROM t").fetchall() == [(None,)]
+
+    def test_insert_missing_not_null_column_fails(self, con):
+        con.execute("CREATE TABLE t (a INTEGER, b INTEGER NOT NULL)")
+        with pytest.raises(ConstraintError):
+            con.execute("INSERT INTO t (a) VALUES (1)")
+
+    def test_insert_wrong_value_count(self, con):
+        con.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        with pytest.raises(BinderError):
+            con.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(BinderError):
+            con.execute("INSERT INTO t (a) VALUES (1, 2)")
+
+    def test_insert_duplicate_target_column(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(BinderError):
+            con.execute("INSERT INTO t (a, a) VALUES (1, 2)")
+
+    def test_insert_string_coercion(self, con):
+        con.execute("CREATE TABLE t (a INTEGER, d DATE)")
+        con.execute("INSERT INTO t VALUES ('42', '2021-05-06')")
+        import datetime
+
+        assert con.execute("SELECT a, d FROM t").fetchone() == \
+            (42, datetime.date(2021, 5, 6))
+
+    def test_insert_bad_string_coercion_fails(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(repro.ConversionError):
+            con.execute("INSERT INTO t VALUES ('duck')")
+
+    def test_insert_expression_values(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        con.execute("INSERT INTO t VALUES (1 + 2 * 3), (abs(-4))")
+        assert con.execute("SELECT a FROM t ORDER BY a").fetchall() == \
+            [(4,), (7,)]
+
+    def test_insert_select_column_count_mismatch(self, populated):
+        populated.execute("CREATE TABLE narrow (i INTEGER)")
+        with pytest.raises(BinderError):
+            populated.execute("INSERT INTO narrow SELECT i, s FROM sample")
+
+
+class TestCreateTableAs:
+    def test_ctas_with_aggregation(self, populated):
+        result = populated.execute(
+            "CREATE TABLE summary AS SELECT s, count(*) AS n, sum(i) AS total "
+            "FROM sample GROUP BY s")
+        assert result.rowcount == 4
+        rows = populated.execute(
+            "SELECT * FROM summary ORDER BY s NULLS FIRST").fetchall()
+        assert rows[0] == (None, 1, 4)
+
+    def test_ctas_types_follow_query(self, populated):
+        populated.execute("CREATE TABLE derived AS "
+                          "SELECT i * 1.5 AS x, upper(s) AS u FROM sample")
+        from repro.types import DOUBLE, VARCHAR
+
+        result = populated.execute("SELECT x, u FROM derived")
+        assert result.types == [DOUBLE, VARCHAR]
+
+    def test_ctas_from_join(self, con):
+        con.execute("CREATE TABLE a (k INTEGER, x VARCHAR)")
+        con.execute("CREATE TABLE b (k INTEGER, y DOUBLE)")
+        con.execute("INSERT INTO a VALUES (1, 'one')")
+        con.execute("INSERT INTO b VALUES (1, 1.5)")
+        con.execute("CREATE TABLE joined AS "
+                    "SELECT x, y FROM a JOIN b ON a.k = b.k")
+        assert con.execute("SELECT * FROM joined").fetchall() == [("one", 1.5)]
+
+    def test_ctas_duplicate_name(self, populated):
+        with pytest.raises(CatalogError):
+            populated.execute("CREATE TABLE sample AS SELECT 1 AS x")
+
+    def test_create_if_not_exists(self, populated):
+        populated.execute("CREATE TABLE IF NOT EXISTS sample (z INTEGER)")
+        # The original table is untouched.
+        assert populated.query_value("SELECT count(*) FROM sample") == 5
+
+
+class TestUpdateExpressions:
+    def test_update_references_other_columns(self, con):
+        con.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        con.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        con.execute("UPDATE t SET a = b + a")
+        assert con.execute("SELECT a FROM t ORDER BY a").fetchall() == \
+            [(11,), (22,)]
+
+    def test_update_swap_semantics(self, con):
+        """SET a = b, b = a must read both from the OLD row."""
+        con.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        con.execute("INSERT INTO t VALUES (1, 2)")
+        con.execute("UPDATE t SET a = b, b = a")
+        assert con.execute("SELECT a, b FROM t").fetchone() == (2, 1)
+
+    def test_update_with_case(self, populated):
+        populated.execute(
+            "UPDATE sample SET s = CASE WHEN i % 2 = 0 THEN 'even' "
+            "ELSE 'odd' END")
+        rows = populated.execute("SELECT DISTINCT s FROM sample "
+                                 "ORDER BY s").fetchall()
+        assert rows == [("even",), ("odd",)]
+
+    def test_update_not_null_violation(self, con):
+        con.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        con.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintError):
+            con.execute("UPDATE t SET a = NULL")
+
+    def test_update_same_column_twice_rejected(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(BinderError):
+            con.execute("UPDATE t SET a = 1, a = 2")
+
+    def test_update_rowcount_respects_where(self, populated):
+        assert populated.execute(
+            "UPDATE sample SET d = 0 WHERE i > 3").rowcount == 2
+
+    def test_update_no_matches(self, populated):
+        assert populated.execute(
+            "UPDATE sample SET d = 0 WHERE i > 100").rowcount == 0
+
+    def test_halloween_safety(self, con):
+        """An UPDATE must see each row exactly once, even when the SET
+        moves rows into the WHERE range (no Halloween problem)."""
+        con.execute("CREATE TABLE t (x INTEGER)")
+        with con.appender("t") as appender:
+            appender.append_numpy({"x": np.arange(50_000, dtype=np.int32)})
+        updated = con.execute("UPDATE t SET x = x + 100000 "
+                              "WHERE x < 100000").rowcount
+        assert updated == 50_000
+        assert con.query_value("SELECT min(x) FROM t") == 100_000
+
+
+class TestDelete:
+    def test_delete_all(self, populated):
+        assert populated.execute("DELETE FROM sample").rowcount == 5
+        assert populated.query_value("SELECT count(*) FROM sample") == 0
+        # Table remains usable.
+        populated.execute("INSERT INTO sample VALUES (9, 'z', 1.0)")
+        assert populated.query_value("SELECT count(*) FROM sample") == 1
+
+    def test_delete_twice_idempotent(self, populated):
+        populated.execute("BEGIN")
+        assert populated.execute("DELETE FROM sample WHERE i = 1").rowcount == 1
+        assert populated.execute("DELETE FROM sample WHERE i = 1").rowcount == 0
+        populated.execute("COMMIT")
+
+    def test_delete_with_subquery(self, populated):
+        populated.execute(
+            "DELETE FROM sample WHERE i IN (SELECT i FROM sample WHERE d > 2)")
+        assert populated.query_value("SELECT count(*) FROM sample") == 3
+
+
+class TestMultiStatement:
+    def test_script_execution(self, con):
+        result = con.execute("""
+            CREATE TABLE log (x INTEGER);
+            INSERT INTO log VALUES (1);
+            INSERT INTO log VALUES (2);
+            SELECT sum(x) FROM log;
+        """)
+        assert result.fetchvalue() == 3
+
+    def test_script_stops_at_first_error(self, con):
+        con.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(CatalogError):
+            con.execute("INSERT INTO t VALUES (1); SELECT * FROM nonexistent; "
+                        "INSERT INTO t VALUES (2)")
+        # First statement committed (autocommit per statement), third never ran.
+        assert con.query_value("SELECT count(*) FROM t") == 1
+
+
+class TestPragmaMemtest:
+    def test_pragma_memtest_runs(self, con):
+        con.database.buffer_manager.allocate_buffer(4096)
+        lines = con.execute("PRAGMA memtest").fetchall()
+        assert lines[0][0] == "buffers failing: 0"

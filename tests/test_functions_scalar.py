@@ -1,0 +1,197 @@
+"""Per-function tests of the scalar function registry."""
+
+import datetime
+import math
+
+import pytest
+
+import repro
+from repro.errors import BinderError
+
+
+class TestNumericFunctions:
+    def test_abs(self, con):
+        assert con.execute("SELECT abs(-5), abs(5), abs(-2.5)").fetchone() == \
+            (5, 5, 2.5)
+
+    def test_abs_preserves_integer_type(self, con):
+        from repro.types import INTEGER
+
+        result = con.execute("SELECT abs(CAST(-5 AS INTEGER))")
+        assert result.types[0] == INTEGER
+
+    def test_sign(self, con):
+        assert con.execute("SELECT sign(-3), sign(0), sign(9.5)").fetchone() == \
+            (-1, 0, 1)
+
+    def test_floor_ceil(self, con):
+        assert con.execute("SELECT floor(2.7), ceil(2.1), ceiling(2.0)"
+                           ).fetchone() == (2.0, 3.0, 2.0)
+
+    def test_round(self, con):
+        assert con.execute("SELECT round(2.567), round(2.567, 2)").fetchone() == \
+            (3.0, 2.57)
+
+    def test_sqrt(self, con):
+        assert con.execute("SELECT sqrt(9)").fetchvalue() == 3.0
+
+    def test_sqrt_negative_is_null(self, con):
+        assert con.execute("SELECT sqrt(-1)").fetchvalue() is None
+
+    def test_logs(self, con):
+        assert con.execute("SELECT ln(1), log(100), log2(8)").fetchone() == \
+            (0.0, 2.0, 3.0)
+
+    def test_log_of_zero_is_null(self, con):
+        assert con.execute("SELECT ln(0)").fetchvalue() is None
+
+    def test_exp_pow(self, con):
+        row = con.execute("SELECT exp(0), pow(2, 10), power(3, 2)").fetchone()
+        assert row == (1.0, 1024.0, 9.0)
+
+    def test_null_propagates(self, con):
+        assert con.execute("SELECT abs(NULL)").fetchvalue() is None
+        assert con.execute("SELECT pow(NULL, 2)").fetchvalue() is None
+
+    def test_non_numeric_rejected(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT abs('x')")
+
+
+class TestStringFunctions:
+    def test_length(self, con):
+        assert con.execute("SELECT length('hello'), length('')").fetchone() == \
+            (5, 0)
+
+    def test_lower_upper(self, con):
+        assert con.execute("SELECT lower('AbC'), upper('AbC')").fetchone() == \
+            ("abc", "ABC")
+
+    def test_trim_family(self, con):
+        assert con.execute(
+            "SELECT trim('  x  '), ltrim('  x'), rtrim('x  ')").fetchone() == \
+            ("x", "x", "x")
+
+    def test_reverse(self, con):
+        assert con.execute("SELECT reverse('abc')").fetchvalue() == "cba"
+
+    def test_substr_one_based(self, con):
+        assert con.execute("SELECT substr('hello', 2)").fetchvalue() == "ello"
+        assert con.execute("SELECT substr('hello', 2, 3)").fetchvalue() == "ell"
+        assert con.execute("SELECT substring('hello', 1, 2)").fetchvalue() == "he"
+
+    def test_substr_out_of_range(self, con):
+        assert con.execute("SELECT substr('hi', 10)").fetchvalue() == ""
+
+    def test_replace(self, con):
+        assert con.execute("SELECT replace('banana', 'na', 'NA')").fetchvalue() \
+            == "baNANA"
+
+    def test_contains_starts_with(self, con):
+        assert con.execute("SELECT contains('hello', 'ell')").fetchvalue() is True
+        assert con.execute("SELECT starts_with('hello', 'he')").fetchvalue() is True
+        assert con.execute("SELECT starts_with('hello', 'lo')").fetchvalue() is False
+
+    def test_string_null_propagation(self, con):
+        assert con.execute("SELECT upper(NULL)").fetchvalue() is None
+        assert con.execute("SELECT substr(NULL, 1)").fetchvalue() is None
+
+
+class TestConditionalFunctions:
+    def test_coalesce(self, con):
+        assert con.execute("SELECT coalesce(NULL, NULL, 3, 4)").fetchvalue() == 3
+        assert con.execute("SELECT coalesce(NULL, NULL)").fetchvalue() is None
+        assert con.execute("SELECT coalesce('a', 'b')").fetchvalue() == "a"
+
+    def test_ifnull(self, con):
+        assert con.execute("SELECT ifnull(NULL, 9)").fetchvalue() == 9
+
+    def test_coalesce_type_unification(self, con):
+        assert con.execute("SELECT coalesce(NULL, 1, 2.5)").fetchvalue() == 1.0
+
+    def test_coalesce_incompatible_types(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT coalesce(1, 'x')")
+
+    def test_nullif(self, con):
+        assert con.execute("SELECT nullif(1, 1)").fetchvalue() is None
+        assert con.execute("SELECT nullif(1, 2)").fetchvalue() == 1
+        assert con.execute("SELECT nullif('a', 'a')").fetchvalue() is None
+
+    def test_nullif_sentinel_recoding(self, con):
+        # The paper's ETL example: -999 means missing.
+        con.execute("CREATE TABLE raw (v INTEGER)")
+        con.execute("INSERT INTO raw VALUES (1), (-999), (3)")
+        rows = con.execute("SELECT nullif(v, -999) FROM raw").fetchall()
+        assert rows == [(1,), (None,), (3,)]
+
+    def test_greatest_least(self, con):
+        assert con.execute("SELECT greatest(1, 5, 3), least(1, 5, 3)"
+                           ).fetchone() == (5, 1)
+        assert con.execute("SELECT greatest('a', 'c', 'b')").fetchvalue() == "c"
+
+    def test_greatest_null_propagates(self, con):
+        assert con.execute("SELECT greatest(1, NULL)").fetchvalue() is None
+
+
+class TestTemporalFunctions:
+    def test_year_month_day(self, con):
+        row = con.execute(
+            "SELECT year(d), month(d), day(d) FROM "
+            "(SELECT CAST('2021-03-04' AS DATE) AS d) t").fetchone()
+        assert row == (2021, 3, 4)
+
+    def test_on_timestamp(self, con):
+        row = con.execute(
+            "SELECT year(ts), month(ts), day(ts) FROM "
+            "(SELECT CAST('1999-12-31 23:59:59' AS TIMESTAMP) AS ts) t"
+        ).fetchone()
+        assert row == (1999, 12, 31)
+
+    def test_epoch_boundary(self, con):
+        row = con.execute(
+            "SELECT year(d), month(d), day(d) FROM "
+            "(SELECT CAST('1970-01-01' AS DATE) AS d) t").fetchone()
+        assert row == (1970, 1, 1)
+
+    def test_pre_epoch(self, con):
+        row = con.execute(
+            "SELECT year(d), month(d), day(d) FROM "
+            "(SELECT CAST('1903-02-28' AS DATE) AS d) t").fetchone()
+        assert row == (1903, 2, 28)
+
+    def test_leap_day(self, con):
+        row = con.execute(
+            "SELECT year(d), month(d), day(d) FROM "
+            "(SELECT CAST('2024-02-29' AS DATE) AS d) t").fetchone()
+        assert row == (2024, 2, 29)
+
+    def test_civil_decomposition_matches_python(self, con):
+        con.execute("CREATE TABLE days (d DATE)")
+        import datetime as dt
+
+        samples = [dt.date(1970, 1, 1) + dt.timedelta(days=step * 137)
+                   for step in range(-50, 200)]
+        with con.appender("days") as appender:
+            for day in samples:
+                appender.append_row(day)
+        rows = con.execute("SELECT d, year(d), month(d), day(d) FROM days"
+                           ).fetchall()
+        for day, year, month, dom in rows:
+            assert (year, month, dom) == (day.year, day.month, day.day)
+
+
+class TestErrors:
+    def test_unknown_function(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT frobnicate(1)")
+
+    def test_wrong_arity(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT abs(1, 2)")
+        with pytest.raises(BinderError):
+            con.execute("SELECT substr('x')")
+
+    def test_star_argument_rejected(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT abs(*)")

@@ -1,0 +1,159 @@
+"""ChunkBuffer tests: compression levels, spilling, memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.config import DatabaseConfig
+from repro.execution.intermediates import ChunkBuffer
+from repro.storage.buffer_manager import BufferManager
+from repro.storage.compression import CompressionLevel
+from repro.types import DataChunk, INTEGER, VARCHAR, Vector
+
+
+class FixedController:
+    def __init__(self, level):
+        self.level = level
+
+    def compression_level(self):
+        return self.level
+
+    def choose_join_algorithm(self, estimate):
+        return "hash"
+
+
+class FakeContext:
+    """Minimal ExecutionContext stand-in for buffer tests."""
+
+    def __init__(self, level=CompressionLevel.NONE, limit=1 << 30):
+        self.controller = FixedController(level)
+        self.buffer_manager = BufferManager(DatabaseConfig(memory_limit=limit))
+        self.memory_limit = limit
+
+
+def sample_chunk(n=1000, offset=0):
+    return DataChunk.from_pylists(
+        [list(range(offset, offset + n)),
+         [f"s{i}" for i in range(offset, offset + n)]],
+        [INTEGER, VARCHAR])
+
+
+class TestBasics:
+    def test_append_scan_round_trip(self):
+        buffer = ChunkBuffer([INTEGER, VARCHAR])
+        buffer.append(sample_chunk(100))
+        buffer.append(sample_chunk(50, offset=100))
+        chunks = list(buffer.scan())
+        assert sum(chunk.size for chunk in chunks) == 150
+        assert buffer.row_count == 150
+        buffer.close()
+
+    def test_materialize(self):
+        buffer = ChunkBuffer([INTEGER, VARCHAR])
+        buffer.append(sample_chunk(10))
+        buffer.append(sample_chunk(10, offset=10))
+        combined = buffer.materialize()
+        assert combined.size == 20
+        assert combined.row(19) == (19, "s19")
+        buffer.close()
+
+    def test_empty_buffer(self):
+        buffer = ChunkBuffer([INTEGER])
+        assert buffer.materialize().size == 0
+        assert list(buffer.scan()) == []
+        buffer.close()
+
+    def test_empty_chunks_ignored(self):
+        buffer = ChunkBuffer([INTEGER, VARCHAR])
+        buffer.append(DataChunk.from_pylists([[], []], [INTEGER, VARCHAR]))
+        assert buffer.row_count == 0
+        buffer.close()
+
+
+class TestCompression:
+    def test_light_compression_round_trip(self):
+        context = FakeContext(CompressionLevel.LIGHT)
+        buffer = ChunkBuffer([INTEGER, VARCHAR], context)
+        buffer.append(sample_chunk(500))
+        assert buffer.compressed_appends == 1
+        assert buffer.materialize().row(499) == (499, "s499")
+        buffer.close()
+
+    def test_heavy_compression_shrinks_memory(self):
+        repetitive = DataChunk.from_pylists([[7] * 5000], [INTEGER])
+        raw = ChunkBuffer([INTEGER], FakeContext(CompressionLevel.NONE))
+        raw.append(repetitive.copy())
+        heavy = ChunkBuffer([INTEGER], FakeContext(CompressionLevel.HEAVY))
+        heavy.append(repetitive.copy())
+        assert heavy.memory_bytes() < raw.memory_bytes() / 10
+        np.testing.assert_array_equal(heavy.materialize().columns[0].data,
+                                      raw.materialize().columns[0].data)
+        raw.close()
+        heavy.close()
+
+    def test_level_sampled_per_append(self):
+        context = FakeContext(CompressionLevel.NONE)
+        buffer = ChunkBuffer([INTEGER], context)
+        buffer.append(DataChunk.from_pylists([[1] * 100], [INTEGER]))
+        context.controller.level = CompressionLevel.HEAVY
+        buffer.append(DataChunk.from_pylists([[2] * 100], [INTEGER]))
+        assert buffer.compressed_appends == 1
+        values = buffer.materialize().columns[0].data
+        assert list(values[:100]) == [1] * 100
+        assert list(values[100:]) == [2] * 100
+        buffer.close()
+
+
+class TestSpilling:
+    def test_spills_when_over_limit(self):
+        context = FakeContext(CompressionLevel.NONE, limit=64 * 1024)
+        buffer = ChunkBuffer([INTEGER], context, "spill test")
+        for batch in range(40):
+            values = np.arange(batch * 2048, (batch + 1) * 2048, dtype=np.int32)
+            buffer.append(DataChunk.from_numpy([values], [INTEGER]))
+        assert buffer.spilled_chunks > 0
+        total = 0
+        expected = 0
+        for index, chunk in enumerate(buffer.scan()):
+            total += int(chunk.columns[0].data.sum())
+        assert total == sum(range(40 * 2048))
+        buffer.close()
+
+    def test_spilled_strings_round_trip(self):
+        context = FakeContext(CompressionLevel.NONE, limit=32 * 1024)
+        buffer = ChunkBuffer([VARCHAR], context)
+        for batch in range(20):
+            values = [f"value-{batch}-{i}" for i in range(1000)]
+            buffer.append(DataChunk.from_pylists([values], [VARCHAR]))
+        materialized = buffer.materialize()
+        assert materialized.size == 20_000
+        assert materialized.columns[0].get_value(0) == "value-0-0"
+        assert materialized.columns[0].get_value(19_999) == "value-19-999"
+        buffer.close()
+
+    def test_close_releases_reservation(self):
+        context = FakeContext(CompressionLevel.NONE)
+        buffer = ChunkBuffer([INTEGER], context)
+        buffer.append(sample_chunk(1000).project([0]))
+        assert context.buffer_manager.used_bytes > 0
+        buffer.close()
+        assert context.buffer_manager.used_bytes == 0
+
+    def test_context_manager(self):
+        context = FakeContext()
+        with ChunkBuffer([INTEGER], context) as buffer:
+            buffer.append(DataChunk.from_pylists([[1, 2]], [INTEGER]))
+        assert context.buffer_manager.used_bytes == 0
+
+
+class TestNullPreservation:
+    @pytest.mark.parametrize("level", [CompressionLevel.NONE,
+                                       CompressionLevel.LIGHT,
+                                       CompressionLevel.HEAVY])
+    def test_validity_survives(self, level):
+        buffer = ChunkBuffer([INTEGER, VARCHAR], FakeContext(level))
+        chunk = DataChunk.from_pylists([[1, None, 3], ["a", "b", None]],
+                                       [INTEGER, VARCHAR])
+        buffer.append(chunk)
+        assert buffer.materialize().to_rows() == [(1, "a"), (None, "b"),
+                                                  (3, None)]
+        buffer.close()

@@ -1,0 +1,188 @@
+"""Optimizer tests: folding, filter pushdown, column pruning (plan shapes)."""
+
+import pytest
+
+import repro
+from repro.optimizer import optimize
+from repro.planner import (
+    Binder,
+    LogicalAggregate,
+    LogicalEmpty,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalProjection,
+)
+from repro.planner.expressions import BoundConstant
+from repro.sql import parse_one
+
+
+@pytest.fixture
+def plan_for(populated):
+    """Bind + optimize a SELECT against the populated connection's catalog."""
+    database = populated.database
+
+    def build(sql):
+        transaction = database.transaction_manager.begin()
+        try:
+            binder = Binder(database.catalog, transaction)
+            bound = binder.bind_statement(parse_one(sql))
+            return optimize(bound.plan)
+        finally:
+            database.transaction_manager.rollback(transaction)
+
+    return build
+
+
+def find_ops(plan, kind):
+    found = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, kind):
+            found.append(node)
+        stack.extend(node.children)
+    return found
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self, plan_for):
+        plan = plan_for("SELECT 1 + 2 * 3 FROM sample")
+        projection = find_ops(plan, LogicalProjection)[0]
+        assert isinstance(projection.expressions[0], BoundConstant)
+        assert projection.expressions[0].value == 7
+
+    def test_true_filter_removed(self, plan_for):
+        plan = plan_for("SELECT i FROM sample WHERE 1 = 1")
+        assert not find_ops(plan, LogicalFilter)
+        get = find_ops(plan, LogicalGet)[0]
+        assert not get.pushed_filters
+
+    def test_false_filter_becomes_empty(self, plan_for):
+        plan = plan_for("SELECT i FROM sample WHERE 1 = 2")
+        assert find_ops(plan, LogicalEmpty)
+
+    def test_folding_keeps_erroring_expressions(self, plan_for):
+        # CAST('x' AS INTEGER) fails: folding must not raise at plan time.
+        plan = plan_for("SELECT i FROM sample WHERE i < 5 OR "
+                        "CAST('x' AS VARCHAR) = 'x'")
+        assert plan is not None
+
+    def test_results_unchanged_by_folding(self, populated):
+        rows = populated.execute(
+            "SELECT i + (2 * 3) FROM sample WHERE i < 1 + 2 ORDER BY 1"
+        ).fetchall()
+        assert rows == [(7,), (8,)]
+
+
+class TestFilterPushdown:
+    def test_where_reaches_scan(self, plan_for):
+        plan = plan_for("SELECT i FROM sample WHERE d > 1")
+        get = find_ops(plan, LogicalGet)[0]
+        assert len(get.pushed_filters) == 1
+        assert not find_ops(plan, LogicalFilter)
+
+    def test_conjuncts_split(self, plan_for):
+        plan = plan_for("SELECT i FROM sample WHERE d > 1 AND i < 5 AND "
+                        "s = 'alpha'")
+        get = find_ops(plan, LogicalGet)[0]
+        assert len(get.pushed_filters) == 3
+
+    def test_pushdown_through_projection(self, plan_for):
+        plan = plan_for(
+            "SELECT x FROM (SELECT i * 2 AS x FROM sample) sub WHERE x > 4")
+        get = find_ops(plan, LogicalGet)[0]
+        assert len(get.pushed_filters) == 1  # substituted i*2 > 4
+
+    def test_pushdown_splits_join_sides(self, populated, plan_for):
+        populated.execute("CREATE TABLE other (i INTEGER, z DOUBLE)")
+        plan = plan_for(
+            "SELECT sample.i FROM sample JOIN other ON sample.i = other.i "
+            "WHERE sample.d > 1 AND other.z < 5")
+        gets = find_ops(plan, LogicalGet)
+        assert all(len(get.pushed_filters) == 1 for get in gets)
+
+    def test_cross_join_where_becomes_join_condition(self, populated, plan_for):
+        populated.execute("CREATE TABLE other (i INTEGER)")
+        plan = plan_for(
+            "SELECT sample.i FROM sample, other WHERE sample.i = other.i")
+        join = find_ops(plan, LogicalJoin)[0]
+        assert join.join_type == "inner"
+        assert len(join.conditions) == 1
+
+    def test_left_join_right_filter_not_pushed(self, populated):
+        populated.execute("CREATE TABLE other (i INTEGER, z INTEGER)")
+        populated.execute("INSERT INTO other VALUES (1, 10)")
+        # Filtering on the right side of a LEFT JOIN must apply after
+        # null-extension, not before.
+        rows = populated.execute(
+            "SELECT sample.i, other.z FROM sample LEFT JOIN other "
+            "ON sample.i = other.i WHERE other.z IS NULL ORDER BY 1").fetchall()
+        assert rows == [(2, None), (3, None), (4, None), (5, None)]
+
+    def test_group_key_filter_pushed_below_aggregate(self, plan_for):
+        plan = plan_for(
+            "SELECT s, count(*) FROM sample GROUP BY s HAVING s = 'alpha'")
+        # The HAVING on a pure group key becomes a scan filter.
+        get = find_ops(plan, LogicalGet)[0]
+        aggregate = find_ops(plan, LogicalAggregate)[0]
+        assert len(get.pushed_filters) == 1
+
+    def test_having_on_aggregate_stays_above(self, plan_for):
+        plan = plan_for(
+            "SELECT s, count(*) FROM sample GROUP BY s HAVING count(*) > 1")
+        filters = find_ops(plan, LogicalFilter)
+        assert len(filters) == 1
+        assert isinstance(filters[0].children[0], LogicalAggregate)
+
+    def test_results_match_without_optimizer_effects(self, populated):
+        # Semantic sanity: pushdown must not change results.
+        rows = populated.execute(
+            "SELECT s FROM (SELECT * FROM sample) t WHERE i BETWEEN 2 AND 4 "
+            "AND s IS NOT NULL ORDER BY i").fetchall()
+        assert rows == [("beta",), ("alpha",)]
+
+
+class TestColumnPruning:
+    def test_scan_narrowed_to_used_columns(self, plan_for):
+        plan = plan_for("SELECT i FROM sample")
+        get = find_ops(plan, LogicalGet)[0]
+        assert get.names == ["i"]
+        assert get.column_ids == [0]
+
+    def test_filter_columns_kept(self, plan_for):
+        plan = plan_for("SELECT i FROM sample WHERE d > 1")
+        get = find_ops(plan, LogicalGet)[0]
+        assert set(get.names) == {"i", "d"}
+
+    def test_aggregate_prunes_input(self, plan_for):
+        plan = plan_for("SELECT sum(i) FROM sample")
+        get = find_ops(plan, LogicalGet)[0]
+        assert get.names == ["i"]
+
+    def test_join_children_pruned(self, populated, plan_for):
+        populated.execute(
+            "CREATE TABLE wide (i INTEGER, a INTEGER, b INTEGER, c INTEGER)")
+        plan = plan_for(
+            "SELECT sample.s, wide.a FROM sample JOIN wide ON sample.i = wide.i")
+        gets = {get.table_entry.name: get for get in find_ops(plan, LogicalGet)}
+        assert set(gets["sample"].names) == {"i", "s"}
+        assert set(gets["wide"].names) == {"i", "a"}
+
+    def test_count_star_scans_one_column(self, plan_for):
+        plan = plan_for("SELECT count(*) FROM sample")
+        get = find_ops(plan, LogicalGet)[0]
+        assert len(get.column_ids) == 1
+
+    def test_order_by_hidden_column_pruned_after_sort(self, populated):
+        rows = populated.execute(
+            "SELECT s FROM sample ORDER BY d NULLS LAST LIMIT 1").fetchall()
+        assert rows == [("gamma",)]
+
+    def test_pruning_preserves_correctness_wide_table(self, con):
+        con.execute("CREATE TABLE w (a INTEGER, b INTEGER, c INTEGER, "
+                    "d INTEGER, e INTEGER)")
+        con.execute("INSERT INTO w VALUES (1, 2, 3, 4, 5), (10, 20, 30, 40, 50)")
+        assert con.execute("SELECT c FROM w WHERE e > 10").fetchall() == [(30,)]
+        assert con.execute("SELECT e, a FROM w ORDER BY b DESC").fetchall() == \
+            [(50, 10), (5, 1)]

@@ -1,0 +1,339 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.execution.keys import BuildIndex, factorize_for_groups
+from repro.execution.sort import ExternalSorter, SortKey, sort_order
+from repro.resilience.ancodes import an_encode, an_verify
+from repro.storage.compression import CompressionLevel, decode_array, encode_array
+from repro.types import (
+    BIGINT,
+    DOUBLE,
+    INTEGER,
+    VARCHAR,
+    DataChunk,
+    Vector,
+    cast_vector,
+)
+
+_settings = settings(max_examples=60, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+int_lists = st.lists(st.one_of(st.none(),
+                               st.integers(-2**31 + 1, 2**31 - 1)),
+                     max_size=200)
+string_lists = st.lists(st.one_of(st.none(), st.text(max_size=20)),
+                        max_size=100)
+
+
+class TestVectorProperties:
+    @_settings
+    @given(int_lists)
+    def test_from_values_round_trips(self, values):
+        vector = Vector.from_values(values, INTEGER)
+        assert vector.to_pylist() == values
+
+    @_settings
+    @given(string_lists)
+    def test_string_vector_round_trips(self, values):
+        vector = Vector.from_values(values, VARCHAR)
+        assert vector.to_pylist() == values
+
+    @_settings
+    @given(int_lists)
+    def test_cast_to_double_and_back_preserves(self, values):
+        vector = Vector.from_values(values, INTEGER)
+        doubled = cast_vector(vector, DOUBLE)
+        back = cast_vector(doubled, INTEGER)
+        assert back.to_pylist() == values
+
+    @_settings
+    @given(int_lists)
+    def test_cast_to_varchar_and_back(self, values):
+        vector = Vector.from_values(values, BIGINT)
+        rendered = cast_vector(vector, VARCHAR)
+        back = cast_vector(rendered, BIGINT)
+        assert back.to_pylist() == values
+
+    @_settings
+    @given(int_lists, int_lists)
+    def test_concat_preserves_order(self, first, second):
+        left = Vector.from_values(first, INTEGER)
+        right = Vector.from_values(second, INTEGER)
+        assert left.concat(right).to_pylist() == first + second
+
+
+class TestCompressionProperties:
+    @_settings
+    @given(st.lists(st.integers(-2**62, 2**62), max_size=300),
+           st.sampled_from([CompressionLevel.NONE, CompressionLevel.LIGHT,
+                            CompressionLevel.HEAVY]))
+    def test_int_arrays_round_trip(self, values, level):
+        array = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(decode_array(encode_array(array, level)),
+                                      array)
+
+    @_settings
+    @given(st.lists(st.floats(allow_nan=False), max_size=300),
+           st.sampled_from([CompressionLevel.NONE, CompressionLevel.LIGHT,
+                            CompressionLevel.HEAVY]))
+    def test_float_arrays_round_trip(self, values, level):
+        array = np.array(values, dtype=np.float64)
+        np.testing.assert_array_equal(decode_array(encode_array(array, level)),
+                                      array)
+
+    @_settings
+    @given(st.lists(st.text(max_size=30), max_size=100),
+           st.sampled_from([CompressionLevel.NONE, CompressionLevel.HEAVY]))
+    def test_string_arrays_round_trip(self, values, level):
+        array = np.array(values, dtype=object)
+        decoded = decode_array(encode_array(array, level))
+        assert list(decoded) == values
+
+    @_settings
+    @given(st.lists(st.booleans(), max_size=300))
+    def test_bool_arrays_round_trip(self, values):
+        array = np.array(values, dtype=np.bool_)
+        for level in (CompressionLevel.NONE, CompressionLevel.LIGHT,
+                      CompressionLevel.HEAVY):
+            np.testing.assert_array_equal(
+                decode_array(encode_array(array, level)), array)
+
+
+class TestFactorizationProperties:
+    @_settings
+    @given(st.lists(st.one_of(st.none(), st.integers(-50, 50)),
+                    min_size=1, max_size=300))
+    def test_group_ids_match_python_grouping(self, keys):
+        vector = Vector.from_values(keys, INTEGER)
+        group_ids, count, representatives = factorize_for_groups([vector])
+        # Same key <=> same group id.
+        seen = {}
+        for key, group in zip(keys, group_ids):
+            if key in seen:
+                assert seen[key] == group
+            else:
+                seen[key] = group
+        assert count == len(set(keys))
+        assert len(representatives) == count
+
+    @_settings
+    @given(st.lists(st.integers(-20, 20), min_size=0, max_size=200),
+           st.lists(st.integers(-20, 20), min_size=0, max_size=200))
+    def test_join_index_matches_python_join(self, build_keys, probe_keys):
+        build = Vector.from_values(build_keys, INTEGER)
+        probe = Vector.from_values(probe_keys, INTEGER)
+        if not build_keys:
+            return
+        index = BuildIndex([build])
+        probe_positions, build_rows = index.match([probe])
+        pairs = sorted(zip(probe_positions.tolist(), build_rows.tolist()))
+        expected = sorted(
+            (pi, bi)
+            for pi, pk in enumerate(probe_keys)
+            for bi, bk in enumerate(build_keys)
+            if pk == bk
+        )
+        assert pairs == expected
+
+
+class TestSortProperties:
+    @_settings
+    @given(st.lists(st.one_of(st.none(), st.integers(-100, 100)),
+                    min_size=0, max_size=300),
+           st.booleans(), st.booleans())
+    def test_sort_matches_python_sorted(self, values, ascending, nulls_first):
+        chunk = DataChunk([Vector.from_values(values, INTEGER)])
+        order = sort_order(chunk, [SortKey(0, ascending, nulls_first)])
+        result = [values[i] for i in order]
+        non_null = sorted(v for v in values if v is not None)
+        if not ascending:
+            non_null.reverse()
+        nulls = [None] * (len(values) - len(non_null))
+        expected = nulls + non_null if nulls_first else non_null + nulls
+        assert result == expected
+
+    @_settings
+    @given(st.lists(st.integers(0, 1000), min_size=0, max_size=2000))
+    def test_external_sorter_with_tiny_runs(self, values):
+        sorter = ExternalSorter([INTEGER], [SortKey(0)], None,
+                                run_limit_bytes=256)
+        for start in range(0, len(values), 37):
+            batch = values[start:start + 37]
+            if batch:
+                sorter.append(DataChunk([Vector.from_values(batch, INTEGER)]))
+        result = []
+        for chunk in sorter.sorted_chunks():
+            result.extend(chunk.columns[0].to_pylist())
+        assert result == sorted(values)
+
+
+class TestANCodeProperties:
+    @_settings
+    @given(st.lists(st.integers(-2**40, 2**40), min_size=1, max_size=100),
+           st.integers(0, 62))
+    def test_single_bit_flip_always_detected(self, values, bit):
+        codes = an_encode(np.array(values, dtype=np.int64))
+        corrupted = codes.copy()
+        corrupted[0] ^= np.int64(1) << np.int64(bit)
+        assert not bool(an_verify(corrupted)[0])
+
+
+class TestSQLSemanticsVsPython:
+    """Random data through SQL vs the same computation in plain Python."""
+
+    @_settings
+    @given(st.lists(st.tuples(st.integers(0, 5),
+                              st.one_of(st.none(), st.integers(-1000, 1000))),
+                    max_size=150))
+    def test_group_by_sum_count(self, rows):
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE t (g INTEGER, v INTEGER)")
+            with con.appender("t") as appender:
+                for g, v in rows:
+                    appender.append_row(g, v)
+            got = {g: (s, c) for g, s, c in con.execute(
+                "SELECT g, sum(v), count(v) FROM t GROUP BY g").fetchall()}
+            expected = {}
+            for g, v in rows:
+                total, count = expected.get(g, (None, 0))
+                if v is not None:
+                    total = v if total is None else total + v
+                    count += 1
+                expected[g] = (total, count)
+            assert got == expected
+        finally:
+            con.close()
+
+    @_settings
+    @given(st.lists(st.integers(-100, 100), max_size=150),
+           st.integers(-100, 100))
+    def test_filter_matches_python(self, values, threshold):
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE t (v INTEGER)")
+            with con.appender("t") as appender:
+                for v in values:
+                    appender.append_row(v)
+            got = [row[0] for row in con.execute(
+                "SELECT v FROM t WHERE v > ? ORDER BY v", [threshold]
+            ).fetchall()]
+            assert got == sorted(v for v in values if v > threshold)
+        finally:
+            con.close()
+
+    @_settings
+    @given(st.lists(st.integers(0, 20), max_size=100),
+           st.lists(st.integers(0, 20), max_size=100))
+    def test_join_count_matches_python(self, left, right):
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE l (k INTEGER)")
+            con.execute("CREATE TABLE r (k INTEGER)")
+            with con.appender("l") as appender:
+                for k in left:
+                    appender.append_row(k)
+            with con.appender("r") as appender:
+                for k in right:
+                    appender.append_row(k)
+            got = con.query_value(
+                "SELECT count(*) FROM l JOIN r ON l.k = r.k")
+            expected = sum(left.count(k) * right.count(k) for k in set(left))
+            assert got == expected
+        finally:
+            con.close()
+
+
+class TestMVCCRandomOperations:
+    @_settings
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "update", "delete"]),
+                              st.integers(0, 30), st.integers(-100, 100)),
+                    max_size=40))
+    def test_single_connection_matches_model(self, operations):
+        """Random DML sequence vs a dict-based model of the table."""
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE t (k INTEGER, v INTEGER)")
+            model = {}
+            for action, key, value in operations:
+                if action == "insert":
+                    if key not in model:
+                        con.execute("INSERT INTO t VALUES (?, ?)", [key, value])
+                        model[key] = value
+                elif action == "update":
+                    con.execute("UPDATE t SET v = ? WHERE k = ?", [value, key])
+                    if key in model:
+                        model[key] = value
+                else:
+                    con.execute("DELETE FROM t WHERE k = ?", [key])
+                    model.pop(key, None)
+            got = dict(con.execute("SELECT k, v FROM t").fetchall())
+            assert got == model
+        finally:
+            con.close()
+
+
+class TestWindowProperties:
+    @_settings
+    @given(st.lists(st.tuples(st.integers(0, 4),
+                              st.one_of(st.none(), st.integers(-100, 100))),
+                    max_size=120))
+    def test_running_sum_matches_python(self, rows):
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE t (g INTEGER, v INTEGER)")
+            with con.appender("t") as appender:
+                for index, (g, v) in enumerate(rows):
+                    appender.append_row(g, v)
+            got = con.execute(
+                "SELECT g, v, sum(v) OVER (PARTITION BY g ORDER BY rid), rid "
+                "FROM (SELECT g, v, row_number() OVER () AS rid FROM t) s "
+                "ORDER BY rid").fetchall()
+            running = {}
+            for g, v, total, rid in got:
+                prev = running.get(g)
+                if v is not None:
+                    prev = v if prev is None else prev + v
+                    running[g] = prev
+                assert total == prev
+        finally:
+            con.close()
+
+    @_settings
+    @given(st.lists(st.integers(0, 15), min_size=0, max_size=80),
+           st.lists(st.integers(0, 15), min_size=0, max_size=80))
+    def test_merge_join_matches_hash_join(self, left, right):
+        from repro.storage.compression import CompressionLevel
+
+        class AlwaysMerge:
+            def compression_level(self):
+                return CompressionLevel.NONE
+
+            def choose_join_algorithm(self, estimate):
+                return "merge"
+
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE l (k INTEGER)")
+            con.execute("CREATE TABLE r (k INTEGER)")
+            with con.appender("l") as appender:
+                for k in left:
+                    appender.append_row(k)
+            with con.appender("r") as appender:
+                for k in right:
+                    appender.append_row(k)
+            sql = ("SELECT l.k, r.k FROM l JOIN r ON l.k = r.k "
+                   "ORDER BY 1, 2")
+            hash_rows = con.execute(sql).fetchall()
+            con.database.resource_controller = AlwaysMerge()
+            merge_rows = con.execute(sql).fetchall()
+            assert merge_rows == hash_rows
+        finally:
+            con.close()

@@ -1,0 +1,229 @@
+"""Resilience tests: fault injection, memtests, AN codes, failure model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptionError
+from repro.resilience import (
+    ANCodedVector,
+    DEFAULT_A,
+    FaultyMemory,
+    FleetSimulator,
+    PlainMemory,
+    TABLE1_RATES,
+    an_decode,
+    an_encode,
+    an_verify,
+    inject_bit_flips,
+    moving_inversions,
+    quick_pattern_test,
+)
+from repro.resilience.failures import FailureKind
+from repro.types import Vector
+
+
+class TestFaultyMemory:
+    def test_plain_memory_round_trip(self):
+        memory = PlainMemory(1024)
+        memory.write(10, np.arange(20, dtype=np.uint8))
+        np.testing.assert_array_equal(memory.read(10, 20),
+                                      np.arange(20, dtype=np.uint8))
+
+    def test_stuck_at_one(self):
+        memory = FaultyMemory(1024)
+        memory.inject_stuck_bit(5, bit=0, value=1)
+        memory.write(0, np.zeros(16, dtype=np.uint8))
+        observed = memory.read(0, 16)
+        assert observed[5] == 1  # the write could not clear the stuck bit
+        assert observed[4] == 0
+
+    def test_stuck_at_zero(self):
+        memory = FaultyMemory(1024)
+        memory.inject_stuck_bit(3, bit=7, value=0)
+        memory.write(0, np.full(8, 0xFF, dtype=np.uint8))
+        assert memory.read(0, 8)[3] == 0x7F
+
+    def test_coupling_fault_masked_by_later_write(self):
+        """Victim after aggressor in one sweep: the flip gets overwritten."""
+        memory = FaultyMemory(1024)
+        memory.inject_coupling_fault(aggressor=10, victim=11, bit=0)
+        memory.write(0, np.zeros(32, dtype=np.uint8))
+        assert memory.read(11, 1)[0] == 0  # masked
+
+    def test_coupling_fault_persists_when_victim_written_first(self):
+        memory = FaultyMemory(1024)
+        memory.inject_coupling_fault(aggressor=10, victim=5, bit=0)
+        memory.write(0, np.zeros(32, dtype=np.uint8))
+        assert memory.read(5, 1)[0] == 1  # victim < aggressor: flip survives
+
+    def test_coupling_fault_outside_write_range(self):
+        memory = FaultyMemory(1024)
+        memory.inject_coupling_fault(aggressor=10, victim=100, bit=2)
+        memory.write(0, np.zeros(32, dtype=np.uint8))
+        assert memory.read(100, 1)[0] == 4
+
+    def test_transient_flips(self):
+        memory = FaultyMemory(1 << 16, seed=3, transient_flip_probability=0.01)
+        memory.write(0, np.zeros(1 << 16, dtype=np.uint8))
+        observed = memory.read(0, 1 << 16)
+        assert observed.any()  # some bits flipped in flight
+        assert memory.transient_flips_injected > 0
+
+    def test_clear_faults(self):
+        memory = FaultyMemory(64)
+        memory.inject_stuck_bit(1, 0, 1)
+        memory.clear_faults()
+        # The corruption already in the cell persists after clearing...
+        assert memory.read(1, 1)[0] == 1
+        # ...but new writes now stick (the fault mechanism is gone).
+        memory.write(0, np.zeros(8, dtype=np.uint8))
+        assert memory.read(1, 1)[0] == 0
+
+
+class TestMovingInversions:
+    def test_healthy_memory_passes(self):
+        report = moving_inversions(PlainMemory(8192), 0, 8192)
+        assert report.passed
+        assert report.bytes_touched > 8192
+
+    def test_detects_stuck_bits(self):
+        memory = FaultyMemory(8192)
+        memory.inject_stuck_bit(1000, bit=2, value=1)
+        memory.inject_stuck_bit(2000, bit=5, value=0)
+        report = moving_inversions(memory, 0, 8192)
+        assert not report.passed
+        assert 1000 in report.bad_offsets
+        assert 2000 in report.bad_offsets
+
+    def test_detects_coupling_fault_quick_test_misses(self):
+        """The paper's §3 point: naive pattern tests miss data-dependent
+        (coupling) faults; moving inversions' two sweeps catch them."""
+        memory = FaultyMemory(8192)
+        # Victim in a later sweep chunk than the aggressor, so a plain
+        # fill-then-verify never sees the disturbance.
+        memory.inject_coupling_fault(aggressor=100, victim=300, bit=1)
+        quick = quick_pattern_test(memory, 0, 8192)
+        assert quick.passed  # missed!
+        full = moving_inversions(memory, 0, 8192)
+        assert not full.passed
+        assert 300 in full.bad_offsets
+
+    def test_quick_test_detects_stuck_bits(self):
+        memory = FaultyMemory(4096)
+        memory.inject_stuck_bit(10, bit=0, value=1)
+        assert not quick_pattern_test(memory, 0, 4096).passed
+
+    def test_bad_ranges_coalesced(self):
+        memory = FaultyMemory(8192)
+        for offset in (100, 150, 4200):
+            memory.inject_stuck_bit(offset, 0, 1)
+        report = moving_inversions(memory, 0, 8192)
+        # Adjacent bad pages coalesce into one range covering all faults.
+        ranges = report.bad_ranges(4096)
+        assert ranges == [(0, 8192)]
+        # With finer granularity the two clusters separate.
+        fine = report.bad_ranges(256)
+        assert len(fine) == 2
+
+    def test_subregion_only(self):
+        memory = FaultyMemory(8192)
+        memory.inject_stuck_bit(100, 0, 1)
+        report = moving_inversions(memory, 4096, 4096)
+        assert report.passed  # fault lies outside the tested region
+
+    def test_zero_length(self):
+        assert moving_inversions(PlainMemory(64), 0, 0).passed
+
+
+class TestANCodes:
+    def test_encode_decode_round_trip(self):
+        values = np.array([-100, 0, 1, 2**40], dtype=np.int64)
+        codes = an_encode(values)
+        assert an_verify(codes).all()
+        np.testing.assert_array_equal(an_decode(codes), values)
+
+    def test_every_single_bit_flip_detected(self):
+        """The defining property: A=641 is odd, so A*n +- 2^k is never a
+        multiple of A -- every 1-bit flip breaks divisibility."""
+        codes = an_encode(np.array([123456], dtype=np.int64))
+        for bit in range(63):
+            corrupted = codes.copy()
+            corrupted[0] ^= np.int64(1) << np.int64(bit)
+            assert not an_verify(corrupted).all(), f"bit {bit} undetected"
+
+    def test_decode_raises_on_corruption(self):
+        codes = an_encode(np.arange(100, dtype=np.int64))
+        codes[50] ^= 1 << 10
+        with pytest.raises(CorruptionError, match="position 50"):
+            an_decode(codes)
+
+    def test_inject_bit_flips(self):
+        codes = an_encode(np.arange(1000, dtype=np.int64))
+        flipped = inject_bit_flips(codes, 10, seed=5)
+        assert (flipped != codes).sum() >= 1
+        assert not an_verify(flipped).all()
+
+    def test_coded_vector_checked_sum(self):
+        vector = Vector.from_values(list(range(100)))
+        coded = ANCodedVector(vector)
+        assert coded.checked_sum() == sum(range(100))
+
+    def test_coded_vector_sum_detects_flip(self):
+        coded = ANCodedVector(Vector.from_values(list(range(100))))
+        coded.codes[7] ^= 1 << 20
+        with pytest.raises(CorruptionError):
+            coded.checked_sum()
+
+    def test_coded_vector_respects_nulls(self):
+        coded = ANCodedVector(Vector.from_values([1, None, 3]))
+        assert coded.checked_sum() == 4
+
+    def test_coded_vector_scrub(self):
+        coded = ANCodedVector(Vector.from_values([5, 6]))
+        coded.verify()
+        coded.codes[0] += 1
+        with pytest.raises(CorruptionError):
+            coded.verify()
+
+    def test_decode_back_to_vector(self):
+        original = Vector.from_values([10, None, -3])
+        decoded = ANCodedVector(original).decode()
+        assert decoded.to_pylist() == [10, None, -3]
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(CorruptionError):
+            ANCodedVector(Vector.from_values([1.5]))
+
+
+class TestFailureModel:
+    def test_reproduces_table1_first_failure_rates(self):
+        report = FleetSimulator(seed=11).run(machines=500_000, windows=1)
+        table = {label: first for label, first, _ in report.as_table()}
+        assert table["CPU (MCE)"] == pytest.approx(1 / 190, rel=0.15)
+        assert table["DRAM bit flip"] == pytest.approx(1 / 1700, rel=0.3)
+        assert table["Disk failure"] == pytest.approx(1 / 270, rel=0.15)
+
+    def test_reproduces_table1_recurrence_rates(self):
+        report = FleetSimulator(seed=13).run(machines=2_000_000, windows=2)
+        table = {label: again for label, _, again in report.as_table()}
+        assert table["CPU (MCE)"] == pytest.approx(1 / 2.9, rel=0.2)
+        assert table["DRAM bit flip"] == pytest.approx(1 / 12, rel=0.5)
+        assert table["Disk failure"] == pytest.approx(1 / 3.5, rel=0.2)
+
+    def test_failed_machines_fail_again_much_more(self):
+        """The paper: 'a system that has failed once is very likely to fail
+        again' -- two orders of magnitude."""
+        report = FleetSimulator(seed=17).run(machines=1_000_000, windows=2)
+        for kind in FailureKind.ALL:
+            first = report.first_failure_probability(kind)
+            again = report.recurrence_probability(kind)
+            assert again > first * 10
+
+    def test_silent_vs_detected_classification(self):
+        report = FleetSimulator(seed=19).run(machines=100_000, windows=1)
+        # DRAM flips and disk corruption are silent; MCEs self-report.
+        assert report.silent_failures > 0
+        assert report.detected_failures > 0
+        # Disk (1/270) + DRAM (1/1700) silent rate vs CPU (1/190) detected.
+        expected_silent = 100_000 * (1 / 270 + 1 / 1700)
+        assert report.silent_failures == pytest.approx(expected_silent, rel=0.25)

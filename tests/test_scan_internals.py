@@ -1,0 +1,133 @@
+"""Unit tests for scan internals: zone-condition extraction, probe batching."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.execution.joins import _batched
+from repro.execution.scan import _extract_zone_conditions
+from repro.planner.expressions import (
+    BoundColumnRef,
+    BoundConstant,
+    BoundOperator,
+)
+from repro.types import (
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    TIMESTAMP,
+    VARCHAR,
+    DataChunk,
+    Vector,
+)
+from repro.types.logical import date_to_days, timestamp_to_micros
+
+
+def column(position=0, dtype=INTEGER):
+    return BoundColumnRef(position, dtype, "c")
+
+
+def constant(value, dtype=INTEGER):
+    return BoundConstant(value, dtype)
+
+
+def comparison(op, left, right):
+    return BoundOperator(op, [left, right], BOOLEAN)
+
+
+class TestZoneConditionExtraction:
+    def test_simple_comparison(self):
+        conditions = _extract_zone_conditions(
+            [comparison("<", column(), constant(10))], [3])
+        assert conditions == [(3, "<", 10)]
+
+    def test_reversed_operands_flip_operator(self):
+        conditions = _extract_zone_conditions(
+            [comparison("<", constant(10), column())], [0])
+        assert conditions == [(0, ">", 10)]
+
+    def test_equality_both_directions(self):
+        forward = _extract_zone_conditions(
+            [comparison("=", column(), constant(5))], [0])
+        backward = _extract_zone_conditions(
+            [comparison("=", constant(5), column())], [0])
+        assert forward == backward == [(0, "=", 5)]
+
+    def test_column_ids_remapped(self):
+        conditions = _extract_zone_conditions(
+            [comparison(">=", column(position=1), constant(7))], [4, 9])
+        assert conditions == [(9, ">=", 7)]
+
+    def test_string_constants_ignored(self):
+        conditions = _extract_zone_conditions(
+            [comparison("=", column(dtype=VARCHAR), constant("x", VARCHAR))],
+            [0])
+        assert conditions == []
+
+    def test_null_constants_ignored(self):
+        conditions = _extract_zone_conditions(
+            [comparison("=", column(), constant(None))], [0])
+        assert conditions == []
+
+    def test_column_vs_column_ignored(self):
+        conditions = _extract_zone_conditions(
+            [comparison("<", column(0), column(1))], [0, 1])
+        assert conditions == []
+
+    def test_date_constant_converted_to_days(self):
+        day = datetime.date(2021, 6, 1)
+        conditions = _extract_zone_conditions(
+            [comparison(">", column(dtype=DATE), constant(day, DATE))], [0])
+        assert conditions == [(0, ">", date_to_days(day))]
+
+    def test_timestamp_constant_converted_to_micros(self):
+        moment = datetime.datetime(2021, 6, 1, 12)
+        conditions = _extract_zone_conditions(
+            [comparison("<=", column(dtype=TIMESTAMP),
+                        constant(moment, TIMESTAMP))], [0])
+        assert conditions == [(0, "<=", timestamp_to_micros(moment))]
+
+    def test_non_comparison_ignored(self):
+        conditions = _extract_zone_conditions(
+            [BoundOperator("and", [constant(True, BOOLEAN),
+                                   constant(True, BOOLEAN)], BOOLEAN)], [0])
+        assert conditions == []
+
+    def test_float_constant_kept(self):
+        conditions = _extract_zone_conditions(
+            [comparison(">", column(dtype=DOUBLE), constant(1.5, DOUBLE))],
+            [0])
+        assert conditions == [(0, ">", 1.5)]
+
+
+class TestProbeBatching:
+    def chunks(self, sizes):
+        for size in sizes:
+            yield DataChunk([Vector.from_values(list(range(size)), INTEGER)])
+
+    def test_coalesces_small_chunks(self):
+        batches = list(_batched(self.chunks([100] * 10), batch_rows=500))
+        assert [batch.size for batch in batches] == [500, 500]
+
+    def test_passes_large_chunks_through(self):
+        batches = list(_batched(self.chunks([800]), batch_rows=500))
+        assert [batch.size for batch in batches] == [800]
+
+    def test_trailing_remainder_flushed(self):
+        batches = list(_batched(self.chunks([300, 300, 50]), batch_rows=500))
+        assert [batch.size for batch in batches] == [600, 50]
+
+    def test_skips_empty_chunks(self):
+        batches = list(_batched(self.chunks([0, 10, 0]), batch_rows=500))
+        assert [batch.size for batch in batches] == [10]
+
+    def test_empty_stream(self):
+        assert list(_batched(iter(()), batch_rows=10)) == []
+
+    def test_data_preserved_in_order(self):
+        batches = list(_batched(self.chunks([3, 3]), batch_rows=100))
+        values = [value for batch in batches
+                  for value in batch.columns[0].to_pylist()]
+        assert values == [0, 1, 2, 0, 1, 2]

@@ -1,0 +1,109 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParserError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(token.type, token.text) for token in tokenize(sql)
+            if token.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert kinds("select from") == [(TokenType.KEYWORD, "SELECT"),
+                                        (TokenType.KEYWORD, "FROM")]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("MyTable") == [(TokenType.IDENTIFIER, "MyTable")]
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_positions(self):
+        tokens = tokenize("a  bb")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_empty_input(self):
+        assert tokenize("")[0].type is TokenType.EOF
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", ["0", "123", "1.5", ".5", "1e10",
+                                      "1.5e-3", "2E+4"])
+    def test_number_forms(self, text):
+        tokens = kinds(text)
+        assert tokens == [(TokenType.NUMBER, text)]
+
+    def test_number_then_dot_identifier(self):
+        # "1.e" should not swallow the identifier.
+        tokens = kinds("1 .x")
+        assert tokens[0] == (TokenType.NUMBER, "1")
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_unterminated(self):
+        with pytest.raises(ParserError):
+            tokenize("'oops")
+
+
+class TestQuotedIdentifiers:
+    def test_quoted(self):
+        assert kinds('"My Column"') == [(TokenType.IDENTIFIER, "My Column")]
+
+    def test_quoted_keyword_stays_identifier(self):
+        assert kinds('"select"') == [(TokenType.IDENTIFIER, "select")]
+
+    def test_escaped_double_quote(self):
+        assert kinds('"a""b"') == [(TokenType.IDENTIFIER, 'a"b')]
+
+    def test_unterminated(self):
+        with pytest.raises(ParserError):
+            tokenize('"oops')
+
+
+class TestOperatorsAndComments:
+    def test_two_char_operators(self):
+        assert kinds("<= >= <> != || ::") == [
+            (TokenType.OPERATOR, "<="), (TokenType.OPERATOR, ">="),
+            (TokenType.OPERATOR, "<>"), (TokenType.OPERATOR, "!="),
+            (TokenType.OPERATOR, "||"), (TokenType.OPERATOR, "::"),
+        ]
+
+    def test_line_comment(self):
+        assert kinds("a -- comment\n b") == [(TokenType.IDENTIFIER, "a"),
+                                             (TokenType.IDENTIFIER, "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x */ b") == [(TokenType.IDENTIFIER, "a"),
+                                        (TokenType.IDENTIFIER, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParserError):
+            tokenize("a /* oops")
+
+    def test_parameter(self):
+        assert kinds("?") == [(TokenType.PARAMETER, "?")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParserError):
+            tokenize("a @ b")
+
+    def test_token_helpers(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+        assert not token.is_operator("=")

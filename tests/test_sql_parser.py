@@ -1,0 +1,376 @@
+"""Tests for the SQL parser (AST shapes and error reporting)."""
+
+import pytest
+
+from repro.errors import ParserError
+from repro.sql import ast, parse, parse_one
+
+
+class TestSelect:
+    def test_simple(self):
+        statement = parse_one("SELECT a, b FROM t")
+        assert isinstance(statement, ast.SelectStatement)
+        assert len(statement.select_list) == 2
+        assert isinstance(statement.from_clause, ast.BaseTableRef)
+        assert statement.from_clause.name == "t"
+
+    def test_star(self):
+        statement = parse_one("SELECT * FROM t")
+        expression, alias = statement.select_list[0]
+        assert isinstance(expression, ast.Star)
+        assert alias is None
+
+    def test_qualified_star(self):
+        statement = parse_one("SELECT t.* FROM t")
+        assert statement.select_list[0][0].table == "t"
+
+    def test_aliases(self):
+        statement = parse_one("SELECT a AS x, b y FROM t")
+        assert statement.select_list[0][1] == "x"
+        assert statement.select_list[1][1] == "y"
+
+    def test_distinct(self):
+        assert parse_one("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_group_having(self):
+        statement = parse_one(
+            "SELECT a, count(*) FROM t WHERE b > 1 GROUP BY a HAVING count(*) > 2")
+        assert statement.where is not None
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_order_by_modifiers(self):
+        statement = parse_one(
+            "SELECT a FROM t ORDER BY a DESC NULLS FIRST, b ASC NULLS LAST, c")
+        items = statement.order_by
+        assert (items[0].ascending, items[0].nulls_first) == (False, True)
+        assert (items[1].ascending, items[1].nulls_first) == (True, False)
+        assert (items[2].ascending, items[2].nulls_first) == (True, None)
+
+    def test_limit_offset(self):
+        statement = parse_one("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert statement.limit.value == 10
+        assert statement.offset.value == 5
+
+    def test_select_without_from(self):
+        statement = parse_one("SELECT 1 + 1")
+        assert statement.from_clause is None
+
+    def test_cte(self):
+        statement = parse_one("WITH x AS (SELECT 1), y AS (SELECT 2) SELECT * FROM x")
+        assert [name for name, _ in statement.ctes] == ["x", "y"]
+
+    def test_quoted_identifier(self):
+        statement = parse_one('SELECT "weird name" FROM "My Table"')
+        assert statement.select_list[0][0].parts == ["weird name"]
+        assert statement.from_clause.name == "My Table"
+
+
+class TestExpressions:
+    def predicate(self, sql):
+        return parse_one(f"SELECT 1 FROM t WHERE {sql}").where
+
+    def test_precedence_arithmetic(self):
+        expression = self.predicate("a + b * c = d")
+        assert expression.op == "="
+        assert expression.left.op == "+"
+        assert expression.left.right.op == "*"
+
+    def test_precedence_and_or(self):
+        expression = self.predicate("a = 1 OR b = 2 AND c = 3")
+        assert expression.op == "or"
+        assert expression.right.op == "and"
+
+    def test_not(self):
+        expression = self.predicate("NOT a = 1")
+        assert isinstance(expression, ast.UnaryOp)
+        assert expression.op == "not"
+
+    def test_unary_minus(self):
+        expression = parse_one("SELECT -a FROM t").select_list[0][0]
+        assert isinstance(expression, ast.UnaryOp)
+        assert expression.op == "-"
+
+    def test_between(self):
+        expression = self.predicate("a BETWEEN 1 AND 10")
+        assert isinstance(expression, ast.Between)
+        assert not expression.negated
+
+    def test_not_between(self):
+        expression = self.predicate("a NOT BETWEEN 1 AND 10")
+        assert expression.negated
+
+    def test_in_list(self):
+        expression = self.predicate("a IN (1, 2, 3)")
+        assert isinstance(expression, ast.InList)
+        assert len(expression.items) == 3
+
+    def test_in_subquery(self):
+        expression = self.predicate("a IN (SELECT b FROM u)")
+        assert isinstance(expression, ast.InSubquery)
+
+    def test_is_null(self):
+        assert not self.predicate("a IS NULL").negated
+        assert self.predicate("a IS NOT NULL").negated
+
+    def test_like_variants(self):
+        like = self.predicate("a LIKE 'x%'")
+        assert isinstance(like, ast.LikeExpr)
+        assert not like.case_insensitive
+        ilike = self.predicate("a ILIKE 'x%'")
+        assert ilike.case_insensitive
+        not_like = self.predicate("a NOT LIKE 'x%'")
+        assert not_like.negated
+
+    def test_case_searched(self):
+        expression = parse_one(
+            "SELECT CASE WHEN a THEN 1 WHEN b THEN 2 ELSE 3 END FROM t"
+        ).select_list[0][0]
+        assert isinstance(expression, ast.Case)
+        assert expression.operand is None
+        assert len(expression.whens) == 2
+        assert expression.else_result is not None
+
+    def test_case_simple(self):
+        expression = parse_one(
+            "SELECT CASE a WHEN 1 THEN 'x' END FROM t").select_list[0][0]
+        assert expression.operand is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParserError):
+            parse_one("SELECT CASE END FROM t")
+
+    def test_cast_forms(self):
+        cast1 = parse_one("SELECT CAST(a AS INTEGER) FROM t").select_list[0][0]
+        assert isinstance(cast1, ast.CastExpr)
+        cast2 = parse_one("SELECT a::DOUBLE FROM t").select_list[0][0]
+        assert isinstance(cast2, ast.CastExpr)
+        assert cast2.type_name == "DOUBLE"
+
+    def test_function_calls(self):
+        call = parse_one("SELECT f(a, 1) FROM t").select_list[0][0]
+        assert isinstance(call, ast.FunctionCall)
+        assert call.name == "f"
+        assert len(call.args) == 2
+
+    def test_count_star_and_distinct(self):
+        star = parse_one("SELECT count(*) FROM t").select_list[0][0]
+        assert isinstance(star.args[0], ast.Star)
+        distinct = parse_one("SELECT count(DISTINCT a) FROM t").select_list[0][0]
+        assert distinct.distinct
+
+    def test_parameters_numbered(self):
+        statement = parse_one("SELECT ? + ? FROM t WHERE a = ?")
+        expression = statement.select_list[0][0]
+        assert expression.left.index == 0
+        assert expression.right.index == 1
+        assert statement.where.right.index == 2
+
+    def test_concat_operator(self):
+        expression = parse_one("SELECT a || b FROM t").select_list[0][0]
+        assert expression.op == "concat"
+
+    def test_exists(self):
+        expression = self.predicate("EXISTS (SELECT 1 FROM u)")
+        assert isinstance(expression, ast.ExistsExpr)
+
+    def test_scalar_subquery(self):
+        expression = parse_one("SELECT (SELECT max(a) FROM t)").select_list[0][0]
+        assert isinstance(expression, ast.ScalarSubquery)
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        ref = parse_one("SELECT 1 FROM a JOIN b ON a.x = b.x").from_clause
+        assert isinstance(ref, ast.JoinRef)
+        assert ref.join_type == "inner"
+        assert ref.condition is not None
+
+    def test_left_right_full(self):
+        for keyword, kind in [("LEFT", "left"), ("LEFT OUTER", "left"),
+                              ("RIGHT", "right"), ("FULL OUTER", "full")]:
+            ref = parse_one(f"SELECT 1 FROM a {keyword} JOIN b ON a.x = b.x") \
+                .from_clause
+            assert ref.join_type == kind
+
+    def test_cross_join(self):
+        ref = parse_one("SELECT 1 FROM a CROSS JOIN b").from_clause
+        assert ref.join_type == "cross"
+
+    def test_comma_join(self):
+        ref = parse_one("SELECT 1 FROM a, b").from_clause
+        assert isinstance(ref, ast.JoinRef)
+        assert ref.join_type == "cross"
+
+    def test_using(self):
+        ref = parse_one("SELECT 1 FROM a JOIN b USING (x, y)").from_clause
+        assert ref.using_columns == ["x", "y"]
+
+    def test_join_requires_condition(self):
+        with pytest.raises(ParserError):
+            parse_one("SELECT 1 FROM a JOIN b")
+
+    def test_subquery_in_from(self):
+        ref = parse_one("SELECT 1 FROM (SELECT 2) sub").from_clause
+        assert isinstance(ref, ast.SubqueryRef)
+        assert ref.alias == "sub"
+
+    def test_table_function(self):
+        ref = parse_one("SELECT 1 FROM read_csv('f.csv') x").from_clause
+        assert isinstance(ref, ast.TableFunctionRef)
+        assert ref.name == "read_csv"
+
+    def test_bare_csv_path(self):
+        ref = parse_one("SELECT 1 FROM 'data.csv'").from_clause
+        assert isinstance(ref, ast.TableFunctionRef)
+        assert ref.args[0].value == "data.csv"
+
+
+class TestSetOperations:
+    def test_union_all(self):
+        statement = parse_one("SELECT 1 UNION ALL SELECT 2")
+        assert isinstance(statement, ast.SetOpStatement)
+        assert statement.op == "union"
+        assert statement.all
+
+    def test_union_distinct(self):
+        assert not parse_one("SELECT 1 UNION SELECT 2").all
+
+    def test_except_intersect(self):
+        assert parse_one("SELECT 1 EXCEPT SELECT 2").op == "except"
+        assert parse_one("SELECT 1 INTERSECT SELECT 2").op == "intersect"
+
+    def test_chained_left_associative(self):
+        statement = parse_one("SELECT 1 UNION SELECT 2 UNION SELECT 3")
+        assert isinstance(statement.left, ast.SetOpStatement)
+
+    def test_order_by_applies_to_whole(self):
+        statement = parse_one("SELECT a FROM t UNION SELECT a FROM u ORDER BY 1")
+        assert isinstance(statement, ast.SetOpStatement)
+        assert len(statement.order_by) == 1
+
+
+class TestDML:
+    def test_insert_values(self):
+        statement = parse_one("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(statement, ast.InsertStatement)
+        assert statement.columns is None
+        assert len(statement.values) == 2
+
+    def test_insert_with_columns(self):
+        statement = parse_one("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert statement.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        statement = parse_one("INSERT INTO t SELECT * FROM u")
+        assert statement.values is None
+        assert statement.select is not None
+
+    def test_update(self):
+        statement = parse_one("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(statement, ast.UpdateStatement)
+        assert [column for column, _ in statement.assignments] == ["a", "b"]
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse_one("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, ast.DeleteStatement)
+
+    def test_delete_without_where(self):
+        assert parse_one("DELETE FROM t").where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        statement = parse_one(
+            "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR DEFAULT 'x', "
+            "c DOUBLE PRIMARY KEY)")
+        assert isinstance(statement, ast.CreateTableStatement)
+        specs = statement.columns
+        assert not specs[0].nullable
+        assert specs[1].default.value == "x"
+        assert not specs[2].nullable  # PRIMARY KEY implies NOT NULL
+
+    def test_create_table_if_not_exists(self):
+        assert parse_one("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+    def test_create_table_as_select(self):
+        statement = parse_one("CREATE TABLE t AS SELECT 1 AS x")
+        assert statement.as_select is not None
+
+    def test_typed_widths(self):
+        statement = parse_one("CREATE TABLE t (a VARCHAR(20), b DECIMAL(10,2))")
+        assert statement.columns[0].type_name == "VARCHAR(20)"
+
+    def test_create_view(self):
+        statement = parse_one("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(statement, ast.CreateViewStatement)
+        assert "SELECT" in statement.sql.upper()
+
+    def test_create_or_replace_view(self):
+        assert parse_one("CREATE OR REPLACE VIEW v AS SELECT 1").or_replace
+
+    def test_drop(self):
+        statement = parse_one("DROP TABLE IF EXISTS t")
+        assert statement.kind == "table"
+        assert statement.if_exists
+        assert parse_one("DROP VIEW v").kind == "view"
+
+
+class TestMiscStatements:
+    def test_transactions(self):
+        assert parse_one("BEGIN").action == "begin"
+        assert parse_one("BEGIN TRANSACTION").action == "begin"
+        assert parse_one("COMMIT").action == "commit"
+        assert parse_one("ROLLBACK").action == "rollback"
+
+    def test_checkpoint(self):
+        assert isinstance(parse_one("CHECKPOINT"), ast.CheckpointStatement)
+
+    def test_pragma_forms(self):
+        assert parse_one("PRAGMA memory_limit='1GB'").value == "1GB"
+        assert parse_one("PRAGMA threads=4").value == 4
+        assert parse_one("PRAGMA database_size").value is None
+        assert parse_one("PRAGMA table_info(t)").value == "t"
+
+    def test_copy_from(self):
+        statement = parse_one("COPY t FROM 'x.csv' (HEADER, DELIMITER ';')")
+        assert statement.direction == "from"
+        assert statement.options == {"header": True, "delimiter": ";"}
+
+    def test_copy_to_query(self):
+        statement = parse_one("COPY (SELECT 1) TO 'out.csv'")
+        assert statement.direction == "to"
+        assert statement.select is not None
+
+    def test_explain(self):
+        statement = parse_one("EXPLAIN SELECT 1")
+        assert isinstance(statement, ast.ExplainStatement)
+
+    def test_multiple_statements(self):
+        statements = parse("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParserError):
+            parse("SELECT 1 SELECT 2")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT", "SELECT FROM t", "SELECT a FROM", "INSERT t VALUES (1)",
+        "UPDATE t a = 1", "CREATE t", "SELECT a FROM t WHERE",
+        "SELECT a FROM t GROUP", "FROB the database",
+        "SELECT a NOT 5 FROM t",
+    ])
+    def test_syntax_errors(self, sql):
+        with pytest.raises(ParserError):
+            parse_one(sql)
+
+    def test_error_carries_position(self):
+        try:
+            parse_one("SELECT a FROM")
+        except ParserError as error:
+            assert error.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected ParserError")

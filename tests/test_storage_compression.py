@@ -1,0 +1,163 @@
+"""Compression codec tests: round trips, ratios, corruption handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptionError
+from repro.storage.compression import (
+    CompressionLevel,
+    CompressionType,
+    best_codec_for,
+    decode_array,
+    encode_array,
+)
+
+
+def roundtrip(array, level):
+    decoded = decode_array(encode_array(array, level))
+    assert decoded.dtype == array.dtype
+    if array.dtype == object:
+        assert list(decoded) == list(array)
+    else:
+        np.testing.assert_array_equal(decoded, array)
+    return decoded
+
+
+ALL_LEVELS = [CompressionLevel.NONE, CompressionLevel.LIGHT,
+              CompressionLevel.HEAVY]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_int64(self, level):
+        roundtrip(np.arange(1000, dtype=np.int64), level)
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_int32(self, level):
+        roundtrip(np.arange(-500, 500, dtype=np.int32), level)
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_float64(self, level):
+        rng = np.random.default_rng(0)
+        roundtrip(rng.normal(size=777), level)
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_bool(self, level):
+        roundtrip(np.array([True, False] * 100), level)
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_strings(self, level):
+        array = np.array(["alpha", "", "beta", None, "x" * 500], dtype=object)
+        roundtrip(array, level)
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_empty_arrays(self, level):
+        roundtrip(np.array([], dtype=np.int64), level)
+        roundtrip(np.array([], dtype=object), level)
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_single_element(self, level):
+        roundtrip(np.array([42], dtype=np.int64), level)
+
+    def test_extreme_values(self):
+        array = np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max, 0],
+                         dtype=np.int64)
+        for level in ALL_LEVELS:
+            roundtrip(array, level)
+
+    def test_unicode_strings(self):
+        array = np.array(["héllo", "日本語", "🦆"], dtype=object)
+        for level in ALL_LEVELS:
+            roundtrip(array, level)
+
+
+class TestCodecSelection:
+    def test_rle_on_runs(self):
+        array = np.repeat(np.arange(10, dtype=np.int64), 1000)
+        encoded = encode_array(array, CompressionLevel.LIGHT)
+        assert encoded[0] == CompressionType.RLE
+        assert len(encoded) < array.nbytes / 10
+
+    def test_dictionary_on_few_distinct(self):
+        rng = np.random.default_rng(1)
+        array = rng.integers(0, 5, 10_000).astype(np.int64) * 1_000_000_007
+        encoded = encode_array(array, CompressionLevel.LIGHT)
+        assert encoded[0] in (CompressionType.DICTIONARY, CompressionType.RLE)
+        np.testing.assert_array_equal(decode_array(encoded), array)
+
+    def test_bitpack_on_small_range(self):
+        # >255 distinct values (rules out dictionary) in a narrow range.
+        rng = np.random.default_rng(2)
+        array = (rng.integers(0, 5000, 20_000) + 1_000_000).astype(np.int64)
+        encoded = encode_array(array, CompressionLevel.LIGHT)
+        assert encoded[0] == CompressionType.BITPACK
+        assert len(encoded) < array.nbytes / 3
+        np.testing.assert_array_equal(decode_array(encoded), array)
+
+    def test_light_falls_back_to_raw_on_random_data(self):
+        rng = np.random.default_rng(3)
+        array = rng.integers(np.iinfo(np.int64).min, np.iinfo(np.int64).max,
+                             1000).astype(np.int64)
+        encoded = encode_array(array, CompressionLevel.LIGHT)
+        assert encoded[0] == CompressionType.RAW
+
+    def test_heavy_uses_zlib_on_noisy_data(self):
+        rng = np.random.default_rng(9)
+        array = rng.integers(0, 1 << 40, 4000).astype(np.int64)
+        array = np.sort(array)  # compressible for zlib, useless for RLE/dict
+        encoded = encode_array(array, CompressionLevel.HEAVY)
+        assert encoded[0] == CompressionType.ZLIB
+        np.testing.assert_array_equal(decode_array(encoded), array)
+
+    def test_heavy_never_worse_than_light(self):
+        array = np.repeat(np.arange(10, dtype=np.int64), 100)
+        heavy = encode_array(array, CompressionLevel.HEAVY)
+        light = encode_array(array, CompressionLevel.LIGHT)
+        assert len(heavy) <= len(light)
+        np.testing.assert_array_equal(decode_array(heavy), array)
+
+    def test_heavy_shrinks_compressible_floats(self):
+        array = np.repeat(np.linspace(0, 1, 16), 2000)
+        raw = encode_array(array, CompressionLevel.NONE)
+        heavy = encode_array(array, CompressionLevel.HEAVY)
+        assert len(heavy) < len(raw) / 10
+
+    def test_best_codec_reports_ratio(self):
+        array = np.zeros(10_000, dtype=np.int64)
+        _, ratio = best_codec_for(array, CompressionLevel.LIGHT)
+        assert ratio > 50
+
+
+class TestCorruption:
+    def test_truncated_header(self):
+        with pytest.raises(CorruptionError):
+            decode_array(b"\x01")
+
+    def test_unknown_codec(self):
+        payload = encode_array(np.arange(4, dtype=np.int64),
+                               CompressionLevel.NONE)
+        corrupted = bytes([99]) + payload[1:]
+        with pytest.raises(CorruptionError):
+            decode_array(corrupted)
+
+    def test_unknown_dtype(self):
+        payload = encode_array(np.arange(4, dtype=np.int64),
+                               CompressionLevel.NONE)
+        corrupted = payload[:1] + bytes([200]) + payload[2:]
+        with pytest.raises(CorruptionError):
+            decode_array(corrupted)
+
+    def test_corrupt_zlib_body(self):
+        rng = np.random.default_rng(10)
+        array = np.sort(rng.integers(0, 1 << 40, 4000).astype(np.int64))
+        payload = encode_array(array, CompressionLevel.HEAVY)
+        assert payload[0] == CompressionType.ZLIB
+        corrupted = payload[:12] + b"\x00\x01\x02" + payload[15:]
+        with pytest.raises(CorruptionError):
+            decode_array(corrupted)
+
+    def test_truncated_raw_body(self):
+        payload = encode_array(np.arange(100, dtype=np.int64),
+                               CompressionLevel.NONE)
+        with pytest.raises(CorruptionError):
+            decode_array(payload[:40])

@@ -1,0 +1,276 @@
+"""MVCC tests: snapshot isolation, conflicts, rollback, concurrency.
+
+These exercise the paper's §2 scenario directly: concurrent bulk ETL
+writers and OLAP readers over the same tables, with HyPer-style in-place
+updates + undo buffers keeping every reader's snapshot stable.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import TransactionConflict, TransactionContextError
+
+
+@pytest.fixture
+def two(con):
+    con.execute("CREATE TABLE t (i INTEGER, v INTEGER)")
+    con.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+    return con, con.duplicate()
+
+
+class TestSnapshotIsolation:
+    def test_reader_does_not_see_uncommitted_insert(self, two):
+        writer, reader = two
+        writer.execute("BEGIN")
+        writer.execute("INSERT INTO t VALUES (4, 40)")
+        assert reader.query_value("SELECT count(*) FROM t") == 3
+        writer.execute("COMMIT")
+        assert reader.query_value("SELECT count(*) FROM t") == 4
+
+    def test_reader_does_not_see_uncommitted_update(self, two):
+        writer, reader = two
+        writer.execute("BEGIN")
+        writer.execute("UPDATE t SET v = 99 WHERE i = 1")
+        assert reader.query_value("SELECT v FROM t WHERE i = 1") == 10
+        writer.execute("COMMIT")
+        assert reader.query_value("SELECT v FROM t WHERE i = 1") == 99
+
+    def test_reader_does_not_see_uncommitted_delete(self, two):
+        writer, reader = two
+        writer.execute("BEGIN")
+        writer.execute("DELETE FROM t WHERE i = 2")
+        assert reader.query_value("SELECT count(*) FROM t") == 3
+        writer.execute("COMMIT")
+        assert reader.query_value("SELECT count(*) FROM t") == 2
+
+    def test_repeatable_reads_in_explicit_transaction(self, two):
+        writer, reader = two
+        reader.execute("BEGIN")
+        before = reader.query_value("SELECT sum(v) FROM t")
+        writer.execute("UPDATE t SET v = v * 10")
+        # The reader's snapshot predates the committed update.
+        assert reader.query_value("SELECT sum(v) FROM t") == before
+        reader.execute("COMMIT")
+        assert reader.query_value("SELECT sum(v) FROM t") == before * 10
+
+    def test_own_writes_visible(self, two):
+        writer, _ = two
+        writer.execute("BEGIN")
+        writer.execute("UPDATE t SET v = 111 WHERE i = 1")
+        assert writer.query_value("SELECT v FROM t WHERE i = 1") == 111
+        writer.execute("INSERT INTO t VALUES (9, 90)")
+        assert writer.query_value("SELECT count(*) FROM t") == 4
+        writer.execute("ROLLBACK")
+
+    def test_snapshot_across_bulk_update(self, con):
+        """An OLAP reader mid-scan sees a stable snapshot of a bulk update."""
+        con.execute("CREATE TABLE wide (x INTEGER)")
+        with con.appender("wide") as appender:
+            appender.append_numpy({"x": np.zeros(10_000, dtype=np.int32)})
+        reader = con.duplicate()
+        reader.execute("BEGIN")
+        assert reader.query_value("SELECT sum(x) FROM wide") == 0
+        con.execute("UPDATE wide SET x = 1")
+        # Undo reconstruction: reader still sees all zeros.
+        assert reader.query_value("SELECT sum(x) FROM wide") == 0
+        assert reader.query_value("SELECT max(x) FROM wide") == 0
+        reader.execute("COMMIT")
+        assert reader.query_value("SELECT sum(x) FROM wide") == 10_000
+
+
+class TestConflicts:
+    def test_write_write_update_conflict(self, two):
+        first, second = two
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE t SET v = 1 WHERE i = 1")
+        with pytest.raises(TransactionConflict):
+            second.execute("UPDATE t SET v = 2 WHERE i = 1")
+        first.execute("COMMIT")
+
+    def test_update_delete_conflict(self, two):
+        first, second = two
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE t SET v = 1 WHERE i = 1")
+        with pytest.raises(TransactionConflict):
+            second.execute("DELETE FROM t WHERE i = 1")
+        first.execute("ROLLBACK")
+
+    def test_delete_update_conflict(self, two):
+        first, second = two
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("DELETE FROM t WHERE i = 2")
+        with pytest.raises(TransactionConflict):
+            second.execute("UPDATE t SET v = 0 WHERE i = 2")
+        first.execute("ROLLBACK")
+
+    def test_disjoint_rows_no_conflict(self, two):
+        first, second = two
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE t SET v = 1 WHERE i = 1")
+        second.execute("UPDATE t SET v = 2 WHERE i = 2")
+        first.execute("COMMIT")
+        second.execute("COMMIT")
+        rows = first.execute("SELECT i, v FROM t ORDER BY i").fetchall()
+        assert rows == [(1, 1), (2, 2), (3, 30)]
+
+    def test_committed_after_start_conflicts(self, two):
+        """First-writer-wins also applies to already-committed writes."""
+        first, second = two
+        second.execute("BEGIN")
+        second.query_value("SELECT count(*) FROM t")  # take the snapshot
+        first.execute("UPDATE t SET v = 5 WHERE i = 1")  # autocommit
+        with pytest.raises(TransactionConflict):
+            second.execute("UPDATE t SET v = 6 WHERE i = 1")
+
+    def test_failed_statement_aborts_transaction(self, two):
+        first, second = two
+        first.execute("BEGIN")
+        second.execute("BEGIN")
+        first.execute("UPDATE t SET v = 1 WHERE i = 1")
+        with pytest.raises(TransactionConflict):
+            second.execute("UPDATE t SET v = 2 WHERE i = 1")
+        # The conflicting transaction rolled back entirely.
+        assert not second.in_transaction
+        first.execute("COMMIT")
+
+
+class TestRollback:
+    def test_rollback_insert(self, two):
+        writer, _ = two
+        writer.execute("BEGIN")
+        writer.execute("INSERT INTO t VALUES (7, 70)")
+        writer.execute("ROLLBACK")
+        assert writer.query_value("SELECT count(*) FROM t") == 3
+
+    def test_rollback_update_restores_values(self, two):
+        writer, _ = two
+        writer.execute("BEGIN")
+        writer.execute("UPDATE t SET v = 0")
+        writer.execute("ROLLBACK")
+        assert writer.query_value("SELECT sum(v) FROM t") == 60
+
+    def test_rollback_delete(self, two):
+        writer, _ = two
+        writer.execute("BEGIN")
+        writer.execute("DELETE FROM t")
+        writer.execute("ROLLBACK")
+        assert writer.query_value("SELECT count(*) FROM t") == 3
+
+    def test_rollback_ddl(self, two):
+        writer, reader = two
+        writer.execute("BEGIN")
+        writer.execute("CREATE TABLE temp_table (x INTEGER)")
+        writer.execute("INSERT INTO temp_table VALUES (1)")
+        writer.execute("ROLLBACK")
+        with pytest.raises(repro.CatalogError):
+            writer.execute("SELECT * FROM temp_table")
+
+    def test_rollback_drop(self, two):
+        writer, _ = two
+        writer.execute("BEGIN")
+        writer.execute("DROP TABLE t")
+        with pytest.raises(repro.CatalogError):
+            writer.execute("SELECT * FROM t")  # invisible to the dropper
+        writer.execute("ROLLBACK")
+        assert writer.query_value("SELECT count(*) FROM t") == 3
+
+    def test_update_after_rollback_succeeds(self, two):
+        first, second = two
+        first.execute("BEGIN")
+        first.execute("UPDATE t SET v = 1 WHERE i = 1")
+        first.execute("ROLLBACK")
+        second.execute("UPDATE t SET v = 2 WHERE i = 1")
+        assert second.query_value("SELECT v FROM t WHERE i = 1") == 2
+
+
+class TestTransactionControl:
+    def test_nested_begin_rejected(self, con):
+        con.execute("BEGIN")
+        with pytest.raises(TransactionContextError):
+            con.execute("BEGIN")
+        con.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, con):
+        with pytest.raises(TransactionContextError):
+            con.execute("COMMIT")
+
+    def test_rollback_without_begin_rejected(self, con):
+        with pytest.raises(TransactionContextError):
+            con.execute("ROLLBACK")
+
+    def test_ddl_is_transactional(self, two):
+        writer, reader = two
+        writer.execute("BEGIN")
+        writer.execute("CREATE TABLE fresh (x INTEGER)")
+        with pytest.raises(repro.CatalogError):
+            reader.execute("SELECT * FROM fresh")
+        writer.execute("COMMIT")
+        assert reader.query_value("SELECT count(*) FROM fresh") == 0
+
+
+class TestConcurrentThreads:
+    def test_concurrent_appends(self, con):
+        """The dashboard scenario: multiple writers appending concurrently."""
+        con.execute("CREATE TABLE log (worker INTEGER, seq INTEGER)")
+        errors = []
+
+        def worker(worker_id):
+            try:
+                local = con.duplicate()
+                for sequence in range(50):
+                    local.execute("INSERT INTO log VALUES (?, ?)",
+                                  [worker_id, sequence])
+                local.close()
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert con.query_value("SELECT count(*) FROM log") == 200
+        rows = con.execute(
+            "SELECT worker, count(*) FROM log GROUP BY worker ORDER BY 1"
+        ).fetchall()
+        assert rows == [(0, 50), (1, 50), (2, 50), (3, 50)]
+
+    def test_reader_concurrent_with_etl_writer(self, con):
+        """OLAP aggregation running while an ETL writer mutates (paper §2)."""
+        con.execute("CREATE TABLE metrics (k INTEGER, v INTEGER)")
+        with con.appender("metrics") as appender:
+            appender.append_numpy({
+                "k": (np.arange(20_000) % 10).astype(np.int32),
+                "v": np.ones(20_000, dtype=np.int32),
+            })
+        stop = threading.Event()
+        reader_failures = []
+
+        def olap_reader():
+            local = con.duplicate()
+            while not stop.is_set():
+                total = local.query_value("SELECT sum(v) FROM metrics")
+                # Every snapshot must see a consistent multiple of 20000
+                # (the writer always updates ALL rows by +1).
+                if total % 20_000 != 0:
+                    reader_failures.append(total)
+            local.close()
+
+        reader_thread = threading.Thread(target=olap_reader)
+        reader_thread.start()
+        writer = con.duplicate()
+        for _ in range(5):
+            writer.execute("UPDATE metrics SET v = v + 1")
+        stop.set()
+        reader_thread.join()
+        writer.close()
+        assert not reader_failures
+        assert con.query_value("SELECT sum(v) FROM metrics") == 6 * 20_000

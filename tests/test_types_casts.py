@@ -1,0 +1,170 @@
+"""Tests for vectorized casts."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError
+from repro.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    FLOAT,
+    INTEGER,
+    SMALLINT,
+    SQLNULL,
+    TIMESTAMP,
+    TINYINT,
+    VARCHAR,
+    Vector,
+    cast_scalar,
+    cast_vector,
+)
+
+
+def roundtrip(values, source, target):
+    vector = Vector.from_values(values, source)
+    return cast_vector(vector, target).to_pylist()
+
+
+class TestNumericCasts:
+    def test_int_to_double(self):
+        assert roundtrip([1, None, 3], INTEGER, DOUBLE) == [1.0, None, 3.0]
+
+    def test_double_to_int_rounds(self):
+        assert roundtrip([1.4, 1.6, -1.5], DOUBLE, INTEGER) == [1, 2, -2]
+
+    def test_double_to_int_out_of_range(self):
+        with pytest.raises(ConversionError):
+            roundtrip([1e20], DOUBLE, INTEGER)
+
+    def test_double_nan_to_int(self):
+        vector = Vector(DOUBLE, np.array([np.nan]), np.array([True]))
+        with pytest.raises(ConversionError):
+            cast_vector(vector, INTEGER)
+
+    def test_narrowing_in_range(self):
+        assert roundtrip([100], BIGINT, TINYINT) == [100]
+
+    def test_narrowing_overflow(self):
+        with pytest.raises(ConversionError):
+            roundtrip([300], BIGINT, TINYINT)
+
+    def test_null_values_ignore_range_check(self):
+        # A NULL slot holding garbage must not trigger overflow errors.
+        vector = Vector(BIGINT, np.array([10**12, 1], dtype=np.int64),
+                        np.array([False, True]))
+        assert cast_vector(vector, SMALLINT).to_pylist() == [None, 1]
+
+    def test_bool_to_int(self):
+        assert roundtrip([True, False, None], BOOLEAN, INTEGER) == [1, 0, None]
+
+    def test_int_to_bool(self):
+        assert roundtrip([0, 2], INTEGER, BOOLEAN) == [False, True]
+
+    def test_identity_is_noop(self):
+        vector = Vector.from_values([1, 2], INTEGER)
+        assert cast_vector(vector, INTEGER) is vector
+
+
+class TestStringCasts:
+    def test_int_to_varchar(self):
+        assert roundtrip([1, None], INTEGER, VARCHAR) == ["1", None]
+
+    def test_double_to_varchar_round_trips(self):
+        rendered = roundtrip([1.5, 0.1], DOUBLE, VARCHAR)
+        assert [float(value) for value in rendered] == [1.5, 0.1]
+
+    def test_bool_to_varchar(self):
+        assert roundtrip([True, False], BOOLEAN, VARCHAR) == ["true", "false"]
+
+    def test_varchar_to_int(self):
+        assert roundtrip(["42", " -7 ", None], VARCHAR, INTEGER) == [42, -7, None]
+
+    def test_varchar_float_text_to_int_exact(self):
+        assert roundtrip(["3.0"], VARCHAR, INTEGER) == [3]
+
+    def test_varchar_float_text_to_int_lossy_fails(self):
+        with pytest.raises(ConversionError):
+            roundtrip(["3.5"], VARCHAR, INTEGER)
+
+    def test_varchar_to_int_garbage(self):
+        with pytest.raises(ConversionError):
+            roundtrip(["duck"], VARCHAR, INTEGER)
+
+    def test_varchar_to_double(self):
+        assert roundtrip(["1.25", "1e3"], VARCHAR, DOUBLE) == [1.25, 1000.0]
+
+    def test_varchar_to_bool(self):
+        assert roundtrip(["true", "F", "YES", "0"], VARCHAR, BOOLEAN) == \
+            [True, False, True, False]
+
+    def test_varchar_to_bool_garbage(self):
+        with pytest.raises(ConversionError):
+            roundtrip(["maybe"], VARCHAR, BOOLEAN)
+
+    def test_varchar_to_int_range(self):
+        with pytest.raises(ConversionError):
+            roundtrip(["100000"], VARCHAR, SMALLINT)
+
+
+class TestTemporalCasts:
+    def test_varchar_to_date(self):
+        assert roundtrip(["2021-03-04"], VARCHAR, DATE) == \
+            [datetime.date(2021, 3, 4)]
+
+    def test_varchar_to_date_garbage(self):
+        with pytest.raises(ConversionError):
+            roundtrip(["not a date"], VARCHAR, DATE)
+
+    def test_varchar_to_timestamp(self):
+        assert roundtrip(["2021-03-04 05:06:07"], VARCHAR, TIMESTAMP) == \
+            [datetime.datetime(2021, 3, 4, 5, 6, 7)]
+
+    def test_varchar_date_only_to_timestamp(self):
+        assert roundtrip(["2021-03-04"], VARCHAR, TIMESTAMP) == \
+            [datetime.datetime(2021, 3, 4)]
+
+    def test_date_to_timestamp(self):
+        assert roundtrip([datetime.date(2000, 1, 2)], DATE, TIMESTAMP) == \
+            [datetime.datetime(2000, 1, 2)]
+
+    def test_timestamp_to_date(self):
+        assert roundtrip([datetime.datetime(2000, 1, 2, 23, 59)], TIMESTAMP,
+                         DATE) == [datetime.date(2000, 1, 2)]
+
+    def test_date_to_varchar(self):
+        assert roundtrip([datetime.date(2021, 3, 4)], DATE, VARCHAR) == \
+            ["2021-03-04"]
+
+    def test_timestamp_to_varchar(self):
+        assert roundtrip([datetime.datetime(2021, 3, 4, 5, 6)], TIMESTAMP,
+                         VARCHAR) == ["2021-03-04 05:06:00"]
+
+    def test_pre_epoch_dates(self):
+        assert roundtrip(["1903-12-28"], VARCHAR, DATE) == \
+            [datetime.date(1903, 12, 28)]
+
+
+class TestNullCasts:
+    def test_sqlnull_to_anything(self):
+        vector = Vector.from_values([None, None])
+        assert cast_vector(vector, INTEGER).to_pylist() == [None, None]
+        assert cast_vector(vector, VARCHAR).to_pylist() == [None, None]
+
+    def test_cast_to_null_fails(self):
+        with pytest.raises(ConversionError):
+            cast_vector(Vector.from_values([1]), SQLNULL)
+
+    def test_unsupported_cast(self):
+        with pytest.raises(ConversionError):
+            roundtrip([datetime.date(2020, 1, 1)], DATE, INTEGER)
+
+
+class TestCastScalar:
+    def test_scalar(self):
+        assert cast_scalar("5", INTEGER) == 5
+        assert cast_scalar(None, INTEGER) is None
+        assert cast_scalar(7, VARCHAR) == "7"

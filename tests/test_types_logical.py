@@ -1,0 +1,189 @@
+"""Tests for the logical type system."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError, InternalError
+from repro.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    FLOAT,
+    INTEGER,
+    SMALLINT,
+    SQLNULL,
+    TIMESTAMP,
+    TINYINT,
+    VARCHAR,
+    LogicalType,
+    LogicalTypeId,
+    common_type,
+    infer_type_of_value,
+    type_from_string,
+)
+from repro.types.logical import (
+    date_to_days,
+    days_to_date,
+    max_numeric_type,
+    micros_to_timestamp,
+    timestamp_to_micros,
+)
+
+
+class TestInterning:
+    def test_same_id_is_same_object(self):
+        assert LogicalType(LogicalTypeId.INTEGER) is INTEGER
+
+    def test_equality_and_hash(self):
+        assert INTEGER == LogicalType(LogicalTypeId.INTEGER)
+        assert INTEGER != BIGINT
+        assert hash(INTEGER) == hash(LogicalType(LogicalTypeId.INTEGER))
+
+    def test_immutable(self):
+        with pytest.raises(InternalError):
+            INTEGER.id = LogicalTypeId.BIGINT
+
+
+class TestClassification:
+    def test_numeric(self):
+        for dtype in (TINYINT, SMALLINT, INTEGER, BIGINT, FLOAT, DOUBLE):
+            assert dtype.is_numeric()
+        for dtype in (BOOLEAN, VARCHAR, DATE, TIMESTAMP):
+            assert not dtype.is_numeric()
+
+    def test_integer(self):
+        assert INTEGER.is_integer()
+        assert not DOUBLE.is_integer()
+
+    def test_temporal(self):
+        assert DATE.is_temporal()
+        assert TIMESTAMP.is_temporal()
+        assert not INTEGER.is_temporal()
+
+    def test_integer_ranges(self):
+        assert TINYINT.integer_range() == (-128, 127)
+        assert SMALLINT.integer_range() == (-32768, 32767)
+        assert INTEGER.integer_range() == (-(2**31), 2**31 - 1)
+        assert BIGINT.integer_range() == (-(2**63), 2**63 - 1)
+
+    def test_integer_range_on_non_integer_raises(self):
+        with pytest.raises(InternalError):
+            DOUBLE.integer_range()
+
+    def test_numpy_dtypes(self):
+        assert INTEGER.numpy_dtype == np.dtype(np.int32)
+        assert BIGINT.numpy_dtype == np.dtype(np.int64)
+        assert DOUBLE.numpy_dtype == np.dtype(np.float64)
+        assert VARCHAR.numpy_dtype == np.dtype(object)
+        assert DATE.numpy_dtype == np.dtype(np.int32)
+        assert TIMESTAMP.numpy_dtype == np.dtype(np.int64)
+
+
+class TestTypeFromString:
+    @pytest.mark.parametrize("name,expected", [
+        ("INTEGER", INTEGER), ("int", INTEGER), ("INT4", INTEGER),
+        ("bigint", BIGINT), ("LONG", BIGINT),
+        ("double", DOUBLE), ("FLOAT8", DOUBLE), ("NUMERIC", DOUBLE),
+        ("real", FLOAT),
+        ("text", VARCHAR), ("VARCHAR", VARCHAR), ("string", VARCHAR),
+        ("bool", BOOLEAN), ("BOOLEAN", BOOLEAN),
+        ("date", DATE), ("DATETIME", TIMESTAMP), ("timestamp", TIMESTAMP),
+        ("tinyint", TINYINT), ("smallint", SMALLINT),
+    ])
+    def test_aliases(self, name, expected):
+        assert type_from_string(name) == expected
+
+    def test_parenthesized_width_is_ignored(self):
+        assert type_from_string("VARCHAR(32)") == VARCHAR
+        assert type_from_string("DECIMAL(10, 2)") == DOUBLE
+
+    def test_unknown_type(self):
+        with pytest.raises(ConversionError):
+            type_from_string("BLOBFISH")
+
+
+class TestInference:
+    def test_none(self):
+        assert infer_type_of_value(None) == SQLNULL
+
+    def test_bool_before_int(self):
+        assert infer_type_of_value(True) == BOOLEAN
+
+    def test_small_int(self):
+        assert infer_type_of_value(42) == INTEGER
+
+    def test_large_int(self):
+        assert infer_type_of_value(2**40) == BIGINT
+
+    def test_too_large_int(self):
+        with pytest.raises(ConversionError):
+            infer_type_of_value(2**70)
+
+    def test_float(self):
+        assert infer_type_of_value(1.5) == DOUBLE
+
+    def test_str(self):
+        assert infer_type_of_value("hello") == VARCHAR
+
+    def test_date_and_datetime(self):
+        assert infer_type_of_value(datetime.date(2020, 1, 1)) == DATE
+        assert infer_type_of_value(datetime.datetime(2020, 1, 1)) == TIMESTAMP
+
+    def test_numpy_scalars(self):
+        assert infer_type_of_value(np.int32(5)) == INTEGER
+        assert infer_type_of_value(np.float64(5.0)) == DOUBLE
+        assert infer_type_of_value(np.bool_(True)) == BOOLEAN
+
+    def test_unmappable(self):
+        with pytest.raises(ConversionError):
+            infer_type_of_value(object())
+
+
+class TestCommonType:
+    def test_identity(self):
+        assert common_type(INTEGER, INTEGER) == INTEGER
+
+    def test_null_unifies_with_anything(self):
+        assert common_type(SQLNULL, VARCHAR) == VARCHAR
+        assert common_type(DATE, SQLNULL) == DATE
+
+    def test_numeric_ladder(self):
+        assert common_type(TINYINT, INTEGER) == INTEGER
+        assert common_type(INTEGER, BIGINT) == BIGINT
+        assert common_type(BIGINT, DOUBLE) == DOUBLE
+        assert common_type(FLOAT, DOUBLE) == DOUBLE
+        assert common_type(BOOLEAN, INTEGER) == INTEGER
+
+    def test_date_widens_to_timestamp(self):
+        assert common_type(DATE, TIMESTAMP) == TIMESTAMP
+
+    def test_varchar_does_not_unify_with_numeric(self):
+        assert common_type(VARCHAR, INTEGER) is None
+
+    def test_date_does_not_unify_with_numeric(self):
+        assert common_type(DATE, INTEGER) is None
+
+    def test_max_numeric(self):
+        assert max_numeric_type(SMALLINT, FLOAT) == FLOAT
+
+
+class TestTemporalConversions:
+    def test_date_round_trip(self):
+        for day in (datetime.date(1970, 1, 1), datetime.date(2024, 2, 29),
+                    datetime.date(1899, 12, 31)):
+            assert days_to_date(date_to_days(day)) == day
+
+    def test_epoch_is_zero(self):
+        assert date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_timestamp_round_trip(self):
+        moments = [
+            datetime.datetime(1970, 1, 1),
+            datetime.datetime(2024, 7, 1, 13, 37, 59, 123456),
+            datetime.datetime(1969, 12, 31, 23, 59, 59),
+        ]
+        for moment in moments:
+            assert micros_to_timestamp(timestamp_to_micros(moment)) == moment

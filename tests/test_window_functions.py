@@ -1,0 +1,329 @@
+"""Window function tests: ranking, offsets, running aggregates, edge cases."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import BinderError
+
+
+@pytest.fixture
+def series(con):
+    con.execute("CREATE TABLE s (g VARCHAR, t INTEGER, v INTEGER)")
+    con.execute("""INSERT INTO s VALUES
+        ('a', 1, 10), ('a', 2, 20), ('a', 3, 15),
+        ('b', 1, 5),  ('b', 2, 5),  ('b', 3, 30)""")
+    return con
+
+
+class TestRanking:
+    def test_row_number_per_partition(self, series):
+        rows = series.execute(
+            "SELECT g, t, row_number() OVER (PARTITION BY g ORDER BY t) "
+            "FROM s ORDER BY g, t").fetchall()
+        assert [row[2] for row in rows] == [1, 2, 3, 1, 2, 3]
+
+    def test_row_number_without_partition(self, series):
+        rows = series.execute(
+            "SELECT row_number() OVER (ORDER BY v DESC) AS rn, v FROM s "
+            "ORDER BY rn").fetchall()
+        assert rows[0] == (1, 30)
+        assert rows[-1][1] == 5
+
+    def test_rank_with_ties(self, series):
+        rows = series.execute(
+            "SELECT v, rank() OVER (ORDER BY v) FROM s ORDER BY v, g"
+        ).fetchall()
+        # values sorted: 5,5,10,15,20,30 -> ranks 1,1,3,4,5,6
+        assert [row[1] for row in rows] == [1, 1, 3, 4, 5, 6]
+
+    def test_dense_rank_with_ties(self, series):
+        rows = series.execute(
+            "SELECT v, dense_rank() OVER (ORDER BY v) FROM s ORDER BY v, g"
+        ).fetchall()
+        assert [row[1] for row in rows] == [1, 1, 2, 3, 4, 5]
+
+    def test_rank_resets_per_partition(self, series):
+        rows = series.execute(
+            "SELECT g, v, rank() OVER (PARTITION BY g ORDER BY v) FROM s "
+            "ORDER BY g, v").fetchall()
+        assert [row[2] for row in rows] == [1, 2, 3, 1, 1, 3]
+
+
+class TestOffsets:
+    def test_lag_basic(self, series):
+        rows = series.execute(
+            "SELECT g, t, lag(v) OVER (PARTITION BY g ORDER BY t) FROM s "
+            "ORDER BY g, t").fetchall()
+        assert [row[2] for row in rows] == [None, 10, 20, None, 5, 5]
+
+    def test_lead_basic(self, series):
+        rows = series.execute(
+            "SELECT g, t, lead(v) OVER (PARTITION BY g ORDER BY t) FROM s "
+            "ORDER BY g, t").fetchall()
+        assert [row[2] for row in rows] == [20, 15, None, 5, 30, None]
+
+    def test_lag_with_offset_and_default(self, series):
+        rows = series.execute(
+            "SELECT g, t, lag(v, 2, 0) OVER (PARTITION BY g ORDER BY t) "
+            "FROM s ORDER BY g, t").fetchall()
+        assert [row[2] for row in rows] == [0, 0, 10, 0, 0, 5]
+
+    def test_delta_computation(self, series):
+        """The dashboard classic: value minus previous value."""
+        rows = series.execute(
+            "SELECT g, t, v - lag(v, 1, 0) OVER (PARTITION BY g ORDER BY t) "
+            "FROM s ORDER BY g, t").fetchall()
+        assert [row[2] for row in rows] == [10, 10, -5, 5, 0, 25]
+
+    def test_lag_of_strings(self, series):
+        rows = series.execute(
+            "SELECT t, lag(g) OVER (ORDER BY g, t) FROM s ORDER BY g, t"
+        ).fetchall()
+        assert rows[0][1] is None
+        assert rows[3][1] == "a"
+
+
+class TestRunningAggregates:
+    def test_running_sum(self, series):
+        rows = series.execute(
+            "SELECT g, t, sum(v) OVER (PARTITION BY g ORDER BY t) FROM s "
+            "ORDER BY g, t").fetchall()
+        assert [row[2] for row in rows] == [10, 30, 45, 5, 10, 40]
+
+    def test_running_count_star(self, series):
+        rows = series.execute(
+            "SELECT g, count(*) OVER (PARTITION BY g ORDER BY t) FROM s "
+            "ORDER BY g, t").fetchall()
+        assert [row[1] for row in rows] == [1, 2, 3, 1, 2, 3]
+
+    def test_running_avg_min_max(self, series):
+        rows = series.execute(
+            "SELECT g, t, avg(v) OVER (PARTITION BY g ORDER BY t), "
+            "min(v) OVER (PARTITION BY g ORDER BY t), "
+            "max(v) OVER (PARTITION BY g ORDER BY t) FROM s ORDER BY g, t"
+        ).fetchall()
+        a_rows = [row for row in rows if row[0] == "a"]
+        assert [row[2] for row in a_rows] == [10.0, 15.0, 15.0]
+        assert [row[3] for row in a_rows] == [10, 10, 10]
+        assert [row[4] for row in a_rows] == [10, 20, 20]
+
+    def test_whole_partition_aggregate(self, series):
+        rows = series.execute(
+            "SELECT g, sum(v) OVER (PARTITION BY g) FROM s ORDER BY g, t"
+        ).fetchall()
+        assert [row[1] for row in rows] == [45, 45, 45, 40, 40, 40]
+
+    def test_grand_total(self, series):
+        rows = series.execute(
+            "SELECT v, sum(v) OVER () FROM s").fetchall()
+        assert all(row[1] == 85 for row in rows)
+
+    def test_fraction_of_total(self, series):
+        rows = series.execute(
+            "SELECT g, v, v * 1.0 / sum(v) OVER (PARTITION BY g) AS share "
+            "FROM s WHERE g = 'b' ORDER BY t").fetchall()
+        assert [round(row[2], 3) for row in rows] == [0.125, 0.125, 0.75]
+
+    def test_running_sum_with_nulls(self, con):
+        con.execute("CREATE TABLE n (t INTEGER, v INTEGER)")
+        con.execute("INSERT INTO n VALUES (1, 5), (2, NULL), (3, 7)")
+        rows = con.execute(
+            "SELECT t, sum(v) OVER (ORDER BY t), "
+            "count(v) OVER (ORDER BY t) FROM n ORDER BY t").fetchall()
+        assert [row[1] for row in rows] == [5, 5, 12]
+        assert [row[2] for row in rows] == [1, 1, 2]
+
+
+class TestIntegration:
+    def test_window_over_group_by(self, series):
+        rows = series.execute(
+            "SELECT g, sum(v) AS total, "
+            "rank() OVER (ORDER BY sum(v) DESC) AS r "
+            "FROM s GROUP BY g ORDER BY g").fetchall()
+        assert rows == [("a", 45, 1), ("b", 40, 2)]
+
+    def test_order_by_window_alias(self, series):
+        rows = series.execute(
+            "SELECT v, row_number() OVER (ORDER BY v) AS rn FROM s "
+            "ORDER BY rn DESC LIMIT 2").fetchall()
+        assert rows[0][1] == 6
+
+    def test_identical_windows_share_column(self, series):
+        rows = series.execute(
+            "SELECT sum(v) OVER (PARTITION BY g) + 0, "
+            "sum(v) OVER (PARTITION BY g) * 2 FROM s WHERE g = 'a' LIMIT 1"
+        ).fetchall()
+        assert rows == [(45, 90)]
+
+    def test_mixing_bare_aggregate_and_window_on_raw_column_rejected(self, series):
+        # max(v) makes the query aggregated; sum(v) OVER () then references
+        # the raw column v, which is neither grouped nor aggregated.
+        with pytest.raises(BinderError):
+            series.execute("SELECT max(v) - sum(v) OVER () FROM s")
+
+    def test_window_inside_arithmetic(self, series):
+        rows = series.execute(
+            "SELECT v, v * 100 / sum(v) OVER () AS pct FROM s "
+            "ORDER BY v DESC LIMIT 1").fetchall()
+        assert rows == [(30, 30 * 100 / 85)]
+
+    def test_window_at_scale(self, con):
+        con.execute("CREATE TABLE big (g INTEGER, v INTEGER)")
+        n = 100_000
+        rng = np.random.default_rng(9)
+        with con.appender("big") as appender:
+            appender.append_numpy({
+                "g": (np.arange(n) % 50).astype(np.int32),
+                "v": rng.integers(0, 1000, n).astype(np.int32),
+            })
+        rows = con.execute(
+            "SELECT g, max(rn) FROM (SELECT g, row_number() OVER "
+            "(PARTITION BY g ORDER BY v) AS rn FROM big) sub "
+            "GROUP BY g ORDER BY g LIMIT 3").fetchall()
+        assert rows == [(0, 2000), (1, 2000), (2, 2000)]
+
+
+class TestNtileAndBoundaries:
+    def test_ntile_even_split(self, con):
+        con.execute("CREATE TABLE t (x INTEGER)")
+        con.execute("INSERT INTO t VALUES (1), (2), (3), (4)")
+        rows = con.execute(
+            "SELECT x, ntile(2) OVER (ORDER BY x) FROM t ORDER BY x").fetchall()
+        assert [row[1] for row in rows] == [1, 1, 2, 2]
+
+    def test_ntile_uneven_split_front_loads(self, con):
+        con.execute("CREATE TABLE t (x INTEGER)")
+        con.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)")
+        rows = con.execute(
+            "SELECT ntile(3) OVER (ORDER BY x) FROM t").fetchall()
+        assert [row[0] for row in rows] == [1, 1, 2, 2, 3]
+
+    def test_ntile_more_buckets_than_rows(self, con):
+        con.execute("CREATE TABLE t (x INTEGER)")
+        con.execute("INSERT INTO t VALUES (1), (2)")
+        rows = con.execute(
+            "SELECT ntile(5) OVER (ORDER BY x) FROM t").fetchall()
+        assert [row[0] for row in rows] == [1, 2]
+
+    def test_first_and_last_value(self, series):
+        rows = series.execute(
+            "SELECT g, t, first_value(v) OVER (PARTITION BY g ORDER BY t), "
+            "last_value(v) OVER (PARTITION BY g ORDER BY t) "
+            "FROM s ORDER BY g, t").fetchall()
+        a_rows = [row for row in rows if row[0] == "a"]
+        assert all(row[2] == 10 for row in a_rows)
+        assert all(row[3] == 15 for row in a_rows)
+
+    def test_first_value_strings(self, series):
+        value = series.execute(
+            "SELECT first_value(g) OVER (ORDER BY v DESC) FROM s LIMIT 1"
+        ).fetchvalue()
+        assert value == "b"  # v=30 belongs to partition-less order
+
+
+class TestExplainAnalyze:
+    def test_reports_statistics(self, series):
+        lines = [row[0] for row in series.execute(
+            "EXPLAIN ANALYZE SELECT g, sum(v) FROM s GROUP BY g").fetchall()]
+        text = "\n".join(lines)
+        assert "-- execution statistics --" in text
+        assert "result rows: 2" in text
+        assert "rows_scanned: 6" in text
+
+    def test_plain_explain_has_no_statistics(self, series):
+        lines = [row[0] for row in series.execute(
+            "EXPLAIN SELECT * FROM s").fetchall()]
+        assert all("execution statistics" not in line for line in lines)
+
+
+class TestErrors:
+    def test_window_in_where_rejected(self, series):
+        with pytest.raises(BinderError):
+            series.execute(
+                "SELECT v FROM s WHERE row_number() OVER (ORDER BY v) = 1")
+
+    def test_window_in_group_by_rejected(self, series):
+        with pytest.raises(BinderError):
+            series.execute(
+                "SELECT count(*) FROM s GROUP BY rank() OVER (ORDER BY v)")
+
+    def test_window_in_having_rejected(self, series):
+        with pytest.raises(BinderError):
+            series.execute(
+                "SELECT g, count(*) FROM s GROUP BY g "
+                "HAVING rank() OVER (ORDER BY g) = 1")
+
+    def test_nested_window_rejected(self, series):
+        with pytest.raises(BinderError):
+            series.execute(
+                "SELECT sum(row_number() OVER (ORDER BY v)) OVER () FROM s")
+
+    def test_ranking_with_arguments_rejected(self, series):
+        with pytest.raises(BinderError):
+            series.execute("SELECT row_number(v) OVER () FROM s")
+
+    def test_unknown_window_function(self, series):
+        with pytest.raises(BinderError):
+            series.execute("SELECT percent_rank() OVER (ORDER BY v) FROM s")
+
+    def test_order_by_new_window_rejected(self, series):
+        with pytest.raises(BinderError):
+            series.execute(
+                "SELECT v FROM s ORDER BY row_number() OVER (ORDER BY v)")
+
+
+class TestWindowEdgeCases:
+    def test_empty_table(self, con):
+        con.execute("CREATE TABLE e (x INTEGER)")
+        assert con.execute(
+            "SELECT row_number() OVER (ORDER BY x) FROM e").fetchall() == []
+
+    def test_single_row(self, con):
+        con.execute("CREATE TABLE o (x INTEGER)")
+        con.execute("INSERT INTO o VALUES (7)")
+        row = con.execute(
+            "SELECT row_number() OVER (), rank() OVER (ORDER BY x), "
+            "sum(x) OVER (), lag(x) OVER (ORDER BY x), "
+            "ntile(3) OVER (ORDER BY x) FROM o").fetchone()
+        assert row == (1, 1, 7, None, 1)
+
+    def test_null_partition_key_forms_partition(self, con):
+        con.execute("CREATE TABLE p (g INTEGER, v INTEGER)")
+        con.execute("INSERT INTO p VALUES (NULL, 1), (NULL, 2), (1, 3)")
+        rows = con.execute(
+            "SELECT g, sum(v) OVER (PARTITION BY g) FROM p "
+            "ORDER BY g NULLS FIRST, v").fetchall()
+        assert rows == [(None, 3), (None, 3), (1, 3)]
+
+    def test_null_order_keys(self, con):
+        con.execute("CREATE TABLE q (v INTEGER)")
+        con.execute("INSERT INTO q VALUES (2), (NULL), (1)")
+        rows = con.execute(
+            "SELECT v, row_number() OVER (ORDER BY v NULLS FIRST) FROM q "
+            "ORDER BY 2").fetchall()
+        assert rows == [(None, 1), (1, 2), (2, 3)]
+
+    def test_descending_order_with_ties(self, con):
+        con.execute("CREATE TABLE d (v INTEGER)")
+        con.execute("INSERT INTO d VALUES (5), (5), (3)")
+        rows = con.execute(
+            "SELECT v, rank() OVER (ORDER BY v DESC) FROM d ORDER BY 2, 1"
+        ).fetchall()
+        assert rows == [(5, 1), (5, 1), (3, 3)]
+
+    def test_window_partition_by_expression(self, con):
+        con.execute("CREATE TABLE m (x INTEGER)")
+        con.execute("INSERT INTO m VALUES (1), (2), (3), (4)")
+        rows = con.execute(
+            "SELECT x, count(*) OVER (PARTITION BY x % 2) FROM m ORDER BY x"
+        ).fetchall()
+        assert [row[1] for row in rows] == [2, 2, 2, 2]
+
+    def test_window_through_view(self, con):
+        con.execute("CREATE TABLE w (x INTEGER)")
+        con.execute("INSERT INTO w VALUES (10), (20)")
+        con.execute("CREATE VIEW ranked AS "
+                    "SELECT x, row_number() OVER (ORDER BY x DESC) AS rn FROM w")
+        assert con.execute("SELECT rn FROM ranked WHERE x = 20").fetchall() == \
+            [(1,)]

@@ -1,0 +1,171 @@
+"""Zonemap scan-skipping tests (paper §6: "skip irrelevant blocks of rows").
+
+Correctness is the hard part: skipping must never change results, including
+under concurrent updates (MVCC snapshots) and after rollbacks.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.execution.physical import ExecutionContext
+from repro.execution.physical_planner import create_physical_plan
+from repro.optimizer import optimize
+from repro.planner.binder import Binder
+from repro.sql import parse_one
+
+
+def run_with_stats(con, sql):
+    """Execute a query returning (rows, stats dict)."""
+    transaction = con.database.transaction_manager.begin()
+    try:
+        binder = Binder(con.database.catalog, transaction)
+        bound = binder.bind_statement(parse_one(sql))
+        plan = optimize(bound.plan)
+        context = ExecutionContext(transaction, con.database)
+        physical = create_physical_plan(plan, context)
+        rows = [row for chunk in physical.execute() for row in chunk.to_rows()]
+        return rows, context.stats
+    finally:
+        con.database.transaction_manager.rollback(transaction)
+
+
+@pytest.fixture
+def clustered(con):
+    """A table whose column t is clustered (sorted), ideal for zonemaps."""
+    con.execute("CREATE TABLE ts (t INTEGER, v INTEGER)")
+    n = 200_000
+    with con.appender("ts") as appender:
+        appender.append_numpy({
+            "t": np.arange(n, dtype=np.int32),
+            "v": (np.arange(n) % 97).astype(np.int32),
+        })
+    return con
+
+
+class TestSkipping:
+    def test_range_query_skips_zones(self, clustered):
+        sql = "SELECT count(*) FROM ts WHERE t >= 150000 AND t < 151000"
+        rows, _ = run_with_stats(clustered, sql)   # warms the zone cache
+        rows, stats = run_with_stats(clustered, sql)
+        assert rows == [(1000,)]
+        assert stats.get("zones_skipped", 0) > 0
+        assert stats["rows_scanned"] < 200_000 / 2
+
+    def test_equality_skips(self, clustered):
+        rows, _ = run_with_stats(clustered, "SELECT v FROM ts WHERE t = 123456")
+        rows, stats = run_with_stats(clustered,
+                                     "SELECT v FROM ts WHERE t = 123456")
+        assert rows == [(123456 % 97,)]
+        assert stats.get("zones_skipped", 0) > 0
+
+    def test_no_match_skips_everything(self, clustered):
+        rows, _ = run_with_stats(clustered,
+                                 "SELECT t FROM ts WHERE t > 10000000")
+        rows, stats = run_with_stats(clustered,
+                                     "SELECT t FROM ts WHERE t > 10000000")
+        assert rows == []
+        assert stats.get("rows_scanned", 0) == 0
+
+    def test_unclustered_column_no_false_skips(self, clustered):
+        # v cycles 0..96 in every zone: nothing can be skipped, and nothing
+        # may be missed.
+        rows, stats = run_with_stats(clustered,
+                                     "SELECT count(*) FROM ts WHERE v = 5")
+        assert rows == [(200_000 // 97 + (1 if 5 < 200_000 % 97 else 0),)]
+
+    def test_explain_shows_zonemap(self, clustered):
+        lines = clustered.execute(
+            "EXPLAIN SELECT t FROM ts WHERE t < 10").fetchall()
+        text = "\n".join(row[0] for row in lines)
+        assert "zonemap=" in text
+
+    def test_results_identical_with_and_without(self, clustered):
+        sql = ("SELECT sum(v) FROM ts WHERE t BETWEEN 77777 AND 99999")
+        expected = clustered.query_value(sql)
+        # Disable zonemaps by clearing conditions: compare against a plain
+        # Python check.
+        t = np.arange(200_000)
+        v = t % 97
+        mask = (t >= 77777) & (t <= 99999)
+        assert expected == int(v[mask].sum())
+
+
+class TestMVCCSafety:
+    def test_update_disables_zone_skipping(self, clustered):
+        """Live undo entries must disable zonemaps: an old snapshot may need
+        pre-image values outside the current bounds."""
+        reader = clustered.duplicate()
+        reader.execute("BEGIN")
+        before = reader.query_value(
+            "SELECT count(*) FROM ts WHERE t >= 199999")
+        assert before == 1
+        # Writer moves a low row into the queried range.
+        clustered.execute("UPDATE ts SET t = 500000 WHERE t = 0")
+        # The reader's snapshot still has t=0; it must NOT see 500000, and
+        # must still see exactly one row >= 199999.
+        assert reader.query_value(
+            "SELECT count(*) FROM ts WHERE t >= 199999") == 1
+        assert reader.query_value(
+            "SELECT count(*) FROM ts WHERE t = 0") == 1
+        reader.execute("COMMIT")
+        # After the snapshot advances the new value is visible.
+        assert reader.query_value(
+            "SELECT count(*) FROM ts WHERE t = 500000") == 1
+        reader.close()
+
+    def test_zone_cache_invalidated_by_update(self, clustered):
+        sql = "SELECT count(*) FROM ts WHERE t >= 190000"
+        run_with_stats(clustered, sql)  # build zone cache
+        clustered.execute("UPDATE ts SET t = 190001 WHERE t = 5")
+        # Undo entries are still alive until vacuum; correctness first.
+        assert clustered.query_value(sql) == 10_001
+
+    def test_rollback_keeps_results_correct(self, clustered):
+        sql = "SELECT count(*) FROM ts WHERE t >= 190000"
+        assert clustered.query_value(sql) == 10_000
+        clustered.execute("BEGIN")
+        clustered.execute("UPDATE ts SET t = 195000 WHERE t = 1")
+        clustered.execute("ROLLBACK")
+        run_with_stats(clustered, sql)
+        assert clustered.query_value(sql) == 10_000
+
+    def test_inserted_rows_extend_zones(self, clustered):
+        sql = "SELECT count(*) FROM ts WHERE t > 300000"
+        run_with_stats(clustered, sql)  # warm cache: nothing matches yet
+        clustered.execute("INSERT INTO ts VALUES (400000, 1)")
+        assert clustered.query_value(sql) == 1
+
+    def test_deleted_rows_still_conservative(self, clustered):
+        clustered.execute("DELETE FROM ts WHERE t >= 100000")
+        assert clustered.query_value(
+            "SELECT count(*) FROM ts WHERE t >= 100000") == 0
+        assert clustered.query_value("SELECT count(*) FROM ts") == 100_000
+
+
+class TestZoneBounds:
+    def test_bounds_computed(self, clustered):
+        transaction = clustered.database.transaction_manager.begin()
+        table = clustered.database.catalog.get_table("ts", transaction)
+        bounds = table.data.columns[0].zone_bounds(0, 16384)
+        assert bounds == (0, 16383)
+        clustered.database.transaction_manager.rollback(transaction)
+
+    def test_varchar_has_no_zones(self, con):
+        con.execute("CREATE TABLE s (x VARCHAR)")
+        con.execute("INSERT INTO s VALUES ('a'), ('b')")
+        transaction = con.database.transaction_manager.begin()
+        table = con.database.catalog.get_table("s", transaction)
+        assert table.data.columns[0].zone_bounds(0, 2) is None
+        con.database.transaction_manager.rollback(transaction)
+
+    def test_undo_entries_disable_bounds(self, clustered):
+        writer = clustered.duplicate()
+        writer.execute("BEGIN")
+        writer.execute("UPDATE ts SET t = 999 WHERE t = 10")
+        transaction = clustered.database.transaction_manager.begin()
+        table = clustered.database.catalog.get_table("ts", transaction)
+        assert table.data.columns[0].zone_bounds(0, 16384) is None
+        clustered.database.transaction_manager.rollback(transaction)
+        writer.execute("ROLLBACK")
+        writer.close()
