@@ -33,7 +33,7 @@ def connect(database: str = ":memory:", config=None) -> "Connection":
     The returned connection owns the database: closing it (or using it as a
     context manager) closes the database, checkpointing if configured.
     """
-    if isinstance(config, dict):
+    if isinstance(config, dict) or config is None:
         config = DatabaseConfig.from_dict(config)
     instance = Database(database, config)
     connection = Connection(instance, owns_database=True)

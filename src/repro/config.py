@@ -12,6 +12,7 @@ Options are also reachable at runtime through ``PRAGMA name = value``.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Any, Dict, Optional
 
 from .errors import InvalidInputError
@@ -64,7 +65,15 @@ class DatabaseConfig:
         merge join / external sort) or abort with ``OutOfMemoryError``.
     threads:
         Maximum worker threads the engine may use.  ``1`` keeps the engine
-        single-threaded (the co-resident application gets the other cores).
+        single-threaded (the co-resident application gets the other cores);
+        values above 1 enable morsel-driven parallel scans and aggregation.
+        The ``REPRO_THREADS`` environment variable provides the default for
+        configs built via :meth:`from_dict` (i.e. ``connect(config=...)``)
+        when the option is not given explicitly.
+    morsel_size:
+        Rows per morsel of a parallel pipeline (rounded down to a whole
+        number of scan chunks at execution time).  Smaller morsels spread
+        load more evenly but add scheduling overhead.
     verify_checksums:
         Verify the CRC-32 of every storage block on read (paper §6,
         Resilience).  Disabling this is only intended for benchmarking the
@@ -85,6 +94,7 @@ class DatabaseConfig:
 
     memory_limit: int = 1 << 31  # 2 GiB default
     threads: int = 1
+    morsel_size: int = 65536
     verify_checksums: bool = True
     buffer_memtest: bool = False
     reactive_resources: bool = False
@@ -98,6 +108,10 @@ class DatabaseConfig:
         if options:
             for name, value in options.items():
                 config.set_option(name, value)
+        if not options or "threads" not in {name.lower() for name in options}:
+            env_threads = os.environ.get("REPRO_THREADS")
+            if env_threads:
+                config.set_option("threads", env_threads)
         return config
 
     def set_option(self, name: str, value: Any) -> None:
@@ -110,6 +124,11 @@ class DatabaseConfig:
             if threads < 1:
                 raise InvalidInputError("threads must be >= 1")
             self.threads = threads
+        elif name == "morsel_size":
+            morsel_size = int(value)
+            if morsel_size < 1:
+                raise InvalidInputError("morsel_size must be >= 1")
+            self.morsel_size = morsel_size
         elif name in ("verify_checksums", "buffer_memtest", "reactive_resources",
                       "checkpoint_on_close"):
             setattr(self, name, _coerce_bool(value))

@@ -45,6 +45,10 @@ class StaticController:
     def choose_join_algorithm(self, estimated_build_bytes: int) -> str:
         return "hash"
 
+    def choose_worker_count(self, requested: int) -> int:
+        """Non-cooperative baseline: grant whatever ``threads`` asks for."""
+        return max(1, requested)
+
 
 class ReactiveController:
     """Adapts engine behaviour to observed machine-wide resource pressure."""
@@ -103,3 +107,20 @@ class ReactiveController:
         if estimated_build_bytes > max(headroom, 0) * 0.8:
             return "merge"
         return "hash"
+
+    def choose_worker_count(self, requested: int) -> int:
+        """Degrade parallelism while the application is burning CPU.
+
+        The cooperation requirement (§4) says the CPU cores belong to the
+        application first: when the co-resident application occupies a
+        fraction of the machine's cores, the morsel worker pool shrinks to
+        roughly the cores left idle (never below one -- the query must still
+        make progress).
+        """
+        import os
+
+        sample = self.monitor.sample()
+        cores = os.cpu_count() or 1
+        app_cpu = min(max(sample.app_cpu, 0.0), 1.0)
+        free_cores = int(cores * (1.0 - app_cpu))
+        return max(1, min(requested, free_cores))

@@ -122,7 +122,10 @@ def sniff_csv(path: str, delimiter: Optional[str] = None,
     except OSError as exc:
         raise InvalidInputError(f"Cannot open CSV file {path!r}: {exc}") from None
     if not sample_lines:
-        raise InvalidInputError(f"CSV file {path!r} is empty")
+        # A zero-byte file is a valid (if vacuous) CSV: no columns, no rows.
+        # COPY FROM treats it as loading zero rows, matching the header-only
+        # case; consumers that do need a schema (read_csv) reject it.
+        return SniffResult(delimiter or ",", bool(header), [], [])
     sample = "".join(sample_lines)
 
     if delimiter is None:
@@ -144,7 +147,8 @@ def sniff_csv(path: str, delimiter: Optional[str] = None,
     rows = [row for row in csv.reader(io.StringIO(sample), delimiter=delimiter)
             if row]
     if not rows:
-        raise InvalidInputError(f"CSV file {path!r} contains no rows")
+        # Only blank lines: same treatment as a zero-byte file.
+        return SniffResult(delimiter, bool(header), [], [])
     width = max(len(row) for row in rows)
 
     first_row_types = [_token_type(token) if not _is_null_token(token) else None

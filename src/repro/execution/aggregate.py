@@ -17,16 +17,144 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from typing import Tuple
+
 from ..errors import InternalError
 from ..functions.aggregate import compute_aggregate
 from ..planner.expressions import BoundAggregate, BoundExpression
-from ..types import BIGINT, DataChunk, VECTOR_SIZE, Vector
+from ..types import BIGINT, DOUBLE, DataChunk, LogicalType, VECTOR_SIZE, Vector
 from .expression_executor import ExpressionExecutor
 from .intermediates import ChunkBuffer
 from .keys import factorize_for_groups
 from .physical import ExecutionContext, PhysicalOperator
 
-__all__ = ["PhysicalHashAggregate", "PhysicalDistinct", "PhysicalSetOp"]
+__all__ = ["PhysicalHashAggregate", "PhysicalDistinct", "PhysicalSetOp",
+           "aggregate_supports_partial", "aggregate_input_layout",
+           "partial_state_types", "compute_partial_state",
+           "finalize_merged_state"]
+
+
+# -- partial aggregation (morsel-driven parallel execution) -------------------
+#
+# A parallelizable aggregate decomposes into per-morsel *partial states* that
+# workers compute independently, plus a commutative merge the coordinator
+# applies over the concatenated partials.  Each state is an ordinary column,
+# so merging reuses the same factorize + segmented-reduction machinery as
+# serial aggregation: count -> sum of counts, sum -> sum of sums, min/max ->
+# min/max of extremes, avg -> (sum, count), variance -> (sum, sum-of-squares,
+# count).  ``first`` merges with ``first`` because partials arrive in morsel
+# order, preserving the serial first-occurrence semantics.
+
+PARALLEL_SAFE_AGGREGATES = frozenset([
+    "count", "sum", "avg", "min", "max", "first",
+    "stddev", "stddev_samp", "var_samp", "variance",
+])
+
+_VARIANCE_NAMES = ("stddev", "stddev_samp", "var_samp", "variance")
+
+
+def aggregate_supports_partial(aggregate: BoundAggregate) -> bool:
+    """True when this aggregate decomposes into partial states plus merge.
+
+    DISTINCT aggregates need global deduplication and stay serial.
+    """
+    return (aggregate.name.lower() in PARALLEL_SAFE_AGGREGATES
+            and not aggregate.distinct)
+
+
+def aggregate_input_layout(groups: List[BoundExpression],
+                           aggregates: List[BoundAggregate]):
+    """Column types and per-aggregate argument slots of the evaluated input.
+
+    The aggregation input is the group-key columns followed by one column
+    per aggregate argument; argumentless aggregates (``count(*)``) get
+    slot -1.
+    """
+    buffered_types = [group.return_type for group in groups]
+    argument_slots: List[int] = []
+    for aggregate in aggregates:
+        if aggregate.args:
+            argument_slots.append(len(buffered_types))
+            buffered_types.append(aggregate.args[0].return_type)
+        else:
+            argument_slots.append(-1)
+    return buffered_types, argument_slots
+
+
+def partial_state_types(aggregate: BoundAggregate) -> List[Tuple[str, LogicalType]]:
+    """``(merge aggregate name, state type)`` per partial-state column."""
+    name = aggregate.name.lower()
+    if name == "count":
+        return [("sum", BIGINT)]
+    if name == "sum":
+        return [("sum", aggregate.return_type)]
+    if name in ("min", "max", "first"):
+        return [(name, aggregate.args[0].return_type)]
+    if name == "avg":
+        return [("sum", DOUBLE), ("sum", BIGINT)]
+    if name in _VARIANCE_NAMES:
+        return [("sum", DOUBLE), ("sum", DOUBLE), ("sum", BIGINT)]
+    raise InternalError(f"Aggregate {name} has no partial decomposition")
+
+
+def compute_partial_state(aggregate: BoundAggregate, argument: Optional[Vector],
+                          group_ids: np.ndarray,
+                          group_count: int) -> List[Vector]:
+    """One morsel's partial-state columns for one aggregate."""
+    name = aggregate.name.lower()
+    if name == "count":
+        return [compute_aggregate("count", False, argument, group_ids,
+                                  group_count, BIGINT)]
+    if name == "sum":
+        return [compute_aggregate("sum", False, argument, group_ids,
+                                  group_count, aggregate.return_type)]
+    if name in ("min", "max", "first"):
+        return [compute_aggregate(name, False, argument, group_ids,
+                                  group_count, argument.dtype)]
+    if name == "avg":
+        return [compute_aggregate("sum", False, argument, group_ids,
+                                  group_count, DOUBLE),
+                compute_aggregate("count", False, argument, group_ids,
+                                  group_count, BIGINT)]
+    if name in _VARIANCE_NAMES:
+        cleaned = np.where(argument.validity, argument.data, 0).astype(np.float64)
+        squares = Vector(DOUBLE, cleaned * cleaned, argument.validity.copy())
+        return [compute_aggregate("sum", False, argument, group_ids,
+                                  group_count, DOUBLE),
+                compute_aggregate("sum", False, squares, group_ids,
+                                  group_count, DOUBLE),
+                compute_aggregate("count", False, argument, group_ids,
+                                  group_count, BIGINT)]
+    raise InternalError(f"Aggregate {name} has no partial decomposition")
+
+
+def finalize_merged_state(aggregate: BoundAggregate,
+                          states: List[Vector]) -> Vector:
+    """Turn merged partial states back into the aggregate's result column."""
+    name = aggregate.name.lower()
+    if name in ("count", "sum", "min", "max", "first"):
+        return states[0]
+    if name == "avg":
+        sums, counts = states
+        counts_data = np.where(counts.validity, counts.data, 0).astype(np.float64)
+        validity = counts_data > 0
+        with np.errstate(all="ignore"):
+            means = np.where(sums.validity, sums.data, 0.0) \
+                / np.maximum(counts_data, 1)
+        return Vector(DOUBLE, means, validity)
+    if name in _VARIANCE_NAMES:
+        sums, squares, counts = states
+        n = np.where(counts.validity, counts.data, 0).astype(np.float64)
+        s = np.where(sums.validity, sums.data, 0.0).astype(np.float64)
+        ss = np.where(squares.validity, squares.data, 0.0).astype(np.float64)
+        validity = n > 1
+        with np.errstate(all="ignore"):
+            variance = (ss - s * s / np.maximum(n, 1)) / np.maximum(n - 1, 1)
+        variance = np.maximum(variance, 0.0)
+        if name in ("stddev", "stddev_samp"):
+            variance = np.sqrt(variance)
+        return Vector(DOUBLE, variance, validity)
+    raise InternalError(f"Aggregate {name} has no partial decomposition")
 
 
 class PhysicalHashAggregate(PhysicalOperator):
@@ -44,14 +172,8 @@ class PhysicalHashAggregate(PhysicalOperator):
         executor = ExpressionExecutor(context)
         # Evaluate group keys and aggregate arguments once per input chunk,
         # buffering only those columns (not the full input).
-        buffered_types = [group.return_type for group in self.groups]
-        argument_slots: List[int] = []
-        for aggregate in self.aggregates:
-            if aggregate.args:
-                argument_slots.append(len(buffered_types))
-                buffered_types.append(aggregate.args[0].return_type)
-            else:
-                argument_slots.append(-1)
+        buffered_types, argument_slots = aggregate_input_layout(
+            self.groups, self.aggregates)
 
         total_rows = 0
         needs_buffer = bool(buffered_types)

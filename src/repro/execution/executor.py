@@ -272,6 +272,10 @@ class Executor:
         sniffed = sniff_csv(statement.path, delimiter=delimiter, header=header)
         delimiter = delimiter or sniffed.delimiter
         header = sniffed.has_header if header is None else header
+        if not sniffed.types:
+            # Empty file: nothing to load, but not an error (a header-only
+            # file likewise loads zero rows).
+            return StatementResult.count_result(0)
         if len(sniffed.types) != len(table.columns):
             raise InvalidInputError(
                 f"CSV file has {len(sniffed.types)} columns, table "

@@ -240,32 +240,32 @@ class ExpressionExecutor:
             matched |= equal.data & equal.validity
         return self._in_semantics(child, matched, any_null_item, expression.negated)
 
-    def _like_regex(self, pattern: str, case_insensitive: bool):
-        key = (pattern, case_insensitive)
+    def _like_regex(self, pattern: str, case_insensitive: bool,
+                    escape: Optional[str] = None):
+        from ..functions.scalar import like_to_regex
+
+        key = (pattern, case_insensitive, escape)
         regex = self._like_cache.get(key)
         if regex is None:
-            parts = []
-            for char in pattern:
-                if char == "%":
-                    parts.append(".*")
-                elif char == "_":
-                    parts.append(".")
-                else:
-                    parts.append(re.escape(char))
             flags = re.DOTALL | (re.IGNORECASE if case_insensitive else 0)
-            regex = re.compile("".join(parts) + r"\Z", flags)
+            regex = re.compile(like_to_regex(pattern, escape), flags)
             self._like_cache[key] = regex
         return regex
 
     def _execute_like(self, expression: BoundLike, chunk: DataChunk) -> Vector:
         child = self.execute(expression.child, chunk)
         pattern = self.execute(expression.pattern, chunk)
+        escape = self.execute(expression.escape, chunk) \
+            if expression.escape is not None else None
         count = len(child)
         validity = child.validity & pattern.validity
+        if escape is not None:
+            validity = validity & escape.validity
         data = np.zeros(count, dtype=np.bool_)
         for index in np.flatnonzero(validity):
-            regex = self._like_regex(pattern.data[index],
-                                     expression.case_insensitive)
+            regex = self._like_regex(
+                pattern.data[index], expression.case_insensitive,
+                escape.data[index] if escape is not None else None)
             data[index] = regex.match(child.data[index]) is not None
         if expression.negated:
             data = ~data & validity

@@ -1,0 +1,340 @@
+"""Morsel-driven parallel execution: worker pool, parallel scan, parallel
+aggregation.
+
+The paper's §2 demands OLAP queries run "as fast as the hardware allows";
+on a multi-core host that means exploiting all cores the user granted via
+``config.threads`` (PRAGMA ``threads``).  The design follows the
+morsel-driven model: a table scan is partitioned into fixed-size row-range
+*morsels* (aligned to the scan chunk size so per-chunk work is bit-identical
+to a serial scan), each worker of a ``ThreadPoolExecutor`` runs an entire
+pipeline fragment -- scan, pushed filters, residual filters, projection,
+partial aggregation -- over its morsel, and the coordinator merges the
+partial states.  NumPy kernels release the GIL, so the workers genuinely
+overlap on multi-core machines.
+
+Two invariants keep parallel execution transparent:
+
+* **bit-identical results** -- morsel boundaries align with serial chunk
+  boundaries, partial aggregates use exact decompositions (see
+  :mod:`~repro.execution.aggregate`), and the coordinator consumes worker
+  results in morsel order, so a parallel plan returns the same rows in the
+  same order as its serial twin (modulo floating-point summation order,
+  which is already unspecified for unordered input);
+* **cooperation** -- the worker count honors ``config.threads`` and, when
+  the reactive controller is active, degrades under application CPU load
+  (:meth:`~repro.cooperation.controller.ReactiveController.choose_worker_count`).
+
+``EXPLAIN ANALYZE`` reports ``morsels``, ``parallel_workers``, and
+``worker_<i>_rows`` statistics for every parallel pipeline that ran.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..storage.table_data import SCAN_CHUNK_ROWS
+from ..types import DataChunk, VECTOR_SIZE, Vector
+from ..functions.aggregate import compute_aggregate
+from ..planner.subquery import (
+    BoundExistsSubquery,
+    BoundInSubquery,
+    BoundScalarSubquery,
+)
+from .aggregate import (
+    aggregate_input_layout,
+    compute_partial_state,
+    finalize_merged_state,
+    partial_state_types,
+)
+from .expression_executor import ExpressionExecutor
+from .keys import factorize_for_groups
+from .physical import ExecutionContext, PhysicalOperator
+from .scan import PhysicalTableScan
+
+__all__ = ["MORSEL_ROWS", "MorselDriver", "PhysicalParallelTableScan",
+           "PhysicalParallelHashAggregate", "plan_worker_count",
+           "aligned_morsel_rows", "expressions_parallel_safe"]
+
+#: Default rows per morsel (~64K, the classic morsel-driven granularity).
+MORSEL_ROWS = 65536
+
+_SUBQUERY_NODES = (BoundScalarSubquery, BoundInSubquery, BoundExistsSubquery)
+
+
+def aligned_morsel_rows(morsel_rows: int) -> int:
+    """Morsel size rounded down to a whole number of scan chunks."""
+    return max(SCAN_CHUNK_ROWS,
+               (int(morsel_rows) // SCAN_CHUNK_ROWS) * SCAN_CHUNK_ROWS)
+
+
+def expressions_parallel_safe(expressions) -> bool:
+    """False when any expression needs coordinator-only state.
+
+    Subquery nodes materialize through the shared execution-context cache
+    (and may lower plans recursively), which is not thread-safe; pipelines
+    containing them stay serial.
+    """
+    stack = list(expressions)
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, _SUBQUERY_NODES):
+            return False
+        stack.extend(node.children)
+    return True
+
+
+def plan_worker_count(context: ExecutionContext) -> int:
+    """Workers this query may use: ``config.threads``, degraded by the
+    cooperation controller under application CPU load."""
+    database = context.database
+    if database is None:
+        return 1
+    threads = int(getattr(database.config, "threads", 1) or 1)
+    if threads <= 1:
+        return 1
+    controller = context.controller
+    if controller is not None:
+        chooser = getattr(controller, "choose_worker_count", None)
+        if chooser is not None:
+            threads = chooser(threads)
+    return max(1, int(threads))
+
+
+class MorselDriver:
+    """Schedules per-morsel tasks on a worker pool.
+
+    Results are yielded in *morsel order* (not completion order), which
+    keeps parallel output ordering identical to a serial scan while workers
+    still execute concurrently.  Interrupts propagate both ways: tasks poll
+    ``context.interrupted`` between chunks, and an abandoned or failing
+    drive cancels all not-yet-started morsels.
+    """
+
+    def __init__(self, context: ExecutionContext, worker_count: int) -> None:
+        self.context = context
+        self.worker_count = max(1, worker_count)
+        self._lock = threading.Lock()
+        #: rows processed per worker thread, in first-use order.
+        self._worker_rows: dict = {}
+
+    def record_rows(self, count: int) -> None:
+        """Attribute ``count`` processed rows to the calling worker."""
+        ident = threading.get_ident()
+        with self._lock:
+            self._worker_rows[ident] = self._worker_rows.get(ident, 0) + count
+
+    def _run_task(self, task: Callable):
+        self.context.check_interrupted()
+        return task()
+
+    def map(self, tasks: List[Callable]) -> Iterator:
+        """Run every task on the pool; yield results in task order."""
+        context = self.context
+        pool = ThreadPoolExecutor(max_workers=self.worker_count,
+                                  thread_name_prefix="repro-morsel")
+        futures = [pool.submit(self._run_task, task) for task in tasks]
+        try:
+            for future in futures:
+                yield future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True)
+            context.bump_stat("morsels", len(futures))
+            with self._lock:
+                rows = list(self._worker_rows.values())
+            for index, count in enumerate(rows):
+                context.bump_stat(f"worker_{index}_rows", count)
+            context.max_stat("parallel_workers", len(rows))
+
+
+class PhysicalParallelTableScan(PhysicalOperator):
+    """Morsel-parallel MVCC table scan (scan + pushed filters on workers).
+
+    Each worker executes a serial :class:`PhysicalTableScan` restricted to
+    one morsel's row range; the coordinator yields the resulting chunks in
+    morsel order, so downstream operators observe the exact chunk stream a
+    serial scan would produce.
+    """
+
+    def __init__(self, context: ExecutionContext, table_entry, column_ids,
+                 types, names, filters=None, worker_count: int = 1,
+                 morsel_rows: int = MORSEL_ROWS) -> None:
+        super().__init__(context, [], types, names)
+        self.table_entry = table_entry
+        self.column_ids = column_ids
+        self.filters = filters or []
+        self.worker_count = max(1, worker_count)
+        self.morsel_rows = aligned_morsel_rows(morsel_rows)
+        #: Serial twin, reused for full-table fallback and EXPLAIN output.
+        self._template = PhysicalTableScan(context, table_entry, column_ids,
+                                           types, names, self.filters)
+
+    def _scan_for(self, row_range: Optional[Tuple[int, int]]) -> PhysicalTableScan:
+        return PhysicalTableScan(self.context, self.table_entry,
+                                 self.column_ids, self.types, self.names,
+                                 self.filters, row_range=row_range)
+
+    def _scan_morsel(self, driver: MorselDriver,
+                     row_range: Tuple[int, int]) -> List[DataChunk]:
+        chunks = list(self._scan_for(row_range).execute())
+        driver.record_rows(sum(chunk.size for chunk in chunks))
+        return chunks
+
+    def execute(self) -> Iterator[DataChunk]:
+        ranges = self.table_entry.data.morsel_ranges(self.morsel_rows)
+        if self.worker_count <= 1 or len(ranges) <= 1:
+            yield from self._template.execute()
+            return
+        driver = MorselDriver(self.context,
+                              min(self.worker_count, len(ranges)))
+        tasks = [partial(self._scan_morsel, driver, row_range)
+                 for row_range in ranges]
+        for chunks in driver.map(tasks):
+            for chunk in chunks:
+                yield chunk
+
+    def _explain_line(self) -> str:
+        return (f"PARALLEL_{self._template._explain_line()} "
+                f"workers={self.worker_count}")
+
+
+class PhysicalParallelHashAggregate(PhysicalOperator):
+    """Morsel-parallel GROUP BY: partial aggregation on workers, merge on
+    the coordinator.
+
+    Each worker runs a full pipeline fragment (scan -> filter -> projection)
+    over one morsel, evaluates group keys and aggregate arguments, and
+    reduces them to a partial-state chunk: one row per group seen in the
+    morsel, carrying decomposed aggregate states (see
+    :func:`~repro.execution.aggregate.partial_state_types`).  The
+    coordinator concatenates the partials in morsel order, re-factorizes the
+    group keys -- merging the per-worker "hash tables" -- applies the merge
+    aggregates, and finalizes.
+    """
+
+    def __init__(self, context: ExecutionContext, table_data,
+                 fragment_factory: Callable[[Optional[Tuple[int, int]]], PhysicalOperator],
+                 groups, aggregates, types, names, worker_count: int,
+                 morsel_rows: int = MORSEL_ROWS) -> None:
+        # The full-range fragment doubles as the EXPLAIN child.
+        super().__init__(context, [fragment_factory(None)], types, names)
+        self.table_data = table_data
+        self.fragment_factory = fragment_factory
+        self.groups = groups
+        self.aggregates = aggregates
+        self.worker_count = max(1, worker_count)
+        self.morsel_rows = aligned_morsel_rows(morsel_rows)
+        self._buffered_types, self._argument_slots = aggregate_input_layout(
+            groups, aggregates)
+
+    # -- worker side ---------------------------------------------------------
+    def _partial_for_range(self, driver: MorselDriver,
+                           row_range: Tuple[int, int]) -> Optional[DataChunk]:
+        """One morsel's partial chunk: group keys ++ partial-state columns."""
+        context = self.context
+        executor = ExpressionExecutor(context)
+        fragment = self.fragment_factory(row_range)
+        parts: List[DataChunk] = []
+        total_rows = 0
+        needs_buffer = bool(self._buffered_types)
+        for chunk in fragment.execute():
+            context.check_interrupted()
+            if needs_buffer:
+                columns = [executor.execute(group, chunk)
+                           for group in self.groups]
+                for aggregate in self.aggregates:
+                    if aggregate.args:
+                        columns.append(executor.execute(aggregate.args[0],
+                                                        chunk))
+                parts.append(DataChunk(columns))
+            total_rows += chunk.size
+        driver.record_rows(total_rows)
+
+        group_count = len(self.groups)
+        if group_count and total_rows == 0:
+            return None  # this morsel contributes no groups
+        if parts:
+            materialized = DataChunk.concat_many(parts)
+        else:
+            materialized = DataChunk([Vector.empty(dtype, 0)
+                                      for dtype in self._buffered_types])
+
+        if group_count == 0:
+            group_ids = np.zeros(total_rows, dtype=np.int64)
+            groups_found = 1
+            key_columns: List[Vector] = []
+        else:
+            key_columns = materialized.columns[:group_count]
+            group_ids, groups_found, representatives = \
+                factorize_for_groups(key_columns)
+            key_columns = [column.slice(representatives)
+                           for column in key_columns]
+        state_columns: List[Vector] = []
+        for slot, aggregate in zip(self._argument_slots, self.aggregates):
+            argument = materialized.columns[slot] if slot >= 0 else None
+            state_columns.extend(compute_partial_state(
+                aggregate, argument, group_ids, groups_found))
+        return DataChunk(key_columns + state_columns)
+
+    # -- coordinator side ----------------------------------------------------
+    def _merge_partials(self, partials: List[DataChunk]) -> Iterator[DataChunk]:
+        group_count = len(self.groups)
+        merged = DataChunk.concat_many(partials)
+        if group_count == 0:
+            group_ids = np.zeros(merged.size, dtype=np.int64)
+            groups_found = 1
+            result_columns: List[Vector] = []
+        else:
+            key_columns = merged.columns[:group_count]
+            group_ids, groups_found, representatives = \
+                factorize_for_groups(key_columns)
+            self.context.bump_stat("aggregate_groups", groups_found)
+            result_columns = [column.slice(representatives)
+                              for column in key_columns]
+        offset = group_count
+        for aggregate in self.aggregates:
+            specs = partial_state_types(aggregate)
+            merged_states = [
+                compute_aggregate(merge_name, False, merged.columns[offset + i],
+                                  group_ids, groups_found, state_type)
+                for i, (merge_name, state_type) in enumerate(specs)
+            ]
+            result_columns.append(finalize_merged_state(aggregate,
+                                                        merged_states))
+            offset += len(specs)
+        result = DataChunk(result_columns)
+        for piece in result.split(VECTOR_SIZE):
+            yield piece
+
+    def _serial_fallback(self) -> PhysicalOperator:
+        from .aggregate import PhysicalHashAggregate
+
+        return PhysicalHashAggregate(self.context, self.fragment_factory(None),
+                                     self.groups, self.aggregates,
+                                     self.types, self.names)
+
+    def execute(self) -> Iterator[DataChunk]:
+        ranges = self.table_data.morsel_ranges(self.morsel_rows)
+        if self.worker_count <= 1 or len(ranges) <= 1:
+            yield from self._serial_fallback().execute()
+            return
+        driver = MorselDriver(self.context,
+                              min(self.worker_count, len(ranges)))
+        tasks = [partial(self._partial_for_range, driver, row_range)
+                 for row_range in ranges]
+        partials = [chunk for chunk in driver.map(tasks) if chunk is not None]
+        if len(self.groups) and not partials:
+            return
+        yield from self._merge_partials(partials)
+
+    def _explain_line(self) -> str:
+        return (f"PARALLEL_HASH_AGGREGATE groups={len(self.groups)} "
+                f"aggs={len(self.aggregates)} workers={self.worker_count}")

@@ -10,6 +10,7 @@ exactly the paper's "the client application becomes the root operator".
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, List, Optional
 
 from ..errors import InterruptError
@@ -27,9 +28,15 @@ class ExecutionContext:
         self.parameters = parameters or []
         #: Uncorrelated subqueries are evaluated once and cached by plan id.
         self._subquery_results = {}
+        #: Set (from any thread) to interrupt the query.  Morsel workers poll
+        #: this flag between chunks, so an interrupt propagates into the
+        #: worker pool of a parallel pipeline as well.
         self.interrupted = False
         #: Statistics filled during execution (rows scanned, spills, ...).
+        #: Guarded by ``_stats_lock``: parallel pipeline workers bump stats
+        #: concurrently.
         self.stats = {}
+        self._stats_lock = threading.Lock()
 
     @property
     def buffer_manager(self):
@@ -68,7 +75,14 @@ class ExecutionContext:
         return self._subquery_results[key]
 
     def bump_stat(self, name: str, amount: int = 1) -> None:
-        self.stats[name] = self.stats.get(name, 0) + amount
+        with self._stats_lock:
+            self.stats[name] = self.stats.get(name, 0) + amount
+
+    def max_stat(self, name: str, value: int) -> None:
+        """Record the high-water mark of a statistic (e.g. workers used)."""
+        with self._stats_lock:
+            if value > self.stats.get(name, 0):
+                self.stats[name] = value
 
 
 class PhysicalOperator:

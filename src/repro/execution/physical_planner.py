@@ -28,9 +28,22 @@ from ..planner.logical import (
     LogicalSetOp,
     LogicalValues,
 )
-from .aggregate import PhysicalDistinct, PhysicalHashAggregate, PhysicalSetOp
+from .aggregate import (
+    PhysicalDistinct,
+    PhysicalHashAggregate,
+    PhysicalSetOp,
+    aggregate_supports_partial,
+)
 from .basic import PhysicalFilter, PhysicalLimit, PhysicalProjection
 from .joins import PhysicalHashJoin, PhysicalMergeJoin, PhysicalNestedLoopJoin
+from .parallel import (
+    MORSEL_ROWS,
+    PhysicalParallelHashAggregate,
+    PhysicalParallelTableScan,
+    aligned_morsel_rows,
+    expressions_parallel_safe,
+    plan_worker_count,
+)
 from .physical import ExecutionContext, PhysicalOperator
 from .scan import PhysicalCSVScan, PhysicalEmptyResult, PhysicalTableScan, PhysicalValues
 from .sort import PhysicalOrder, PhysicalTopN
@@ -59,10 +72,95 @@ def _merge_join_eligible(op: LogicalJoin) -> bool:
     return len(op.conditions) == 1 and op.join_type in ("inner", "left")
 
 
+# -- morsel-driven parallel lowering ------------------------------------------
+
+def _morsel_rows(context: ExecutionContext) -> int:
+    if context.database is not None:
+        return aligned_morsel_rows(
+            getattr(context.database.config, "morsel_size", MORSEL_ROWS))
+    return MORSEL_ROWS
+
+
+def _scan_pipeline(plan: LogicalOperator):
+    """Unwrap a Filter*/Projection* chain over a base-table scan.
+
+    Returns ``(ops_top_down, get)`` when ``plan`` is such a chain, otherwise
+    ``(None, None)``.  These are exactly the pipeline shapes whose fragments
+    can run per-morsel on workers.
+    """
+    ops = []
+    node = plan
+    while isinstance(node, (LogicalFilter, LogicalProjection)):
+        ops.append(node)
+        node = node.children[0]
+    if not isinstance(node, LogicalGet):
+        return None, None
+    return ops, node
+
+
+def _try_parallel_aggregate(plan: LogicalAggregate,
+                            context: ExecutionContext
+                            ) -> Optional[PhysicalOperator]:
+    """Lower an aggregate over a scan pipeline to its morsel-parallel form.
+
+    Eligibility: more than one worker granted, more than one morsel of input,
+    every aggregate decomposes into partial states (no DISTINCT), and no
+    expression anywhere in the pipeline contains a subquery (the subquery
+    materialization cache is coordinator-only state).
+    """
+    workers = plan_worker_count(context)
+    if workers <= 1:
+        return None
+    ops, get = _scan_pipeline(plan.children[0])
+    if get is None:
+        return None
+    morsel_rows = _morsel_rows(context)
+    if get.table_entry.data.row_count <= morsel_rows:
+        return None
+    if not all(aggregate_supports_partial(aggregate)
+               for aggregate in plan.aggregates):
+        return None
+    expressions = list(plan.groups) + list(get.pushed_filters)
+    for aggregate in plan.aggregates:
+        expressions.extend(aggregate.args)
+    for op in ops:
+        if isinstance(op, LogicalFilter):
+            expressions.append(op.predicate)
+        else:
+            expressions.extend(op.expressions)
+    if not expressions_parallel_safe(expressions):
+        return None
+
+    def fragment_factory(row_range):
+        node: PhysicalOperator = PhysicalTableScan(
+            context, get.table_entry, get.column_ids, get.types, get.names,
+            get.pushed_filters, row_range=row_range)
+        for op in reversed(ops):
+            if isinstance(op, LogicalFilter):
+                node = PhysicalFilter(context, node, op.predicate)
+            else:
+                node = PhysicalProjection(context, node, op.expressions,
+                                          op.names)
+        return node
+
+    return PhysicalParallelHashAggregate(
+        context, get.table_entry.data, fragment_factory, plan.groups,
+        plan.aggregates, plan.types, plan.names, workers, morsel_rows)
+
+
 def create_physical_plan(plan: LogicalOperator,
                          context: ExecutionContext) -> PhysicalOperator:
     """Recursively lower a logical operator tree."""
     if isinstance(plan, LogicalGet):
+        workers = plan_worker_count(context)
+        morsel_rows = _morsel_rows(context)
+        if (workers > 1
+                and plan.table_entry.data.row_count > morsel_rows
+                and expressions_parallel_safe(plan.pushed_filters)):
+            return PhysicalParallelTableScan(
+                context, plan.table_entry, plan.column_ids, plan.types,
+                plan.names, plan.pushed_filters, worker_count=workers,
+                morsel_rows=morsel_rows)
         return PhysicalTableScan(context, plan.table_entry, plan.column_ids,
                                  plan.types, plan.names, plan.pushed_filters)
     if isinstance(plan, LogicalCSVScan):
@@ -79,6 +177,9 @@ def create_physical_plan(plan: LogicalOperator,
         child = create_physical_plan(plan.children[0], context)
         return PhysicalProjection(context, child, plan.expressions, plan.names)
     if isinstance(plan, LogicalAggregate):
+        parallel = _try_parallel_aggregate(plan, context)
+        if parallel is not None:
+            return parallel
         child = create_physical_plan(plan.children[0], context)
         return PhysicalHashAggregate(context, child, plan.groups, plan.aggregates,
                                      plan.types, plan.names)

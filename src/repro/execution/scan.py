@@ -76,11 +76,15 @@ class PhysicalTableScan(PhysicalOperator):
     """
 
     def __init__(self, context: ExecutionContext, table_entry, column_ids: List[int],
-                 types, names, filters: Optional[List[BoundExpression]] = None) -> None:
+                 types, names, filters: Optional[List[BoundExpression]] = None,
+                 row_range: Optional[Tuple[int, int]] = None) -> None:
         super().__init__(context, [], types, names)
         self.table_entry = table_entry
         self.column_ids = column_ids
         self.filters = filters or []
+        #: Optional [start, end) physical row restriction -- one morsel of a
+        #: parallel scan.  ``None`` scans the whole table (serial execution).
+        self.row_range = row_range
         self._zone_conditions = _extract_zone_conditions(self.filters,
                                                          column_ids)
 
@@ -109,9 +113,13 @@ class PhysicalTableScan(PhysicalOperator):
         executor = ExpressionExecutor(self.context)
         range_predicate = self._range_predicate if self._zone_conditions \
             else None
+        start_row, end_row = self.row_range if self.row_range is not None \
+            else (0, None)
         for chunk in self.table_entry.data.scan(self.context.transaction,
                                                 self.column_ids,
-                                                range_predicate=range_predicate):
+                                                range_predicate=range_predicate,
+                                                start_row=start_row,
+                                                end_row=end_row):
             self.context.check_interrupted()
             self.context.bump_stat("rows_scanned", chunk.size)
             for predicate in self.filters:

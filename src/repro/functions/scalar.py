@@ -15,6 +15,7 @@ their own behaviour (``coalesce``, ``concat``, ...).
 from __future__ import annotations
 
 import math
+import re
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -36,7 +37,42 @@ from ..types import (
     common_type,
 )
 
-__all__ = ["ScalarFunction", "SCALAR_FUNCTIONS", "lookup_scalar_function"]
+__all__ = ["ScalarFunction", "SCALAR_FUNCTIONS", "lookup_scalar_function",
+           "like_to_regex"]
+
+
+def like_to_regex(pattern: str, escape: Optional[str] = None) -> str:
+    """Translate a SQL LIKE pattern into a Python regex source string.
+
+    ``%`` matches any sequence, ``_`` any single character.  With an ESCAPE
+    character, ``<escape>%`` / ``<escape>_`` / ``<escape><escape>`` match
+    the literal character instead.  The standard requires the escape to be a
+    single character and forbids a pattern ending in a dangling escape.
+    """
+    from ..errors import InvalidInputError
+
+    if escape is not None and len(escape) != 1:
+        raise InvalidInputError(
+            f"LIKE ESCAPE must be a single character, got {escape!r}")
+    parts = []
+    index = 0
+    while index < len(pattern):
+        char = pattern[index]
+        if escape is not None and char == escape:
+            if index + 1 >= len(pattern):
+                raise InvalidInputError(
+                    f"LIKE pattern {pattern!r} ends with escape character")
+            parts.append(re.escape(pattern[index + 1]))
+            index += 2
+            continue
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+        index += 1
+    return "".join(parts) + r"\Z"
 
 
 class ScalarFunction:

@@ -107,8 +107,13 @@ class BindContext:
         self.bindings.append(binding)
         return binding
 
-    def resolve(self, table: Optional[str], column: str) -> Tuple[int, LogicalType, str]:
-        """Resolve a (possibly qualified) column to (position, type, name)."""
+    def try_resolve(self, table: Optional[str],
+                    column: str) -> Optional[Tuple[int, LogicalType, str]]:
+        """Resolve a (possibly qualified) column, or None when not in scope.
+
+        Ambiguity is still an error: a reference that matches two bindings
+        must not silently fall through to an enclosing scope.
+        """
         column_lower = column.lower()
         matches = []
         for binding in self.bindings:
@@ -118,11 +123,22 @@ class BindContext:
                 if name.lower() == column_lower:
                     matches.append((binding.offset + index, binding.types[index], name))
         if not matches:
-            qualifier = f"{table}." if table else ""
-            raise BinderError(f"Column {qualifier}{column!r} not found in FROM clause")
+            return None
         if len(matches) > 1:
             raise BinderError(f"Column reference {column!r} is ambiguous")
         return matches[0]
+
+    def resolve(self, table: Optional[str], column: str) -> Tuple[int, LogicalType, str]:
+        """Resolve a (possibly qualified) column to (position, type, name)."""
+        match = self.try_resolve(table, column)
+        if match is None:
+            raise BinderError(self.not_found_message(table, column))
+        return match
+
+    @staticmethod
+    def not_found_message(table: Optional[str], column: str) -> str:
+        full_name = f"{table}.{column}" if table else column
+        return f"Column {full_name!r} not found in FROM clause"
 
     def columns_of(self, table: Optional[str]) -> List[Tuple[int, LogicalType, str]]:
         """All columns (for star expansion), optionally of one alias."""
@@ -158,9 +174,18 @@ class Binder:
         self.transaction = transaction
         self.parameters = list(parameters) if parameters is not None else []
         self.cte_scope: Dict[str, ast.Statement] = dict(cte_scope or {})
+        #: FROM-clause scopes of enclosing queries, innermost first.  Only
+        #: consulted to *diagnose* correlated references -- this engine does
+        #: not execute correlated subqueries, but a reference that resolves
+        #: in an enclosing scope should say so instead of claiming the
+        #: column does not exist.
+        self.outer_contexts: List[BindContext] = []
 
     def _child_binder(self) -> "Binder":
-        return Binder(self.catalog, self.transaction, self.parameters, self.cte_scope)
+        child = Binder(self.catalog, self.transaction, self.parameters,
+                       self.cte_scope)
+        child.outer_contexts = list(self.outer_contexts)
+        return child
 
     # ------------------------------------------------------------------ statements
     def bind_statement(self, statement: ast.Statement) -> bound.BoundStatement:
@@ -627,6 +652,10 @@ class Binder:
         from ..etl.csv_reader import sniff_csv
 
         sniffed = sniff_csv(path)
+        if not sniffed.types:
+            raise BinderError(
+                f"CSV file {path!r} is empty: cannot infer a schema for "
+                f"{ref.name}()")
         schema = [ColumnSchema(name, dtype)
                   for name, dtype in zip(sniffed.names, sniffed.types)]
         plan = LogicalCSVScan(path, sniffed.options(), schema)
@@ -648,8 +677,20 @@ class Binder:
             value = self.parameters[expression.index]
             return BoundConstant(value, infer_type_of_value(value))
         if isinstance(expression, ast.ColumnRef):
-            position, dtype, name = context.resolve(expression.table_name,
-                                                    expression.column_name)
+            match = context.try_resolve(expression.table_name,
+                                        expression.column_name)
+            if match is None:
+                # Distinguish "no such column" from a correlated reference:
+                # if the name resolves in an enclosing query's scope, the
+                # query is well-formed SQL this engine does not support yet.
+                for outer in self.outer_contexts:
+                    if outer.try_resolve(expression.table_name,
+                                         expression.column_name) is not None:
+                        raise BinderError(
+                            "correlated subqueries are not supported")
+                raise BinderError(BindContext.not_found_message(
+                    expression.table_name, expression.column_name))
+            position, dtype, name = match
             return BoundColumnRef(position, dtype, name)
         if isinstance(expression, ast.Star):
             raise BinderError("* is only allowed in the select list and COUNT(*)")
@@ -686,20 +727,25 @@ class Binder:
             pattern = self.bind_expression(expression.pattern, context, allow_aggregates)
             child = _implicit_cast(child, VARCHAR, "LIKE operand")
             pattern = _implicit_cast(pattern, VARCHAR, "LIKE pattern")
+            escape = None
+            if expression.escape is not None:
+                escape = self.bind_expression(expression.escape, context,
+                                              allow_aggregates)
+                escape = _implicit_cast(escape, VARCHAR, "LIKE ESCAPE")
             return BoundLike(child, pattern, expression.negated,
-                             expression.case_insensitive)
+                             expression.case_insensitive, escape)
         if isinstance(expression, ast.FunctionCall):
             return self._bind_function(expression, context, allow_aggregates)
         if isinstance(expression, ast.WindowExpr):
             return self._bind_window(expression, context, allow_aggregates)
         if isinstance(expression, ast.ScalarSubquery):
-            plan = self._bind_subquery_plan(expression.subquery)
+            plan = self._bind_subquery_plan(expression.subquery, context)
             if len(plan.schema) != 1:
                 raise BinderError("Scalar subquery must return exactly one column")
             return BoundScalarSubquery(plan, plan.types[0])
         if isinstance(expression, ast.InSubquery):
             child = self.bind_expression(expression.operand, context, allow_aggregates)
-            plan = self._bind_subquery_plan(expression.subquery)
+            plan = self._bind_subquery_plan(expression.subquery, context)
             if len(plan.schema) != 1:
                 raise BinderError("IN subquery must return exactly one column")
             unified = common_type(child.return_type, plan.types[0])
@@ -712,12 +758,16 @@ class Binder:
             plan = _cast_plan_to(plan, [unified])
             return BoundInSubquery(child, plan, expression.negated)
         if isinstance(expression, ast.ExistsExpr):
-            plan = self._bind_subquery_plan(expression.subquery)
+            plan = self._bind_subquery_plan(expression.subquery, context)
             return BoundExistsSubquery(plan, expression.negated)
         raise BinderError(f"Cannot bind expression {type(expression).__name__}")
 
-    def _bind_subquery_plan(self, subquery: ast.Statement) -> LogicalOperator:
+    def _bind_subquery_plan(self, subquery: ast.Statement,
+                            outer_context: Optional[BindContext] = None
+                            ) -> LogicalOperator:
         child = self._child_binder()
+        if outer_context is not None:
+            child.outer_contexts = [outer_context] + child.outer_contexts
         return child.bind_query(subquery)
 
     def _bind_unary(self, expression: ast.UnaryOp, context: BindContext,

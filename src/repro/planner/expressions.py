@@ -213,27 +213,33 @@ class BoundInList(BoundExpression):
 
 
 class BoundLike(BoundExpression):
-    __slots__ = ("child", "pattern", "negated", "case_insensitive")
+    __slots__ = ("child", "pattern", "negated", "case_insensitive", "escape")
 
     def __init__(self, child: BoundExpression, pattern: BoundExpression,
-                 negated: bool, case_insensitive: bool) -> None:
+                 negated: bool, case_insensitive: bool,
+                 escape: Optional[BoundExpression] = None) -> None:
         super().__init__(BOOLEAN)
         self.child = child
         self.pattern = pattern
         self.negated = negated
         self.case_insensitive = case_insensitive
+        self.escape = escape
 
     @property
     def children(self) -> Sequence[BoundExpression]:
+        if self.escape is not None:
+            return (self.child, self.pattern, self.escape)
         return (self.child, self.pattern)
 
     def replace_children(self, new_children: List[BoundExpression]) -> "BoundLike":
+        escape = new_children[2] if len(new_children) > 2 else None
         return BoundLike(new_children[0], new_children[1], self.negated,
-                         self.case_insensitive)
+                         self.case_insensitive, escape)
 
     def _fields_equal(self, other: "BoundLike") -> bool:
         return (self.negated == other.negated
-                and self.case_insensitive == other.case_insensitive)
+                and self.case_insensitive == other.case_insensitive
+                and (self.escape is None) == (other.escape is None))
 
 
 class BoundFunction(BoundExpression):

@@ -218,15 +218,18 @@ class Parameter(Expression):
 
 
 class LikeExpr(Expression):
-    __slots__ = ("operand", "pattern", "negated", "case_insensitive")
+    __slots__ = ("operand", "pattern", "negated", "case_insensitive", "escape")
 
     def __init__(self, operand: Expression, pattern: Expression, negated: bool,
-                 case_insensitive: bool, position: int = -1) -> None:
+                 case_insensitive: bool, position: int = -1,
+                 escape: Optional[Expression] = None) -> None:
         super().__init__(position)
         self.operand = operand
         self.pattern = pattern
         self.negated = negated
         self.case_insensitive = case_insensitive
+        #: Optional ESCAPE clause expression (must evaluate to one character).
+        self.escape = escape
 
 
 class ExistsExpr(Expression):

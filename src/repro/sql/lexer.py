@@ -32,7 +32,7 @@ class TokenType(enum.Enum):
 #: (case-insensitively) become KEYWORD tokens with upper-cased text.
 KEYWORDS = frozenset("""
     SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET DISTINCT ALL
-    AS AND OR NOT IN IS NULL BETWEEN LIKE ILIKE CASE WHEN THEN ELSE END
+    AS AND OR NOT IN IS NULL BETWEEN LIKE ILIKE ESCAPE CASE WHEN THEN ELSE END
     CAST EXISTS UNION EXCEPT INTERSECT
     JOIN INNER LEFT RIGHT FULL OUTER CROSS ON USING
     INSERT INTO VALUES UPDATE SET DELETE

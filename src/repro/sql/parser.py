@@ -700,8 +700,12 @@ class Parser:
                 case_insensitive = lookahead.text == "ILIKE"
                 self.advance()
                 pattern = self.parse_additive()
+                escape = None
+                if self.current.is_keyword("ESCAPE"):
+                    self.advance()
+                    escape = self.parse_additive()
                 left = ast.LikeExpr(left, pattern, negated, case_insensitive,
-                                    lookahead.position)
+                                    lookahead.position, escape=escape)
                 continue
             if negated:
                 raise self.error("Expected IN, BETWEEN, or LIKE after NOT")

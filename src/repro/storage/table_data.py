@@ -350,11 +350,28 @@ class TableData:
             visible &= ~deleted_visible
         return visible
 
+    def morsel_ranges(self, morsel_rows: int = SEGMENT_ROWS) -> List[Tuple[int, int]]:
+        """Half-open ``[start, end)`` row ranges for morsel-driven scans.
+
+        Morsel boundaries are aligned to :data:`SCAN_CHUNK_ROWS` so a scan
+        restricted to one morsel fetches exactly the same chunk windows a
+        full serial scan would -- zonemap lookups and chunk contents stay
+        bit-identical, only the degree of parallelism changes.
+        """
+        step = max(SCAN_CHUNK_ROWS,
+                   (morsel_rows // SCAN_CHUNK_ROWS) * SCAN_CHUNK_ROWS)
+        with self.lock:
+            total = self.row_count
+        return [(start, min(start + step, total))
+                for start in range(0, total, step)]
+
     def scan(self, transaction: Transaction,
              column_indices: Optional[Sequence[int]] = None,
              chunk_size: int = SCAN_CHUNK_ROWS,
              with_row_ids: bool = False,
-             range_predicate=None) -> Iterator:
+             range_predicate=None,
+             start_row: int = 0,
+             end_row: Optional[int] = None) -> Iterator:
         """Vector Volcano scan: yield chunks of rows visible to the snapshot.
 
         With ``with_row_ids`` each item is ``(chunk, row_ids)`` where
@@ -364,13 +381,18 @@ class TableData:
         ``range_predicate(start, end)`` -- when provided -- is consulted per
         row range *before* any column data is fetched; returning False skips
         the range entirely (zonemap scan skipping, paper §6).
+
+        ``start_row``/``end_row`` restrict the scan to a physical row range
+        (morsel-driven parallel scans hand disjoint ranges to workers).
         """
         if column_indices is None:
             column_indices = range(len(self.columns))
         column_indices = list(column_indices)
         with self.lock:
             total = self.row_count
-        for start in range(0, total, chunk_size):
+        if end_row is not None:
+            total = min(total, end_row)
+        for start in range(start_row, total, chunk_size):
             end = min(start + chunk_size, total)
             if range_predicate is not None and not range_predicate(start, end):
                 continue

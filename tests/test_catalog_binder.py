@@ -116,6 +116,31 @@ class TestBinderResolution:
         with pytest.raises(BinderError):
             con.execute("SELECT ghost.x FROM t")
 
+    def test_not_found_message_quotes_full_name(self, con):
+        # Regression: the message used to render as "Column x.'i'" with the
+        # quote around only the column part.
+        con.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(BinderError, match=r"Column 'x\.i' not found"):
+            con.execute("SELECT x.i FROM t")
+        with pytest.raises(BinderError, match=r"Column 'nope' not found"):
+            con.execute("SELECT nope FROM t")
+
+    def test_correlated_subquery_diagnosed(self, con):
+        # A column that resolves only in the enclosing query's scope is a
+        # correlated reference, not a missing column.
+        con.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+        with pytest.raises(BinderError, match="correlated subqueries"):
+            con.execute("SELECT a FROM t t1 WHERE a = "
+                        "(SELECT max(a) FROM t t2 WHERE t2.b = t1.b)")
+        with pytest.raises(BinderError, match="correlated subqueries"):
+            con.execute("SELECT a FROM t WHERE EXISTS "
+                        "(SELECT 1 FROM t u WHERE u.a = t.a AND u.b = b)")
+
+    def test_uncorrelated_subquery_unknown_column_still_not_found(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(BinderError, match="not found"):
+            con.execute("SELECT a FROM t WHERE a IN (SELECT zz FROM t)")
+
     def test_using_column_missing(self, con):
         con.execute("CREATE TABLE a (x INTEGER)")
         con.execute("CREATE TABLE b (y INTEGER)")

@@ -78,9 +78,17 @@ class TestSniffer:
             sniff_csv("/nonexistent/file.csv")
 
     def test_empty_file(self, tmp_path):
+        # A zero-byte file sniffs to an empty schema rather than erroring;
+        # COPY FROM uses this to load zero rows.
         path = write_file(tmp_path, "m.csv", "")
-        with pytest.raises(InvalidInputError):
-            sniff_csv(path)
+        sniffed = sniff_csv(path)
+        assert sniffed.names == []
+        assert sniffed.types == []
+
+    def test_blank_lines_only(self, tmp_path):
+        path = write_file(tmp_path, "n.csv", "\n\n\n")
+        sniffed = sniff_csv(path)
+        assert sniffed.types == []
 
 
 class TestReader:
@@ -172,6 +180,24 @@ class TestCopyStatements:
         con.execute("ROLLBACK")
         assert con.query_value("SELECT count(*) FROM t") == 0
 
+    def test_copy_from_empty_file_loads_zero_rows(self, tmp_path, con):
+        # Regression: a zero-byte CSV used to raise InvalidInputError; it
+        # should behave like the header-only case and load nothing.
+        out = str(tmp_path / "empty.csv")
+        (tmp_path / "empty.csv").write_text("")
+        con.execute("CREATE TABLE t (v INTEGER)")
+        result = con.execute(f"COPY t FROM '{out}'")
+        assert result.fetchall() == [(0,)]
+        assert con.query_value("SELECT count(*) FROM t") == 0
+
+    def test_copy_from_header_only_file(self, tmp_path, con):
+        out = str(tmp_path / "header.csv")
+        (tmp_path / "header.csv").write_text("v\n")
+        con.execute("CREATE TABLE t (v INTEGER)")
+        result = con.execute(f"COPY t FROM '{out}'")
+        assert result.fetchall() == [(0,)]
+        assert con.query_value("SELECT count(*) FROM t") == 0
+
 
 class TestDirectCSVQueries:
     def test_select_from_csv_file(self, tmp_path, con):
@@ -186,6 +212,14 @@ class TestDirectCSVQueries:
         path = write_file(tmp_path, "fn.csv", "x\n1\n2\n")
         assert con.query_value(
             f"SELECT sum(x) FROM read_csv('{path}')") == 3
+
+    def test_read_csv_of_empty_file_rejected(self, tmp_path, con):
+        # SELECT needs a schema; an empty file has none to infer.
+        from repro.errors import BinderError
+
+        path = write_file(tmp_path, "void.csv", "")
+        with pytest.raises(BinderError, match="empty"):
+            con.execute(f"SELECT * FROM read_csv('{path}')")
 
     def test_etl_pipeline_csv_to_table(self, tmp_path, con):
         """Paper §2: scan a file, reshape, append to a persistent table."""

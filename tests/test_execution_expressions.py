@@ -69,6 +69,19 @@ class TestThreeValuedLogic:
                                  ).fetchall()
         assert rows == []
 
+    def test_between_null_bound(self, con):
+        # BETWEEN desugars to >= AND <=, so a NULL bound follows AND's
+        # three-valued logic: definite failures on the other bound yield
+        # FALSE, everything else is unknown.
+        assert con.execute("SELECT 3 BETWEEN NULL AND 5").fetchvalue() is None
+        assert con.execute("SELECT 7 BETWEEN NULL AND 5").fetchvalue() is False
+        assert con.execute("SELECT 3 BETWEEN 1 AND NULL").fetchvalue() is None
+        assert con.execute("SELECT 0 BETWEEN 1 AND NULL").fetchvalue() is False
+        assert con.execute(
+            "SELECT 3 NOT BETWEEN NULL AND 5").fetchvalue() is None
+        assert con.execute(
+            "SELECT 7 NOT BETWEEN NULL AND 5").fetchvalue() is True
+
 
 class TestArithmetic:
     def test_integer_ops(self, con):
@@ -189,6 +202,40 @@ class TestLike:
 
     def test_not_like(self, con):
         assert con.execute("SELECT 'abc' NOT LIKE 'z%'").fetchvalue() is True
+
+    @pytest.mark.parametrize("value,pattern,escape,expected", [
+        ("100%", "100\\%", "\\", True),    # escaped % is literal
+        ("100x", "100\\%", "\\", False),
+        ("a_b", "a!_b", "!", True),        # escaped _ is literal
+        ("axb", "a!_b", "!", False),
+        ("50\\50", "50\\\\50", "\\", True),  # doubled escape is a backslash
+        ("%", "\\%", "\\", True),
+        ("20% off", "%\\%%", "\\", True),  # mix of wild and escaped %
+    ])
+    def test_like_escape(self, con, value, pattern, escape, expected):
+        result = con.execute("SELECT ? LIKE ? ESCAPE ?",
+                             [value, pattern, escape]).fetchvalue()
+        assert result is expected
+
+    def test_ilike_escape(self, con):
+        assert con.execute(
+            "SELECT 'A_B' ILIKE 'a!_b' ESCAPE '!'").fetchvalue() is True
+
+    def test_like_escape_null(self, con):
+        assert con.execute(
+            "SELECT 'x' LIKE 'x' ESCAPE NULL").fetchvalue() is None
+
+    def test_like_escape_must_be_single_char(self, con):
+        from repro.errors import InvalidInputError
+
+        with pytest.raises(InvalidInputError, match="single character"):
+            con.execute("SELECT 'x' LIKE 'x%' ESCAPE 'ab'").fetchall()
+
+    def test_like_trailing_escape_rejected(self, con):
+        from repro.errors import InvalidInputError
+
+        with pytest.raises(InvalidInputError, match="ends with escape"):
+            con.execute("SELECT 'x' LIKE 'x!' ESCAPE '!'").fetchall()
 
 
 class TestConcatAndStrings:

@@ -124,6 +124,26 @@ class TestOuterJoins:
         assert (2, None) in rows
         assert len(rows) == 4
 
+    def test_full_join_with_residual(self, joined):
+        # Rows failing the residual condition must still null-extend on
+        # BOTH sides of a FULL join.
+        rows = joined.execute(
+            "SELECT l.id, r.id, r.val FROM l FULL JOIN r "
+            "ON l.id = r.id AND r.val > 3").fetchall()
+        # Only the (3, 3.5) pairing passes the residual.
+        assert (3, 3, 3.5) in rows
+        # Every left row without a qualifying partner null-extends once
+        # (l.id = 3 matched, so it does not).
+        unmatched_left = sorted(row[0] for row in rows if row[1] is None
+                                and row[2] is None and row[0] is not None)
+        assert unmatched_left == [1, 2]
+        assert (None, None, None) in rows  # the NULL-id left row
+        # Right rows that only appeared in rejected pairs survive too.
+        unmatched_right = sorted(row[2] for row in rows if row[0] is None
+                                 and row[2] is not None)
+        assert unmatched_right == [0.0, 2.0, 3.0, 4.0]
+        assert len(rows) == 8
+
     def test_cross_join(self, joined):
         count = joined.query_value("SELECT count(*) FROM l CROSS JOIN r")
         assert count == 20

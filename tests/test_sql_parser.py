@@ -117,10 +117,23 @@ class TestExpressions:
         like = self.predicate("a LIKE 'x%'")
         assert isinstance(like, ast.LikeExpr)
         assert not like.case_insensitive
+        assert like.escape is None
         ilike = self.predicate("a ILIKE 'x%'")
         assert ilike.case_insensitive
         not_like = self.predicate("a NOT LIKE 'x%'")
         assert not_like.negated
+
+    def test_like_escape_clause(self):
+        like = self.predicate("a LIKE '100\\%' ESCAPE '\\'")
+        assert isinstance(like, ast.LikeExpr)
+        assert isinstance(like.escape, ast.Literal)
+        assert like.escape.value == "\\"
+        not_like = self.predicate("a NOT LIKE 'x!_%' ESCAPE '!'")
+        assert not_like.negated
+        assert not_like.escape.value == "!"
+        ilike = self.predicate("a ILIKE 'x!_%' ESCAPE '!'")
+        assert ilike.case_insensitive
+        assert ilike.escape is not None
 
     def test_case_searched(self):
         expression = parse_one(
