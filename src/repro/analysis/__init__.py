@@ -1,0 +1,45 @@
+"""quacklint: the engine-aware static analyzer for the QuackDB reproduction.
+
+The paper's pillars -- vectorized execution, transfer efficiency,
+resilience, and cooperation -- are invariants of this codebase, and the
+morsel-driven executor added one more (thread-safety of shared engine
+state).  This package enforces them statically:
+
+* rule engine + per-rule suppression comments: :mod:`repro.analysis.core`
+* thread-safety registry seeded from the executor's shared classes:
+  :mod:`repro.analysis.registry`
+* the five rule families (QLC/QLV/QLZ/QLE/QLR): :mod:`repro.analysis.rules`
+* ``python -m repro.analysis src/repro`` CLI, exits non-zero on findings:
+  :mod:`repro.analysis.__main__`
+"""
+
+from __future__ import annotations
+
+from .core import (
+    AnalysisConfig,
+    FileContext,
+    Rule,
+    Violation,
+    analyze_paths,
+    analyze_source,
+    package_path,
+)
+from .config import find_pyproject, load_config
+from .registry import SharedClassSpec, ThreadSafetyRegistry
+from .rules import ALL_RULES, all_rule_ids
+
+__all__ = [
+    "AnalysisConfig",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "analyze_paths",
+    "analyze_source",
+    "package_path",
+    "find_pyproject",
+    "load_config",
+    "SharedClassSpec",
+    "ThreadSafetyRegistry",
+    "ALL_RULES",
+    "all_rule_ids",
+]

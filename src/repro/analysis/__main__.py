@@ -1,0 +1,81 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .config import load_config
+from .core import analyze_paths, iter_python_files
+from .rules import all_rule_ids
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="quacklint: engine-aware static analysis for the "
+                    "QuackDB reproduction",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyze "
+                             "(default: src/repro, else .)")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE",
+                        help="disable a rule id or family prefix "
+                             "(repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list every rule id and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit violations as JSON")
+    parser.add_argument("--config", default=None, metavar="PYPROJECT",
+                        help="explicit pyproject.toml with a "
+                             "[tool.quacklint] table")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id, description in sorted(all_rule_ids().items()):
+            print(f"{rule_id}  {description}")
+        return 0
+
+    paths: List[str] = list(options.paths or [])
+    if not paths:
+        paths = ["src/repro"] if os.path.isdir("src/repro") else ["."]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"quacklint: path does not exist: {path}", file=sys.stderr)
+            return 2
+
+    config = load_config(pyproject_path=options.config, start=paths[0])
+    if options.disable:
+        config.disabled_rules = tuple(config.disabled_rules) \
+            + tuple(options.disable)
+
+    violations = analyze_paths(paths, config)
+    scanned = sum(1 for _ in iter_python_files(paths))
+
+    if options.as_json:
+        print(json.dumps([violation.__dict__ for violation in violations],
+                         indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        noun = "violation" if len(violations) == 1 else "violations"
+        flagged_files = len({violation.path for violation in violations})
+        print(f"quacklint: {len(violations)} {noun} in {flagged_files} "
+              f"file(s) ({scanned} files scanned)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

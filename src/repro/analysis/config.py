@@ -1,0 +1,81 @@
+"""Load ``[tool.quacklint]`` configuration from ``pyproject.toml``.
+
+Recognized keys::
+
+    [tool.quacklint]
+    disable = ["QLE002"]               # rule ids (or prefixes) to turn off
+    exclude = ["repro/baselines/"]     # path fragments to skip entirely
+
+    [tool.quacklint.scopes]            # extra scope prefixes per rule family
+    vectorization = ["repro/etl/"]
+
+On interpreters without :mod:`tomllib` (< 3.11) configuration is skipped
+and the built-in defaults apply; the analyzer itself has no third-party
+dependencies by design.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from .core import AnalysisConfig
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - py<3.11 fallback
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["find_pyproject", "load_config"]
+
+
+def find_pyproject(start: str) -> Optional[str]:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = os.path.abspath(start)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    while True:
+        candidate = os.path.join(current, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def _read_tool_table(pyproject_path: str) -> Dict[str, Any]:
+    if tomllib is None:
+        return {}
+    try:
+        with open(pyproject_path, "rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, ValueError):
+        return {}
+    tool = data.get("tool", {})
+    section = tool.get("quacklint", {}) if isinstance(tool, dict) else {}
+    return section if isinstance(section, dict) else {}
+
+
+def load_config(pyproject_path: Optional[str] = None,
+                start: Optional[str] = None) -> AnalysisConfig:
+    """Build an :class:`AnalysisConfig` from defaults + pyproject overrides."""
+    defaults = AnalysisConfig()
+    if pyproject_path is None and start is not None:
+        pyproject_path = find_pyproject(start)
+    if pyproject_path is None:
+        return defaults
+    section = _read_tool_table(pyproject_path)
+    if not section:
+        return defaults
+    disable = tuple(str(entry) for entry in section.get("disable", ()))
+    exclude = tuple(str(entry) for entry in
+                    section.get("exclude", defaults.exclude))
+    scopes_raw = section.get("scopes", {})
+    scopes: Dict[str, tuple] = {}
+    if isinstance(scopes_raw, dict):
+        for family, prefixes in scopes_raw.items():
+            if isinstance(prefixes, (list, tuple)):
+                scopes[str(family)] = tuple(str(p) for p in prefixes)
+    return AnalysisConfig(disabled_rules=disable, exclude=exclude,
+                          scope_extensions=scopes)

@@ -1,0 +1,236 @@
+"""quacklint core: the rule engine.
+
+quacklint is an *engine-aware* static analyzer: its rules encode the
+invariants the paper turns into pillars -- vectorized execution, transfer
+efficiency (zero-copy), resilience (no silently swallowed failures), and
+safe cooperation of the morsel-driven worker pool with shared engine state.
+Generic linters check style; quacklint checks that a future PR does not
+quietly regress one of those pillars.
+
+The engine is deliberately small:
+
+* a :class:`Rule` visits one parsed file (:class:`FileContext`) and yields
+  :class:`Violation`\\ s;
+* every rule only runs on files inside its *scope* (path prefixes under the
+  package root), seeded by the registry and extensible via
+  ``[tool.quacklint]`` in ``pyproject.toml``;
+* any violation can be suppressed in the source with a justification
+  comment: ``# quacklint: disable=RULE`` on the statement's first line
+  (or ``# quacklint: disable-file=RULE`` anywhere, for the whole file).
+  Suppression entries match by prefix, so ``disable=QLV`` silences the
+  whole vectorization family on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "FileContext",
+    "AnalysisConfig",
+    "package_path",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*quacklint:\s*(disable(?:-file)?)\s*(?:=\s*([A-Za-z0-9_,\s*]+))?"
+)
+
+PARSE_ERROR_RULE = "QLP000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: rule id, location, and a human-readable message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def package_path(path: str) -> str:
+    """Normalize a filesystem path to a ``repro/...`` package-relative path.
+
+    Rule scopes are expressed against the package root so the analyzer works
+    identically from any checkout location (and on virtual fixture paths in
+    tests, which already look like ``repro/functions/fixture.py``).
+    """
+    normalized = path.replace(os.sep, "/")
+    parts = normalized.split("/")
+    for index, part in enumerate(parts):
+        if part == "repro":
+            return "/".join(parts[index:])
+    return normalized.lstrip("./")
+
+
+class FileContext:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        #: Package-relative path used for scope matching.
+        self.pkg_path = package_path(path)
+        self.source = source
+        self.tree = tree
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Set[str] = set()
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [(token.start[0], token.string) for token in tokens
+                        if token.type == tokenize.COMMENT]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for line, text in comments:
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            kind, spec = match.group(1), match.group(2)
+            rules = {"*"} if spec is None else {
+                entry.strip() for entry in spec.split(",") if entry.strip()
+            }
+            if kind == "disable-file":
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(line, set()).update(rules)
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        entries = self.file_suppressions | self.line_suppressions.get(
+            violation.line, set())
+        return any(entry == "*" or violation.rule.startswith(entry)
+                   for entry in entries)
+
+
+class Rule:
+    """Base class for one rule family.
+
+    ``ids`` maps every rule id the family can emit to its one-line
+    description (shown by ``--list-rules``); ``default_scope`` is the tuple
+    of package-path prefixes the family applies to.
+    """
+
+    name: str = ""
+    description: str = ""
+    ids: Dict[str, str] = {}
+    default_scope: Tuple[str, ...] = ("repro/",)
+
+    def applies_to(self, ctx: "FileContext", config: "AnalysisConfig") -> bool:
+        scope = tuple(self.default_scope) + tuple(
+            config.scope_extensions.get(self.name, ()))
+        return any(ctx.pkg_path == prefix or ctx.pkg_path.startswith(prefix)
+                   for prefix in scope)
+
+    def check(self, ctx: "FileContext",
+              config: "AnalysisConfig") -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+@dataclass
+class AnalysisConfig:
+    """Effective configuration: defaults merged with ``[tool.quacklint]``."""
+
+    disabled_rules: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ("repro/baselines/",)
+    #: rule-family name -> extra scope prefixes.
+    scope_extensions: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: The thread-safety registry (set lazily to avoid an import cycle).
+    registry: object = None
+
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            from .registry import ThreadSafetyRegistry
+
+            self.registry = ThreadSafetyRegistry()
+
+    def rule_disabled(self, rule_id: str) -> bool:
+        return any(rule_id.startswith(entry) for entry in self.disabled_rules)
+
+    def path_excluded(self, pkg_path: str) -> bool:
+        return any(part and part in pkg_path for part in self.exclude)
+
+
+def _default_rules() -> Sequence[Rule]:
+    from .rules import ALL_RULES
+
+    return ALL_RULES
+
+
+def analyze_source(source: str, path: str,
+                   config: Optional[AnalysisConfig] = None,
+                   rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Analyze one source string as if it lived at ``path``.
+
+    This is the entry point the test fixtures use: the virtual ``path``
+    decides which rule scopes apply.
+    """
+    config = config or AnalysisConfig()
+    rules = _default_rules() if rules is None else rules
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Violation(PARSE_ERROR_RULE, path, exc.lineno or 1,
+                          exc.offset or 0, f"could not parse file: {exc.msg}")]
+    ctx = FileContext(path, source, tree)
+    if config.path_excluded(ctx.pkg_path):
+        return []
+    violations: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(ctx, config):
+            continue
+        for violation in rule.check(ctx, config):
+            if config.rule_disabled(violation.rule):
+                continue
+            if ctx.is_suppressed(violation):
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def analyze_paths(paths: Iterable[str],
+                  config: Optional[AnalysisConfig] = None,
+                  rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Analyze every ``.py`` file under ``paths``; returns all violations."""
+    config = config or AnalysisConfig()
+    violations: List[Violation] = []
+    for file_path in iter_python_files(paths):
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            violations.append(Violation(PARSE_ERROR_RULE, file_path, 1, 0,
+                                        f"could not read file: {exc}"))
+            continue
+        violations.extend(analyze_source(source, file_path, config, rules))
+    return violations

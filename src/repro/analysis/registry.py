@@ -1,0 +1,120 @@
+"""The thread-safety registry: which engine state is shared across threads.
+
+PR 1 introduced morsel-driven parallelism: ``execution/parallel.py`` runs
+pipeline fragments on a ``ThreadPoolExecutor``, so everything a fragment can
+reach -- the execution context, the buffer manager, the catalog, the
+transaction manager -- is *shared mutable state*.  Each of those classes
+already serializes writes behind a ``threading.Lock``; this registry writes
+that design down in machine-checkable form so the concurrency rule family
+(QLC) can enforce it forever:
+
+* every class listed in :data:`DEFAULT_SHARED_CLASSES` must guard writes to
+  ``self`` state with ``with self.<lock_attr>:``;
+* methods whose names end in ``_locked`` are asserted (by convention) to be
+  called with the lock already held, and are exempt;
+* ``__init__`` is exempt -- the object is not yet published to other
+  threads while it is being constructed;
+* attributes in ``unguarded_ok`` are *documented* benign races
+  (e.g. ``ExecutionContext.interrupted`` is a monotonic bool flag polled
+  between chunks; ``_subquery_results`` is only touched by the coordinator
+  because :func:`~repro.execution.parallel.expressions_parallel_safe` keeps
+  subquery pipelines serial).
+
+Modules listed in :data:`DEFAULT_WORKER_REACHABLE` execute on worker
+threads; writes to module-level globals there are flagged outright (QLC002)
+because no lock discipline can be inferred for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = [
+    "SharedClassSpec",
+    "ThreadSafetyRegistry",
+    "DEFAULT_SHARED_CLASSES",
+    "DEFAULT_WORKER_REACHABLE",
+]
+
+
+@dataclass(frozen=True)
+class SharedClassSpec:
+    """Lock discipline for one class shared across worker threads."""
+
+    lock_attr: str
+    #: Attributes with documented benign unguarded writes.
+    unguarded_ok: FrozenSet[str] = frozenset()
+
+
+#: Seeded from the modules the morsel-driven executor actually shares:
+#: physical.py (ExecutionContext), parallel.py (MorselDriver),
+#: buffer_manager.py, catalog.py, transaction/manager.py, and the
+#: client-facing Connection (one connection may be driven from several
+#: application threads).
+DEFAULT_SHARED_CLASSES: Dict[str, Dict[str, SharedClassSpec]] = {
+    "repro/execution/physical.py": {
+        # ``interrupted`` is a cross-thread cancellation flag: single bool
+        # store, polled between chunks -- guarding it would serialize the
+        # hot path for nothing.  ``_subquery_results`` is coordinator-only:
+        # pipelines containing subqueries never parallelize (see
+        # expressions_parallel_safe).
+        "ExecutionContext": SharedClassSpec(
+            "_stats_lock", frozenset({"interrupted", "_subquery_results"})),
+    },
+    "repro/execution/parallel.py": {
+        "MorselDriver": SharedClassSpec("_lock"),
+    },
+    "repro/storage/buffer_manager.py": {
+        "BufferManager": SharedClassSpec("_lock"),
+    },
+    "repro/catalog/catalog.py": {
+        "Catalog": SharedClassSpec("_lock"),
+    },
+    "repro/transaction/manager.py": {
+        "TransactionManager": SharedClassSpec("_lock"),
+    },
+    "repro/client/connection.py": {
+        # ``_active_context`` is published so Connection.interrupt() (called
+        # from another thread) can set the cancellation flag; a stale read
+        # merely misses an interrupt window, it cannot corrupt state.
+        "Connection": SharedClassSpec("_lock",
+                                      frozenset({"_active_context"})),
+    },
+}
+
+#: Modules whose functions run on morsel worker threads (or are called from
+#: code that does).  Module-global writes here are always violations.
+DEFAULT_WORKER_REACHABLE: Tuple[str, ...] = (
+    "repro/execution/",
+    "repro/functions/",
+    "repro/types/",
+    "repro/storage/buffer_manager.py",
+    "repro/storage/table_data.py",
+    "repro/catalog/",
+    "repro/transaction/",
+)
+
+
+@dataclass
+class ThreadSafetyRegistry:
+    """Queryable view over the shared-state seed data (tests may override)."""
+
+    shared_classes: Dict[str, Dict[str, SharedClassSpec]] = field(
+        default_factory=lambda: {
+            path: dict(classes)
+            for path, classes in DEFAULT_SHARED_CLASSES.items()
+        })
+    worker_reachable: Tuple[str, ...] = DEFAULT_WORKER_REACHABLE
+    locked_suffix: str = "_locked"
+
+    def spec_for(self, pkg_path: str,
+                 class_name: str) -> Optional[SharedClassSpec]:
+        return self.shared_classes.get(pkg_path, {}).get(class_name)
+
+    def classes_in(self, pkg_path: str) -> Dict[str, SharedClassSpec]:
+        return self.shared_classes.get(pkg_path, {})
+
+    def is_worker_reachable(self, pkg_path: str) -> bool:
+        return any(pkg_path == prefix or pkg_path.startswith(prefix)
+                   for prefix in self.worker_reachable)

@@ -1,0 +1,43 @@
+"""quacklint rule families.
+
+One module per family; :data:`ALL_RULES` is the engine's default rule set.
+Family prefixes: QLC (concurrency), QLV (vectorization), QLZ (zero-copy),
+QLE (exception discipline), QLR (resource discipline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import Rule
+from .concurrency import ConcurrencyRule
+from .exceptions import ExceptionDisciplineRule
+from .resources import ResourceDisciplineRule
+from .vectorization import VectorizationRule
+from .zerocopy import ZeroCopyRule
+
+__all__ = [
+    "ALL_RULES",
+    "ConcurrencyRule",
+    "VectorizationRule",
+    "ZeroCopyRule",
+    "ExceptionDisciplineRule",
+    "ResourceDisciplineRule",
+    "all_rule_ids",
+]
+
+ALL_RULES: List[Rule] = [
+    ConcurrencyRule(),
+    VectorizationRule(),
+    ZeroCopyRule(),
+    ExceptionDisciplineRule(),
+    ResourceDisciplineRule(),
+]
+
+
+def all_rule_ids() -> Dict[str, str]:
+    """Every emittable rule id -> its one-line description."""
+    ids: Dict[str, str] = {}
+    for rule in ALL_RULES:
+        ids.update(rule.ids)
+    return ids

@@ -1,0 +1,196 @@
+"""QLC -- concurrency rules: lock discipline for worker-shared state.
+
+The morsel-driven executor (``execution/parallel.py``) runs pipeline
+fragments on real threads.  Classes registered in the thread-safety registry
+are reachable from those workers, so every write to their ``self`` state
+must happen under ``with self.<lock>:`` (QLC001).  Module-level globals in
+worker-reachable modules have no lock to name, so writing them from a
+function is flagged outright (QLC002).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..core import AnalysisConfig, FileContext, Rule, Violation
+from ..registry import SharedClassSpec, ThreadSafetyRegistry
+
+__all__ = ["ConcurrencyRule"]
+
+#: Method names that mutate the receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "insert", "extend", "remove", "discard", "pop",
+    "popitem", "clear", "update", "setdefault", "move_to_end", "sort",
+    "reverse", "appendleft", "popleft",
+})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _self_attr_of(node: ast.AST) -> Optional[str]:
+    """The ``self`` attribute a write target ultimately mutates, or None.
+
+    ``self.x = v`` / ``self.x[i] = v`` / ``self.x.y = v`` all mutate the
+    object graph rooted at attribute ``x`` of ``self``.
+    """
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        inner = node.value
+        if isinstance(node, ast.Attribute) and isinstance(inner, ast.Name) \
+                and inner.id == "self":
+            return node.attr
+        node = inner
+    return None
+
+
+def _written_attrs(stmt: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """(attr, node) pairs for every ``self`` attribute this statement writes."""
+    found: List[Tuple[str, ast.AST]] = []
+
+    def add_target(target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_target(element)
+            return
+        attr = _self_attr_of(target)
+        if attr is not None:
+            found.append((attr, target))
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            add_target(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        add_target(stmt.target)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            add_target(target)
+    return found
+
+
+def _mutating_call_attr(call: ast.Call) -> Optional[str]:
+    """Attribute mutated by ``self.<attr>....<mutator>(...)`` or
+    ``setattr(self, "attr", ...)``, if resolvable."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+        return _self_attr_of(func.value)
+    if isinstance(func, ast.Name) and func.id == "setattr" and call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Name) and first.id == "self":
+            second = call.args[1] if len(call.args) >= 2 else None
+            if isinstance(second, ast.Constant) and isinstance(second.value, str):
+                return second.value
+            return "<dynamic>"
+    return None
+
+
+def _is_lock_context(expr: ast.AST, lock_attr: str) -> bool:
+    return (isinstance(expr, ast.Attribute) and expr.attr == lock_attr
+            and isinstance(expr.value, ast.Name) and expr.value.id == "self")
+
+
+class ConcurrencyRule(Rule):
+    name = "concurrency"
+    description = ("writes to worker-shared engine state must hold the "
+                   "class lock (thread-safety registry)")
+    ids = {
+        "QLC001": "unguarded write to shared state in a registered "
+                  "thread-shared class",
+        "QLC002": "module-global write inside a worker-reachable module",
+    }
+    default_scope = ("repro/",)
+
+    def check(self, ctx: FileContext,
+              config: AnalysisConfig) -> Iterator[Violation]:
+        registry: ThreadSafetyRegistry = config.registry  # type: ignore[assignment]
+        specs = registry.classes_in(ctx.pkg_path)
+        if specs:
+            for node in ctx.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name in specs:
+                    yield from self._check_class(ctx, node, specs[node.name],
+                                                 registry)
+        if registry.is_worker_reachable(ctx.pkg_path):
+            yield from self._check_globals(ctx)
+
+    # -- QLC001 ------------------------------------------------------------
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef,
+                     spec: SharedClassSpec,
+                     registry: ThreadSafetyRegistry) -> Iterator[Violation]:
+        for node in cls.body:
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            if node.name == "__init__":
+                continue  # not yet published to other threads
+            held = node.name.endswith(registry.locked_suffix)
+            yield from self._walk_body(ctx, cls.name, spec, node.body, held)
+
+    def _walk_body(self, ctx: FileContext, cls_name: str,
+                   spec: SharedClassSpec, body: List[ast.stmt],
+                   held: bool) -> Iterator[Violation]:
+        for stmt in body:
+            yield from self._check_stmt(ctx, cls_name, spec, stmt, held)
+
+    def _check_stmt(self, ctx: FileContext, cls_name: str,
+                    spec: SharedClassSpec, stmt: ast.AST,
+                    held: bool) -> Iterator[Violation]:
+        if isinstance(stmt, ast.With):
+            now_held = held or any(
+                _is_lock_context(item.context_expr, spec.lock_attr)
+                for item in stmt.items)
+            for item in stmt.items:
+                yield from self._check_expr(ctx, cls_name, spec,
+                                            item.context_expr, held)
+            yield from self._walk_body(ctx, cls_name, spec, stmt.body,
+                                       now_held)
+            return
+        if isinstance(stmt, _FUNCTION_NODES):
+            # A nested def/closure may run after the enclosing with-block
+            # has exited: never assume the lock is still held inside it.
+            yield from self._walk_body(ctx, cls_name, spec, stmt.body, False)
+            return
+        if not held:
+            for attr, node in _written_attrs(stmt):
+                yield from self._flag(ctx, cls_name, spec, attr, node)
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.stmt, ast.excepthandler)):
+                yield from self._check_stmt(ctx, cls_name, spec, child, held)
+            else:
+                yield from self._check_expr(ctx, cls_name, spec, child, held)
+
+    def _check_expr(self, ctx: FileContext, cls_name: str,
+                    spec: SharedClassSpec, expr: ast.AST,
+                    held: bool) -> Iterator[Violation]:
+        if isinstance(expr, ast.Lambda):
+            held = False  # the lambda may run after the lock is released
+        if not held and isinstance(expr, ast.Call):
+            attr = _mutating_call_attr(expr)
+            if attr is not None:
+                yield from self._flag(ctx, cls_name, spec, attr, expr)
+        for child in ast.iter_child_nodes(expr):
+            yield from self._check_expr(ctx, cls_name, spec, child, held)
+
+    def _flag(self, ctx: FileContext, cls_name: str, spec: SharedClassSpec,
+              attr: str, node: ast.AST) -> Iterator[Violation]:
+        if attr in spec.unguarded_ok:
+            return
+        yield Violation(
+            "QLC001", ctx.path, getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            f"write to {cls_name}.{attr} without holding "
+            f"self.{spec.lock_attr}; wrap in 'with self.{spec.lock_attr}:', "
+            f"move into a '*_locked' helper, or register the attribute as a "
+            f"documented benign race in the thread-safety registry",
+        )
+
+    # -- QLC002 ------------------------------------------------------------
+    def _check_globals(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, _FUNCTION_NODES):
+                for stmt in ast.walk(node):
+                    if isinstance(stmt, ast.Global):
+                        yield Violation(
+                            "QLC002", ctx.path, stmt.lineno, stmt.col_offset,
+                            f"module-global write ({', '.join(stmt.names)}) "
+                            f"in a worker-reachable module; globals have no "
+                            f"lock discipline -- move the state onto a "
+                            f"registered class",
+                        )

@@ -1,0 +1,77 @@
+"""QLE -- exception-discipline rules: failures must not be swallowed.
+
+The resilience pillar (paper §6) requires that detected corruption or
+hardware faults *stop* operation on the affected data -- a ``try``/
+``except Exception: pass`` turns that guarantee off.  Every broad handler
+must either re-raise (bare ``raise`` or ``raise Wrapped(...) from exc``,
+routing through the :mod:`repro.errors` hierarchy) or be suppressed with a
+written justification.  Bare ``except:`` additionally catches
+``KeyboardInterrupt``/``SystemExit`` and is never acceptable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import AnalysisConfig, FileContext, Rule, Violation
+
+__all__ = ["ExceptionDisciplineRule"]
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _is_broad(handler_type: ast.AST) -> bool:
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD_NAMES
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(element) for element in handler_type.elts)
+    return False
+
+
+def _contains_raise(body: list) -> bool:
+    """True when the handler body re-raises (ignoring nested functions)."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, _FUNCTION_NODES):
+            continue  # a raise inside a nested def does not re-raise here
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class ExceptionDisciplineRule(Rule):
+    name = "exception-discipline"
+    description = ("broad exception handlers must re-raise or wrap via "
+                   "repro.errors, never swallow")
+    ids = {
+        "QLE001": "broad 'except Exception' that swallows without "
+                  "re-raising",
+        "QLE002": "bare 'except:' clause",
+    }
+    default_scope = ("repro/",)
+
+    def check(self, ctx: FileContext,
+              config: AnalysisConfig) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Violation(
+                    "QLE002", ctx.path, node.lineno, node.col_offset,
+                    "bare 'except:' also catches KeyboardInterrupt/"
+                    "SystemExit; catch Exception (and re-raise) or a "
+                    "specific repro.errors type",
+                )
+                continue
+            if _is_broad(node.type) and not _contains_raise(node.body):
+                yield Violation(
+                    "QLE001", ctx.path, node.lineno, node.col_offset,
+                    "broad handler swallows the failure; re-raise, wrap in "
+                    "the proper repro.errors type with context, or suppress "
+                    "with a written justification",
+                )

@@ -1,0 +1,175 @@
+"""QLR -- resource-discipline rules: deterministic release in storage code.
+
+A leaked file handle in ``storage/`` keeps the single-file database (or its
+WAL sidecar) pinned past close -- on some platforms that blocks reopen, and
+it always defeats the durability story of fsync-on-commit.  Acceptable
+ownership patterns for ``open()``:
+
+* ``with open(...) as f:`` -- scoped use;
+* ``self._file = open(...)`` inside a class that defines ``close()`` or
+  ``__exit__`` -- a managed long-lived handle;
+* ``f = open(...)`` with a ``try`` (enclosing, or next in the same block)
+  whose ``finally`` calls ``f.close()``.
+
+Explicit ``lock.acquire()`` is flagged unless it sits inside (or
+immediately precedes) a ``try`` whose ``finally`` calls ``release()``;
+``with lock:`` is always the preferred form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set
+
+from ..core import AnalysisConfig, FileContext, Rule, Violation
+
+__all__ = ["ResourceDisciplineRule"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_open_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "open")
+
+
+def _is_acquire_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire")
+
+
+def _managed_classes(tree: ast.Module) -> Set[str]:
+    """Classes that define close() or __exit__ (may own long-lived handles)."""
+    managed: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, _FUNCTION_NODES) \
+                        and member.name in ("close", "__exit__"):
+                    managed.add(node.name)
+                    break
+    return managed
+
+
+def _finally_calls(try_node: ast.Try, methods: Sequence[str],
+                   name: Optional[str] = None) -> bool:
+    """Does the finalbody call one of ``methods`` (optionally on ``name``)?"""
+    for stmt in try_node.finalbody:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in methods:
+                base = node.func.value
+                if name is None:
+                    return True
+                if isinstance(base, ast.Name) and base.id == name:
+                    return True
+    return False
+
+
+class ResourceDisciplineRule(Rule):
+    name = "resource-discipline"
+    description = ("file handles and locks in storage/ must be released via "
+                   "with or try/finally")
+    ids = {
+        "QLR001": "open() outside with/managed-attribute/try-finally",
+        "QLR002": "lock .acquire() without release() in a finally block",
+    }
+    default_scope = ("repro/storage/",)
+
+    def check(self, ctx: FileContext,
+              config: AnalysisConfig) -> Iterator[Violation]:
+        managed = _managed_classes(ctx.tree)
+        sanctioned: Set[int] = set()
+        self._scan_block(list(ctx.tree.body), None, managed, sanctioned)
+        for node in ast.walk(ctx.tree):
+            if _is_open_call(node) and id(node) not in sanctioned:
+                yield Violation(
+                    "QLR001", ctx.path, node.lineno, node.col_offset,
+                    "open() result is not scoped by 'with', owned by a "
+                    "close()-managed attribute, or closed in a finally "
+                    "block -- the handle can leak on error",
+                )
+            elif _is_acquire_call(node) and id(node) not in sanctioned:
+                yield Violation(
+                    "QLR002", ctx.path, node.lineno, node.col_offset,
+                    "explicit .acquire() without a release() in a finally "
+                    "block; prefer 'with lock:'",
+                )
+
+    # -- sanctioning pass ---------------------------------------------------
+    def _scan_block(self, stmts: List[ast.stmt], current_class: Optional[str],
+                    managed: Set[str], sanctioned: Set[int]) -> None:
+        for index, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    if _is_open_call(item.context_expr):
+                        sanctioned.add(id(item.context_expr))
+            elif isinstance(stmt, ast.Assign) and any(
+                    _is_open_call(node) for node in ast.walk(stmt.value)):
+                self._sanction_assignment(stmt, index, stmts, current_class,
+                                          managed, sanctioned)
+            elif isinstance(stmt, ast.Expr) and _is_acquire_call(stmt.value):
+                # ``lock.acquire()`` immediately guarded by a later
+                # try/finally in the same block that calls release().
+                base = stmt.value.func.value
+                name = base.id if isinstance(base, ast.Name) else None
+                for later in stmts[index + 1:]:
+                    if isinstance(later, ast.Try) and later.finalbody \
+                            and _finally_calls(later, ("release",), name):
+                        sanctioned.add(id(stmt.value))
+                        break
+            elif isinstance(stmt, ast.Try) and stmt.finalbody:
+                if _finally_calls(stmt, ("release",)):
+                    for node in stmt.body:
+                        for call in ast.walk(node):
+                            if _is_acquire_call(call):
+                                sanctioned.add(id(call))
+                for node in stmt.body:
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                            and isinstance(node.targets[0], ast.Name) \
+                            and _is_open_call(node.value) \
+                            and _finally_calls(stmt, ("close",),
+                                               node.targets[0].id):
+                        sanctioned.add(id(node.value))
+            # Recurse into every nested statement block.
+            next_class = stmt.name if isinstance(stmt, ast.ClassDef) \
+                else current_class
+            for field in ("body", "orelse", "finalbody"):
+                child_block = getattr(stmt, field, None)
+                if isinstance(child_block, list) and child_block \
+                        and isinstance(child_block[0], ast.stmt):
+                    self._scan_block(child_block, next_class, managed,
+                                     sanctioned)
+            for handler in getattr(stmt, "handlers", []) or []:
+                self._scan_block(handler.body, next_class, managed,
+                                 sanctioned)
+
+    @staticmethod
+    def _sanction_assignment(stmt: ast.Assign, index: int,
+                             block: List[ast.stmt],
+                             current_class: Optional[str], managed: Set[str],
+                             sanctioned: Set[int]) -> None:
+        if len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self" and current_class in managed:
+            # The attribute owns the handle (even behind a conditional
+            # expression, e.g. ``open(...) if path else None``).
+            for node in ast.walk(stmt.value):
+                if _is_open_call(node):
+                    sanctioned.add(id(node))
+            return
+        if isinstance(target, ast.Name):
+            # ``f = open(...)`` directly followed (same block) by a
+            # try/finally that closes it.
+            for later in block[index + 1:]:
+                if isinstance(later, ast.Try) and later.finalbody \
+                        and _finally_calls(later, ("close",), target.id):
+                    for node in ast.walk(stmt.value):
+                        if _is_open_call(node):
+                            sanctioned.add(id(node))
+                    return

@@ -11,13 +11,16 @@ entirely.  This is the efficient alternative to per-row INSERT statements.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConstraintError, InvalidInputError
 from ..storage.wal import WALRecord
 from ..types import DataChunk, VECTOR_SIZE, Vector, cast_vector
+
+if TYPE_CHECKING:
+    from .connection import Connection
 
 __all__ = ["Appender"]
 
@@ -27,7 +30,7 @@ _FLUSH_ROWS = VECTOR_SIZE * 8
 class Appender:
     """Accumulates rows and appends them in bulk.  Use as a context manager."""
 
-    def __init__(self, connection, table_name: str) -> None:
+    def __init__(self, connection: "Connection", table_name: str) -> None:
         self._connection = connection
         self._database = connection.database
         self._transaction = self._database.transaction_manager.begin()
@@ -67,8 +70,8 @@ class Appender:
         """
         self.flush()
         validities = validities or {}
-        vectors = []
-        length = None
+        vectors: List[Vector] = []
+        length: Optional[int] = None
         for column in self._table.columns:
             if column.name not in columns:
                 raise InvalidInputError(f"append_numpy is missing column "
@@ -89,7 +92,7 @@ class Appender:
         """Push buffered rows into the table."""
         if self._pending_rows == 0:
             return
-        vectors = []
+        vectors: List[Vector] = []
         for column, values in zip(self._table.columns, self._pending):
             vector = Vector.from_values(values, column.dtype)
             vectors.append(vector)
@@ -131,7 +134,7 @@ class Appender:
     def __enter__(self) -> "Appender":
         return self
 
-    def __exit__(self, exc_type, *exc) -> None:
+    def __exit__(self, exc_type: Any, *exc: Any) -> None:
         if exc_type is not None:
             self.abort()
         else:

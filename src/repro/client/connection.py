@@ -11,23 +11,41 @@ transfer-efficiency design of paper §5/§6.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..config import DatabaseConfig
 from ..database import Database
 from ..errors import ConnectionError as ClosedError
 from ..errors import InvalidInputError, TransactionContextError
-from ..execution.executor import Executor
+from ..execution.executor import Executor, StatementResult
 from ..planner.binder import Binder
 from ..planner import bound_statements as bound
 from ..sql import ast, parse
 from ..types import DataChunk
 from .result import QueryResult
 
+if TYPE_CHECKING:
+    from ..execution.physical import ExecutionContext
+    from ..transaction.transaction import Transaction
+    from .appender import Appender
+    from .cursor import Cursor
+
 __all__ = ["Connection", "connect"]
 
 
-def connect(database: str = ":memory:", config=None) -> "Connection":
+def connect(database: str = ":memory:",
+            config: Union[DatabaseConfig, Dict[str, Any], None] = None,
+            ) -> "Connection":
     """Open a database file (or an in-memory database) and connect to it.
 
     The returned connection owns the database: closing it (or using it as a
@@ -46,7 +64,10 @@ class Connection:
     def __init__(self, database: Database, owns_database: bool = False) -> None:
         self._database = database
         self._owns_database = owns_database
-        self._transaction = None  # explicit transaction, if BEGIN was issued
+        # Explicit transaction, if BEGIN was issued.
+        self._transaction: Optional["Transaction"] = None
+        # Execution context of the in-flight query, for interrupt().
+        self._active_context: Optional["ExecutionContext"] = None
         self._closed = False
         self._lock = threading.RLock()
 
@@ -79,7 +100,7 @@ class Connection:
     def __enter__(self) -> "Connection":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     def duplicate(self) -> "Connection":
@@ -221,11 +242,13 @@ class Connection:
         boundary (cooperative cancellation -- the engine never blocks the
         host application, paper §4).
         """
-        context = getattr(self, "_active_context", None)
+        context = self._active_context
         if context is not None:
             context.interrupted = True
 
-    def _streaming_result(self, outcome, transaction, autocommit) -> QueryResult:
+    def _streaming_result(self, outcome: StatementResult,
+                          transaction: "Transaction",
+                          autocommit: bool) -> QueryResult:
         finished = {"done": False}
 
         def on_close() -> None:
@@ -237,7 +260,7 @@ class Connection:
                     self._database.transaction_manager.commit(transaction)
                 self._database.maybe_auto_checkpoint()
 
-        def guarded_chunks():
+        def guarded_chunks() -> Iterator[DataChunk]:
             try:
                 for chunk in outcome.chunks:
                     yield chunk
@@ -266,13 +289,13 @@ class Connection:
             if transaction is not self._transaction:
                 self._database.transaction_manager.rollback(transaction)
 
-    def appender(self, table_name: str):
+    def appender(self, table_name: str) -> "Appender":
         """A bulk :class:`~repro.client.appender.Appender` for a table."""
         from .appender import Appender
 
         return Appender(self, table_name)
 
-    def cursor(self):
+    def cursor(self) -> "Cursor":
         """A value-at-a-time cursor (the ODBC/JDBC-style baseline API)."""
         from .cursor import Cursor
 

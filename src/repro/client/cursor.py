@@ -12,11 +12,14 @@ against the chunk-based bulk API of :class:`~repro.client.result.QueryResult`.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidInputError
 from ..types import DataChunk
 from .result import QueryResult
+
+if TYPE_CHECKING:
+    from .connection import Connection
 
 __all__ = ["Cursor"]
 
@@ -24,14 +27,14 @@ __all__ = ["Cursor"]
 class Cursor:
     """SQLite-style stepping cursor over query results."""
 
-    def __init__(self, connection) -> None:
+    def __init__(self, connection: "Connection") -> None:
         self._connection = connection
         self._result: Optional[QueryResult] = None
         self._chunk: Optional[DataChunk] = None
         self._row = -1
         #: DB-API compatibility attributes.
         self.rowcount = -1
-        self.description: Optional[List[Tuple]] = None
+        self.description: Optional[List[Tuple[Any, ...]]] = None
 
     # -- execution -------------------------------------------------------
     def execute(self, sql: str, parameters: Optional[Sequence[Any]] = None) -> "Cursor":
@@ -82,7 +85,7 @@ class Cursor:
                      for index in range(self.column_count()))
 
     def fetchall(self) -> List[Tuple[Any, ...]]:
-        rows = []
+        rows: List[Tuple[Any, ...]] = []
         while True:
             row = self.fetchone()
             if row is None:
@@ -102,5 +105,5 @@ class Cursor:
     def __enter__(self) -> "Cursor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.finalize()

@@ -17,7 +17,19 @@ experiments can combine them for any assumed link speed.
 from __future__ import annotations
 
 import struct
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from .connection import Connection
 
 from ..errors import InvalidInputError
 from ..types import DataChunk, LogicalType, LogicalTypeId
@@ -53,7 +65,8 @@ def _serialize_value(dtype: LogicalType, value: Any, out: List[bytes]) -> None:
     out.append(raw)
 
 
-def serialize_result(chunks, types: Sequence[LogicalType]) -> bytes:
+def serialize_result(chunks: Iterable[DataChunk],
+                     types: Sequence[LogicalType]) -> bytes:
     """Serialize result chunks into a row-major byte stream."""
     out: List[bytes] = [struct.pack("<I", len(types))]
     row_count = 0
@@ -66,7 +79,8 @@ def serialize_result(chunks, types: Sequence[LogicalType]) -> bytes:
     return b"".join(out)
 
 
-def _deserialize_value(dtype: LogicalType, payload: bytes, offset: int):
+def _deserialize_value(dtype: LogicalType, payload: bytes,
+                       offset: int) -> Tuple[Any, int]:
     (length,) = struct.unpack_from("<i", payload, offset)
     offset += 4
     if length < 0:
@@ -103,7 +117,7 @@ def deserialize_result(payload: bytes,
     offset = 12
     rows: List[Tuple[Any, ...]] = []
     for _ in range(row_count):
-        row = []
+        row: List[Any] = []
         for dtype in types:
             value, offset = _deserialize_value(types[len(row)], payload, offset)
             row.append(value)
@@ -120,14 +134,15 @@ class SocketProtocolClient:
     wire seconds for the configured link.
     """
 
-    def __init__(self, connection, bandwidth: int = GIGABIT_PER_SECOND,
+    def __init__(self, connection: "Connection",
+                 bandwidth: int = GIGABIT_PER_SECOND,
                  latency: float = 0.0005) -> None:
         self._connection = connection
         self.bandwidth = bandwidth
         self.latency = latency
 
-    def execute(self, sql: str,
-                parameters: Optional[Sequence[Any]] = None):
+    def execute(self, sql: str, parameters: Optional[Sequence[Any]] = None,
+                ) -> Tuple[List[Tuple[Any, ...]], Dict[str, Any]]:
         import time
 
         result = self._connection.execute(sql, parameters, stream=True)

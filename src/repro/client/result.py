@@ -66,7 +66,7 @@ class QueryResult:
     def __enter__(self) -> "QueryResult":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     def _check_open(self) -> None:

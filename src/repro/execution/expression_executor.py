@@ -122,8 +122,9 @@ class ExpressionExecutor:
             left, right = vectors
             validity = left.validity & right.validity
             data = np.empty(len(left), dtype=object)
-            for index in np.flatnonzero(validity):
-                data[index] = left.data[index] + right.data[index]
+            # Object-dtype "+" concatenates the whole masked vector in one
+            # NumPy call instead of one Python-level call per value.
+            data[validity] = left.data[validity] + right.data[validity]
             return Vector(expression.return_type, data, validity)
         if op in ("+", "-", "*", "/", "%"):
             return self._execute_arithmetic(op, vectors[0], vectors[1],
@@ -165,8 +166,9 @@ class ExpressionExecutor:
                 ">": lambda a, b: a > b,
                 ">=": lambda a, b: a >= b,
             }[op]
-            for index in np.flatnonzero(validity):
-                data[index] = compare(left.data[index], right.data[index])
+            # NumPy comparisons work elementwise on object (string) arrays,
+            # so the masked comparison runs as one bulk call.
+            data[validity] = compare(left.data[validity], right.data[validity])
             return Vector(BOOLEAN, data, validity)
         with np.errstate(invalid="ignore"):
             if op == "=":
@@ -262,7 +264,9 @@ class ExpressionExecutor:
         if escape is not None:
             validity = validity & escape.validity
         data = np.zeros(count, dtype=np.bool_)
-        for index in np.flatnonzero(validity):
+        # Per-row regex matching has no NumPy bulk primitive; the compiled-
+        # pattern cache amortizes the dominant cost (compilation).
+        for index in np.flatnonzero(validity):  # quacklint: disable=QLV001
             regex = self._like_regex(
                 pattern.data[index], expression.case_insensitive,
                 escape.data[index] if escape is not None else None)
@@ -321,7 +325,9 @@ class ExpressionExecutor:
         if child.dtype.id is LogicalTypeId.VARCHAR:
             value_set = set(valid_values.tolist())
             matched = np.zeros(len(child), dtype=np.bool_)
-            for index in np.flatnonzero(child.validity):
+            # Hash-set probes beat np.isin's sort-based path for strings;
+            # there is no NumPy bulk primitive over a Python set.
+            for index in np.flatnonzero(child.validity):  # quacklint: disable=QLV001
                 matched[index] = child.data[index] in value_set
         else:
             matched = np.isin(child.data, valid_values)

@@ -173,20 +173,21 @@ def _bind_string_unary(name: str, result: LogicalType = VARCHAR):
 
 
 def _string_map_kernel(mapper: Callable, result: LogicalType = VARCHAR):
-    """Apply a per-string Python function to valid entries only."""
+    """Apply a per-string Python function to valid entries only.
+
+    ``np.frompyfunc`` lifts the mapper to an object-array ufunc, so the
+    kernel is a single masked bulk call rather than a Python-level loop.
+    """
+    ufunc = np.frompyfunc(mapper, 1, 1)
     def execute(vectors, count):
         source = vectors[0]
         validity = source.validity.copy()
         if result.id is LogicalTypeId.VARCHAR:
             data = np.empty(count, dtype=object)
-            for index in range(count):
-                if validity[index]:
-                    data[index] = mapper(source.data[index])
+            data[validity] = ufunc(source.data[validity])
         else:
             data = np.zeros(count, dtype=result.numpy_dtype)
-            for index in range(count):
-                if validity[index]:
-                    data[index] = mapper(source.data[index])
+            data[validity] = ufunc(source.data[validity]).astype(result.numpy_dtype)
         return Vector(result, data, validity)
     return execute
 
@@ -203,7 +204,9 @@ def _substr_execute(vectors, count):
     length = vectors[2] if len(vectors) == 3 else None
     validity = _propagate_validity(vectors)
     data = np.empty(count, dtype=object)
-    for index in range(count):
+    # Per-row slice bounds (clamped, optional length) have no NumPy bulk
+    # primitive for object arrays.
+    for index in range(count):  # quacklint: disable=QLV001
         if not validity[index]:
             continue
         value = text.data[index]
@@ -217,13 +220,15 @@ def _substr_execute(vectors, count):
     return Vector(VARCHAR, data, validity)
 
 
+_replace_ufunc = np.frompyfunc(str.replace, 3, 1)
+
+
 def _replace_execute(vectors, count):
     validity = _propagate_validity(vectors)
     data = np.empty(count, dtype=object)
-    for index in range(count):
-        if validity[index]:
-            data[index] = vectors[0].data[index].replace(
-                vectors[1].data[index], vectors[2].data[index])
+    data[validity] = _replace_ufunc(vectors[0].data[validity],
+                                    vectors[1].data[validity],
+                                    vectors[2].data[validity])
     return Vector(VARCHAR, data, validity)
 
 
@@ -234,32 +239,35 @@ def _concat_bind(arg_types):
 
 
 def _concat_execute(vectors, count):
-    """SQL concat: NULL arguments are treated as empty strings."""
-    data = np.empty(count, dtype=object)
-    for index in range(count):
-        parts = []
-        for vector in vectors:
-            if vector.validity[index]:
-                parts.append(vector.data[index])
-        data[index] = "".join(parts)
+    """SQL concat: NULL arguments are treated as empty strings.
+
+    One masked object-array "+" per argument replaces the per-row join:
+    the loop runs once per argument, not once per value.
+    """
+    data = np.full(count, "", dtype=object)
+    for vector in vectors:
+        valid = vector.validity
+        data[valid] = data[valid] + vector.data[valid]
     return Vector(VARCHAR, data, np.ones(count, dtype=np.bool_))
+
+
+_contains_ufunc = np.frompyfunc(lambda haystack, needle: needle in haystack, 2, 1)
+_starts_with_ufunc = np.frompyfunc(str.startswith, 2, 1)
 
 
 def _contains_execute(vectors, count):
     validity = _propagate_validity(vectors)
     data = np.zeros(count, dtype=np.bool_)
-    for index in range(count):
-        if validity[index]:
-            data[index] = vectors[1].data[index] in vectors[0].data[index]
+    data[validity] = _contains_ufunc(
+        vectors[0].data[validity], vectors[1].data[validity]).astype(np.bool_)
     return Vector(BOOLEAN, data, validity)
 
 
 def _starts_with_execute(vectors, count):
     validity = _propagate_validity(vectors)
     data = np.zeros(count, dtype=np.bool_)
-    for index in range(count):
-        if validity[index]:
-            data[index] = vectors[0].data[index].startswith(vectors[1].data[index])
+    data[validity] = _starts_with_ufunc(
+        vectors[0].data[validity], vectors[1].data[validity]).astype(np.bool_)
     return Vector(BOOLEAN, data, validity)
 
 
@@ -305,12 +313,9 @@ def _nullif_execute(vectors, count):
     result = vectors[0].copy()
     both_valid = vectors[0].validity & vectors[1].validity
     equal = np.zeros(count, dtype=np.bool_)
-    if result.dtype.id is LogicalTypeId.VARCHAR:
-        for index in range(count):
-            if both_valid[index]:
-                equal[index] = vectors[0].data[index] == vectors[1].data[index]
-    else:
-        equal[both_valid] = vectors[0].data[both_valid] == vectors[1].data[both_valid]
+    # "==" is elementwise on object (string) arrays too, so one masked
+    # comparison covers every type.
+    equal[both_valid] = vectors[0].data[both_valid] == vectors[1].data[both_valid]
     result.validity[equal] = False
     return result
 
@@ -332,16 +337,15 @@ def _greatest_least_bind(name):
 def _greatest_least_execute(pick):
     def execute(vectors, count):
         validity = _propagate_validity(vectors)
-        stacked = np.stack([vector.data for vector in vectors]) \
-            if vectors[0].dtype.id is not LogicalTypeId.VARCHAR else None
-        if stacked is not None:
-            data = pick(stacked, axis=0)
+        if vectors[0].dtype.id is LogicalTypeId.VARCHAR:
+            # NULL slots of an object vector hold None, which str comparison
+            # rejects; blank them out (they are masked by validity anyway)
+            # so the stacked reduction below works for strings too.
+            columns = [np.where(vector.validity, vector.data, "")
+                       for vector in vectors]
         else:
-            data = np.empty(count, dtype=object)
-            chooser = max if pick is np.max else min
-            for index in range(count):
-                if validity[index]:
-                    data[index] = chooser(vector.data[index] for vector in vectors)
+            columns = [vector.data for vector in vectors]
+        data = pick(np.stack(columns), axis=0)
         return Vector(vectors[0].dtype, data, validity)
     return execute
 

@@ -151,7 +151,8 @@ class BufferManager:
             return self._used + nbytes <= self.memory_limit
 
     # -- memtested buffer allocation ---------------------------------------------
-    def _ensure_arena(self, nbytes: int) -> None:
+    def _ensure_arena_locked(self, nbytes: int) -> None:
+        """Grow (or lazily create) the arena; caller must hold ``_lock``."""
         if self._arena is None:
             size = max(nbytes * 4, 1 << 20)
             self._arena = PlainMemory(size)
@@ -181,7 +182,7 @@ class BufferManager:
         try:
             with self._lock:
                 while True:
-                    self._ensure_arena(nbytes)
+                    self._ensure_arena_locked(nbytes)
                     start = self._arena_cursor
                     end = start + nbytes
                     if self._overlaps_quarantine(start, end):

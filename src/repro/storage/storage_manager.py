@@ -22,7 +22,14 @@ from typing import List, Optional
 from ..catalog.catalog import Catalog
 from ..catalog.entry import ColumnDefinition, TableEntry, ViewEntry
 from ..config import DatabaseConfig
-from ..errors import CatalogError, InternalError, TransactionContextError, WALError
+from ..errors import (
+    CatalogError,
+    Error,
+    InternalError,
+    StorageError,
+    TransactionContextError,
+    WALError,
+)
 from ..transaction.manager import TransactionManager
 from ..transaction.transaction import Transaction
 from ..types import DataChunk, cast_vector, type_from_string
@@ -69,24 +76,38 @@ class StorageManager:
             self._metadata_blocks = reader.metadata_blocks
             self._free_list_blocks = reader.free_list_blocks
             transaction_manager.commit(bootstrap)
-        except Exception:
+        except Error:
+            # Engine errors (CorruptionError, ...) already carry context.
             if bootstrap.is_active:
                 transaction_manager.rollback(bootstrap)
             raise
+        except Exception as exc:
+            if bootstrap.is_active:
+                transaction_manager.rollback(bootstrap)
+            raise StorageError(
+                f"loading the checkpoint image of {self.path!r} failed: {exc}"
+            ) from exc
         self._replay_wal(catalog, transaction_manager)
 
     def _replay_wal(self, catalog: Catalog, transaction_manager: TransactionManager) -> None:
         groups = self.wal.read_all()
-        for group in groups:
+        for group_index, group in enumerate(groups):
             transaction = transaction_manager.begin()
             try:
                 for record in group:
                     self._replay_record(record, catalog, transaction)
                 transaction_manager.commit(transaction)
-            except Exception:
+            except Error:
                 if transaction.is_active:
                     transaction_manager.rollback(transaction)
                 raise
+            except Exception as exc:
+                if transaction.is_active:
+                    transaction_manager.rollback(transaction)
+                raise WALError(
+                    f"replay of committed WAL group {group_index} failed: "
+                    f"{exc}"
+                ) from exc
 
     def _replay_record(self, record: WALRecord, catalog: Catalog,
                        transaction: Transaction) -> None:
@@ -189,15 +210,28 @@ class StorageManager:
 
     # -- shutdown ----------------------------------------------------------------
     def close(self, catalog: Catalog, transaction_manager: TransactionManager) -> None:
+        """Checkpoint (if configured) and release the file handles.
+
+        A failing checkpoint-on-close must not *mask* the failure (the
+        resilience pillar: corruption stops operation, silently dropping the
+        report defeats it) and must not *lose* the WAL either -- the sidecar
+        stays on disk so the next open replays it.  Handles are always
+        released; the failure is re-raised afterwards with context.
+        """
         if self.in_memory:
             return
+        checkpoint_failure: Optional[BaseException] = None
         if self.config.checkpoint_on_close:
             try:
                 if self.checkpoint(catalog, transaction_manager):
                     self.wal.delete_file()
-            except Exception:
-                # Closing must not lose the WAL if the checkpoint failed.
-                pass
+            except (Error, OSError) as exc:
+                checkpoint_failure = exc
         self.wal.close()
         if self.block_file is not None:
             self.block_file.close()
+        if checkpoint_failure is not None:
+            raise StorageError(
+                f"checkpoint-on-close of {self.path!r} failed (the WAL was "
+                f"preserved for recovery): {checkpoint_failure}"
+            ) from checkpoint_failure

@@ -12,7 +12,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, List, Optional
 
-from ..errors import InternalError
+from ..errors import Error, InternalError, TransactionError
 from .transaction import Transaction, TransactionState
 from .version import TRANSACTION_ID_START
 
@@ -53,11 +53,19 @@ class TransactionManager:
             try:
                 for hook in self.pre_commit_hooks:
                     hook(transaction, commit_id)
-            except Exception:
-                # A failed WAL write must not leave a half-committed state.
+            except Error:
+                # A failed WAL write must not leave a half-committed state;
+                # engine errors (WALError, ...) already carry context.
                 del self._active[transaction.transaction_id]
                 transaction.apply_rollback()
                 raise
+            except Exception as exc:
+                del self._active[transaction.transaction_id]
+                transaction.apply_rollback()
+                raise TransactionError(
+                    f"pre-commit hook failed for transaction "
+                    f"{transaction.transaction_id} (rolled back): {exc}"
+                ) from exc
             # Flip all version tags BEFORE publishing the new commit id:
             # a reader that begins mid-flip must snapshot the previous commit
             # id, under which both the old (transaction-id) and the new

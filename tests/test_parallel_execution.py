@@ -245,3 +245,55 @@ class TestInterrupt:
                 list(physical.execute())
         finally:
             database.transaction_manager.rollback(transaction)
+
+
+class TestConcurrentDDL:
+    def test_ddl_on_one_connection_during_parallel_scans(self):
+        """Catalog DDL must not corrupt parallel scans on another connection.
+
+        One connection hammers parallel aggregations over a stable table
+        while a second connection creates, fills, and drops side tables --
+        the MVCC catalog guarantees every scan sees a consistent snapshot
+        and every aggregate stays exact.
+        """
+        import threading
+
+        con = repro.connect(config={"threads": 4, "morsel_size": MORSEL})
+        try:
+            _populate(con)
+            expected = con.execute(
+                "SELECT count(v), sum(v) FROM t").fetchone()
+            other = con.duplicate()
+            stop = threading.Event()
+            failures = []
+
+            def scan_loop():
+                try:
+                    while not stop.is_set():
+                        row = con.execute(
+                            "SELECT count(v), sum(v) FROM t").fetchone()
+                        if row != expected:
+                            failures.append(f"scan saw {row}, "
+                                            f"expected {expected}")
+                            return
+                except Exception as exc:  # propagated to the assert below
+                    failures.append(repr(exc))
+
+            scanner = threading.Thread(target=scan_loop)
+            scanner.start()
+            try:
+                for round_index in range(20):
+                    other.execute(
+                        f"CREATE TABLE ddl_side_{round_index} (x INTEGER)")
+                    other.execute(
+                        f"INSERT INTO ddl_side_{round_index} "
+                        f"VALUES ({round_index})")
+                    other.execute(f"DROP TABLE ddl_side_{round_index}")
+            finally:
+                stop.set()
+                scanner.join()
+            assert failures == []
+            assert "ddl_side_0" not in other.table_names()
+            other.close()
+        finally:
+            con.close()

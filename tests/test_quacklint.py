@@ -1,0 +1,585 @@
+"""quacklint: the engine-aware static analyzer.
+
+Each rule family is exercised against inline good/bad fixtures analyzed
+under *virtual paths* (the path decides which scopes apply), the
+suppression machinery is tested on its own, and -- the payoff -- the live
+source tree is asserted clean, so the suite fails the moment a change
+regresses one of the paper's pillars without a justified suppression.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    AnalysisConfig,
+    ThreadSafetyRegistry,
+    all_rule_ids,
+    analyze_paths,
+    analyze_source,
+    package_path,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_TREE = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def check(source, path):
+    """Analyze a dedented fixture under a virtual package path."""
+    return analyze_source(textwrap.dedent(source), path)
+
+
+def rule_ids(violations):
+    return [violation.rule for violation in violations]
+
+
+# -- engine plumbing ---------------------------------------------------------
+
+class TestEngine:
+    def test_package_path_normalization(self):
+        assert package_path("src/repro/types/vector.py") == \
+            "repro/types/vector.py"
+        assert package_path("/abs/checkout/src/repro/a.py") == "repro/a.py"
+        assert package_path("repro/functions/fixture.py") == \
+            "repro/functions/fixture.py"
+
+    def test_parse_error_is_reported_not_raised(self):
+        violations = check("def broken(:\n", "repro/storage/x.py")
+        assert rule_ids(violations) == ["QLP000"]
+
+    def test_rule_ids_are_unique_across_families(self):
+        ids = all_rule_ids()
+        assert len(ids) == len(set(ids))
+        assert {"QLC001", "QLV001", "QLZ001", "QLE001", "QLR001"} <= set(ids)
+
+    def test_violation_render_format(self):
+        violations = check("try:\n    pass\nexcept Exception:\n    pass\n",
+                           "repro/storage/x.py")
+        assert len(violations) == 1
+        rendered = violations[0].render()
+        assert rendered.startswith("repro/storage/x.py:3:")
+        assert "QLE001" in rendered
+
+    def test_excluded_paths_are_skipped(self):
+        # The tuple-at-a-time baseline exists to be slow; it may loop.
+        source = """
+        def scan(vector):
+            for value in vector.data:
+                yield value
+        """
+        assert check(source, "repro/baselines/tuple_engine.py") == []
+        assert rule_ids(check(source, "repro/functions/f.py")) == ["QLV002"]
+
+    def test_disabled_rules_config(self):
+        config = AnalysisConfig(disabled_rules=("QLE",))
+        source = textwrap.dedent(
+            "try:\n    pass\nexcept Exception:\n    pass\n")
+        assert analyze_source(source, "repro/storage/x.py", config) == []
+
+
+# -- suppression comments ----------------------------------------------------
+
+class TestSuppression:
+    BAD_EXCEPT = "except Exception:"
+
+    def test_same_line_disable(self):
+        source = """
+        try:
+            pass
+        except Exception:  # quacklint: disable=QLE001 -- probing only
+            pass
+        """
+        assert check(source, "repro/storage/x.py") == []
+
+    def test_disable_on_other_line_does_not_apply(self):
+        source = """
+        # quacklint: disable=QLE001
+        try:
+            pass
+        except Exception:
+            pass
+        """
+        assert rule_ids(check(source, "repro/storage/x.py")) == ["QLE001"]
+
+    def test_family_prefix_matches(self):
+        source = """
+        try:
+            pass
+        except Exception:  # quacklint: disable=QLE
+            pass
+        """
+        assert check(source, "repro/storage/x.py") == []
+
+    def test_bare_disable_suppresses_everything_on_the_line(self):
+        source = """
+        try:
+            pass
+        except Exception:  # quacklint: disable
+            pass
+        """
+        assert check(source, "repro/storage/x.py") == []
+
+    def test_disable_file(self):
+        source = """
+        # quacklint: disable-file=QLE001
+        try:
+            pass
+        except Exception:
+            pass
+        """
+        assert check(source, "repro/storage/x.py") == []
+
+    def test_unrelated_rule_still_fires(self):
+        source = """
+        try:
+            pass
+        except Exception:  # quacklint: disable=QLR001
+            pass
+        """
+        assert rule_ids(check(source, "repro/storage/x.py")) == ["QLE001"]
+
+
+# -- QLC: concurrency --------------------------------------------------------
+
+class TestConcurrencyRule:
+    PATH = "repro/execution/physical.py"  # registered: ExecutionContext
+
+    def test_unlocked_write_to_shared_state_flagged(self):
+        source = """
+        class ExecutionContext:
+            def record(self, rows):
+                self.total_rows += rows
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLC001"]
+
+    def test_write_under_registered_lock_is_clean(self):
+        source = """
+        class ExecutionContext:
+            def record(self, rows):
+                with self._stats_lock:
+                    self.total_rows += rows
+        """
+        assert check(source, self.PATH) == []
+
+    def test_mutator_call_without_lock_flagged(self):
+        source = """
+        class ExecutionContext:
+            def record(self, item):
+                self.items.append(item)
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLC001"]
+
+    def test_init_is_exempt(self):
+        source = """
+        class ExecutionContext:
+            def __init__(self):
+                self.total_rows = 0
+        """
+        assert check(source, self.PATH) == []
+
+    def test_locked_suffix_method_is_exempt(self):
+        source = """
+        class ExecutionContext:
+            def _bump_locked(self):
+                self.total_rows += 1
+        """
+        assert check(source, self.PATH) == []
+
+    def test_registered_benign_attribute_is_exempt(self):
+        # ExecutionContext.interrupted is a documented benign race
+        # (cooperative cancellation flag).
+        source = """
+        class ExecutionContext:
+            def interrupt(self):
+                self.interrupted = True
+        """
+        assert check(source, self.PATH) == []
+
+    def test_nested_function_does_not_inherit_lock(self):
+        source = """
+        class ExecutionContext:
+            def record(self):
+                with self._stats_lock:
+                    def callback():
+                        self.total_rows += 1
+                    return callback
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLC001"]
+
+    def test_unregistered_class_is_not_checked(self):
+        source = """
+        class ScratchPad:
+            def record(self, rows):
+                self.total_rows += rows
+        """
+        assert check(source, self.PATH) == []
+
+    def test_global_statement_in_worker_reachable_module(self):
+        source = """
+        COUNTER = 0
+
+        def bump():
+            global COUNTER
+            COUNTER += 1
+        """
+        assert rule_ids(check(source, "repro/functions/f.py")) == ["QLC002"]
+        # Outside worker-reachable code, module-level mutable state is the
+        # planner's own business.
+        assert check(source, "repro/planner/binder.py") == []
+
+    def test_registry_defaults(self):
+        registry = ThreadSafetyRegistry()
+        spec = registry.spec_for("repro/execution/physical.py",
+                                 "ExecutionContext")
+        assert spec is not None and spec.lock_attr == "_stats_lock"
+        assert registry.is_worker_reachable("repro/functions/scalar.py")
+        assert not registry.is_worker_reachable("repro/sql/parser.py")
+
+
+# -- QLV: vectorization ------------------------------------------------------
+
+class TestVectorizationRule:
+    PATH = "repro/functions/fixture.py"
+
+    def test_element_loop_over_vector_data_flagged(self):
+        source = """
+        def kernel(vector, out, count):
+            for index in range(count):
+                out[index] = vector.data[index] * 2
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLV001"]
+
+    def test_direct_iteration_over_data_flagged(self):
+        source = """
+        def kernel(vector):
+            total = 0
+            for value in vector.data:
+                total += value
+            return total
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLV002"]
+
+    def test_iteration_over_validity_flagged(self):
+        source = """
+        def kernel(vector):
+            for index, valid in enumerate(vector.validity):
+                pass
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLV002"]
+
+    def test_masked_bulk_operation_is_clean(self):
+        source = """
+        def kernel(left, right, out):
+            mask = left.validity & right.validity
+            out[mask] = left.data[mask] + right.data[mask]
+        """
+        assert check(source, self.PATH) == []
+
+    def test_loop_over_argument_vectors_is_clean(self):
+        # Looping once per *argument* (not per value) is the vectorized
+        # idiom for n-ary kernels like concat().
+        source = """
+        def kernel(vectors, out):
+            for vector in vectors:
+                valid = vector.validity
+                out[valid] = out[valid] + vector.data[valid]
+        """
+        assert check(source, self.PATH) == []
+
+    def test_out_of_scope_module_not_checked(self):
+        source = """
+        def helper(vector):
+            for value in vector.data:
+                yield value
+        """
+        assert check(source, "repro/sql/parser.py") == []
+
+    def test_one_violation_per_loop(self):
+        source = """
+        def kernel(vector, out, count):
+            for index in range(count):
+                out[index] = vector.data[index] + vector.data[index]
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLV001"]
+
+
+# -- QLZ: zero-copy ----------------------------------------------------------
+
+class TestZeroCopyRule:
+    PATH = "repro/client/result.py"
+
+    def test_np_copy_flagged(self):
+        source = """
+        import numpy as np
+
+        def export(vector):
+            return np.copy(vector.data)
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLZ001"]
+
+    def test_tolist_flagged(self):
+        source = """
+        def export(vector):
+            return vector.data.tolist()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLZ002"]
+
+    def test_np_array_without_copy_false_flagged(self):
+        source = """
+        import numpy as np
+
+        def wrap(values):
+            return np.array(values)
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLZ003"]
+
+    def test_np_array_with_copy_false_is_clean(self):
+        source = """
+        import numpy as np
+
+        def wrap(values):
+            return np.array(values, copy=False)
+        """
+        assert check(source, self.PATH) == []
+
+    def test_asarray_is_clean(self):
+        source = """
+        import numpy as np
+
+        def wrap(values):
+            return np.asarray(values)
+        """
+        assert check(source, self.PATH) == []
+
+    def test_rule_only_applies_to_transfer_path(self):
+        # np.array copies are fine outside the client/vector hand-over path
+        # (e.g. building test data or plans).
+        source = """
+        import numpy as np
+
+        def build():
+            return np.array([1, 2, 3])
+        """
+        assert check(source, "repro/storage/checkpoint.py") == []
+
+
+# -- QLE: exception discipline -----------------------------------------------
+
+class TestExceptionRule:
+    def test_swallowing_broad_except_flagged(self):
+        source = """
+        def load():
+            try:
+                risky()
+            except Exception:
+                return None
+        """
+        assert rule_ids(check(source, "repro/storage/x.py")) == ["QLE001"]
+
+    def test_broad_except_that_reraises_is_clean(self):
+        source = """
+        def load():
+            try:
+                risky()
+            except Exception as exc:
+                raise StorageError(f"load failed: {exc}") from exc
+        """
+        assert check(source, "repro/storage/x.py") == []
+
+    def test_bare_except_always_flagged(self):
+        source = """
+        def load():
+            try:
+                risky()
+            except:
+                raise
+        """
+        assert rule_ids(check(source, "repro/storage/x.py")) == ["QLE002"]
+
+    def test_tuple_with_broad_member_flagged(self):
+        source = """
+        def load():
+            try:
+                risky()
+            except (ValueError, Exception):
+                return None
+        """
+        assert rule_ids(check(source, "repro/storage/x.py")) == ["QLE001"]
+
+    def test_narrow_except_is_clean(self):
+        source = """
+        def load():
+            try:
+                risky()
+            except ValueError:
+                return None
+        """
+        assert check(source, "repro/storage/x.py") == []
+
+    def test_raise_inside_nested_def_does_not_count(self):
+        source = """
+        def load():
+            try:
+                risky()
+            except Exception:
+                def fail():
+                    raise ValueError("later")
+                return fail
+        """
+        assert rule_ids(check(source, "repro/storage/x.py")) == ["QLE001"]
+
+
+# -- QLR: resource discipline ------------------------------------------------
+
+class TestResourceRule:
+    PATH = "repro/storage/fixture.py"
+
+    def test_unmanaged_open_flagged(self):
+        source = """
+        def read(path):
+            handle = open(path)
+            return handle.read()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLR001"]
+
+    def test_with_open_is_clean(self):
+        source = """
+        def read(path):
+            with open(path) as handle:
+                return handle.read()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_managed_attribute_is_clean(self):
+        source = """
+        class BlockFile:
+            def __init__(self, path):
+                self._file = open(path, "r+b")
+
+            def close(self):
+                self._file.close()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_conditional_managed_attribute_is_clean(self):
+        source = """
+        class Log:
+            def __init__(self, path):
+                self._file = open(path, "ab") if path else None
+
+            def close(self):
+                if self._file is not None:
+                    self._file.close()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_unmanaged_attribute_on_closeless_class_flagged(self):
+        source = """
+        class Leaky:
+            def __init__(self, path):
+                self._file = open(path)
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLR001"]
+
+    def test_try_finally_close_is_clean(self):
+        source = """
+        def read(path):
+            handle = open(path)
+            try:
+                return handle.read()
+            finally:
+                handle.close()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_bare_acquire_flagged(self):
+        source = """
+        def locked_work(lock):
+            lock.acquire()
+            work()
+            lock.release()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLR002"]
+
+    def test_acquire_with_finally_release_is_clean(self):
+        source = """
+        def locked_work(lock):
+            lock.acquire()
+            try:
+                work()
+            finally:
+                lock.release()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_rule_scoped_to_storage(self):
+        source = """
+        def read(path):
+            handle = open(path)
+            return handle.read()
+        """
+        assert check(source, "repro/sql/reader.py") == []
+
+
+# -- the live tree and the CLI -----------------------------------------------
+
+class TestLiveTree:
+    def test_source_tree_is_clean(self):
+        """THE gate: the shipped engine passes its own analyzer."""
+        violations = analyze_paths([SRC_TREE])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_every_rule_has_fixture_coverage(self):
+        # Guards against a rule family being added without tests: every
+        # registered family must appear in this module's fixture classes.
+        assert {rule.name for rule in ALL_RULES} == {
+            "concurrency", "vectorization", "zero-copy",
+            "exception-discipline", "resource-discipline",
+        }
+
+
+class TestCommandLine:
+    def run_cli(self, *args, cwd=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True, env=env, cwd=cwd or REPO_ROOT)
+
+    def test_clean_tree_exits_zero(self):
+        proc = self.run_cli(SRC_TREE)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 violations" in proc.stdout
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "repro" / "storage" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(textwrap.dedent("""
+            def load():
+                try:
+                    handle = open("x")
+                except Exception:
+                    return None
+        """))
+        proc = self.run_cli(str(bad), cwd=str(tmp_path))
+        assert proc.returncode == 1
+        assert "QLE001" in proc.stdout
+        assert "QLR001" in proc.stdout
+
+    def test_disable_flag(self, tmp_path):
+        bad = tmp_path / "repro" / "storage" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "try:\n    pass\nexcept Exception:\n    pass\n")
+        proc = self.run_cli("--disable", "QLE001", str(bad), cwd=str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("QLC001", "QLV001", "QLZ001", "QLE001", "QLR001"):
+            assert rule_id in proc.stdout
