@@ -31,8 +31,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(repeatable)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list every rule id and exit")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit violations as JSON")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text", dest="output_format",
+                        help="output format: human-readable text (default), "
+                             "a structured JSON report, or GitHub Actions "
+                             "::error annotations")
+    parser.add_argument("--json", action="store_const", const="json",
+                        dest="output_format",
+                        help="alias for --format json")
     parser.add_argument("--config", default=None, metavar="PYPROJECT",
                         help="explicit pyproject.toml with a "
                              "[tool.quacklint] table")
@@ -64,9 +70,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     violations = analyze_paths(paths, config)
     scanned = sum(1 for _ in iter_python_files(paths))
 
-    if options.as_json:
-        print(json.dumps([violation.__dict__ for violation in violations],
-                         indent=2))
+    if options.output_format == "json":
+        print(json.dumps({
+            "violations": [violation.__dict__ for violation in violations],
+            "files_scanned": scanned,
+            "files_flagged": len({v.path for v in violations}),
+            "violation_count": len(violations),
+        }, indent=2))
+    elif options.output_format == "github":
+        # GitHub Actions workflow-command annotations: one ::error line per
+        # violation, surfaced inline on the PR diff.  Newlines/percent in
+        # the message must be URL-style escaped per the Actions spec.
+        for violation in violations:
+            message = (violation.message.replace("%", "%25")
+                       .replace("\r", "%0D").replace("\n", "%0A"))
+            print(f"::error file={violation.path},line={violation.line},"
+                  f"col={violation.col + 1},title={violation.rule}::"
+                  f"{message}")
     else:
         for violation in violations:
             print(violation.render())

@@ -30,6 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from ..sanitizer.hierarchy import (
+    CLASS_LOCK_ATTRS,
+    GLOBAL_LOCK_ATTRS,
+    LOCK_HIERARCHY,
+)
+
 __all__ = [
     "SharedClassSpec",
     "ThreadSafetyRegistry",
@@ -118,3 +124,37 @@ class ThreadSafetyRegistry:
     def is_worker_reachable(self, pkg_path: str) -> bool:
         return any(pkg_path == prefix or pkg_path.startswith(prefix)
                    for prefix in self.worker_reachable)
+
+    # -- lock hierarchy (shared with the runtime sanitizer) -----------------
+    lock_hierarchy: Tuple[str, ...] = LOCK_HIERARCHY
+    class_lock_attrs: Dict[str, Dict[str, Dict[str, str]]] = field(
+        default_factory=lambda: {
+            path: {cls: dict(attrs) for cls, attrs in classes.items()}
+            for path, classes in CLASS_LOCK_ATTRS.items()
+        })
+    global_lock_attrs: Dict[str, str] = field(
+        default_factory=lambda: dict(GLOBAL_LOCK_ATTRS))
+
+    def lock_level(self, name: str) -> Optional[int]:
+        """Position of lock ``name`` in the hierarchy (0 = outermost)."""
+        try:
+            return self.lock_hierarchy.index(name)
+        except ValueError:
+            return None
+
+    def resolve_lock_attr(self, pkg_path: str, class_name: Optional[str],
+                          attr: str, on_self: bool) -> Optional[str]:
+        """Hierarchy name of the lock behind attribute ``attr``, or None.
+
+        ``self.<attr>`` inside a class listed in :data:`CLASS_LOCK_ATTRS`
+        resolves precisely; any other receiver falls back to the globally
+        unambiguous attribute names (``_checkpoint_lock``, ``_stats_lock``,
+        ``lock``) -- deliberately not ``_lock``, which half the engine uses.
+        """
+        if on_self and class_name is not None:
+            attrs = self.class_lock_attrs.get(pkg_path, {}).get(class_name)
+            if attrs and attr in attrs:
+                return attrs[attr]
+        if not on_self:
+            return self.global_lock_attrs.get(attr)
+        return None

@@ -1,8 +1,8 @@
 """quacklint rule families.
 
 One module per family; :data:`ALL_RULES` is the engine's default rule set.
-Family prefixes: QLC (concurrency), QLV (vectorization), QLZ (zero-copy),
-QLE (exception discipline), QLR (resource discipline).
+Family prefixes: QLC (concurrency), QLL (lock order), QLV (vectorization),
+QLZ (zero-copy), QLE (exception discipline), QLR (resource discipline).
 """
 
 from __future__ import annotations
@@ -12,6 +12,7 @@ from typing import Dict, List
 from ..core import Rule
 from .concurrency import ConcurrencyRule
 from .exceptions import ExceptionDisciplineRule
+from .lockorder import LockOrderRule
 from .resources import ResourceDisciplineRule
 from .vectorization import VectorizationRule
 from .zerocopy import ZeroCopyRule
@@ -19,6 +20,7 @@ from .zerocopy import ZeroCopyRule
 __all__ = [
     "ALL_RULES",
     "ConcurrencyRule",
+    "LockOrderRule",
     "VectorizationRule",
     "ZeroCopyRule",
     "ExceptionDisciplineRule",
@@ -28,6 +30,7 @@ __all__ = [
 
 ALL_RULES: List[Rule] = [
     ConcurrencyRule(),
+    LockOrderRule(),
     VectorizationRule(),
     ZeroCopyRule(),
     ExceptionDisciplineRule(),

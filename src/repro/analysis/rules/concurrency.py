@@ -6,12 +6,33 @@ are reachable from those workers, so every write to their ``self`` state
 must happen under ``with self.<lock>:`` (QLC001).  Module-level globals in
 worker-reachable modules have no lock to name, so writing them from a
 function is flagged outright (QLC002).
+
+The analysis is *interprocedural within a class*: instead of judging each
+method in isolation, the rule first collects every write and every
+``self.<method>()`` call site together with the lexical lock state, then
+runs a small fixpoint (two iterations, so the discipline propagates through
+one- and two-hop helper chains):
+
+* a method whose name ends in ``_locked`` is **assumed held** -- the suffix
+  is the engine's documented calling convention;
+* a *private* method (leading underscore) with at least one in-class call
+  site, all of whose call sites hold the lock, becomes **effectively
+  held** -- its unguarded writes are fine because every path into it
+  already owns the lock;
+* calling a ``*_locked`` method from a site that does not hold the lock is
+  its own violation (QLC003): the convention promises the lock is held, and
+  breaking the promise is a data race even if the callee never writes.
+
+Call sites inside nested ``def``/``lambda`` bodies never inherit the
+enclosing method's lock state -- the closure may run after the ``with``
+block exits.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from ..core import AnalysisConfig, FileContext, Rule, Violation
 from ..registry import SharedClassSpec, ThreadSafetyRegistry
@@ -26,6 +47,11 @@ _MUTATOR_METHODS = frozenset({
 })
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Fixpoint iterations: 2 lets "effectively held" flow through two-hop
+#: helper chains (public-under-lock -> _helper_a -> _helper_b).
+_PROPAGATION_ROUNDS = 2
 
 
 def _self_attr_of(node: ast.AST) -> Optional[str]:
@@ -83,9 +109,102 @@ def _mutating_call_attr(call: ast.Call) -> Optional[str]:
     return None
 
 
+def _self_method_called(call: ast.Call) -> Optional[str]:
+    """Name of the method for a direct ``self.<name>(...)`` call, or None."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+            and func.value.id == "self":
+        return func.attr
+    return None
+
+
 def _is_lock_context(expr: ast.AST, lock_attr: str) -> bool:
     return (isinstance(expr, ast.Attribute) and expr.attr == lock_attr
             and isinstance(expr.value, ast.Name) and expr.value.id == "self")
+
+
+@dataclass
+class _Site:
+    """One write or self-call, with the lock state at that program point.
+
+    ``lexical_held`` -- the site sits inside ``with self.<lock>:`` (or in a
+    ``*_locked`` method body).  ``caller_credit`` -- the site is in the
+    method's own body (not a nested def/lambda), so it may inherit
+    "effectively held" status from the enclosing method.
+    """
+
+    node: ast.AST
+    lexical_held: bool
+    caller_credit: bool
+
+    def held(self, method_held: bool) -> bool:
+        return self.lexical_held or (self.caller_credit and method_held)
+
+
+@dataclass
+class _MethodEvents:
+    """Everything the fixpoint needs to know about one method."""
+
+    name: str
+    writes: List[Tuple[str, _Site]] = dataclass_field(default_factory=list)
+    #: callee method name -> call sites (``self.<callee>(...)``).
+    calls: List[Tuple[str, _Site]] = dataclass_field(default_factory=list)
+
+
+class _ClassCollector:
+    """AST walk over one method collecting writes and self-call sites."""
+
+    def __init__(self, lock_attr: str) -> None:
+        self.lock_attr = lock_attr
+
+    def collect(self, method: _FunctionNode, seed_held: bool) -> _MethodEvents:
+        events = _MethodEvents(method.name)
+        self._walk_body(events, method.body, seed_held, True)
+        return events
+
+    def _walk_body(self, events: _MethodEvents, body: List[ast.stmt],
+                   held: bool, credit: bool) -> None:
+        for stmt in body:
+            self._walk_stmt(events, stmt, held, credit)
+
+    def _walk_stmt(self, events: _MethodEvents, stmt: ast.AST,
+                   held: bool, credit: bool) -> None:
+        if isinstance(stmt, ast.With):
+            now_held = held or any(
+                _is_lock_context(item.context_expr, self.lock_attr)
+                for item in stmt.items)
+            for item in stmt.items:
+                self._walk_expr(events, item.context_expr, held, credit)
+            self._walk_body(events, stmt.body, now_held, credit)
+            return
+        if isinstance(stmt, _FUNCTION_NODES):
+            # A nested def/closure may run after the enclosing with-block
+            # has exited: never assume the lock is still held inside it,
+            # and never credit it with the enclosing method's status.
+            self._walk_body(events, stmt.body, False, False)
+            return
+        for attr, node in _written_attrs(stmt):
+            events.writes.append((attr, _Site(node, held, credit)))
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.stmt, ast.excepthandler)):
+                self._walk_stmt(events, child, held, credit)
+            else:
+                self._walk_expr(events, child, held, credit)
+
+    def _walk_expr(self, events: _MethodEvents, expr: ast.AST,
+                   held: bool, credit: bool) -> None:
+        if isinstance(expr, ast.Lambda):
+            held = False  # the lambda may run after the lock is released
+            credit = False
+        if isinstance(expr, ast.Call):
+            attr = _mutating_call_attr(expr)
+            if attr is not None:
+                events.writes.append((attr, _Site(expr, held, credit)))
+            callee = _self_method_called(expr)
+            if callee is not None:
+                events.calls.append((callee, _Site(expr, held, credit)))
+        for child in ast.iter_child_nodes(expr):
+            self._walk_expr(events, child, held, credit)
 
 
 class ConcurrencyRule(Rule):
@@ -96,6 +215,8 @@ class ConcurrencyRule(Rule):
         "QLC001": "unguarded write to shared state in a registered "
                   "thread-shared class",
         "QLC002": "module-global write inside a worker-reachable module",
+        "QLC003": "call of a '*_locked' method from a site that does not "
+                  "hold the lock",
     }
     default_scope = ("repro/",)
 
@@ -111,62 +232,66 @@ class ConcurrencyRule(Rule):
         if registry.is_worker_reachable(ctx.pkg_path):
             yield from self._check_globals(ctx)
 
-    # -- QLC001 ------------------------------------------------------------
+    # -- QLC001 / QLC003 -----------------------------------------------------
     def _check_class(self, ctx: FileContext, cls: ast.ClassDef,
                      spec: SharedClassSpec,
                      registry: ThreadSafetyRegistry) -> Iterator[Violation]:
+        suffix = registry.locked_suffix
+        collector = _ClassCollector(spec.lock_attr)
+        methods: Dict[str, _MethodEvents] = {}
         for node in cls.body:
             if not isinstance(node, _FUNCTION_NODES):
                 continue
             if node.name == "__init__":
                 continue  # not yet published to other threads
-            held = node.name.endswith(registry.locked_suffix)
-            yield from self._walk_body(ctx, cls.name, spec, node.body, held)
+            methods[node.name] = collector.collect(
+                node, seed_held=node.name.endswith(suffix))
 
-    def _walk_body(self, ctx: FileContext, cls_name: str,
-                   spec: SharedClassSpec, body: List[ast.stmt],
-                   held: bool) -> Iterator[Violation]:
-        for stmt in body:
-            yield from self._check_stmt(ctx, cls_name, spec, stmt, held)
+        held_methods = self._propagate_held(methods, suffix)
 
-    def _check_stmt(self, ctx: FileContext, cls_name: str,
-                    spec: SharedClassSpec, stmt: ast.AST,
-                    held: bool) -> Iterator[Violation]:
-        if isinstance(stmt, ast.With):
-            now_held = held or any(
-                _is_lock_context(item.context_expr, spec.lock_attr)
-                for item in stmt.items)
-            for item in stmt.items:
-                yield from self._check_expr(ctx, cls_name, spec,
-                                            item.context_expr, held)
-            yield from self._walk_body(ctx, cls_name, spec, stmt.body,
-                                       now_held)
-            return
-        if isinstance(stmt, _FUNCTION_NODES):
-            # A nested def/closure may run after the enclosing with-block
-            # has exited: never assume the lock is still held inside it.
-            yield from self._walk_body(ctx, cls_name, spec, stmt.body, False)
-            return
-        if not held:
-            for attr, node in _written_attrs(stmt):
-                yield from self._flag(ctx, cls_name, spec, attr, node)
-        for child in ast.iter_child_nodes(stmt):
-            if isinstance(child, (ast.stmt, ast.excepthandler)):
-                yield from self._check_stmt(ctx, cls_name, spec, child, held)
-            else:
-                yield from self._check_expr(ctx, cls_name, spec, child, held)
+        for name, events in methods.items():
+            method_held = name in held_methods
+            for attr, site in events.writes:
+                if not site.held(method_held):
+                    yield from self._flag(ctx, cls.name, spec, attr,
+                                          site.node)
+            for callee, site in events.calls:
+                if callee.endswith(suffix) and callee in methods \
+                        and not site.held(method_held):
+                    yield Violation(
+                        "QLC003", ctx.path,
+                        getattr(site.node, "lineno", 1),
+                        getattr(site.node, "col_offset", 0),
+                        f"call of {cls.name}.{callee} without holding "
+                        f"self.{spec.lock_attr}; the '{suffix}' suffix "
+                        f"promises the caller owns the lock -- wrap the "
+                        f"call in 'with self.{spec.lock_attr}:'",
+                    )
 
-    def _check_expr(self, ctx: FileContext, cls_name: str,
-                    spec: SharedClassSpec, expr: ast.AST,
-                    held: bool) -> Iterator[Violation]:
-        if isinstance(expr, ast.Lambda):
-            held = False  # the lambda may run after the lock is released
-        if not held and isinstance(expr, ast.Call):
-            attr = _mutating_call_attr(expr)
-            if attr is not None:
-                yield from self._flag(ctx, cls_name, spec, attr, expr)
-        for child in ast.iter_child_nodes(expr):
-            yield from self._check_expr(ctx, cls_name, spec, child, held)
+    @staticmethod
+    def _propagate_held(methods: Dict[str, _MethodEvents],
+                        suffix: str) -> Set[str]:
+        """Methods that always run with the lock held.
+
+        Seeds with the ``*_locked`` convention, then fixpoints: a private
+        method all of whose in-class call sites hold the lock is itself
+        held.  Two rounds propagate through two-hop helper chains.
+        """
+        held: Set[str] = {name for name in methods if name.endswith(suffix)}
+        sites_by_callee: Dict[str, List[Tuple[str, _Site]]] = {}
+        for name, events in methods.items():
+            for callee, site in events.calls:
+                sites_by_callee.setdefault(callee, []).append((name, site))
+        for _ in range(_PROPAGATION_ROUNDS):
+            for name in methods:
+                if name in held or not name.startswith("_") \
+                        or name.startswith("__"):
+                    continue
+                sites = sites_by_callee.get(name)
+                if sites and all(site.held(caller in held)
+                                 for caller, site in sites):
+                    held.add(name)
+        return held
 
     def _flag(self, ctx: FileContext, cls_name: str, spec: SharedClassSpec,
               attr: str, node: ast.AST) -> Iterator[Violation]:

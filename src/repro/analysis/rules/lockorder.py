@@ -1,0 +1,214 @@
+"""QLL -- lock-order rules: nested acquisitions must follow the hierarchy.
+
+The engine declares one global lock order (outermost first) in
+:mod:`repro.sanitizer.hierarchy`; every code path that nests two named
+locks must acquire them in (a subsequence of) that order, or two threads
+running the paths in opposite orders can deadlock.  LockSan witnesses the
+orders actually taken at runtime; this rule family catches inversions
+before the code ever runs:
+
+* **QLL001** -- a ``with`` acquisition of lock B textually nested inside a
+  ``with`` acquisition of lock A, where B is declared *outer* to A;
+* **QLL002** -- a ``self.<method>()`` call made while holding lock A, where
+  the callee (or anything it calls, up to two self-call hops) acquires a
+  lock declared outer to A.  This is the one/two-hop interprocedural
+  variant: the inversion is invisible in either method alone.
+
+Lock expressions resolve to hierarchy names through the thread-safety
+registry: ``self.<attr>`` inside a class listed in
+:data:`~repro.sanitizer.hierarchy.CLASS_LOCK_ATTRS` resolves precisely;
+other receivers (``table.data.lock``, ``db._checkpoint_lock``) fall back to
+the globally unambiguous attribute names.  Unresolvable ``with`` subjects
+are ignored -- the rule only reasons about locks it can name.  Reentrant
+same-name nesting (an RLock re-entered through a helper) is never an
+inversion and is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from ..core import AnalysisConfig, FileContext, Rule, Violation
+from ..registry import ThreadSafetyRegistry
+
+__all__ = ["LockOrderRule"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _lock_name_of(registry: ThreadSafetyRegistry, pkg_path: str,
+                  class_name: Optional[str], expr: ast.AST) -> Optional[str]:
+    """Hierarchy name of the lock a ``with`` subject acquires, or None."""
+    if not isinstance(expr, ast.Attribute):
+        return None
+    on_self = isinstance(expr.value, ast.Name) and expr.value.id == "self"
+    return registry.resolve_lock_attr(pkg_path, class_name, expr.attr,
+                                      on_self)
+
+
+def _self_method_called(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+            and func.value.id == "self":
+        return func.attr
+    return None
+
+
+class LockOrderRule(Rule):
+    name = "lockorder"
+    description = ("nested lock acquisitions must follow the declared "
+                   "engine lock hierarchy (sanitizer/hierarchy.py)")
+    ids = {
+        "QLL001": "nested 'with' acquisition inverts the declared lock "
+                  "hierarchy",
+        "QLL002": "method call while holding a lock reaches (within two "
+                  "self-call hops) an acquisition outer to it",
+    }
+    default_scope = ("repro/",)
+
+    def check(self, ctx: FileContext,
+              config: AnalysisConfig) -> Iterator[Violation]:
+        registry: ThreadSafetyRegistry = config.registry  # type: ignore[assignment]
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, registry, node)
+            elif isinstance(node, _FUNCTION_NODES):
+                yield from self._check_function(ctx, registry, None, {},
+                                                node)
+
+    # -- per-class: build the two-hop acquires closure first ----------------
+    def _check_class(self, ctx: FileContext, registry: ThreadSafetyRegistry,
+                     cls: ast.ClassDef) -> Iterator[Violation]:
+        direct: Dict[str, Set[str]] = {}
+        calls: Dict[str, Set[str]] = {}
+        for node in cls.body:
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            acquires: Set[str] = set()
+            called: Set[str] = set()
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.With):
+                    for item in inner.items:
+                        name = _lock_name_of(registry, ctx.pkg_path,
+                                             cls.name, item.context_expr)
+                        if name is not None:
+                            acquires.add(name)
+                elif isinstance(inner, ast.Call):
+                    callee = _self_method_called(inner)
+                    if callee is not None:
+                        called.add(callee)
+            direct[node.name] = acquires
+            calls[node.name] = called
+
+        # closure[m] = locks m may acquire within two self-call hops.
+        one_hop = {
+            name: direct[name].union(
+                *(direct.get(c, set()) for c in calls[name]))
+            for name in direct
+        }
+        closure = {
+            name: one_hop[name].union(
+                *(one_hop.get(c, set()) for c in calls[name]))
+            for name in direct
+        }
+
+        for node in cls.body:
+            if isinstance(node, _FUNCTION_NODES):
+                yield from self._check_function(ctx, registry, cls.name,
+                                                closure, node)
+
+    # -- per-method: walk with a held-locks stack ---------------------------
+    def _check_function(self, ctx: FileContext,
+                        registry: ThreadSafetyRegistry,
+                        class_name: Optional[str],
+                        closure: Dict[str, Set[str]],
+                        func: _FunctionNode) -> Iterator[Violation]:
+        yield from self._walk_body(ctx, registry, class_name, closure,
+                                   func.body, [])
+
+    def _walk_body(self, ctx: FileContext, registry: ThreadSafetyRegistry,
+                   class_name: Optional[str], closure: Dict[str, Set[str]],
+                   body: List[ast.stmt],
+                   held: List[str]) -> Iterator[Violation]:
+        for stmt in body:
+            yield from self._walk_stmt(ctx, registry, class_name, closure,
+                                       stmt, held)
+
+    def _walk_stmt(self, ctx: FileContext, registry: ThreadSafetyRegistry,
+                   class_name: Optional[str], closure: Dict[str, Set[str]],
+                   stmt: ast.AST, held: List[str]) -> Iterator[Violation]:
+        if isinstance(stmt, ast.With):
+            acquired: List[str] = []
+            for item in stmt.items:
+                yield from self._check_calls(ctx, registry, closure,
+                                             item.context_expr, held)
+                name = _lock_name_of(registry, ctx.pkg_path, class_name,
+                                     item.context_expr)
+                if name is None:
+                    continue
+                yield from self._check_inversion(
+                    ctx, registry, stmt, held + acquired, name, "QLL001",
+                    f"'with' acquisition of '{name}'")
+                acquired.append(name)
+            yield from self._walk_body(ctx, registry, class_name, closure,
+                                       stmt.body, held + acquired)
+            return
+        if isinstance(stmt, _FUNCTION_NODES):
+            # A nested def runs later, without the enclosing locks.
+            yield from self._walk_body(ctx, registry, class_name, closure,
+                                       stmt.body, [])
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.stmt, ast.excepthandler)):
+                yield from self._walk_stmt(ctx, registry, class_name,
+                                           closure, child, held)
+            else:
+                yield from self._check_calls(ctx, registry, closure, child,
+                                             held)
+
+    def _check_calls(self, ctx: FileContext,
+                     registry: ThreadSafetyRegistry,
+                     closure: Dict[str, Set[str]], expr: ast.AST,
+                     held: List[str]) -> Iterator[Violation]:
+        """QLL002 checks for every self-call in one expression subtree.
+
+        Lambdas are pruned: their bodies run after the locks are released,
+        so acquisitions reached through them are not nested acquisitions.
+        """
+        if not held or isinstance(expr, ast.Lambda):
+            return
+        if isinstance(expr, ast.Call):
+            callee = _self_method_called(expr)
+            if callee is not None and callee in closure:
+                for name in sorted(closure[callee]):
+                    yield from self._check_inversion(
+                        ctx, registry, expr, held, name, "QLL002",
+                        f"call of self.{callee}() which may acquire "
+                        f"'{name}' (within two self-call hops)")
+        for child in ast.iter_child_nodes(expr):
+            yield from self._check_calls(ctx, registry, closure, child,
+                                         held)
+
+    @staticmethod
+    def _check_inversion(ctx: FileContext, registry: ThreadSafetyRegistry,
+                         node: ast.AST, held: List[str], name: str,
+                         rule_id: str, what: str) -> Iterator[Violation]:
+        level = registry.lock_level(name)
+        if level is None:
+            return
+        for outer in held:
+            if outer == name:
+                continue  # reentrant same-name nesting, never an inversion
+            outer_level = registry.lock_level(outer)
+            if outer_level is not None and level < outer_level:
+                yield Violation(
+                    rule_id, ctx.path, getattr(node, "lineno", 1),
+                    getattr(node, "col_offset", 0),
+                    f"{what} while holding '{outer}' inverts the declared "
+                    f"lock hierarchy ('{name}' is outer to '{outer}'); "
+                    f"acquire '{name}' first or restructure -- see "
+                    f"repro/sanitizer/hierarchy.py",
+                )
+                return

@@ -9,10 +9,10 @@ checkpoint writes only entries visible to everyone and prunes the rest.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import CatalogError
+from ..sanitizer import SanRLock, tracked_access
 from ..transaction.transaction import Transaction
 from ..transaction.version import ABORTED_MARKER
 from .entry import CatalogEntry, TableEntry, ViewEntry
@@ -24,14 +24,15 @@ class Catalog:
     """Thread-safe catalog of tables and views."""
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        self._lock = SanRLock("catalog")
         #: Per name, newest-first list of entry versions.
         self._entries: Dict[str, List[CatalogEntry]] = {}
 
     # -- lookup ------------------------------------------------------------
     def get_entry(self, name: str, transaction: Transaction) -> Optional[CatalogEntry]:
         """The entry visible to ``transaction`` under ``name``, or None."""
-        with self._lock:
+        with self._lock, tracked_access(("catalog", id(self)), False,
+                                        self._lock):
             versions = self._entries.get(name.lower(), [])
             for entry in versions:
                 if entry.visible_to(transaction.transaction_id, transaction.start_time):
@@ -84,7 +85,8 @@ class Catalog:
         error, True when the entry was actually created.
         """
         key = entry.name.lower()
-        with self._lock:
+        with self._lock, tracked_access(("catalog", id(self)), True,
+                                        self._lock):
             existing = self.get_entry(entry.name, transaction)
             if existing is not None:
                 if if_not_exists:
@@ -102,7 +104,8 @@ class Catalog:
     def drop_entry(self, name: str, transaction: Transaction,
                    if_exists: bool = False, expected_type: Optional[str] = None) -> bool:
         """Tag the visible entry under ``name`` as dropped by ``transaction``."""
-        with self._lock:
+        with self._lock, tracked_access(("catalog", id(self)), True,
+                                        self._lock):
             entry = self.get_entry(name, transaction)
             if entry is None:
                 if if_exists:
@@ -129,7 +132,8 @@ class Catalog:
     # -- maintenance ----------------------------------------------------------
     def prune(self, oldest_snapshot: int) -> None:
         """Physically delete entry versions invisible to every snapshot."""
-        with self._lock:
+        with self._lock, tracked_access(("catalog", id(self)), True,
+                                        self._lock):
             for key in list(self._entries):
                 survivors = []
                 for entry in self._entries[key]:

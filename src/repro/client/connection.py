@@ -10,7 +10,6 @@ transfer-efficiency design of paper §5/§6.
 
 from __future__ import annotations
 
-import threading
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -25,6 +24,7 @@ from typing import (
 
 from ..config import DatabaseConfig
 from ..database import Database
+from ..sanitizer import SanRLock
 from ..errors import ConnectionError as ClosedError
 from ..errors import InvalidInputError, TransactionContextError
 from ..execution.executor import Executor, StatementResult
@@ -69,7 +69,10 @@ class Connection:
         # Execution context of the in-flight query, for interrupt().
         self._active_context: Optional["ExecutionContext"] = None
         self._closed = False
-        self._lock = threading.RLock()
+        # Outermost lock of the declared hierarchy: held while the engine
+        # takes the checkpoint, transaction-manager, catalog, table, and
+        # buffer locks -- never acquired while any of those is held.
+        self._lock = SanRLock("connection")
 
     # -- properties ---------------------------------------------------------
     @property

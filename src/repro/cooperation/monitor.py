@@ -117,3 +117,16 @@ class ResourceMonitor:
                                   app_cpu, self.total_ram)
         self.history.append(snapshot)
         return snapshot
+
+    def lock_stats(self) -> dict:
+        """Per-lock acquisition/contention/hold-time statistics.
+
+        Populated only while the quacksan sanitizer is enabled
+        (``REPRO_SANITIZE=1``); empty otherwise.  Keys are lock-hierarchy
+        names (``connection``, ``table_data``, ...), values the dicts from
+        :meth:`repro.sanitizer.LockStats.as_dict`.
+        """
+        from ..sanitizer import lock_statistics
+
+        return {name: stats.as_dict()
+                for name, stats in sorted(lock_statistics().items())}

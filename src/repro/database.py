@@ -9,8 +9,6 @@ can share one Database; MVCC keeps them consistent.
 
 from __future__ import annotations
 
-import os
-import threading
 from typing import Any, Dict, Optional
 
 from .catalog.catalog import Catalog
@@ -18,6 +16,7 @@ from .config import DatabaseConfig
 from .cooperation.controller import ReactiveController, StaticController
 from .cooperation.monitor import ResourceMonitor, SimulatedApplication
 from .errors import ConnectionError as DatabaseConnectionError
+from .sanitizer import SanLock
 from .storage.buffer_manager import BufferManager
 from .storage.storage_manager import StorageManager
 from .transaction.manager import TransactionManager
@@ -40,7 +39,12 @@ class Database:
         #: Cooperation controller; swapped for a ReactiveController when
         #: reactive resources are enabled (see :meth:`enable_reactive_resources`).
         self.resource_controller = StaticController()
-        self._checkpoint_lock = threading.Lock()
+        #: Serializes checkpoints (explicit, auto, and on-close).  Lock
+        #: order: a connection's ``_lock`` may be held when this is taken
+        #: (``connection`` -> ``database.checkpoint`` in the declared
+        #: hierarchy, see :mod:`repro.sanitizer.hierarchy`); the reverse
+        #: order is forbidden everywhere.
+        self._checkpoint_lock = SanLock("database.checkpoint")
         self._closed = False
         self.storage.load(self.catalog, self.transaction_manager)
 
@@ -57,10 +61,16 @@ class Database:
             raise DatabaseConnectionError("The database has been closed")
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self.storage.close(self.catalog, self.transaction_manager)
-        self._closed = True
+        # Checkpoint-on-close runs under the same ``_checkpoint_lock`` as
+        # explicit/auto checkpoints (and in the same position in the lock
+        # hierarchy: the closing connection already holds its ``_lock``),
+        # so a concurrent CHECKPOINT or auto-checkpoint can never interleave
+        # with shutdown.
+        with self._checkpoint_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.storage.close(self.catalog, self.transaction_manager)
 
     def __enter__(self) -> "Database":
         return self

@@ -37,6 +37,7 @@ from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..sanitizer import SanLock, tracked_access
 from ..storage.table_data import SCAN_CHUNK_ROWS
 from ..types import DataChunk, VECTOR_SIZE, Vector
 from ..functions.aggregate import compute_aggregate
@@ -120,14 +121,15 @@ class MorselDriver:
     def __init__(self, context: ExecutionContext, worker_count: int) -> None:
         self.context = context
         self.worker_count = max(1, worker_count)
-        self._lock = threading.Lock()
+        self._lock = SanLock("morsel_driver")
         #: rows processed per worker thread, in first-use order.
         self._worker_rows: dict = {}
 
     def record_rows(self, count: int) -> None:
         """Attribute ``count`` processed rows to the calling worker."""
         ident = threading.get_ident()
-        with self._lock:
+        with self._lock, tracked_access(("morsel_driver", id(self)), True,
+                                        self._lock):
             self._worker_rows[ident] = self._worker_rows.get(ident, 0) + count
 
     def _run_task(self, task: Callable):

@@ -10,10 +10,10 @@ exactly the paper's "the client application becomes the root operator".
 
 from __future__ import annotations
 
-import threading
 from typing import Iterator, List, Optional
 
 from ..errors import InterruptError
+from ..sanitizer import SanLock, tracked_access
 from ..types import DataChunk, LogicalType
 
 __all__ = ["PhysicalOperator", "ExecutionContext"]
@@ -36,7 +36,7 @@ class ExecutionContext:
         #: Guarded by ``_stats_lock``: parallel pipeline workers bump stats
         #: concurrently.
         self.stats = {}
-        self._stats_lock = threading.Lock()
+        self._stats_lock = SanLock("operator_stats")
 
     @property
     def buffer_manager(self):
@@ -58,8 +58,18 @@ class ExecutionContext:
             raise InterruptError("Query execution was interrupted")
 
     def materialize_subquery(self, plan) -> DataChunk:
-        """Run an uncorrelated subquery plan once; cache the materialization."""
+        """Run an uncorrelated subquery plan once; cache the materialization.
+
+        Coordinator-only by design: pipelines containing subqueries never
+        parallelize (see ``expressions_parallel_safe``).  The RaceSan probe
+        declares the cache lock-free, so any overlap -- i.e. a future change
+        that lets a worker thread in here -- is reported as a race.
+        """
         key = id(plan)
+        with tracked_access(("subquery_cache", id(self)), True, None):
+            return self._materialize_subquery(plan, key)
+
+    def _materialize_subquery(self, plan, key) -> DataChunk:
         if key not in self._subquery_results:
             from .physical_planner import create_physical_plan
 
@@ -75,12 +85,14 @@ class ExecutionContext:
         return self._subquery_results[key]
 
     def bump_stat(self, name: str, amount: int = 1) -> None:
-        with self._stats_lock:
+        with self._stats_lock, tracked_access(("operator_stats", id(self)),
+                                              True, self._stats_lock):
             self.stats[name] = self.stats.get(name, 0) + amount
 
     def max_stat(self, name: str, value: int) -> None:
         """Record the high-water mark of a statistic (e.g. workers used)."""
-        with self._stats_lock:
+        with self._stats_lock, tracked_access(("operator_stats", id(self)),
+                                              True, self._stats_lock):
             if value > self.stats.get(name, 0):
                 self.stats[name] = value
 

@@ -1,0 +1,142 @@
+"""quacksan report types: captured stacks, findings, and lock statistics.
+
+Stack capture deliberately avoids :func:`traceback.extract_stack` (which
+reads source lines from disk): a report only needs ``file:line function``
+triples, and acquisition-site capture runs on the hot path whenever the
+sanitizer is enabled.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "Frame",
+    "capture_stack",
+    "render_stack",
+    "LockEdgeWitness",
+    "LockOrderReport",
+    "RaceAccess",
+    "RaceReport",
+    "LockStats",
+]
+
+#: (filename, lineno, function) -- one captured frame.
+Frame = Tuple[str, int, str]
+
+
+def capture_stack(skip: int = 1, limit: int = 16) -> Tuple[Frame, ...]:
+    """Innermost-first summary of the calling stack.
+
+    ``skip`` drops the sanitizer's own frames so reports point at engine
+    code; ``limit`` bounds the capture cost.
+    """
+    frames: List[Frame] = []
+    try:
+        frame = sys._getframe(skip)
+    except ValueError:  # fewer frames than ``skip``
+        return ()
+    while frame is not None and len(frames) < limit:
+        code = frame.f_code
+        frames.append((code.co_filename, frame.f_lineno, code.co_name))
+        frame = frame.f_back
+    return tuple(frames)
+
+
+def render_stack(stack: Tuple[Frame, ...], indent: str = "    ") -> str:
+    if not stack:
+        return indent + "<no stack captured>"
+    return "\n".join(f"{indent}at {filename}:{lineno} in {function}"
+                     for filename, lineno, function in stack)
+
+
+@dataclass(frozen=True)
+class LockEdgeWitness:
+    """First observed acquisition of ``acquired`` while ``held`` was held."""
+
+    held: str
+    acquired: str
+    #: Stack where ``held`` was acquired (by the same thread, earlier).
+    held_stack: Tuple[Frame, ...]
+    #: Stack where ``acquired`` was then taken under it.
+    acquire_stack: Tuple[Frame, ...]
+    thread_name: str = ""
+
+    def render(self) -> str:
+        return (f"  {self.held} -> {self.acquired}"
+                f" (thread {self.thread_name or '?'})\n"
+                f"   {self.held} acquired:\n"
+                f"{render_stack(self.held_stack)}\n"
+                f"   then {self.acquired} acquired:\n"
+                f"{render_stack(self.acquire_stack)}")
+
+
+@dataclass(frozen=True)
+class LockOrderReport:
+    """A cycle in the witnessed lock-order graph: a potential deadlock."""
+
+    cycle: Tuple[str, ...]
+    edges: Tuple[LockEdgeWitness, ...]
+
+    def render(self) -> str:
+        ring = " -> ".join(self.cycle + (self.cycle[0],))
+        body = "\n".join(edge.render() for edge in self.edges)
+        return (f"LockSan: lock-order cycle (potential deadlock): {ring}\n"
+                f"{body}")
+
+
+@dataclass(frozen=True)
+class RaceAccess:
+    """One side of a racy pair: who touched the structure, and how."""
+
+    thread_name: str
+    write: bool
+    locked: bool
+    stack: Tuple[Frame, ...]
+
+    def render(self) -> str:
+        kind = "write" if self.write else "read"
+        guard = "holding the owning lock" if self.locked \
+            else "WITHOUT the owning lock"
+        return (f"  {kind} by thread {self.thread_name} {guard}:\n"
+                f"{render_stack(self.stack)}")
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """A write observed concurrently with an access not under the lock."""
+
+    key: str
+    first: RaceAccess
+    second: RaceAccess
+
+    def render(self) -> str:
+        return (f"RaceSan: unsynchronized concurrent access to {self.key}\n"
+                f"{self.first.render()}\n{self.second.render()}")
+
+
+@dataclass
+class LockStats:
+    """Hold-time and contention accounting for one named lock."""
+
+    name: str
+    acquisitions: int = 0
+    contentions: int = 0
+    wait_time: float = 0.0
+    hold_time: float = 0.0
+    max_hold: float = 0.0
+    #: Same-name nestings observed (two instances of one lock class held at
+    #: once); excluded from cycle detection but worth watching.
+    same_name_nestings: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "acquisitions": self.acquisitions,
+            "contentions": self.contentions,
+            "wait_time": self.wait_time,
+            "hold_time": self.hold_time,
+            "max_hold": self.max_hold,
+            "same_name_nestings": self.same_name_nestings,
+        }

@@ -19,7 +19,6 @@ Three of the paper's requirements meet here:
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -27,6 +26,7 @@ import numpy as np
 
 from ..config import DatabaseConfig
 from ..errors import MemoryFaultError, OutOfMemoryError
+from ..sanitizer import SanRLock, tracked_access
 from ..resilience.faults import PlainMemory
 from ..resilience.memtest import MemtestReport, moving_inversions
 
@@ -89,7 +89,7 @@ class BufferManager:
 
     def __init__(self, config: DatabaseConfig, arena=None, arena_size: int = 0) -> None:
         self.config = config
-        self._lock = threading.RLock()
+        self._lock = SanRLock("buffer_manager")
         self._used = 0
         self._peak = 0
         self._next_buffer_id = 0
@@ -125,7 +125,8 @@ class BufferManager:
 
     def reserve(self, nbytes: int, description: str = "allocation") -> None:
         """Account for ``nbytes``; evict cache or raise when over the limit."""
-        with self._lock:
+        with self._lock, tracked_access(("buffer_manager", id(self)), True,
+                                        self._lock):
             total = self._used + self._block_cache_bytes + nbytes
             if total > self.memory_limit:
                 self._evict_blocks_locked(total - self.memory_limit)
@@ -139,7 +140,8 @@ class BufferManager:
             self._peak = max(self._peak, self._used)
 
     def release(self, nbytes: int) -> None:
-        with self._lock:
+        with self._lock, tracked_access(("buffer_manager", id(self)), True,
+                                        self._lock):
             self._used = max(0, self._used - nbytes)
 
     def reservation(self, nbytes: int, description: str = "allocation") -> MemoryReservation:

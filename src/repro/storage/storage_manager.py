@@ -183,14 +183,8 @@ class StorageManager:
         """
         if self.in_memory:
             return False
-        if transaction_manager.active_count() > 0:
-            if force:
-                raise TransactionContextError(
-                    "Cannot CHECKPOINT while other transactions are active"
-                )
-            return False
-        bootstrap = transaction_manager.begin()
-        try:
+
+        def write_snapshot(bootstrap: Transaction) -> None:
             writer = CheckpointWriter(self.block_file, self.buffer_manager)
             self._metadata_blocks, self._free_list_blocks = writer.write(
                 catalog, bootstrap, self._metadata_blocks, self._free_list_blocks
@@ -201,10 +195,18 @@ class StorageManager:
                 "bytes_written": writer.bytes_written,
             }
             self.checkpoints_written += 1
-        finally:
-            if bootstrap.is_active:
-                transaction_manager.rollback(bootstrap)
-        self.wal.truncate()
+            # Truncate *inside* the quiesced region: a commit group appended
+            # between the snapshot and the truncation would be silently
+            # discarded (durability loss) -- and would race the WAL file
+            # handle being swapped.
+            self.wal.truncate()
+
+        try:
+            transaction_manager.run_quiesced(write_snapshot)
+        except TransactionContextError:
+            if force:
+                raise
+            return False
         catalog.prune(transaction_manager.lowest_active_start())
         return True
 

@@ -16,12 +16,12 @@ Implements the paper's combined OLAP & ETL storage requirements (§2):
 
 from __future__ import annotations
 
-import threading
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import InternalError, TransactionConflict
+from ..sanitizer import SanRLock, tracked_access
 from ..transaction.transaction import Transaction
 from ..transaction.undo import DeleteUndo, InsertUndo, UpdateUndo
 from ..transaction.version import ABORTED_MARKER, NOT_DELETED, versions_visible
@@ -220,7 +220,7 @@ class TableData:
     """Versioned storage of one table: columns plus row-version arrays."""
 
     def __init__(self, types: Sequence[LogicalType]) -> None:
-        self.lock = threading.RLock()
+        self.lock = SanRLock("table_data")
         self.row_count = 0
         self.columns: List[ColumnData] = [ColumnData(dtype, self) for dtype in types]
         self.inserted_by = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
@@ -254,7 +254,8 @@ class TableData:
                 f"append of {chunk.column_count} columns into "
                 f"{len(self.columns)}-column table"
             )
-        with self.lock:
+        with self.lock, tracked_access(("table_data", id(self)), True,
+                                       self.lock):
             start = self.row_count
             count = chunk.size
             self._ensure_capacity(start + count)
@@ -298,7 +299,8 @@ class TableData:
         if rows.size == 0:
             return 0
         rows = np.sort(rows.astype(np.int64))
-        with self.lock:
+        with self.lock, tracked_access(("table_data", id(self)), True,
+                                       self.lock):
             self._check_write_conflict(transaction, rows)
             # Skip rows this transaction already deleted (idempotent bulk delete).
             fresh = rows[self.deleted_by[rows] != transaction.transaction_id]
@@ -323,7 +325,8 @@ class TableData:
             return 0
         order = np.argsort(rows, kind="stable")
         rows = rows[order].astype(np.int64)
-        with self.lock:
+        with self.lock, tracked_access(("table_data", id(self)), True,
+                                       self.lock):
             self._check_write_conflict(transaction, rows)
             for column_index, vector in zip(column_indices, chunk.columns):
                 column = self.columns[column_index]
@@ -396,7 +399,8 @@ class TableData:
             end = min(start + chunk_size, total)
             if range_predicate is not None and not range_predicate(start, end):
                 continue
-            with self.lock:
+            with self.lock, tracked_access(("table_data", id(self)), False,
+                                           self.lock):
                 mask = self.visible_mask(transaction, start, end)
                 if not mask.any():
                     continue
@@ -434,7 +438,8 @@ class TableData:
         Only legal when no transaction other than the checkpointer is active;
         the storage manager guarantees that.  Undo chains must be empty.
         """
-        with self.lock:
+        with self.lock, tracked_access(("table_data", id(self)), True,
+                                       self.lock):
             for column in self.columns:
                 if column.undo_entries:
                     raise InternalError("compact with live undo entries")

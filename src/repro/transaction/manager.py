@@ -9,10 +9,10 @@ serialize only begin/commit bookkeeping, not query execution.
 
 from __future__ import annotations
 
-import threading
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from ..errors import Error, InternalError, TransactionError
+from ..errors import Error, InternalError, TransactionContextError, TransactionError
+from ..sanitizer import SanLock
 from .transaction import Transaction, TransactionState
 from .version import TRANSACTION_ID_START
 
@@ -23,7 +23,7 @@ class TransactionManager:
     """Hands out transactions and assigns commit timestamps."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = SanLock("transaction_manager")
         # Commit timestamps start at 1; 0 is reserved for "pre-history"
         # (bootstrap catalog entries and checkpoint-loaded data).
         self._last_commit_id = 1
@@ -85,6 +85,38 @@ class TransactionManager:
             transaction.apply_rollback()
             del self._active[transaction.transaction_id]
             self._vacuum_locked()
+
+    def run_quiesced(self, work: Callable[[Transaction], Any]) -> Any:
+        """Run ``work(bootstrap)`` while the engine is provably quiescent.
+
+        The manager lock is held for the entire call: no transaction can
+        begin, commit, or roll back while *work* runs.  Checkpoints need
+        exactly this -- checking ``active_count() == 0`` and *then* writing
+        the snapshot leaves a window in which a fresh transaction commits
+        between the snapshot and the WAL truncation, losing its log records
+        (and racing the WAL file handle).  Raises
+        :class:`TransactionContextError` when any transaction is active.
+
+        *work* may only descend the lock hierarchy (catalog, table data,
+        buffer manager); it must not call back into the manager's locking
+        methods.
+        """
+        with self._lock:
+            if self._active:
+                raise TransactionContextError(
+                    "Cannot CHECKPOINT while other transactions are active"
+                )
+            bootstrap = Transaction(self, self._next_transaction_id,
+                                    self._last_commit_id)
+            self._next_transaction_id += 1
+            self._active[bootstrap.transaction_id] = bootstrap
+            try:
+                return work(bootstrap)
+            finally:
+                if bootstrap.is_active:
+                    bootstrap.apply_rollback()
+                self._active.pop(bootstrap.transaction_id, None)
+                self._vacuum_locked()
 
     # -- snapshot bookkeeping -------------------------------------------------
     @property

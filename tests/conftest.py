@@ -6,6 +6,15 @@ import tempfile
 import pytest
 
 import repro
+from repro import sanitizer
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Under ``REPRO_SANITIZE=1`` the whole suite is a sanitizer gate: any
+    lock-order cycle or race witnessed by any test fails the run.  Tests
+    that seed deliberate findings reset the collector on teardown."""
+    if sanitizer.enabled():
+        sanitizer.assert_clean()
 
 
 @pytest.fixture

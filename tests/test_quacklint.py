@@ -239,6 +239,230 @@ class TestConcurrencyRule:
         assert registry.is_worker_reachable("repro/functions/scalar.py")
         assert not registry.is_worker_reachable("repro/sql/parser.py")
 
+    def test_registry_lock_hierarchy(self):
+        registry = ThreadSafetyRegistry()
+        assert registry.lock_level("connection") == 0
+        assert registry.lock_level("operator_stats") == \
+            len(registry.lock_hierarchy) - 1
+        assert registry.lock_level("not_a_lock") is None
+        # self.<attr> resolves through the per-class table...
+        assert registry.resolve_lock_attr(
+            "repro/catalog/catalog.py", "Catalog", "_lock", True) == "catalog"
+        # ...other receivers only through the unambiguous global names.
+        assert registry.resolve_lock_attr(
+            "repro/client/connection.py", "Connection",
+            "_checkpoint_lock", False) == "database.checkpoint"
+        assert registry.resolve_lock_attr(
+            "repro/sql/parser.py", None, "_lock", False) is None
+
+    # -- QLC003 + interprocedural propagation -------------------------------
+
+    def test_locked_method_called_without_lock_flagged(self):
+        source = """
+        class ExecutionContext:
+            def _bump_locked(self):
+                self.total_rows += 1
+
+            def record(self):
+                self._bump_locked()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLC003"]
+
+    def test_locked_method_called_under_lock_is_clean(self):
+        source = """
+        class ExecutionContext:
+            def _bump_locked(self):
+                self.total_rows += 1
+
+            def record(self):
+                with self._stats_lock:
+                    self._bump_locked()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_private_helper_called_only_under_lock_is_clean(self):
+        # Interprocedural: every call site of _bump holds the lock, so its
+        # unguarded writes are fine even without the _locked suffix.
+        source = """
+        class ExecutionContext:
+            def _bump(self):
+                self.total_rows += 1
+
+            def record(self):
+                with self._stats_lock:
+                    self._bump()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_two_hop_helper_chain_is_clean(self):
+        source = """
+        class ExecutionContext:
+            def _bump(self):
+                self.total_rows += 1
+
+            def _relay(self):
+                self._bump()
+
+            def record(self):
+                with self._stats_lock:
+                    self._relay()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_helper_with_one_unlocked_call_site_still_flagged(self):
+        source = """
+        class ExecutionContext:
+            def _bump(self):
+                self.total_rows += 1
+
+            def record(self):
+                with self._stats_lock:
+                    self._bump()
+
+            def sneaky(self):
+                self._bump()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLC001"]
+
+    def test_public_helper_never_propagates(self):
+        # Only private methods inherit "effectively held": a public method
+        # is API surface and may be called from anywhere.
+        source = """
+        class ExecutionContext:
+            def bump(self):
+                self.total_rows += 1
+
+            def record(self):
+                with self._stats_lock:
+                    self.bump()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLC001"]
+
+    def test_call_site_in_nested_def_does_not_credit_helper(self):
+        # The closure may run after the with-block exits, so its call site
+        # must not count as lock-held for propagation.
+        source = """
+        class ExecutionContext:
+            def _bump(self):
+                self.total_rows += 1
+
+            def record(self):
+                with self._stats_lock:
+                    def later():
+                        self._bump()
+                    return later
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLC001"]
+
+
+# -- QLL: lock order ---------------------------------------------------------
+
+class TestLockOrderRule:
+    PATH = "repro/storage/table_data.py"  # TableData.lock -> "table_data"
+
+    def test_direct_inversion_flagged(self):
+        source = """
+        class TableData:
+            def bad(self):
+                with self.lock:
+                    with self.database._checkpoint_lock:
+                        pass
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLL001"]
+
+    def test_declared_order_is_clean(self):
+        source = """
+        class Database:
+            def checkpoint(self):
+                with self._checkpoint_lock:
+                    with self.table.lock:
+                        pass
+        """
+        assert check(source, "repro/database.py") == []
+
+    def test_multi_item_with_inversion_flagged(self):
+        source = """
+        class TableData:
+            def bad(self):
+                with self.lock, self.database._checkpoint_lock:
+                    pass
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLL001"]
+
+    def test_same_name_reentrancy_is_clean(self):
+        source = """
+        class TableData:
+            def outer(self):
+                with self.lock:
+                    with self.lock:
+                        pass
+        """
+        assert check(source, self.PATH) == []
+
+    def test_one_hop_call_inversion_flagged(self):
+        source = """
+        class TableData:
+            def _grab_checkpoint(self):
+                with self.database._checkpoint_lock:
+                    pass
+
+            def bad(self):
+                with self.lock:
+                    self._grab_checkpoint()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLL002"]
+
+    def test_two_hop_call_inversion_flagged(self):
+        source = """
+        class TableData:
+            def _grab_checkpoint(self):
+                with self.database._checkpoint_lock:
+                    pass
+
+            def _relay(self):
+                self._grab_checkpoint()
+
+            def bad(self):
+                with self.lock:
+                    self._relay()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLL002"]
+
+    def test_call_acquiring_inner_lock_is_clean(self):
+        source = """
+        class Database:
+            def _grab_table(self):
+                with self.table.lock:
+                    pass
+
+            def checkpoint(self):
+                with self._checkpoint_lock:
+                    self._grab_table()
+        """
+        assert check(source, "repro/database.py") == []
+
+    def test_unresolvable_lock_is_ignored(self):
+        source = """
+        class TableData:
+            def fine(self):
+                with self.some_mutex:
+                    with self.database._checkpoint_lock:
+                        pass
+        """
+        assert check(source, self.PATH) == []
+
+    def test_nested_def_resets_held_stack(self):
+        source = """
+        class TableData:
+            def fine(self):
+                with self.lock:
+                    def later(self):
+                        with self.database._checkpoint_lock:
+                            pass
+                    return later
+        """
+        assert check(source, self.PATH) == []
+
 
 # -- QLV: vectorization ------------------------------------------------------
 
@@ -537,7 +761,7 @@ class TestLiveTree:
         # Guards against a rule family being added without tests: every
         # registered family must appear in this module's fixture classes.
         assert {rule.name for rule in ALL_RULES} == {
-            "concurrency", "vectorization", "zero-copy",
+            "concurrency", "lockorder", "vectorization", "zero-copy",
             "exception-discipline", "resource-discipline",
         }
 
@@ -581,5 +805,65 @@ class TestCommandLine:
     def test_list_rules(self):
         proc = self.run_cli("--list-rules")
         assert proc.returncode == 0
-        for rule_id in ("QLC001", "QLV001", "QLZ001", "QLE001", "QLR001"):
+        for rule_id in ("QLC001", "QLC003", "QLL001", "QLL002", "QLV001",
+                        "QLZ001", "QLE001", "QLR001"):
             assert rule_id in proc.stdout
+
+    BAD_FIXTURE = ("def load():\n"
+                   "    try:\n"
+                   "        pass\n"
+                   "    except Exception:\n"
+                   "        return None\n")
+
+    def seed_bad_file(self, tmp_path):
+        bad = tmp_path / "repro" / "storage" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(self.BAD_FIXTURE)
+        return bad
+
+    def test_format_json_structure(self, tmp_path):
+        import json as json_module
+
+        bad = self.seed_bad_file(tmp_path)
+        proc = self.run_cli("--format", "json", str(bad), cwd=str(tmp_path))
+        assert proc.returncode == 1
+        report = json_module.loads(proc.stdout)
+        assert report["violation_count"] == 1
+        assert report["files_scanned"] == 1
+        assert report["files_flagged"] == 1
+        (violation,) = report["violations"]
+        assert violation["rule"] == "QLE001"
+        assert violation["line"] == 4
+
+    def test_json_flag_is_alias_for_format_json(self, tmp_path):
+        import json as json_module
+
+        bad = self.seed_bad_file(tmp_path)
+        proc = self.run_cli("--json", str(bad), cwd=str(tmp_path))
+        assert proc.returncode == 1
+        report = json_module.loads(proc.stdout)
+        assert report["violation_count"] == 1
+
+    def test_format_json_clean_tree(self):
+        import json as json_module
+
+        proc = self.run_cli("--format", "json", SRC_TREE)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        report = json_module.loads(proc.stdout)
+        assert report["violations"] == []
+        assert report["files_scanned"] > 0
+
+    def test_format_github_annotations(self, tmp_path):
+        bad = self.seed_bad_file(tmp_path)
+        proc = self.run_cli("--format", "github", str(bad),
+                            cwd=str(tmp_path))
+        assert proc.returncode == 1
+        (line,) = proc.stdout.splitlines()
+        assert line.startswith("::error file=")
+        assert "line=4," in line
+        assert "title=QLE001::" in line
+
+    def test_format_github_clean_is_silent(self):
+        proc = self.run_cli("--format", "github", SRC_TREE)
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == ""

@@ -1,0 +1,516 @@
+"""quacksan: the runtime lock-order and race sanitizer.
+
+Three layers are exercised:
+
+* unit tests drive a private :class:`LockSanitizer` / :class:`RaceSanitizer`
+  directly, so purpose-built ABBA-deadlock and unlocked-write fixtures must
+  be *detected* (with both stacks) without touching global state;
+* the global enable/disable machinery: plain locks and no-op access tokens
+  while disabled (the zero-overhead contract), tracked locks and statistics
+  while enabled, monitor export, ``assert_clean``;
+* an integration hammer: concurrent checkpoints, appenders, and
+  morsel-parallel scans against one engine under the sanitizer must finish
+  within a watchdog timeout and produce **zero** findings.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import sanitizer
+from repro.sanitizer import (
+    LockSanitizer,
+    RaceSanitizer,
+    SanitizerError,
+    SanLock,
+    SanRLock,
+    tracked_access,
+)
+from repro.sanitizer.locksan import TrackedLock, TrackedRLock
+from repro.sanitizer.racesan import NOOP_ACCESS, locked_state
+
+
+@pytest.fixture
+def disabled():
+    was_enabled = sanitizer.enabled()
+    sanitizer.disable()
+    yield
+    if was_enabled:
+        sanitizer.enable()
+
+
+@pytest.fixture
+def enabled():
+    was_enabled = sanitizer.enabled()
+    sanitizer.enable()
+    sanitizer.reset()
+    yield
+    sanitizer.reset()  # drop fixture-made findings before the next test
+    if not was_enabled:
+        sanitizer.disable()
+
+
+def run_thread(target, name):
+    thread = threading.Thread(target=target, name=name)
+    thread.start()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), f"thread {name} did not finish"
+
+
+# -- disabled mode: the zero-overhead contract -------------------------------
+
+class TestDisabledMode:
+    def test_factories_return_plain_locks(self, disabled):
+        assert isinstance(SanLock("catalog"), type(threading.Lock()))
+        assert isinstance(SanRLock("catalog"), type(threading.RLock()))
+
+    def test_tracked_access_is_shared_noop(self, disabled):
+        token = tracked_access(("catalog", 1), True, None)
+        assert token is NOOP_ACCESS
+        with token:
+            pass
+
+    def test_reporting_is_empty(self, disabled):
+        assert sanitizer.lock_statistics() == {}
+        assert sanitizer.lock_order_reports() == []
+        assert sanitizer.race_reports() == []
+        sanitizer.assert_clean()  # must not raise
+
+
+# -- tracked locks -----------------------------------------------------------
+
+class TestTrackedLock:
+    def test_acquire_release_and_stats(self):
+        san = LockSanitizer()
+        lock = TrackedLock("alpha", san)
+        with lock:
+            assert lock.locked()
+            assert lock.held_by_current_thread()
+            assert san.held_names() == ("alpha",)
+        assert not lock.locked()
+        assert san.held_names() == ()
+        stats = san.statistics()["alpha"]
+        assert stats.acquisitions == 1
+        assert stats.contentions == 0
+        assert stats.hold_time > 0.0
+
+    def test_rlock_reentrancy(self):
+        san = LockSanitizer()
+        lock = TrackedRLock("alpha", san)
+        with lock:
+            with lock:
+                assert lock.held_by_current_thread()
+            assert lock.locked()  # still held after inner release
+        assert not lock.locked()
+        # Re-entry is one logical acquisition, not two.
+        assert san.statistics()["alpha"].acquisitions == 1
+
+    def test_other_thread_does_not_hold(self):
+        san = LockSanitizer()
+        lock = TrackedRLock("alpha", san)
+        observed = []
+        with lock:
+            run_thread(lambda: observed.append(lock.held_by_current_thread()),
+                       "observer")
+        assert observed == [False]
+
+    def test_contention_is_counted(self):
+        san = LockSanitizer()
+        lock = TrackedLock("alpha", san)
+        ready = threading.Event()
+
+        def contender():
+            ready.set()
+            with lock:
+                pass
+
+        with lock:
+            thread = threading.Thread(target=contender, name="contender")
+            thread.start()
+            ready.wait(5)
+            time.sleep(0.05)  # let the contender block on the lock
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        stats = san.statistics()["alpha"]
+        assert stats.acquisitions == 2
+        assert stats.contentions >= 1
+        assert stats.wait_time > 0.0
+
+    def test_same_name_nesting_counted_not_cycled(self):
+        # Two *instances* of one lock class (two tables) cannot be ordered
+        # by name: excluded from the graph, surfaced in the stats.
+        san = LockSanitizer()
+        first = TrackedRLock("table_data", san)
+        second = TrackedRLock("table_data", san)
+        with first:
+            with second:
+                pass
+        assert san.order_reports() == []
+        assert san.statistics()["table_data"].same_name_nestings == 1
+
+
+# -- lock-order detection ----------------------------------------------------
+
+class TestLockOrderDetection:
+    def test_abba_cycle_reported_with_both_stacks(self):
+        san = LockSanitizer()
+        alpha = TrackedLock("alpha", san)
+        beta = TrackedLock("beta", san)
+
+        def thread_one():  # alpha -> beta
+            with alpha:
+                with beta:
+                    pass
+
+        def thread_two():  # beta -> alpha: closes the cycle
+            with beta:
+                with alpha:
+                    pass
+
+        run_thread(thread_one, "t1")
+        run_thread(thread_two, "t2")
+
+        (report,) = san.order_reports()
+        assert set(report.cycle) == {"alpha", "beta"}
+        assert len(report.edges) == 2
+        for edge in report.edges:
+            assert edge.held_stack, "missing stack for the held lock"
+            assert edge.acquire_stack, "missing stack for the acquisition"
+        rendered = report.render()
+        assert "potential deadlock" in rendered
+        assert "thread_one" in rendered and "thread_two" in rendered
+
+    def test_consistent_order_is_clean(self):
+        san = LockSanitizer()
+        alpha = TrackedLock("alpha", san)
+        beta = TrackedLock("beta", san)
+        for name in ("t1", "t2"):
+            def nested():
+                with alpha:
+                    with beta:
+                        pass
+            run_thread(nested, name)
+        assert san.order_reports() == []
+
+    def test_three_lock_cycle(self):
+        san = LockSanitizer()
+        locks = {name: TrackedLock(name, san)
+                 for name in ("alpha", "beta", "gamma")}
+
+        def nest(outer, inner):
+            with locks[outer]:
+                with locks[inner]:
+                    pass
+
+        nest("alpha", "beta")
+        nest("beta", "gamma")
+        assert san.order_reports() == []
+        nest("gamma", "alpha")
+        (report,) = san.order_reports()
+        assert set(report.cycle) == {"alpha", "beta", "gamma"}
+
+    def test_cycle_reported_once(self):
+        san = LockSanitizer()
+        alpha = TrackedLock("alpha", san)
+        beta = TrackedLock("beta", san)
+
+        def abba():
+            with alpha:
+                with beta:
+                    pass
+            with beta:
+                with alpha:
+                    pass
+
+        abba()
+        abba()
+        assert len(san.order_reports()) == 1
+
+    def test_declared_hierarchy_inversion_reported_without_cycle(self):
+        # connection is declared outer to table_data; taking it the other
+        # way round is half a deadlock even before a second thread closes
+        # the cycle.
+        san = LockSanitizer()
+        table = TrackedRLock("table_data", san)
+        connection = TrackedRLock("connection", san)
+        with table:
+            with connection:
+                pass
+        (report,) = san.order_reports()
+        assert report.cycle == ("table_data", "connection")
+
+    def test_declared_order_no_inversion_report(self):
+        san = LockSanitizer()
+        connection = TrackedRLock("connection", san)
+        table = TrackedRLock("table_data", san)
+        with connection:
+            with table:
+                pass
+        assert san.order_reports() == []
+
+
+# -- race detection ----------------------------------------------------------
+
+class TestRaceSan:
+    def overlap(self, first_kwargs, second_kwargs):
+        """Overlap two accesses from two threads; return the tracker."""
+        tracker = RaceSanitizer()
+        first_in = threading.Event()
+        second_done = threading.Event()
+
+        def holder():
+            with tracker.access(("table_data", 7), **first_kwargs):
+                first_in.set()
+                assert second_done.wait(10)
+
+        def intruder():
+            assert first_in.wait(10)
+            with tracker.access(("table_data", 7), **second_kwargs):
+                pass
+            second_done.set()
+
+        threads = [threading.Thread(target=holder, name="holder"),
+                   threading.Thread(target=intruder, name="intruder")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        return tracker
+
+    def test_unlocked_write_vs_read_reported_with_both_stacks(self):
+        tracker = self.overlap(dict(write=True, locked=False),
+                               dict(write=False, locked=False))
+        (report,) = tracker.race_reports()
+        assert report.key == "table_data#7"
+        assert {report.first.thread_name, report.second.thread_name} == \
+            {"holder", "intruder"}
+        assert report.first.stack and report.second.stack
+        rendered = report.render()
+        assert "unsynchronized concurrent access" in rendered
+        assert "holder" in rendered and "intruder" in rendered
+
+    def test_write_vs_locked_read_still_reported(self):
+        # One side under the lock is not enough -- the *pair* must be
+        # serialized.
+        tracker = self.overlap(dict(write=True, locked=False),
+                               dict(write=False, locked=True))
+        assert len(tracker.race_reports()) == 1
+
+    def test_two_reads_never_race(self):
+        tracker = self.overlap(dict(write=False, locked=False),
+                               dict(write=False, locked=False))
+        assert tracker.race_reports() == []
+
+    def test_both_locked_is_clean(self):
+        tracker = self.overlap(dict(write=True, locked=True),
+                               dict(write=True, locked=True))
+        assert tracker.race_reports() == []
+
+    def test_same_thread_overlap_is_clean(self):
+        tracker = RaceSanitizer()
+        with tracker.access(("catalog", 1), True, False):
+            with tracker.access(("catalog", 1), True, False):
+                pass
+        assert tracker.race_reports() == []
+
+    def test_disjoint_keys_do_not_race(self):
+        tracker = RaceSanitizer()
+        first_in = threading.Event()
+
+        def holder():
+            with tracker.access(("table_data", 1), True, False):
+                first_in.set()
+                time.sleep(0.05)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert first_in.wait(10)
+        with tracker.access(("table_data", 2), True, False):
+            pass
+        thread.join(timeout=30)
+        assert tracker.race_reports() == []
+
+    def test_duplicate_pairs_deduplicated(self):
+        tracker = self.overlap(dict(write=True, locked=False),
+                               dict(write=False, locked=False))
+        # Same code paths racing again must not add a second report; the
+        # signature (key + both top frames) already covers it.
+        before = len(tracker.race_reports())
+        assert before == 1
+
+    def test_locked_state_probes(self):
+        assert locked_state(None) is False
+        assert locked_state(threading.Lock()) is True  # conservative
+        san = LockSanitizer()
+        lock = TrackedRLock("catalog", san)
+        assert locked_state(lock) is False
+        with lock:
+            assert locked_state(lock) is True
+
+
+# -- the global switchboard --------------------------------------------------
+
+class TestGlobalSanitizer:
+    def test_factories_return_tracked_locks(self, enabled):
+        lock = SanLock("catalog")
+        assert isinstance(lock, TrackedLock)
+        rlock = SanRLock("catalog")
+        assert isinstance(rlock, TrackedRLock)
+
+    def test_statistics_flow_through(self, enabled):
+        with SanLock("catalog"):
+            pass
+        assert sanitizer.lock_statistics()["catalog"].acquisitions == 1
+
+    def test_assert_clean_raises_on_findings(self, enabled):
+        with SanLock("table_data"):
+            with SanLock("connection"):  # declared-order inversion
+                pass
+        with pytest.raises(SanitizerError) as info:
+            sanitizer.assert_clean()
+        assert "table_data" in str(info.value)
+
+    def test_reset_clears_findings(self, enabled):
+        with SanLock("table_data"):
+            with SanLock("connection"):
+                pass
+        assert sanitizer.lock_order_reports()
+        sanitizer.reset()
+        assert sanitizer.lock_order_reports() == []
+        sanitizer.assert_clean()
+
+    def test_monitor_exports_lock_stats(self, enabled):
+        from repro.cooperation.monitor import ResourceMonitor
+
+        with SanLock("catalog"):
+            pass
+        monitor = ResourceMonitor(1 << 30, lambda: 0)
+        stats = monitor.lock_stats()
+        assert "catalog" in stats
+        assert stats["catalog"]["acquisitions"] == 1
+        assert set(stats["catalog"]) >= {"acquisitions", "contentions",
+                                         "wait_time", "hold_time",
+                                         "max_hold"}
+
+    def test_monitor_lock_stats_empty_when_disabled(self, disabled):
+        from repro.cooperation.monitor import ResourceMonitor
+
+        assert ResourceMonitor(1 << 30, lambda: 0).lock_stats() == {}
+
+
+# -- the integration hammer --------------------------------------------------
+
+class TestEngineUnderSanitizer:
+    """Concurrent checkpoint + appender + parallel scans: no deadlocks, no
+    races, within a watchdog timeout."""
+
+    ROUNDS = 6
+
+    def hammer(self, con, duration=3.0):
+        stop = threading.Event()
+        errors = []
+
+        def guarded(work):
+            local = con.duplicate()
+            try:
+                while not stop.is_set():
+                    work(local)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                local.close()
+
+        def append(local):
+            with local.appender("events") as appender:
+                appender.append_numpy({
+                    "region": np.arange(512, dtype=np.int32) % 16,
+                    "amount": np.arange(512, dtype=np.int32),
+                })
+
+        def scan(local):
+            rows = local.execute(
+                "SELECT region, count(*), sum(amount) FROM events "
+                "GROUP BY region").fetchall()
+            assert rows
+
+        def checkpoint(local):
+            try:
+                local.execute("CHECKPOINT")
+            except repro.Error:
+                pass  # checkpoint needs quiescence; contention is expected
+            time.sleep(0.01)
+
+        workers = [
+            threading.Thread(target=guarded, args=(append,), name="etl"),
+            threading.Thread(target=guarded, args=(scan,), name="olap-1"),
+            threading.Thread(target=guarded, args=(scan,), name="olap-2"),
+            threading.Thread(target=guarded, args=(checkpoint,),
+                             name="checkpointer"),
+        ]
+        for worker in workers:
+            worker.start()
+        time.sleep(duration)
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=60)  # the watchdog: a deadlock hangs here
+            assert not worker.is_alive(), \
+                f"worker {worker.name} wedged -- potential deadlock"
+        assert errors == [], errors
+
+    def test_concurrent_engine_is_clean(self, enabled, tmp_path):
+        con = repro.connect(str(tmp_path / "hammer.db"),
+                            config={"threads": 4})
+        con.execute("CREATE TABLE events (region INTEGER, amount INTEGER)")
+        with con.appender("events") as appender:
+            appender.append_numpy({
+                "region": np.arange(65536, dtype=np.int32) % 16,
+                "amount": np.arange(65536, dtype=np.int32),
+            })
+        try:
+            self.hammer(con)
+        finally:
+            con.close()
+        assert sanitizer.lock_order_reports() == []
+        assert sanitizer.race_reports() == []
+        sanitizer.assert_clean()
+        # The hammer must actually have exercised the locks it certifies.
+        stats = sanitizer.lock_statistics()
+        for name in ("connection", "transaction_manager", "catalog",
+                     "table_data", "database.checkpoint"):
+            assert stats[name].acquisitions > 0, name
+
+    def test_close_during_concurrent_queries(self, enabled, tmp_path):
+        """Checkpoint-on-close vs concurrent queries: the ordering bug fixed
+        in database.py (close now takes the checkpoint lock)."""
+        con = repro.connect(str(tmp_path / "close.db"),
+                            config={"threads": 4})
+        con.execute("CREATE TABLE events (region INTEGER, amount INTEGER)")
+        with con.appender("events") as appender:
+            appender.append_numpy({
+                "region": np.arange(8192, dtype=np.int32) % 16,
+                "amount": np.arange(8192, dtype=np.int32),
+            })
+        local = con.duplicate()
+        started = threading.Event()
+
+        def query_loop():
+            started.set()
+            for _ in range(200):
+                try:
+                    local.execute("SELECT sum(amount) FROM events").fetchall()
+                    local.execute("CHECKPOINT")
+                except repro.Error:
+                    break  # the database closed under us: expected
+
+        thread = threading.Thread(target=query_loop, name="querier")
+        thread.start()
+        assert started.wait(10)
+        con.close()
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "close vs query deadlock"
+        local.close()
+        sanitizer.assert_clean()

@@ -274,3 +274,56 @@ class TestConcurrentThreads:
         writer.close()
         assert not reader_failures
         assert con.query_value("SELECT sum(v) FROM metrics") == 6 * 20_000
+
+
+class TestQuiescedCheckpointing:
+    """run_quiesced pins: checkpoints hold the commit lock end to end.
+
+    Regression for a checkpoint/commit race: ``checkpoint`` used to check
+    ``active_count() == 0`` and then write the snapshot + truncate the WAL
+    without the manager lock, so a transaction committing in that window
+    raced the WAL file handle ("write to closed file") and had its log
+    records silently truncated.
+    """
+
+    def test_raises_when_transactions_are_active(self, con):
+        manager = con._database.transaction_manager
+        txn = manager.begin()
+        try:
+            with pytest.raises(TransactionContextError):
+                manager.run_quiesced(lambda bootstrap: None)
+        finally:
+            manager.rollback(txn)
+
+    def test_bootstrap_is_cleaned_up_after_work_raises(self, con):
+        manager = con._database.transaction_manager
+        with pytest.raises(ZeroDivisionError):
+            manager.run_quiesced(lambda bootstrap: 1 // 0)
+        assert manager.active_count() == 0
+
+    def test_no_commit_lands_while_quiesced(self, con):
+        manager = con._database.transaction_manager
+        entered = threading.Event()
+        release = threading.Event()
+        begun_at = []
+
+        def late_begin():
+            entered.wait(timeout=30)
+            txn = manager.begin()  # must block until run_quiesced returns
+            begun_at.append(release.is_set())
+            manager.rollback(txn)
+
+        thread = threading.Thread(target=late_begin)
+        thread.start()
+
+        def work(bootstrap):
+            entered.set()
+            thread.join(timeout=0.2)  # give late_begin a chance to race
+            assert thread.is_alive(), "begin() completed during quiescence"
+            release.set()
+            return bootstrap.transaction_id
+
+        assert manager.run_quiesced(work) is not None
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert begun_at == [True]
