@@ -42,7 +42,7 @@ def build():
 
 def fetch_bulk(con):
     """Chunk/NumPy bulk path: zero per-value work."""
-    arrays = con.execute(QUERY, stream=True).fetchnumpy()
+    arrays = con.execute(QUERY, stream=True).fetch_numpy()
     return len(arrays["id"])
 
 

@@ -87,7 +87,7 @@ def run_decomposed_in_process(con):
     per_customer = con.execute(
         "SELECT c.segment, c.id, sum(s.amount) AS revenue "
         "FROM customers c JOIN sales s ON c.id = s.customer_id "
-        "GROUP BY c.segment, c.id", stream=True).fetchnumpy()
+        "GROUP BY c.segment, c.id", stream=True).fetch_numpy()
     segments = np.asarray(per_customer["segment"])
     revenue = np.asarray(per_customer["revenue"])
     out = {}

@@ -1,0 +1,87 @@
+"""Disabled-tracer overhead gate: observability must be (nearly) free.
+
+The quacktrace contract (ISSUE 4): with tracing disabled the engine pays a
+single ``is None`` test per operator per query and nothing else.  This
+benchmark holds the contract to a number: a scan/aggregate workload with
+the instrumented code paths (the shipping default, tracer off) must stay
+within 2% of a stripped baseline where ``PhysicalOperator.run`` is
+monkeypatched straight through to ``execute`` -- i.e. with even the
+``is None`` check removed.
+
+Timing noise dominates a 2% margin on a short query, so each variant takes
+the best of several repeats over a multi-million-row aggregation and the
+gate carries a small absolute slack for scheduler jitter.
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro import observability as obs
+from repro.execution.physical import PhysicalOperator
+
+from conftest import record_experiment
+
+ROWS = 2_000_000
+REPEATS = 7
+QUERY = "SELECT g, count(*), sum(v) FROM t WHERE v % 7 != 0 GROUP BY g"
+#: Relative gate from the issue, plus absolute slack for timer jitter.
+MAX_RELATIVE_OVERHEAD = 0.02
+ABSOLUTE_SLACK_S = 0.005
+
+
+def _build():
+    con = repro.connect(config={"threads": 1})
+    con.execute("CREATE TABLE t (g INTEGER, v INTEGER)")
+    index = np.arange(ROWS)
+    with con.appender("t") as appender:
+        appender.append_numpy({
+            "g": (index % 29).astype(np.int32),
+            "v": index.astype(np.int32),
+        })
+    return con
+
+
+def _best_of(con):
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        con.execute(QUERY).fetchall()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracer_overhead_under_two_percent(monkeypatch):
+    was_enabled = obs.tracing_enabled()
+    obs.disable_tracing()
+    con = _build()
+    try:
+        # Shipping default: instrumented run()/statement observation with
+        # the tracer off.
+        instrumented = _best_of(con)
+
+        # Stripped baseline: run() bypassed entirely -- no tracer lookup,
+        # no ``is None`` test, exactly the pre-observability pull loop.
+        monkeypatch.setattr(PhysicalOperator, "run",
+                            lambda self: self.execute())
+        baseline = _best_of(con)
+
+        overhead = instrumented / baseline - 1.0
+        record_experiment(
+            "T2", "quacktrace disabled-path overhead",
+            [f"rows: {ROWS}",
+             f"baseline (run->execute): {baseline * 1e3:.2f} ms",
+             f"instrumented, tracer off: {instrumented * 1e3:.2f} ms",
+             f"relative overhead: {overhead * 100:+.2f}%",
+             f"gate: <= {MAX_RELATIVE_OVERHEAD * 100:.0f}%"])
+        assert instrumented <= baseline * (1.0 + MAX_RELATIVE_OVERHEAD) \
+            + ABSOLUTE_SLACK_S, (
+            f"disabled-tracer overhead {overhead * 100:.2f}% exceeds "
+            f"{MAX_RELATIVE_OVERHEAD * 100:.0f}% gate "
+            f"(baseline {baseline * 1e3:.2f} ms, "
+            f"instrumented {instrumented * 1e3:.2f} ms)")
+    finally:
+        con.close()
+        if was_enabled:
+            obs.enable_tracing()

@@ -70,7 +70,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     arrays = con.execute("""
         SELECT temp_c, humidity FROM observations WHERE station = 'GEN'
-    """).fetchnumpy()
+    """).fetch_numpy()
     correlation = np.corrcoef(arrays["temp_c"], arrays["humidity"])[0, 1]
     print(f"Temp/humidity correlation (computed in NumPy): {correlation:+.4f}")
 

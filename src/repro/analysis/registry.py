@@ -69,7 +69,11 @@ DEFAULT_SHARED_CLASSES: Dict[str, Dict[str, SharedClassSpec]] = {
             "_stats_lock", frozenset({"interrupted", "_subquery_results"})),
     },
     "repro/execution/parallel.py": {
-        "MorselDriver": SharedClassSpec("_lock"),
+        # ``_parent_span`` is written once by the coordinator before any
+        # morsel task is submitted (pool.submit is the happens-before edge)
+        # and only read by workers afterwards.
+        "MorselDriver": SharedClassSpec("_lock",
+                                        frozenset({"_parent_span"})),
     },
     "repro/storage/buffer_manager.py": {
         "BufferManager": SharedClassSpec("_lock"),

@@ -2,7 +2,8 @@
 
 One module per family; :data:`ALL_RULES` is the engine's default rule set.
 Family prefixes: QLC (concurrency), QLL (lock order), QLV (vectorization),
-QLZ (zero-copy), QLE (exception discipline), QLR (resource discipline).
+QLZ (zero-copy), QLE (exception discipline), QLR (resource discipline),
+QLO (observability discipline).
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from ..core import Rule
 from .concurrency import ConcurrencyRule
 from .exceptions import ExceptionDisciplineRule
 from .lockorder import LockOrderRule
+from .observability import ObservabilityRule
 from .resources import ResourceDisciplineRule
 from .vectorization import VectorizationRule
 from .zerocopy import ZeroCopyRule
@@ -25,6 +27,7 @@ __all__ = [
     "ZeroCopyRule",
     "ExceptionDisciplineRule",
     "ResourceDisciplineRule",
+    "ObservabilityRule",
     "all_rule_ids",
 ]
 
@@ -35,6 +38,7 @@ ALL_RULES: List[Rule] = [
     ZeroCopyRule(),
     ExceptionDisciplineRule(),
     ResourceDisciplineRule(),
+    ObservabilityRule(),
 ]
 
 

@@ -1,0 +1,132 @@
+"""QLO -- observability-discipline rules for the quacktrace layer.
+
+Two ways instrumentation itself becomes a bug:
+
+* **a span that never closes** never reaches the sink -- the trace silently
+  loses an operator (or leaks the span on the tracer's thread-local stack,
+  corrupting parent links for every later query on that thread).  Manual
+  ``start_span()``/``start_query()`` calls must be paired with
+  ``end_span()``/``finish_query()``; the context-manager forms
+  (``tracer.span(...)``, ``engine_span(...)``) are always safe.
+* **a metric object constructed off-registry** is invisible: it never shows
+  up in ``connection.metrics()`` or the Prometheus dump, so the counter
+  mutates but nobody can read it.  All instruments must come from the
+  :class:`~repro.observability.metrics.MetricsRegistry` factories
+  (``registry().counter(...)``).
+
+Pairing for QLO001 is checked at *class* scope: a span started in one
+method and closed in another (``Connection._execute_statement`` starts the
+query span, ``_finish_statement`` closes it) is a legitimate ownership
+pattern, but a class that starts spans and never closes any is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from ..core import AnalysisConfig, FileContext, Rule, Violation
+
+__all__ = ["ObservabilityRule"]
+
+_START_CALLS = ("start_span", "start_query")
+_END_CALLS = ("end_span", "finish_query")
+_METRIC_CLASSES = ("Counter", "Gauge", "Histogram")
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _called_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name of a method call (``x.start_span(...)`` -> that name)."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _calls_any(scope: ast.AST, names: Tuple[str, ...]) -> bool:
+    return any(_called_attr(node) in names for node in ast.walk(scope))
+
+
+class ObservabilityRule(Rule):
+    name = "observability"
+    description = ("manual spans must be closed and metrics must come from "
+                   "the registry")
+    ids = {
+        "QLO001": "span started with start_span()/start_query() but never "
+                  "closed in the enclosing class or function",
+        "QLO002": "metric object constructed outside the MetricsRegistry",
+    }
+    default_scope = ("repro/",)
+
+    def check(self, ctx: FileContext,
+              config: AnalysisConfig) -> Iterator[Violation]:
+        yield from self._check_span_pairing(ctx)
+        yield from self._check_metric_construction(ctx)
+
+    # -- QLO001: span lifecycle ------------------------------------------------
+    def _check_span_pairing(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.pkg_path.startswith("repro/observability/"):
+            # The tracer itself constructs and hands over spans; pairing is
+            # its callers' contract.
+            return
+        for scope, scope_name in self._pairing_scopes(ctx.tree):
+            starts = []
+            for node in ast.walk(scope):
+                attr = _called_attr(node)
+                if attr in _START_CALLS:
+                    starts.append(node)
+            if not starts:
+                continue
+            if _calls_any(scope, _END_CALLS):
+                continue
+            for call in starts:
+                yield Violation(
+                    "QLO001", ctx.path, call.lineno, call.col_offset,
+                    f"span opened here is never closed in {scope_name}; "
+                    f"call end_span()/finish_query(), or use the "
+                    f"'with tracer.span(...)' / engine_span() context "
+                    f"manager forms",
+                )
+
+    @staticmethod
+    def _pairing_scopes(tree: ast.Module):
+        """Yield (scope node, human name): classes, then module-level defs.
+
+        Methods are checked through their class so start/close pairs split
+        across methods (enter/exit, execute/finish) are not false positives.
+        """
+        class_members: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield node, f"class {node.name}"
+                for member in ast.walk(node):
+                    if isinstance(member, _FUNCTION_NODES):
+                        class_members.add(id(member))
+        for node in ast.walk(tree):
+            if isinstance(node, _FUNCTION_NODES) \
+                    and id(node) not in class_members:
+                yield node, f"function {node.name}()"
+
+    # -- QLO002: off-registry metrics -----------------------------------------
+    def _check_metric_construction(self,
+                                   ctx: FileContext) -> Iterator[Violation]:
+        if ctx.pkg_path.startswith("repro/observability/"):
+            # The registry module is the one sanctioned constructor site.
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name) and func.id in _METRIC_CLASSES:
+                name = func.id
+            elif isinstance(func, ast.Attribute) \
+                    and func.attr in _METRIC_CLASSES:
+                name = func.attr
+            if name is None:
+                continue
+            yield Violation(
+                "QLO002", ctx.path, node.lineno, node.col_offset,
+                f"{name}(...) constructed outside the metrics registry is "
+                f"invisible to connection.metrics() and the Prometheus "
+                f"export; use registry().{name.lower()}(name, help)",
+            )

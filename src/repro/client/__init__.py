@@ -1,5 +1,26 @@
-"""Client API: connections, results, appender, cursor, protocol baselines."""
+"""Client API: connections, results, appender, cursor, protocol baselines.
 
+The package doubles as a PEP 249 (DB-API 2.0) module: ``connect()`` returns
+a :class:`Connection` whose :meth:`~Connection.cursor` yields DB-API
+cursors, and the required module-level attributes and exception names are
+exported here.  ``paramstyle`` is ``"qmark"`` -- ``?`` placeholders, bound
+positionally.
+"""
+
+from ..errors import (
+    BinderError,
+    CatalogError,
+    ConstraintError,
+    ConversionError,
+    CorruptionError,
+    Error,
+    InternalError,
+    InvalidInputError,
+    ParserError,
+    StorageError,
+    TransactionError,
+)
+from ..errors import ConnectionError as OperationalError
 from .appender import Appender
 from .connection import Connection, connect
 from .cursor import Cursor
@@ -9,16 +30,60 @@ from .protocol import (
     deserialize_result,
     serialize_result,
 )
-from .result import QueryResult
+from .result import ColumnDescription, QueryResult
+
+#: DB-API 2.0 compliance level (PEP 249).
+apilevel: str = "2.0"
+#: Threads may share the module and connections (each connection
+#: serializes its statements behind an internal lock).
+threadsafety: int = 2
+#: SQL parameters use ``?`` question-mark placeholders.
+paramstyle: str = "qmark"
+
+# -- PEP 249 exception names, aliased onto the engine hierarchy ------------
+#: Base of every error the module raises (PEP 249 ``Error``).
+DatabaseError = Error
+#: Client-side misuse: closed handles, bad arguments.
+InterfaceError = InvalidInputError
+#: Statement-level problems: parse, bind, catalog errors.
+ProgrammingError = BinderError
+#: Value conversion and data representation failures.
+DataError = ConversionError
+#: Constraint violations.
+IntegrityError = ConstraintError
+#: Requested feature the engine does not implement.
+NotSupportedError = InvalidInputError
 
 __all__ = [
     "Connection",
     "connect",
     "QueryResult",
+    "ColumnDescription",
     "Appender",
     "Cursor",
     "SocketProtocolClient",
     "serialize_result",
     "deserialize_result",
     "GIGABIT_PER_SECOND",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "Error",
+    "DatabaseError",
+    "InterfaceError",
+    "ProgrammingError",
+    "OperationalError",
+    "DataError",
+    "IntegrityError",
+    "InternalError",
+    "NotSupportedError",
+    "ParserError",
+    "BinderError",
+    "CatalogError",
+    "ConstraintError",
+    "ConversionError",
+    "CorruptionError",
+    "InvalidInputError",
+    "StorageError",
+    "TransactionError",
 ]

@@ -10,6 +10,7 @@ transfer-efficiency design of paper §5/§6.
 
 from __future__ import annotations
 
+import time
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -24,6 +25,7 @@ from typing import (
 
 from ..config import DatabaseConfig
 from ..database import Database
+from ..observability import registry as metrics_registry
 from ..sanitizer import SanRLock
 from ..errors import ConnectionError as ClosedError
 from ..errors import InvalidInputError, TransactionContextError
@@ -36,6 +38,8 @@ from .result import QueryResult
 
 if TYPE_CHECKING:
     from ..execution.physical import ExecutionContext
+    from ..observability.slowlog import SlowQueryRecord
+    from ..observability.trace import Span, Tracer
     from ..transaction.transaction import Transaction
     from .appender import Appender
     from .cursor import Cursor
@@ -156,7 +160,8 @@ class Connection:
                 result.close()
             is_last = index == len(statements) - 1
             result = self._execute_statement(statement, parameters,
-                                             stream=stream and is_last)
+                                             stream=stream and is_last,
+                                             sql_text=sql)
         assert result is not None
         return result
 
@@ -174,7 +179,7 @@ class Connection:
 
     def _execute_statement(self, statement: ast.Statement,
                            parameters: Optional[Sequence[Any]],
-                           stream: bool) -> QueryResult:
+                           stream: bool, sql_text: str = "") -> QueryResult:
         # Transaction control never runs inside the executor.
         if isinstance(statement, ast.TransactionStatement):
             if statement.action == "begin":
@@ -205,6 +210,11 @@ class Connection:
                 if autocommit:
                     self._database.transaction_manager.rollback(transaction)
                 raise
+            tracer = self._database.tracer
+            query_span = tracer.start_query(sql_text) \
+                if tracer is not None else None
+            wall = time.perf_counter_ns()
+            cpu = time.thread_time_ns()
             try:
                 executor = Executor(
                     self._database, transaction,
@@ -212,6 +222,9 @@ class Connection:
                         self, "_active_context", context))
                 outcome = executor.execute(bound_statement)
             except Exception:
+                self._finish_statement(sql_text, tracer, query_span,
+                                       time.perf_counter_ns() - wall,
+                                       time.thread_time_ns() - cpu, 0)
                 # Execution may have performed partial writes; without
                 # savepoints the whole transaction must abort.
                 self._database.transaction_manager.rollback(transaction)
@@ -220,11 +233,16 @@ class Connection:
                 raise
 
             if stream:
-                return self._streaming_result(outcome, transaction, autocommit)
+                return self._streaming_result(outcome, transaction, autocommit,
+                                              sql_text, tracer, query_span,
+                                              wall, cpu)
             # Eager mode: drain the plan, then commit.
             try:
                 chunks = [chunk for chunk in outcome.chunks if chunk.size]
             except Exception:
+                self._finish_statement(sql_text, tracer, query_span,
+                                       time.perf_counter_ns() - wall,
+                                       time.thread_time_ns() - cpu, 0)
                 if autocommit:
                     self._database.transaction_manager.rollback(transaction)
                 else:
@@ -234,6 +252,10 @@ class Connection:
             if autocommit:
                 self._database.transaction_manager.commit(transaction)
                 self._database.maybe_auto_checkpoint()
+            self._finish_statement(sql_text, tracer, query_span,
+                                   time.perf_counter_ns() - wall,
+                                   time.thread_time_ns() - cpu,
+                                   sum(chunk.size for chunk in chunks))
             return QueryResult(outcome.names, outcome.types, iter(chunks),
                                outcome.rowcount)
 
@@ -251,13 +273,33 @@ class Connection:
 
     def _streaming_result(self, outcome: StatementResult,
                           transaction: "Transaction",
-                          autocommit: bool) -> QueryResult:
-        finished = {"done": False}
+                          autocommit: bool, sql_text: str = "",
+                          tracer: Optional["Tracer"] = None,
+                          query_span: Optional["Span"] = None,
+                          wall_start: int = 0,
+                          cpu_start: int = 0) -> QueryResult:
+        finished = {"done": False, "rows": 0}
+        # The root span must not stay on this thread's stack while the
+        # client holds the lazy result (the next statement would nest under
+        # it) -- pop now, close with final timing when the stream ends.
+        if tracer is not None and query_span is not None:
+            tracer.pop(query_span)
+
+        def finish_observation() -> None:
+            wall_ns = time.perf_counter_ns() - wall_start
+            cpu_ns = time.thread_time_ns() - cpu_start
+            if query_span is not None:
+                query_span.add_timing(wall_ns, cpu_ns)
+                assert tracer is not None
+                tracer.end_span(query_span)
+            self._observe_statement(sql_text, tracer, query_span, wall_ns,
+                                    finished["rows"])
 
         def on_close() -> None:
             if finished["done"]:
                 return
             finished["done"] = True
+            finish_observation()
             if autocommit:
                 if transaction.is_active:
                     self._database.transaction_manager.commit(transaction)
@@ -266,15 +308,64 @@ class Connection:
         def guarded_chunks() -> Iterator[DataChunk]:
             try:
                 for chunk in outcome.chunks:
+                    finished["rows"] += chunk.size
                     yield chunk
             except Exception:
                 if autocommit and transaction.is_active:
                     self._database.transaction_manager.rollback(transaction)
                     finished["done"] = True
+                    finish_observation()
                 raise
 
         return QueryResult(outcome.names, outcome.types, guarded_chunks(),
                            outcome.rowcount, on_close=on_close)
+
+    # -- observability ------------------------------------------------------
+    def _finish_statement(self, sql_text: str, tracer: Optional["Tracer"],
+                          query_span: Optional["Span"], wall_ns: int,
+                          cpu_ns: int, rows: int) -> None:
+        """Close the statement's root span and fold per-statement metrics."""
+        if tracer is not None and query_span is not None:
+            tracer.finish_query(query_span, wall_ns, cpu_ns)
+        self._observe_statement(sql_text, tracer, query_span, wall_ns, rows)
+
+    def _observe_statement(self, sql_text: str, tracer: Optional["Tracer"],
+                           query_span: Optional["Span"], wall_ns: int,
+                           rows: int) -> None:
+        reg = metrics_registry()
+        reg.counter("repro_queries_total", "Statements executed").inc()
+        if rows:
+            reg.counter("repro_rows_returned_total",
+                        "Rows handed to clients").inc(rows)
+        reg.histogram("repro_statement_seconds",
+                      "End-to-end statement latency").observe(wall_ns / 1e9)
+        database = self._database
+        database.fold_metrics()
+        threshold = database.config.slow_query_ms
+        if threshold > 0:
+            duration_ms = wall_ns / 1e6
+            if duration_ms >= threshold:
+                spans = tracer.sink.trace(query_span.trace_id) \
+                    if tracer is not None and query_span is not None else None
+                database.slow_log.record(sql_text, duration_ms, threshold,
+                                         spans)
+
+    def metrics(self) -> Dict[str, Any]:
+        """Snapshot of the process-wide engine metrics (plain dict)."""
+        self._check_open()
+        self._database.fold_metrics()
+        return metrics_registry().snapshot()
+
+    def metrics_text(self) -> str:
+        """Engine metrics in Prometheus exposition format."""
+        self._check_open()
+        self._database.fold_metrics()
+        return metrics_registry().render_text()
+
+    def slow_queries(self) -> List["SlowQueryRecord"]:
+        """Captured slow-query records, oldest first."""
+        self._check_open()
+        return self._database.slow_log.records()
 
     # -- convenience -------------------------------------------------------------
     def query_value(self, sql: str, parameters: Optional[Sequence[Any]] = None) -> Any:

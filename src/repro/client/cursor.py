@@ -1,22 +1,40 @@
-"""Value-at-a-time cursor: the deliberately traditional baseline API.
+"""Cursors: the DB-API 2.0 surface plus the value-at-a-time baseline.
 
 Paper §5: *"Common examples are the ODBC and JDBC APIs, but also the SQLite
 APIs. ... when transferring large result sets, the function call overhead
 for each value becomes excessive."*
 
-This cursor reproduces that API shape -- ``step()`` advances one row,
-``column_value(i)`` fetches one value per call -- so the C3 transfer
-experiment can measure exactly the per-value overhead the paper criticizes,
-against the chunk-based bulk API of :class:`~repro.client.result.QueryResult`.
+This cursor serves two audiences at once:
+
+* **PEP 249 (DB-API 2.0)** -- ``execute``/``executemany``, ``fetchone``/
+  ``fetchmany``/``fetchall`` with ``arraysize``, a 7-tuple ``description``
+  whose ``type_code`` is the column's
+  :class:`~repro.types.LogicalTypeId`, context-manager support, and strict
+  closed-cursor semantics.  ``repro.client`` exports the module-level
+  ``apilevel``/``threadsafety``/``paramstyle`` attributes.
+* **the C3 transfer baseline** -- the deliberately traditional ``step()``
+  advances one row and ``column_value(i)`` fetches one value per call, so
+  the transfer experiment can measure exactly the per-value overhead the
+  paper criticizes against the chunk-based bulk API of
+  :class:`~repro.client.result.QueryResult`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import InvalidInputError
 from ..types import DataChunk
-from .result import QueryResult
+from .result import ColumnDescription, QueryResult
 
 if TYPE_CHECKING:
     from .connection import Connection
@@ -25,27 +43,58 @@ __all__ = ["Cursor"]
 
 
 class Cursor:
-    """SQLite-style stepping cursor over query results."""
+    """DB-API 2.0 cursor (also exposes SQLite-style stepping)."""
 
     def __init__(self, connection: "Connection") -> None:
         self._connection = connection
         self._result: Optional[QueryResult] = None
         self._chunk: Optional[DataChunk] = None
         self._row = -1
-        #: DB-API compatibility attributes.
-        self.rowcount = -1
-        self.description: Optional[List[Tuple[Any, ...]]] = None
+        self._closed = False
+        #: DB-API: how many rows :meth:`fetchmany` returns by default.
+        self.arraysize: int = 1
+        #: DB-API: affected/returned row count of the last statement.
+        self.rowcount: int = -1
+        #: DB-API: 7-tuple column descriptions of the last result.
+        self.description: Optional[List[ColumnDescription]] = None
+
+    # -- properties -------------------------------------------------------
+    @property
+    def connection(self) -> "Connection":
+        """The connection this cursor belongs to (DB-API extension)."""
+        return self._connection
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise InvalidInputError("Cursor has been closed")
 
     # -- execution -------------------------------------------------------
-    def execute(self, sql: str, parameters: Optional[Sequence[Any]] = None) -> "Cursor":
+    def execute(self, sql: str,
+                parameters: Optional[Sequence[Any]] = None) -> "Cursor":
+        self._check_usable()
         self.finalize()
         self._result = self._connection.execute(sql, parameters, stream=True)
         self.rowcount = self._result.rowcount
-        self.description = [(name, str(dtype), None, None, None, None, None)
-                            for name, dtype in zip(self._result.names,
-                                                   self._result.types)]
+        self.description = self._result.description or None
         self._chunk = None
         self._row = -1
+        return self
+
+    def executemany(self, sql: str,
+                    parameter_sets: Iterable[Sequence[Any]]) -> "Cursor":
+        """Run the same statement once per parameter tuple (DB-API)."""
+        self._check_usable()
+        self.finalize()
+        total = 0
+        ran = False
+        for parameters in parameter_sets:
+            result = self._connection.execute(sql, parameters)
+            ran = True
+            if result.rowcount >= 0:
+                total += result.rowcount
+            result.close()
+        self.rowcount = total if ran else -1
+        self.description = None
         return self
 
     # -- SQLite-style stepping API ------------------------------------------------
@@ -77,12 +126,25 @@ class Cursor:
             raise InvalidInputError("column_value() before a successful step()")
         return self._chunk.columns[index].get_value(self._row)
 
-    # -- DB-API style row access -----------------------------------------------------
+    # -- DB-API row access -----------------------------------------------------
     def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        self._check_usable()
         if not self.step():
             return None
         return tuple(self.column_value(index)
                      for index in range(self.column_count()))
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        """Up to ``size`` rows (default :attr:`arraysize`), [] when done."""
+        self._check_usable()
+        count = self.arraysize if size is None else size
+        rows: List[Tuple[Any, ...]] = []
+        for _ in range(max(0, count)):
+            row = self.fetchone()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
 
     def fetchall(self) -> List[Tuple[Any, ...]]:
         rows: List[Tuple[Any, ...]] = []
@@ -92,18 +154,37 @@ class Cursor:
                 return rows
             rows.append(row)
 
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate over remaining rows (DB-API extension)."""
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- DB-API no-ops ---------------------------------------------------------
+    def setinputsizes(self, sizes: Sequence[Any]) -> None:
+        """Required by PEP 249; this engine needs no sizing hints."""
+
+    def setoutputsize(self, size: int, column: Optional[int] = None) -> None:
+        """Required by PEP 249; this engine needs no sizing hints."""
+
     # -- lifecycle ---------------------------------------------------------------------
     def finalize(self) -> None:
+        """Release the current result; the cursor stays reusable."""
         if self._result is not None:
             self._result.close()
             self._result = None
         self._chunk = None
         self._row = -1
 
-    close = finalize
+    def close(self) -> None:
+        """Release resources and make the cursor unusable (DB-API)."""
+        self.finalize()
+        self._closed = True
 
     def __enter__(self) -> "Cursor":
         return self
 
     def __exit__(self, *exc: Any) -> None:
-        self.finalize()
+        self.close()

@@ -5,18 +5,23 @@ Transfer efficiency (paper §5/§6) is the whole point of this module:
 * :meth:`QueryResult.fetch_chunk` hands the client the engine's own
   chunks -- "exactly identical to the internal representation ... handed
   over without requiring copying";
-* :meth:`QueryResult.fetchnumpy` exposes whole columns as NumPy arrays
+* :meth:`QueryResult.fetch_numpy` exposes whole columns as NumPy arrays
   (zero-copy when the result is a single chunk);
-* :meth:`QueryResult.fetchone` / :meth:`fetchall` provide the familiar
-  row-oriented API, implemented on top of the bulk path.
+* :meth:`QueryResult.fetchone` / :meth:`fetchmany` / :meth:`fetchall`
+  provide the familiar DB-API row-oriented access, implemented on top of
+  the bulk path.
 
 A streaming result keeps its transaction open until exhausted or closed --
 the client application literally acts as the root operator of the query
 plan, polling the engine for chunks.
+
+The legacy spelling ``fetchnumpy()`` still works but raises a
+``DeprecationWarning``; use :meth:`fetch_numpy`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -24,7 +29,12 @@ import numpy as np
 from ..errors import ConnectionError as ResultClosedError
 from ..types import DataChunk, LogicalType, LogicalTypeId, Vector
 
-__all__ = ["QueryResult"]
+__all__ = ["QueryResult", "ColumnDescription"]
+
+#: DB-API 2.0 column description: (name, type_code, display_size,
+#: internal_size, precision, scale, null_ok).
+ColumnDescription = Tuple[str, LogicalTypeId, Optional[int], Optional[int],
+                          Optional[int], Optional[int], Optional[bool]]
 
 
 class QueryResult:
@@ -42,6 +52,31 @@ class QueryResult:
         # Row-access state.
         self._current: Optional[DataChunk] = None
         self._position = 0
+
+    # -- metadata ----------------------------------------------------------
+    @property
+    def columns(self) -> List[str]:
+        """Column names, in result order."""
+        return list(self.names)
+
+    @property
+    def dtypes(self) -> List[LogicalType]:
+        """Logical column types, in result order."""
+        return list(self.types)
+
+    @property
+    def description(self) -> List[ColumnDescription]:
+        """DB-API 2.0 column descriptions (7-tuples).
+
+        ``type_code`` is the column's :class:`~repro.types.LogicalTypeId`;
+        ``internal_size`` is the per-value width of the physical NumPy
+        representation (pointer width for VARCHAR).
+        """
+        out: List[ColumnDescription] = []
+        for name, dtype in zip(self.names, self.types):
+            out.append((name, dtype.id, None, dtype.numpy_dtype.itemsize,
+                        None, None, None))
+        return out
 
     # -- lifecycle ---------------------------------------------------------
     def _finish(self) -> None:
@@ -97,7 +132,7 @@ class QueryResult:
                 return
             yield chunk
 
-    def fetchnumpy(self) -> Dict[str, np.ndarray]:
+    def fetch_numpy(self) -> Dict[str, np.ndarray]:
         """Columns as NumPy arrays (masked arrays when NULLs are present).
 
         Single-chunk results are exposed zero-copy; multi-chunk results are
@@ -118,6 +153,12 @@ class QueryResult:
             else:
                 out[name] = np.ma.masked_array(vector.data, mask=~vector.validity)
         return out
+
+    def fetchnumpy(self) -> Dict[str, np.ndarray]:
+        """Deprecated spelling of :meth:`fetch_numpy`."""
+        warnings.warn("QueryResult.fetchnumpy() is deprecated; "
+                      "use fetch_numpy()", DeprecationWarning, stacklevel=2)
+        return self.fetch_numpy()
 
     def materialize(self) -> "QueryResult":
         """Drain the source eagerly; the result then owns plain chunks."""
@@ -159,6 +200,10 @@ class QueryResult:
         for chunk in self.chunks():
             rows.extend(chunk.to_rows())
         return rows
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """All remaining rows as Python tuples (alias of :meth:`fetchall`)."""
+        return self.fetchall()
 
     def to_dict(self) -> Dict[str, List[Any]]:
         """All rows as ``{column_name: [python values]}``."""

@@ -90,6 +90,17 @@ class DatabaseConfig:
         (0 disables auto-checkpointing).
     checkpoint_on_close:
         Write a checkpoint when the database is cleanly closed.
+    trace_enabled:
+        Enable the quacktrace span tracer (see :mod:`repro.observability`):
+        every statement is profiled into an operator span tree.  Off by
+        default -- the disabled tracer costs one ``is None`` test per
+        operator.  The ``REPRO_TRACE`` environment variable provides the
+        default for configs built via :meth:`from_dict` when the option is
+        not given explicitly.
+    slow_query_ms:
+        Statements slower than this many milliseconds are captured in the
+        in-process slow-query log (with their full trace when tracing is
+        enabled).  ``0`` disables the log.
     """
 
     memory_limit: int = 1 << 31  # 2 GiB default
@@ -100,6 +111,8 @@ class DatabaseConfig:
     reactive_resources: bool = False
     wal_autocheckpoint: int = 16 << 20  # 16 MiB
     checkpoint_on_close: bool = True
+    trace_enabled: bool = False
+    slow_query_ms: float = 0.0
 
     @classmethod
     def from_dict(cls, options: Optional[Dict[str, Any]]) -> "DatabaseConfig":
@@ -108,10 +121,15 @@ class DatabaseConfig:
         if options:
             for name, value in options.items():
                 config.set_option(name, value)
-        if not options or "threads" not in {name.lower() for name in options}:
+        given = {name.lower() for name in options} if options else set()
+        if "threads" not in given:
             env_threads = os.environ.get("REPRO_THREADS")
             if env_threads:
                 config.set_option("threads", env_threads)
+        if "trace_enabled" not in given:
+            env_trace = os.environ.get("REPRO_TRACE")
+            if env_trace:
+                config.set_option("trace_enabled", env_trace)
         return config
 
     def set_option(self, name: str, value: Any) -> None:
@@ -130,8 +148,13 @@ class DatabaseConfig:
                 raise InvalidInputError("morsel_size must be >= 1")
             self.morsel_size = morsel_size
         elif name in ("verify_checksums", "buffer_memtest", "reactive_resources",
-                      "checkpoint_on_close"):
+                      "checkpoint_on_close", "trace_enabled"):
             setattr(self, name, _coerce_bool(value))
+        elif name == "slow_query_ms":
+            threshold = float(value)
+            if threshold < 0:
+                raise InvalidInputError("slow_query_ms must be >= 0")
+            self.slow_query_ms = threshold
         elif name == "wal_autocheckpoint":
             self.wal_autocheckpoint = parse_memory_size(value) if value else 0
         else:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..observability import registry as metrics_registry
 from ..storage.compression import CompressionLevel
 from .monitor import ResourceMonitor, ResourceSample
 
@@ -90,6 +91,10 @@ class ReactiveController:
                     else CompressionLevel.LIGHT
             else:
                 level = CompressionLevel.NONE
+        if level is not self._last_level:
+            metrics_registry().counter(
+                "repro_compression_level_switches_total",
+                "Reactive intermediate-compression level changes").inc()
         self._last_level = level
         self.decisions.append((sample.timestamp, sample, level))
         return level
@@ -123,4 +128,9 @@ class ReactiveController:
         cores = os.cpu_count() or 1
         app_cpu = min(max(sample.app_cpu, 0.0), 1.0)
         free_cores = int(cores * (1.0 - app_cpu))
-        return max(1, min(requested, free_cores))
+        granted = max(1, min(requested, free_cores))
+        if granted < requested:
+            metrics_registry().counter(
+                "repro_worker_degrade_total",
+                "Times the cooperation controller shrank a worker pool").inc()
+        return granted

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from . import observability
 from .catalog.catalog import Catalog
 from .config import DatabaseConfig
 from .cooperation.controller import ReactiveController, StaticController
 from .cooperation.monitor import ResourceMonitor, SimulatedApplication
 from .errors import ConnectionError as DatabaseConnectionError
+from .observability.slowlog import SlowQueryLog
+from .observability.trace import Tracer
 from .sanitizer import SanLock
 from .storage.buffer_manager import BufferManager
 from .storage.storage_manager import StorageManager
@@ -46,7 +49,53 @@ class Database:
         #: order is forbidden everywhere.
         self._checkpoint_lock = SanLock("database.checkpoint")
         self._closed = False
+        #: In-process slow-query log (see config.slow_query_ms).
+        self.slow_log = SlowQueryLog()
+        #: Last buffer-manager counter values folded into the metrics
+        #: registry (see :meth:`fold_metrics`).
+        self._metrics_baseline: Dict[str, int] = {}
+        if self.config.trace_enabled:
+            observability.enable_tracing()
         self.storage.load(self.catalog, self.transaction_manager)
+
+    # -- observability --------------------------------------------------------
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The active quacktrace tracer, or ``None`` while tracing is off.
+
+        ``PRAGMA trace_enabled = 1`` takes effect on the next statement:
+        the property installs the process-wide tracer on demand.
+        """
+        if self.config.trace_enabled:
+            return observability.enable_tracing()
+        return observability.get_tracer()
+
+    def fold_metrics(self) -> None:
+        """Fold this instance's cheap counters into the process registry.
+
+        The buffer manager counts block-cache traffic with plain ints (no
+        registry lock on the I/O path); this folds the deltas into the
+        shared counters.  Called at statement boundaries and on metric
+        export -- both low-frequency points.
+        """
+        registry = observability.registry()
+        baseline = self._metrics_baseline
+        for attr, name, help_text in (
+            ("cache_hits", "repro_block_cache_hits_total",
+             "Block-cache lookups served from memory"),
+            ("cache_misses", "repro_block_cache_misses_total",
+             "Block-cache lookups that went to disk"),
+            ("cache_evictions", "repro_block_cache_evictions_total",
+             "Blocks evicted from the block cache"),
+        ):
+            current = getattr(self.buffer_manager, attr)
+            delta = current - baseline.get(attr, 0)
+            if delta > 0:
+                registry.counter(name, help_text).inc(delta)
+                baseline[attr] = current
+        registry.gauge("repro_buffer_used_bytes",
+                       "Bytes currently accounted by the buffer manager"
+                       ).set(self.buffer_manager.used_bytes)
 
     # -- lifecycle ----------------------------------------------------------
     def connect(self):

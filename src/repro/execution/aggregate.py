@@ -178,7 +178,7 @@ class PhysicalHashAggregate(PhysicalOperator):
         total_rows = 0
         needs_buffer = bool(buffered_types)
         with ChunkBuffer(buffered_types, context, "aggregate input") as buffer:
-            for chunk in self.children[0].execute():
+            for chunk in self.children[0].run():
                 context.check_interrupted()
                 if needs_buffer:
                     columns = [executor.execute(group, chunk)
@@ -233,7 +233,7 @@ class PhysicalDistinct(PhysicalOperator):
     def execute(self) -> Iterator[DataChunk]:
         context = self.context
         with ChunkBuffer(self.types, context, "distinct input") as buffer:
-            for chunk in self.children[0].execute():
+            for chunk in self.children[0].run():
                 context.check_interrupted()
                 buffer.append(chunk)
             materialized = buffer.materialize()
@@ -263,18 +263,18 @@ class PhysicalSetOp(PhysicalOperator):
         context = self.context
         if self.op == "union" and self.all:
             for child in self.children:
-                for chunk in child.execute():
+                for chunk in child.run():
                     context.check_interrupted()
                     yield chunk
             return
 
         with ChunkBuffer(self.types, context, "setop left") as left_buffer:
-            for chunk in self.children[0].execute():
+            for chunk in self.children[0].run():
                 context.check_interrupted()
                 left_buffer.append(chunk)
             left = left_buffer.materialize()
         with ChunkBuffer(self.types, context, "setop right") as right_buffer:
-            for chunk in self.children[1].execute():
+            for chunk in self.children[1].run():
                 context.check_interrupted()
                 right_buffer.append(chunk)
             right = right_buffer.materialize()

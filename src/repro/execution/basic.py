@@ -22,7 +22,7 @@ class PhysicalFilter(PhysicalOperator):
 
     def execute(self) -> Iterator[DataChunk]:
         executor = ExpressionExecutor(self.context)
-        for chunk in self.children[0].execute():
+        for chunk in self.children[0].run():
             self.context.check_interrupted()
             mask = executor.execute_filter(self.predicate, chunk)
             if mask.all():
@@ -44,7 +44,7 @@ class PhysicalProjection(PhysicalOperator):
 
     def execute(self) -> Iterator[DataChunk]:
         executor = ExpressionExecutor(self.context)
-        for chunk in self.children[0].execute():
+        for chunk in self.children[0].run():
             self.context.check_interrupted()
             yield DataChunk([executor.execute(expression, chunk)
                              for expression in self.expressions])
@@ -63,7 +63,7 @@ class PhysicalLimit(PhysicalOperator):
     def execute(self) -> Iterator[DataChunk]:
         to_skip = self.offset
         remaining = self.limit
-        for chunk in self.children[0].execute():
+        for chunk in self.children[0].run():
             self.context.check_interrupted()
             if to_skip:
                 if chunk.size <= to_skip:

@@ -121,7 +121,7 @@ class Executor:
         plan = optimize(statement.plan)
         context = self._context()
         physical = create_physical_plan(plan, context)
-        return StatementResult(plan.names, plan.types, physical.execute())
+        return StatementResult(plan.names, plan.types, physical.run())
 
     # -- INSERT -----------------------------------------------------------------
     def _check_not_null(self, table: TableEntry, chunk: DataChunk,
@@ -143,7 +143,7 @@ class Executor:
         physical = create_physical_plan(plan, context)
         wal_enabled = self.database.storage.wal.enabled
         inserted = 0
-        for chunk in physical.execute():
+        for chunk in physical.run():
             if chunk.size == 0:
                 continue
             # Align physical representations exactly with storage.
@@ -300,7 +300,7 @@ class Executor:
         context = self._context()
         physical = create_physical_plan(plan, context)
         options = statement.options
-        written = write_csv(statement.path, physical.execute(), plan.names,
+        written = write_csv(statement.path, physical.run(), plan.names,
                             delimiter=options.get("delimiter", ","),
                             header=options.get("header", True))
         return StatementResult.count_result(written)
@@ -362,19 +362,38 @@ class Executor:
             text = ("-- logical plan --\n" + plan.explain()
                     + "\n-- physical plan --\n" + physical.explain())
             if statement.analyze:
-                # EXPLAIN ANALYZE: run the plan and report engine statistics.
+                # EXPLAIN ANALYZE: run the plan under a forced tracer and
+                # report per-operator spans plus engine statistics.  The
+                # private tracer means ANALYZE profiles even when tracing is
+                # globally disabled, without flipping the process switch.
                 import time
 
-                started = time.perf_counter()
+                from ..observability.render import render_span_tree
+                from ..observability.trace import Tracer
+
+                tracer = context.tracer or Tracer()
+                context.tracer = tracer
+                root = tracer.start_query("explain analyze")
+                wall = time.perf_counter_ns()
+                cpu = time.thread_time_ns()
                 rows = 0
-                for chunk in physical.execute():
-                    rows += chunk.size
-                elapsed = time.perf_counter() - started
+                try:
+                    for chunk in physical.run():
+                        rows += chunk.size
+                finally:
+                    tracer.finish_query(root,
+                                        time.perf_counter_ns() - wall,
+                                        time.thread_time_ns() - cpu)
                 text += "\n-- execution statistics --"
                 text += f"\nresult rows: {rows}"
-                text += f"\nelapsed: {elapsed * 1000:.2f} ms"
+                text += f"\nelapsed: {root.wall_ms:.2f} ms"
                 for name in sorted(context.stats):
                     text += f"\n{name}: {context.stats[name]}"
+                profile = render_span_tree(tracer.sink.trace(root.trace_id),
+                                           root)
+                text += "\n-- operator profile (quacktrace) --"
+                for line in profile:
+                    text += "\n" + line
             return StatementResult.text_result("explain", text.split("\n"))
         return StatementResult.text_result(
             "explain", [f"{type(inner).__name__} (no plan)"])

@@ -115,7 +115,7 @@ class PhysicalHashJoin(_JoinBase):
         # Build phase: materialize the right side through a ChunkBuffer so
         # the reactive controller can compress it under memory pressure.
         with ChunkBuffer(self.right.types, context, "hash join build") as buffer:
-            for chunk in self.right.execute():
+            for chunk in self.right.run():
                 context.check_interrupted()
                 buffer.append(chunk)
             build = buffer.materialize()
@@ -129,7 +129,7 @@ class PhysicalHashJoin(_JoinBase):
 
         emit_unmatched_probe = self.join_type in ("left", "full")
 
-        for probe in _batched(self.left.execute()):
+        for probe in _batched(self.left.run()):
             context.check_interrupted()
             if probe.size == 0:
                 continue
@@ -196,7 +196,7 @@ class PhysicalMergeJoin(_JoinBase):
             [SortKey(len(child.types), ascending=True, nulls_first=False)],
             self.context,
         )
-        for chunk in child.execute():
+        for chunk in child.run():
             self.context.check_interrupted()
             key = self._executor.execute(key_expr, chunk)
             sorter.append(DataChunk(list(chunk.columns) + [key]))
@@ -318,7 +318,7 @@ class PhysicalNestedLoopJoin(_JoinBase):
     def execute(self) -> Iterator[DataChunk]:
         context = self.context
         with ChunkBuffer(self.right.types, context, "nl join build") as buffer:
-            for chunk in self.right.execute():
+            for chunk in self.right.run():
                 context.check_interrupted()
                 buffer.append(chunk)
             build = buffer.materialize()
@@ -327,7 +327,7 @@ class PhysicalNestedLoopJoin(_JoinBase):
             if self.join_type in ("right", "full") else None
         emit_unmatched_probe = self.join_type in ("left", "full")
 
-        for probe in self.left.execute():
+        for probe in self.left.run():
             context.check_interrupted()
             if probe.size == 0:
                 continue

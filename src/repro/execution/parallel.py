@@ -31,6 +31,7 @@ Two invariants keep parallel execution transparent:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import Callable, Iterator, List, Optional, Tuple
@@ -124,6 +125,8 @@ class MorselDriver:
         self._lock = SanLock("morsel_driver")
         #: rows processed per worker thread, in first-use order.
         self._worker_rows: dict = {}
+        #: Coordinator-side parent for per-morsel spans (set by map()).
+        self._parent_span = None
 
     def record_rows(self, count: int) -> None:
         """Attribute ``count`` processed rows to the calling worker."""
@@ -131,17 +134,44 @@ class MorselDriver:
         with self._lock, tracked_access(("morsel_driver", id(self)), True,
                                         self._lock):
             self._worker_rows[ident] = self._worker_rows.get(ident, 0) + count
+        tracer = self.context.tracer
+        if tracer is not None:
+            span = tracer.current()
+            if span is not None and span.kind == "morsel":
+                span.rows += count
 
-    def _run_task(self, task: Callable):
+    def _run_task(self, index: int, task: Callable):
         self.context.check_interrupted()
-        return task()
+        tracer = self.context.tracer
+        if tracer is None:
+            return task()
+        # Per-morsel span on the worker thread: fragment operator spans
+        # nest under it, and the renderer derives per-worker morsel counts
+        # and skew from these.
+        span = tracer.start_span(f"morsel {index}", kind="morsel",
+                                 parent=self._parent_span,
+                                 attrs={"morsel": index})
+        tracer.push(span)
+        wall = time.perf_counter_ns()
+        cpu = time.thread_time_ns()
+        try:
+            return task()
+        finally:
+            span.add_timing(time.perf_counter_ns() - wall,
+                            time.thread_time_ns() - cpu)
+            tracer.pop(span)
+            tracer.end_span(span)
 
     def map(self, tasks: List[Callable]) -> Iterator:
         """Run every task on the pool; yield results in task order."""
         context = self.context
+        tracer = context.tracer
+        if tracer is not None:
+            self._parent_span = tracer.current()
         pool = ThreadPoolExecutor(max_workers=self.worker_count,
                                   thread_name_prefix="repro-morsel")
-        futures = [pool.submit(self._run_task, task) for task in tasks]
+        futures = [pool.submit(self._run_task, index, task)
+                   for index, task in enumerate(tasks)]
         try:
             for future in futures:
                 yield future.result()
@@ -186,14 +216,14 @@ class PhysicalParallelTableScan(PhysicalOperator):
 
     def _scan_morsel(self, driver: MorselDriver,
                      row_range: Tuple[int, int]) -> List[DataChunk]:
-        chunks = list(self._scan_for(row_range).execute())
+        chunks = list(self._scan_for(row_range).run())
         driver.record_rows(sum(chunk.size for chunk in chunks))
         return chunks
 
     def execute(self) -> Iterator[DataChunk]:
         ranges = self.table_entry.data.morsel_ranges(self.morsel_rows)
         if self.worker_count <= 1 or len(ranges) <= 1:
-            yield from self._template.execute()
+            yield from self._template.run()
             return
         driver = MorselDriver(self.context,
                               min(self.worker_count, len(ranges)))
@@ -247,7 +277,7 @@ class PhysicalParallelHashAggregate(PhysicalOperator):
         parts: List[DataChunk] = []
         total_rows = 0
         needs_buffer = bool(self._buffered_types)
-        for chunk in fragment.execute():
+        for chunk in fragment.run():
             context.check_interrupted()
             if needs_buffer:
                 columns = [executor.execute(group, chunk)
@@ -326,7 +356,7 @@ class PhysicalParallelHashAggregate(PhysicalOperator):
     def execute(self) -> Iterator[DataChunk]:
         ranges = self.table_data.morsel_ranges(self.morsel_rows)
         if self.worker_count <= 1 or len(ranges) <= 1:
-            yield from self._serial_fallback().execute()
+            yield from self._serial_fallback().run()
             return
         driver = MorselDriver(self.context,
                               min(self.worker_count, len(ranges)))

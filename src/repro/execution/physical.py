@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from ..errors import InterruptError
+from ..observability import get_tracer
 from ..sanitizer import SanLock, tracked_access
 from ..types import DataChunk, LogicalType
 
@@ -26,6 +27,10 @@ class ExecutionContext:
         self.transaction = transaction
         self.database = database
         self.parameters = parameters or []
+        #: The quacktrace tracer, or None while tracing is disabled.  The
+        #: hot path (PhysicalOperator.run) pays one ``is None`` test;
+        #: EXPLAIN ANALYZE swaps in a private, forced tracer per query.
+        self.tracer = get_tracer()
         #: Uncorrelated subqueries are evaluated once and cached by plan id.
         self._subquery_results = {}
         #: Set (from any thread) to interrupt the query.  Morsel workers poll
@@ -74,7 +79,7 @@ class ExecutionContext:
             from .physical_planner import create_physical_plan
 
             physical = create_physical_plan(plan, self)
-            chunks = [chunk for chunk in physical.execute() if chunk.size]
+            chunks = [chunk for chunk in physical.run() if chunk.size]
             if chunks:
                 result = DataChunk.concat_many(chunks)
             else:
@@ -111,6 +116,21 @@ class PhysicalOperator:
     def execute(self) -> Iterator[DataChunk]:
         """Yield result chunks; must be overridden."""
         raise NotImplementedError
+
+    def run(self) -> Iterator[DataChunk]:
+        """Entry point callers use: ``execute()`` wrapped in a trace span.
+
+        With tracing disabled this *is* ``execute()`` -- no wrapper
+        generator, no allocation, just one ``is None`` test per operator
+        per query.  With tracing enabled the chunk stream is accounted to
+        an operator span whose parent is the span current at call time
+        (the parent operator's span, a morsel span on a worker thread, or
+        the query root span).
+        """
+        tracer = self.context.tracer
+        if tracer is None:
+            return self.execute()
+        return tracer.trace_operator(self, tracer.current())
 
     def explain(self, indent: int = 0) -> str:
         line = " " * indent + self._explain_line()

@@ -217,7 +217,7 @@ class PhysicalOrder(PhysicalOperator):
         keys = [SortKey(width + index, item.ascending, item.nulls_first)
                 for index, item in enumerate(self.items)]
         sorter = ExternalSorter(list(child.types) + key_types, keys, self.context)
-        for chunk in child.execute():
+        for chunk in child.run():
             self.context.check_interrupted()
             key_vectors = [executor.execute(item.expression, chunk)
                            for item in self.items]
@@ -250,7 +250,7 @@ class PhysicalTopN(PhysicalOperator):
         keys = [SortKey(width + index, item.ascending, item.nulls_first)
                 for index, item in enumerate(self.items)]
         best: Optional[DataChunk] = None
-        for chunk in child.execute():
+        for chunk in child.run():
             self.context.check_interrupted()
             key_vectors = [executor.execute(item.expression, chunk)
                            for item in self.items]

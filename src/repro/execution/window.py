@@ -306,7 +306,7 @@ class PhysicalWindow(PhysicalOperator):
         child = self.children[0]
         executor = ExpressionExecutor(context)
         with ChunkBuffer(child.types, context, "window input") as buffer:
-            for chunk in child.execute():
+            for chunk in child.run():
                 context.check_interrupted()
                 buffer.append(chunk)
             materialized = buffer.materialize()

@@ -1,0 +1,89 @@
+"""Slow-query log: capture the full trace of statements over a threshold.
+
+The application hosting the engine is the only "DBA" an embedded database
+has (paper §5), so the slow-query log lives in process memory where the
+application can read it: a bounded ring of
+:class:`SlowQueryRecord`\\ s, each carrying the SQL text, the end-to-end
+duration, and -- when tracing was active for that statement -- the rendered
+span tree of the offending query.  Entries are also emitted through the
+standard :mod:`logging` channel ``repro.slowlog`` so existing application
+log pipelines pick them up without extra wiring.
+
+The threshold is ``config.slow_query_ms`` (PRAGMA-settable at runtime);
+``0`` disables the log entirely, and the per-statement cost while disabled
+is a single float comparison.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from .render import render_trace
+from .trace import Span
+
+__all__ = ["SlowQueryRecord", "SlowQueryLog"]
+
+logger = logging.getLogger("repro.slowlog")
+
+#: Retained slow-query records before the oldest fall out.
+DEFAULT_CAPACITY = 256
+
+
+class SlowQueryRecord:
+    """One over-threshold statement: SQL, duration, and its trace."""
+
+    __slots__ = ("sql", "duration_ms", "threshold_ms", "timestamp",
+                 "trace_text", "span_count")
+
+    def __init__(self, sql: str, duration_ms: float, threshold_ms: float,
+                 spans: Optional[Sequence[Span]] = None) -> None:
+        self.sql = sql
+        self.duration_ms = duration_ms
+        self.threshold_ms = threshold_ms
+        self.timestamp = time.time()
+        self.span_count = len(spans) if spans else 0
+        self.trace_text = render_trace(spans) if spans else None
+
+    def render(self) -> str:
+        header = (f"slow query ({self.duration_ms:.2f} ms, threshold "
+                  f"{self.threshold_ms:g} ms): {self.sql}")
+        if self.trace_text:
+            return header + "\n" + self.trace_text
+        return header
+
+    def __repr__(self) -> str:
+        return (f"SlowQueryRecord({self.sql!r}, "
+                f"duration_ms={self.duration_ms:.2f})")
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe ring of slow-query records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._records: Deque[SlowQueryRecord] = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
+
+    def record(self, sql: str, duration_ms: float, threshold_ms: float,
+               spans: Optional[Sequence[Span]] = None) -> SlowQueryRecord:
+        entry = SlowQueryRecord(sql, duration_ms, threshold_ms, spans)
+        with self._lock:
+            self._records.append(entry)
+        logger.warning("%s", entry.render())
+        return entry
+
+    def records(self) -> List[SlowQueryRecord]:
+        """Snapshot, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -105,6 +105,11 @@ class BufferManager:
         # Block cache: block id -> payload bytes, LRU order.
         self._block_cache: "OrderedDict[int, bytes]" = OrderedDict()
         self._block_cache_bytes = 0
+        #: Cheap monotonic counters, folded into the process-wide metrics
+        #: registry at statement boundaries (see Connection._fold_metrics).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
 
     # -- accounting -----------------------------------------------------------
     @property
@@ -245,12 +250,16 @@ class BufferManager:
             while self._block_cache_bytes > budget and self._block_cache:
                 _, evicted = self._block_cache.popitem(last=False)
                 self._block_cache_bytes -= len(evicted)
+                self.cache_evictions += 1
 
     def get_cached_block(self, block_id: int) -> Optional[bytes]:
         with self._lock:
             payload = self._block_cache.get(block_id)
             if payload is not None:
                 self._block_cache.move_to_end(block_id)
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
             return payload
 
     def invalidate_cache(self) -> None:
@@ -264,6 +273,7 @@ class BufferManager:
             _, evicted = self._block_cache.popitem(last=False)
             freed += len(evicted)
             self._block_cache_bytes -= len(evicted)
+            self.cache_evictions += 1
 
     def stats(self) -> dict:
         """Snapshot of allocator state for monitoring and the controller."""
@@ -275,5 +285,8 @@ class BufferManager:
                 "pressure": self.memory_pressure(),
                 "live_buffers": len(self._buffers),
                 "block_cache_bytes": self._block_cache_bytes,
+                "block_cache_hits": self.cache_hits,
+                "block_cache_misses": self.cache_misses,
+                "block_cache_evictions": self.cache_evictions,
                 "quarantined_ranges": len(self.quarantined),
             }

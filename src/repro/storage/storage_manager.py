@@ -30,6 +30,7 @@ from ..errors import (
     TransactionContextError,
     WALError,
 )
+from ..observability import engine_span, registry as metrics_registry
 from ..transaction.manager import TransactionManager
 from ..transaction.transaction import Transaction
 from ..types import DataChunk, cast_vector, type_from_string
@@ -202,11 +203,19 @@ class StorageManager:
             self.wal.truncate()
 
         try:
-            transaction_manager.run_quiesced(write_snapshot)
+            with engine_span("checkpoint", kind="checkpoint", path=self.path):
+                transaction_manager.run_quiesced(write_snapshot)
         except TransactionContextError:
             if force:
                 raise
             return False
+        metrics = metrics_registry()
+        metrics.counter("repro_checkpoints_total",
+                        "Checkpoints folded into the data file").inc()
+        metrics.counter(
+            "repro_checkpoint_bytes_written_total",
+            "Bytes written by checkpoints").inc(
+                self.last_checkpoint_stats.get("bytes_written", 0))
         catalog.prune(transaction_manager.lowest_active_start())
         return True
 

@@ -25,6 +25,7 @@ from typing import Any, List, Optional
 import numpy as np
 
 from ..errors import CorruptionError, WALError
+from ..observability import engine_span, registry as metrics_registry
 from ..types import DataChunk, LogicalType, Vector, type_from_string
 from .checksum import checksum
 from .compression import CompressionLevel, decode_array, encode_array
@@ -223,9 +224,17 @@ class WriteAheadLog:
             payload = record.serialize()
             frames.append(_FRAME.pack(len(payload), checksum(payload)))
             frames.append(payload)
-        self._file.write(b"".join(frames))
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        data = b"".join(frames)
+        with engine_span("wal.commit_group", kind="wal",
+                         records=len(records), bytes=len(data)):
+            self._file.write(data)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        metrics = metrics_registry()
+        metrics.counter("repro_wal_bytes_written_total",
+                        "Bytes appended to the write-ahead log").inc(len(data))
+        metrics.counter("repro_wal_commit_groups_total",
+                        "Transaction commit groups written to the WAL").inc()
 
     def read_all(self) -> List[List[WALRecord]]:
         """All *committed* record groups, in commit order.

@@ -93,17 +93,23 @@ class TestResults:
 
         assert result.types == [INTEGER, VARCHAR]
 
-    def test_fetchnumpy(self, populated):
+    def test_fetch_numpy(self, populated):
         arrays = populated.execute(
-            "SELECT i, d FROM sample ORDER BY i").fetchnumpy()
+            "SELECT i, d FROM sample ORDER BY i").fetch_numpy()
         np.testing.assert_array_equal(arrays["i"], [1, 2, 3, 4, 5])
         assert isinstance(arrays["d"], np.ma.MaskedArray)  # d has a NULL
         assert arrays["d"].mask.sum() == 1
 
-    def test_fetchnumpy_empty_result(self, populated):
+    def test_fetch_numpy_empty_result(self, populated):
         arrays = populated.execute(
-            "SELECT i FROM sample WHERE i > 100").fetchnumpy()
+            "SELECT i FROM sample WHERE i > 100").fetch_numpy()
         assert len(arrays["i"]) == 0
+
+    def test_fetchnumpy_deprecated_shim(self, populated):
+        with pytest.warns(DeprecationWarning):
+            arrays = populated.execute(
+                "SELECT i FROM sample ORDER BY i").fetchnumpy()
+        np.testing.assert_array_equal(arrays["i"], [1, 2, 3, 4, 5])
 
     def test_fetch_chunk_bulk_access(self, populated):
         result = populated.execute("SELECT i FROM sample")

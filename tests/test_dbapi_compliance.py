@@ -1,0 +1,179 @@
+"""PEP 249 (DB-API 2.0) compliance of the client surface.
+
+The engine's native API is chunk-oriented (paper §5: transfer efficiency),
+but the module also has to *be* a Python database module: ``apilevel``,
+``paramstyle``, a cursor with ``description``/``arraysize``/``fetchmany``,
+``executemany``, closed-handle semantics, and the standard exception names.
+"""
+
+import pytest
+
+import repro.client as dbapi
+from repro.errors import InvalidInputError
+from repro.types import LogicalTypeId
+
+
+class TestModuleGlobals:
+    def test_apilevel(self):
+        assert dbapi.apilevel == "2.0"
+
+    def test_threadsafety(self):
+        assert dbapi.threadsafety == 2
+
+    def test_paramstyle(self):
+        assert dbapi.paramstyle == "qmark"
+
+    def test_exception_hierarchy(self):
+        # PEP 249: all module exceptions derive from Error.
+        for name in ("DatabaseError", "InterfaceError", "ProgrammingError",
+                     "OperationalError", "DataError", "IntegrityError",
+                     "InternalError", "NotSupportedError"):
+            assert issubclass(getattr(dbapi, name), dbapi.Error), name
+
+    def test_connect_is_module_level(self):
+        con = dbapi.connect()
+        try:
+            assert con.execute("SELECT 1").fetchvalue() == 1
+        finally:
+            con.close()
+
+
+class TestCursor:
+    def test_fetchone_until_exhausted(self, populated):
+        cursor = populated.cursor()
+        cursor.execute("SELECT i FROM sample ORDER BY i")
+        seen = []
+        while True:
+            row = cursor.fetchone()
+            if row is None:
+                break
+            seen.append(row[0])
+        assert seen == [1, 2, 3, 4, 5]
+        assert cursor.fetchone() is None
+
+    def test_fetchmany_uses_arraysize(self, populated):
+        cursor = populated.cursor()
+        cursor.arraysize = 2
+        cursor.execute("SELECT i FROM sample ORDER BY i")
+        assert cursor.fetchmany() == [(1,), (2,)]
+        assert cursor.fetchmany(1) == [(3,)]
+        assert cursor.fetchmany(10) == [(4,), (5,)]
+        assert cursor.fetchmany() == []
+
+    def test_fetchall(self, populated):
+        cursor = populated.cursor()
+        cursor.execute("SELECT i FROM sample ORDER BY i")
+        assert [row[0] for row in cursor.fetchall()] == [1, 2, 3, 4, 5]
+
+    def test_iteration(self, populated):
+        cursor = populated.cursor()
+        cursor.execute("SELECT i FROM sample ORDER BY i")
+        assert [row[0] for row in cursor] == [1, 2, 3, 4, 5]
+
+    def test_executemany(self, con):
+        con.execute("CREATE TABLE t (a INTEGER, b VARCHAR)")
+        cursor = con.cursor()
+        cursor.executemany("INSERT INTO t VALUES (?, ?)",
+                           [(1, "x"), (2, "y"), (3, None)])
+        assert cursor.rowcount == 3
+        assert con.query_value("SELECT count(*) FROM t") == 3
+
+    def test_qmark_parameters(self, populated):
+        cursor = populated.cursor()
+        cursor.execute("SELECT s FROM sample WHERE i = ?", (2,))
+        assert cursor.fetchone() == ("beta",)
+
+    def test_description_seven_tuples(self, populated):
+        cursor = populated.cursor()
+        cursor.execute("SELECT i, s, d FROM sample")
+        assert cursor.description is not None
+        assert [len(entry) for entry in cursor.description] == [7, 7, 7]
+        names = [entry[0] for entry in cursor.description]
+        type_codes = [entry[1] for entry in cursor.description]
+        assert names == ["i", "s", "d"]
+        assert type_codes == [LogicalTypeId.INTEGER, LogicalTypeId.VARCHAR,
+                              LogicalTypeId.DOUBLE]
+
+    def test_description_for_ddl_is_count_relation(self, con):
+        # Every statement in this engine returns a relation; DDL/DML yield
+        # a single BIGINT "Count" column rather than the PEP 249 None.
+        cursor = con.cursor()
+        cursor.execute("CREATE TABLE t (i INTEGER)")
+        assert cursor.description is not None
+        assert cursor.description[0][0] == "Count"
+        assert cursor.description[0][1] is LogicalTypeId.BIGINT
+
+    def test_connection_attribute(self, populated):
+        cursor = populated.cursor()
+        assert cursor.connection is populated
+
+    def test_closed_cursor_raises(self, populated):
+        cursor = populated.cursor()
+        cursor.execute("SELECT 1")
+        cursor.close()
+        with pytest.raises(InvalidInputError):
+            cursor.execute("SELECT 1")
+        with pytest.raises(InvalidInputError):
+            cursor.fetchone()
+
+    def test_context_manager_closes(self, populated):
+        with populated.cursor() as cursor:
+            cursor.execute("SELECT 1")
+        with pytest.raises(InvalidInputError):
+            cursor.fetchall()
+
+    def test_setinputsizes_setoutputsize_are_noops(self, populated):
+        cursor = populated.cursor()
+        cursor.setinputsizes([None, 4])
+        cursor.setoutputsize(1024)
+        cursor.setoutputsize(1024, 0)
+
+    def test_finalize_keeps_cursor_reusable(self, populated):
+        # The C3 baseline API: finalize releases the result but (unlike
+        # DB-API close) the cursor can execute again.
+        cursor = populated.cursor()
+        cursor.execute("SELECT i FROM sample")
+        cursor.finalize()
+        cursor.execute("SELECT count(*) FROM sample")
+        assert cursor.fetchone() == (5,)
+
+    def test_step_api_still_works(self, populated):
+        cursor = populated.cursor()
+        cursor.execute("SELECT i FROM sample ORDER BY i")
+        assert cursor.step() is True
+        assert cursor.column_value(0) == 1
+        assert cursor.column_count() == 1
+        assert cursor.column_name(0) == "i"
+
+
+class TestQueryResultSurface:
+    def test_columns_and_dtypes(self, populated):
+        result = populated.execute("SELECT i, s FROM sample")
+        assert result.columns == ["i", "s"]
+        assert [dtype.id for dtype in result.dtypes] == [
+            LogicalTypeId.INTEGER, LogicalTypeId.VARCHAR]
+
+    def test_result_description(self, populated):
+        result = populated.execute("SELECT d FROM sample")
+        ((name, type_code, display, internal, precision, scale, null_ok),) \
+            = result.description
+        assert name == "d"
+        assert type_code is LogicalTypeId.DOUBLE
+        assert internal == 8
+        assert display is None and precision is None and scale is None
+        assert null_ok is None
+
+    def test_to_rows(self, populated):
+        rows = populated.execute(
+            "SELECT i FROM sample ORDER BY i").to_rows()
+        assert rows == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_result_fetchmany(self, populated):
+        result = populated.execute("SELECT i FROM sample ORDER BY i")
+        assert result.fetchmany(2) == [(1,), (2,)]
+        assert result.fetchmany(10) == [(3,), (4,), (5,)]
+        assert result.fetchmany(2) == []
+
+    def test_result_iteration(self, populated):
+        result = populated.execute("SELECT i FROM sample ORDER BY i")
+        assert [row[0] for row in result] == [1, 2, 3, 4, 5]

@@ -1,0 +1,325 @@
+"""quacktrace: spans, metrics registry, slow-query log, EXPLAIN ANALYZE.
+
+Tests here toggle the *process-wide* tracer, so every toggle goes through
+the ``traced``/``untraced`` fixtures, which restore whatever state the
+session started with (the CI trace job runs the whole suite under
+``REPRO_TRACE=1``).
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro
+from repro import observability as obs
+from repro.observability import (
+    MetricsRegistry,
+    Span,
+    SlowQueryLog,
+    TraceSink,
+    Tracer,
+    engine_span,
+    render_span_tree,
+    render_trace,
+    worker_summary,
+)
+
+
+@pytest.fixture
+def traced():
+    """A fresh process-wide tracer (own sink); restores prior state."""
+    was_enabled = obs.tracing_enabled()
+    obs.disable_tracing()
+    tracer = obs.enable_tracing()
+    yield tracer
+    obs.disable_tracing()
+    if was_enabled:
+        obs.enable_tracing()
+
+
+@pytest.fixture
+def untraced():
+    """Process-wide tracing off for the test; restores prior state."""
+    was_enabled = obs.tracing_enabled()
+    obs.disable_tracing()
+    yield
+    if was_enabled:
+        obs.enable_tracing()
+
+
+class TestSpanCore:
+    def test_span_tree_identity(self):
+        tracer = Tracer()
+        root = tracer.start_query("SELECT 1")
+        child = tracer.start_span("child", kind="operator")
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id == root.span_id
+        tracer.end_span(child)
+        tracer.finish_query(root, wall_ns=1000, cpu_ns=500)
+        assert tracer.current() is None
+        spans = tracer.sink.trace(root.trace_id)
+        assert [span.name for span in spans] == ["child", "SELECT 1"]
+
+    def test_end_span_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.start_span("once")
+        tracer.end_span(span)
+        tracer.end_span(span)
+        assert len(tracer.sink) == 1
+
+    def test_span_context_manager_times_and_closes(self):
+        tracer = Tracer()
+        with tracer.span("wal.commit_group", kind="wal") as span:
+            assert tracer.current() is span
+        assert span.closed
+        assert span.wall_ns >= 0
+        assert tracer.current() is None
+
+    def test_sink_is_a_ring_buffer(self):
+        sink = TraceSink(capacity=3)
+        tracer = Tracer(sink)
+        for i in range(5):
+            tracer.end_span(tracer.start_span(f"s{i}"))
+        assert len(sink) == 3
+        assert [span.name for span in sink.spans()] == ["s2", "s3", "s4"]
+
+    def test_trace_filters_by_trace_id(self):
+        tracer = Tracer()
+        a = tracer.start_query("A")
+        tracer.finish_query(a, 0, 0)
+        b = tracer.start_query("B")
+        tracer.finish_query(b, 0, 0)
+        assert [s.name for s in tracer.sink.trace(a.trace_id)] == ["A"]
+        assert [s.name for s in tracer.sink.trace(b.trace_id)] == ["B"]
+
+
+class TestProcessWideToggle:
+    def test_enable_disable_roundtrip(self, untraced):
+        assert obs.tracing_enabled() is False
+        assert obs.get_tracer() is None
+        tracer = obs.enable_tracing()
+        assert obs.tracing_enabled() is True
+        assert obs.enable_tracing() is tracer  # idempotent
+        obs.disable_tracing()
+        assert obs.get_tracer() is None
+
+    def test_engine_span_noop_singleton_when_disabled(self, untraced):
+        # The disabled fast path allocates nothing: the same shared no-op
+        # context manager object is returned every time.
+        first = engine_span("checkpoint", kind="checkpoint")
+        second = engine_span("wal.commit_group", kind="wal")
+        assert first is second
+        with first as span:
+            assert span is None
+
+    def test_engine_span_records_when_enabled(self, traced):
+        with engine_span("checkpoint", kind="checkpoint", path="x") as span:
+            assert span is not None
+        spans = [s for s in traced.sink.spans() if s.name == "checkpoint"]
+        assert spans and spans[0].kind == "checkpoint"
+        assert spans[0].attrs == {"path": "x"}
+
+    def test_disabled_connection_has_no_tracer(self, untraced):
+        # Explicit config: under the CI trace job REPRO_TRACE=1 would
+        # otherwise flow into the config default and re-enable tracing.
+        con = repro.connect(config={"trace_enabled": False})
+        try:
+            assert con._database.tracer is None
+            assert con.execute("SELECT 41 + 1").fetchvalue() == 42
+        finally:
+            con.close()
+
+
+class TestQueryTracing:
+    def test_statement_produces_query_rooted_span_tree(self, traced,
+                                                       populated):
+        populated.execute("SELECT i, d FROM sample WHERE i > 1").fetchall()
+        spans = traced.sink.spans()
+        roots = [s for s in spans if s.kind == "query"]
+        assert roots, "no query root span was recorded"
+        root = roots[-1]
+        operators = [s for s in spans
+                     if s.kind == "operator" and s.trace_id == root.trace_id]
+        assert operators, "no operator spans attached to the query root"
+        by_id = {s.span_id for s in operators} | {root.span_id}
+        assert all(s.parent_id in by_id for s in operators)
+        assert root.wall_ns > 0
+        assert any(s.rows > 0 for s in operators)
+
+    def test_streaming_result_closes_query_span(self, traced, populated):
+        result = populated.execute("SELECT i FROM sample", stream=True)
+        assert result.fetchone() is not None
+        result.close()
+        roots = [s for s in traced.sink.spans() if s.kind == "query"]
+        assert roots and roots[-1].closed
+
+    def test_explain_analyze_reports_operator_profile(self, populated):
+        text = "\n".join(row[0] for row in populated.execute(
+            "EXPLAIN ANALYZE SELECT s, count(*) FROM sample GROUP BY s"
+        ).fetchall())
+        assert "-- execution statistics --" in text
+        assert "result rows: 4" in text
+        assert "-- operator profile (quacktrace) --" in text
+        assert "rows_out=" in text
+
+    def test_explain_analyze_does_not_enable_global_tracing(self, untraced):
+        con = repro.connect(config={"trace_enabled": False})
+        try:
+            con.execute("EXPLAIN ANALYZE SELECT 1").fetchall()
+            assert obs.tracing_enabled() is False
+        finally:
+            con.close()
+
+
+class TestRender:
+    def _spans(self):
+        tracer = Tracer()
+        root = tracer.start_query("SELECT ...")
+        op = tracer.start_span("SEQ_SCAN sample", kind="operator")
+        op.rows = 100
+        op.add_timing(2_000_000, 1_000_000)
+        tracer.end_span(op)
+        tracer.finish_query(root, 3_000_000, 1_500_000)
+        return tracer.sink.trace(root.trace_id), root
+
+    def test_render_span_tree(self):
+        spans, root = self._spans()
+        lines = render_span_tree(spans, root)
+        assert any("SEQ_SCAN sample" in line for line in lines)
+        assert any("rows_out=100" in line for line in lines)
+
+    def test_render_trace_has_title(self):
+        spans, _ = self._spans()
+        text = render_trace(spans, title="trace of SELECT")
+        assert text.startswith("trace of SELECT")
+
+    def test_worker_summary_groups_by_thread(self):
+        tracer = Tracer()
+        root = tracer.start_query("Q")
+        for rows in (10, 20):
+            morsel = tracer.start_span("morsel", kind="morsel")
+            morsel.rows = rows
+            tracer.end_span(morsel)
+        tracer.finish_query(root, 0, 0)
+        summary = worker_summary(tracer.sink.trace(root.trace_id))
+        assert len(summary) == 1
+        _, morsels, rows = summary[0]
+        assert (morsels, rows) == (2, 30)
+
+
+class TestMetrics:
+    def test_factories_are_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", "help") is reg.counter("c")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_counter_gauge_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("queries", "q").inc(3)
+        reg.gauge("buffer").set(42.0)
+        reg.histogram("latency", bounds=(0.1, 1.0)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["queries"] == 3
+        assert snap["buffer"] == 42.0
+        assert snap["latency"]["count"] == 1
+        assert snap["latency"]["buckets"][1.0] == 1
+        assert snap["latency"]["buckets"][0.1] == 0
+
+    def test_render_text_is_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_queries_total", "Statements executed").inc()
+        reg.histogram("repro_statement_seconds", "latency",
+                      bounds=(0.1,)).observe(0.05)
+        text = reg.render_text()
+        assert "# HELP repro_queries_total Statements executed" in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_queries_total 1" in text
+        assert 'repro_statement_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_statement_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_statement_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        counter.inc(5)
+        reg.reset()
+        assert counter.value == 0
+        assert reg.counter("c") is counter
+
+    def test_connection_metrics_counts_statements(self, populated):
+        before = obs.registry().counter("repro_queries_total").value
+        populated.execute("SELECT i FROM sample").fetchall()
+        metrics = populated.metrics()
+        assert metrics["repro_queries_total"] >= before + 1
+        assert "repro_statement_seconds" in metrics
+        assert "repro_buffer_used_bytes" in metrics
+
+    def test_rows_returned_counter(self, populated):
+        before = obs.registry().counter("repro_rows_returned_total").value
+        populated.execute("SELECT i FROM sample").fetchall()
+        after = obs.registry().counter("repro_rows_returned_total").value
+        assert after >= before + 5
+
+    def test_connection_metrics_text(self, populated):
+        populated.execute("SELECT 1").fetchall()
+        text = populated.metrics_text()
+        assert "# TYPE repro_queries_total counter" in text
+
+
+class TestSlowQueryLog:
+    def test_record_and_render(self):
+        log = SlowQueryLog(capacity=2)
+        log.record("SELECT 1", duration_ms=12.5, threshold_ms=1.0)
+        log.record("SELECT 2", duration_ms=20.0, threshold_ms=1.0)
+        log.record("SELECT 3", duration_ms=30.0, threshold_ms=1.0)
+        records = log.records()
+        assert [r.sql for r in records] == ["SELECT 2", "SELECT 3"]
+        assert "slow query (30.00 ms" in records[-1].render()
+
+    def test_threshold_triggers_slow_log(self, traced):
+        con = repro.connect(config={"slow_query_ms": 1e-6})
+        try:
+            con.execute("CREATE TABLE t (i INTEGER)")
+            con.execute("INSERT INTO t VALUES (1), (2)")
+            con.execute("SELECT * FROM t").fetchall()
+            records = con.slow_queries()
+            assert records
+            select = [r for r in records if r.sql.startswith("SELECT")]
+            assert select and select[-1].duration_ms > 0
+            # Tracing was on, so the record carries the rendered trace.
+            assert select[-1].span_count > 0
+            assert "kind=query" not in (select[-1].trace_text or "")
+        finally:
+            con.close()
+
+    def test_zero_threshold_disables_log(self, populated):
+        populated.execute("SELECT i FROM sample").fetchall()
+        assert populated.slow_queries() == []
+
+    def test_slow_log_emits_logging_warning(self, caplog):
+        log = SlowQueryLog()
+        with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+            log.record("SELECT slow", duration_ms=99.0, threshold_ms=1.0)
+        assert any("SELECT slow" in message for message in caplog.messages)
+
+
+class TestParallelTracing:
+    def test_morsel_spans_carry_worker_identity(self, traced):
+        rows = 50_000  # several morsels' worth (morsels align to scan chunks)
+        con = repro.connect(config={"threads": 4, "morsel_size": 16384})
+        try:
+            con.execute("CREATE TABLE big (i INTEGER)")
+            with con.appender("big") as appender:
+                appender.append_numpy(
+                    {"i": np.arange(rows, dtype=np.int64)})
+            con.execute("SELECT sum(i) FROM big").fetchall()
+            morsels = [s for s in traced.sink.spans() if s.kind == "morsel"]
+            assert morsels, "parallel scan recorded no morsel spans"
+            assert all(s.attrs.get("morsel") is not None for s in morsels)
+            summary = worker_summary(morsels)
+            assert sum(row_count for _, _, row_count in summary) == rows
+        finally:
+            con.close()

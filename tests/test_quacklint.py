@@ -749,6 +749,87 @@ class TestResourceRule:
         assert check(source, "repro/sql/reader.py") == []
 
 
+class TestObservabilityRule:
+    PATH = "repro/execution/fixture.py"
+
+    def test_unclosed_span_flagged(self):
+        source = """
+        def profile(tracer, op):
+            span = tracer.start_span(op.name, kind="operator")
+            return op.execute()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLO001"]
+
+    def test_span_closed_in_same_function_is_clean(self):
+        source = """
+        def profile(tracer, op):
+            span = tracer.start_span(op.name, kind="operator")
+            try:
+                return list(op.execute())
+            finally:
+                tracer.end_span(span)
+        """
+        assert check(source, self.PATH) == []
+
+    def test_query_span_closed_across_methods_is_clean(self):
+        source = """
+        class Runner:
+            def start(self, tracer, sql):
+                self._span = tracer.start_query(sql)
+
+            def finish(self, tracer, wall, cpu):
+                tracer.finish_query(self._span, wall, cpu)
+        """
+        assert check(source, self.PATH) == []
+
+    def test_query_span_never_closed_by_class_flagged(self):
+        source = """
+        class Runner:
+            def start(self, tracer, sql):
+                self._span = tracer.start_query(sql)
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLO001"]
+
+    def test_context_manager_span_is_clean(self):
+        source = """
+        def commit(tracer, data):
+            with tracer.span("wal.commit_group", kind="wal"):
+                write(data)
+        """
+        assert check(source, self.PATH) == []
+
+    def test_off_registry_metric_flagged(self):
+        source = """
+        def count_queries():
+            counter = Counter("repro_queries_total")
+            counter.inc()
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLO002"]
+
+    def test_off_registry_metric_via_module_flagged(self):
+        source = """
+        def gauge_memory(metrics):
+            return metrics.Gauge("repro_buffer_used_bytes")
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLO002"]
+
+    def test_registry_factory_is_clean(self):
+        source = """
+        def count_queries(registry):
+            registry.counter("repro_queries_total", "help").inc()
+        """
+        assert check(source, self.PATH) == []
+
+    def test_observability_package_is_exempt(self):
+        source = """
+        class MetricsRegistry:
+            def counter(self, name):
+                metric = Counter(name)
+                return metric
+        """
+        assert check(source, "repro/observability/metrics.py") == []
+
+
 # -- the live tree and the CLI -----------------------------------------------
 
 class TestLiveTree:
@@ -762,7 +843,7 @@ class TestLiveTree:
         # registered family must appear in this module's fixture classes.
         assert {rule.name for rule in ALL_RULES} == {
             "concurrency", "lockorder", "vectorization", "zero-copy",
-            "exception-discipline", "resource-discipline",
+            "exception-discipline", "resource-discipline", "observability",
         }
 
 
@@ -806,7 +887,7 @@ class TestCommandLine:
         proc = self.run_cli("--list-rules")
         assert proc.returncode == 0
         for rule_id in ("QLC001", "QLC003", "QLL001", "QLL002", "QLV001",
-                        "QLZ001", "QLE001", "QLR001"):
+                        "QLZ001", "QLE001", "QLR001", "QLO001", "QLO002"):
             assert rule_id in proc.stdout
 
     BAD_FIXTURE = ("def load():\n"
