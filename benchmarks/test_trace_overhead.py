@@ -21,7 +21,7 @@ import repro
 from repro import observability as obs
 from repro.execution.physical import PhysicalOperator
 
-from conftest import record_experiment
+from conftest import record_experiment, record_timing
 
 ROWS = 2_000_000
 REPEATS = 7
@@ -43,13 +43,17 @@ def _build():
     return con
 
 
-def _best_of(con):
-    best = float("inf")
+def _samples(con):
+    samples = []
     for _ in range(REPEATS):
         start = time.perf_counter()
         con.execute(QUERY).fetchall()
-        best = min(best, time.perf_counter() - start)
-    return best
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _best_of(con):
+    return min(_samples(con))
 
 
 def test_disabled_tracer_overhead_under_two_percent(monkeypatch):
@@ -59,13 +63,18 @@ def test_disabled_tracer_overhead_under_two_percent(monkeypatch):
     try:
         # Shipping default: instrumented run()/statement observation with
         # the tracer off.
-        instrumented = _best_of(con)
+        instrumented_samples = _samples(con)
+        instrumented = min(instrumented_samples)
+        record_timing("trace_overhead/instrumented", instrumented_samples,
+                      rows=ROWS)
 
         # Stripped baseline: run() bypassed entirely -- no tracer lookup,
         # no ``is None`` test, exactly the pre-observability pull loop.
         monkeypatch.setattr(PhysicalOperator, "run",
                             lambda self: self.execute())
-        baseline = _best_of(con)
+        baseline_samples = _samples(con)
+        baseline = min(baseline_samples)
+        record_timing("trace_overhead/baseline", baseline_samples, rows=ROWS)
 
         overhead = instrumented / baseline - 1.0
         record_experiment(

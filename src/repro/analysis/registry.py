@@ -91,6 +91,15 @@ DEFAULT_SHARED_CLASSES: Dict[str, Dict[str, SharedClassSpec]] = {
         "Connection": SharedClassSpec("_lock",
                                       frozenset({"_active_context"})),
     },
+    "repro/introspection/profiler.py": {
+        # The sampler daemon writes buckets while any connection thread may
+        # snapshot them through repro_profile().
+        "SamplingProfiler": SharedClassSpec("_lock"),
+    },
+    "repro/introspection/flight.py": {
+        # Every connection thread appends to the statement ring.
+        "FlightRecorder": SharedClassSpec("_lock"),
+    },
 }
 
 #: Modules whose functions run on morsel worker threads (or are called from

@@ -13,6 +13,13 @@ Two ways instrumentation itself becomes a bug:
   mutates but nobody can read it.  All instruments must come from the
   :class:`~repro.observability.metrics.MetricsRegistry` factories
   (``registry().counter(...)``).
+* **an introspection provider that yields while holding an engine lock**
+  (QLO003) turns a snapshot into a live cursor: the lock is held until the
+  consumer finishes pulling -- across arbitrary query execution -- which
+  both blocks the engine and deadlocks against the declared lock hierarchy
+  the moment the query touches the same subsystem.  Snapshot providers in
+  ``repro/introspection/`` must copy-then-release: extract plain data under
+  the lock, release it, then return (or yield from) the copy.
 
 Pairing for QLO001 is checked at *class* scope: a span started in one
 method and closed in another (``Connection._execute_statement`` starts the
@@ -46,6 +53,22 @@ def _calls_any(scope: ast.AST, names: Tuple[str, ...]) -> bool:
     return any(_called_attr(node) in names for node in ast.walk(scope))
 
 
+def _is_lock_expr(node: ast.AST) -> bool:
+    """Does this with-item context expression look like an engine lock?
+
+    Matches ``self._lock``, ``manager._lock``, a bare ``lock`` name, and
+    lock-returning calls (``self._lock()``) -- any terminal identifier
+    containing "lock".
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return "lock" in node.attr.lower()
+    if isinstance(node, ast.Name):
+        return "lock" in node.id.lower()
+    return False
+
+
 class ObservabilityRule(Rule):
     name = "observability"
     description = ("manual spans must be closed and metrics must come from "
@@ -54,6 +77,8 @@ class ObservabilityRule(Rule):
         "QLO001": "span started with start_span()/start_query() but never "
                   "closed in the enclosing class or function",
         "QLO002": "metric object constructed outside the MetricsRegistry",
+        "QLO003": "introspection snapshot provider yields while holding an "
+                  "engine lock (must copy-then-release)",
     }
     default_scope = ("repro/",)
 
@@ -61,6 +86,7 @@ class ObservabilityRule(Rule):
               config: AnalysisConfig) -> Iterator[Violation]:
         yield from self._check_span_pairing(ctx)
         yield from self._check_metric_construction(ctx)
+        yield from self._check_snapshot_locks(ctx)
 
     # -- QLO001: span lifecycle ------------------------------------------------
     def _check_span_pairing(self, ctx: FileContext) -> Iterator[Violation]:
@@ -105,6 +131,26 @@ class ObservabilityRule(Rule):
             if isinstance(node, _FUNCTION_NODES) \
                     and id(node) not in class_members:
                 yield node, f"function {node.name}()"
+
+    # -- QLO003: yield under an engine lock -----------------------------------
+    def _check_snapshot_locks(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.pkg_path.startswith("repro/introspection/"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(_is_lock_expr(item.context_expr)
+                       for item in node.items):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, (ast.Yield, ast.YieldFrom)):
+                    yield Violation(
+                        "QLO003", ctx.path, inner.lineno, inner.col_offset,
+                        "yield inside a 'with <lock>:' block holds the "
+                        "engine lock until the consumer resumes the "
+                        "generator; copy the snapshot under the lock, "
+                        "release it, then yield from the copy",
+                    )
 
     # -- QLO002: off-registry metrics -----------------------------------------
     def _check_metric_construction(self,

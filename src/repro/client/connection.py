@@ -30,6 +30,7 @@ from ..sanitizer import SanRLock
 from ..errors import ConnectionError as ClosedError
 from ..errors import InvalidInputError, TransactionContextError
 from ..execution.executor import Executor, StatementResult
+from ..introspection.flight import is_engine_fault
 from ..planner.binder import Binder
 from ..planner import bound_statements as bound
 from ..sql import ast, parse
@@ -204,11 +205,12 @@ class Connection:
             try:
                 binder = Binder(self._database.catalog, transaction, parameters)
                 bound_statement = binder.bind_statement(statement)
-            except Exception:
+            except Exception as bind_error:
                 # Binding performed no writes: an explicit transaction can
                 # keep going; an implicit one is simply discarded.
                 if autocommit:
                     self._database.transaction_manager.rollback(transaction)
+                self._flight(sql_text, 0, 0, bind_error)
                 raise
             tracer = self._database.tracer
             query_span = tracer.start_query(sql_text) \
@@ -221,10 +223,11 @@ class Connection:
                     on_context=lambda context: setattr(
                         self, "_active_context", context))
                 outcome = executor.execute(bound_statement)
-            except Exception:
+            except Exception as execute_error:
                 self._finish_statement(sql_text, tracer, query_span,
                                        time.perf_counter_ns() - wall,
-                                       time.thread_time_ns() - cpu, 0)
+                                       time.thread_time_ns() - cpu, 0,
+                                       error=execute_error)
                 # Execution may have performed partial writes; without
                 # savepoints the whole transaction must abort.
                 self._database.transaction_manager.rollback(transaction)
@@ -239,10 +242,11 @@ class Connection:
             # Eager mode: drain the plan, then commit.
             try:
                 chunks = [chunk for chunk in outcome.chunks if chunk.size]
-            except Exception:
+            except Exception as drain_error:
                 self._finish_statement(sql_text, tracer, query_span,
                                        time.perf_counter_ns() - wall,
-                                       time.thread_time_ns() - cpu, 0)
+                                       time.thread_time_ns() - cpu, 0,
+                                       error=drain_error)
                 if autocommit:
                     self._database.transaction_manager.rollback(transaction)
                 else:
@@ -278,7 +282,7 @@ class Connection:
                           query_span: Optional["Span"] = None,
                           wall_start: int = 0,
                           cpu_start: int = 0) -> QueryResult:
-        finished = {"done": False, "rows": 0}
+        finished: Dict[str, Any] = {"done": False, "rows": 0, "error": None}
         # The root span must not stay on this thread's stack while the
         # client holds the lazy result (the next statement would nest under
         # it) -- pop now, close with final timing when the stream ends.
@@ -293,7 +297,8 @@ class Connection:
                 assert tracer is not None
                 tracer.end_span(query_span)
             self._observe_statement(sql_text, tracer, query_span, wall_ns,
-                                    finished["rows"])
+                                    finished["rows"],
+                                    error=finished["error"])
 
         def on_close() -> None:
             if finished["done"]:
@@ -310,10 +315,11 @@ class Connection:
                 for chunk in outcome.chunks:
                     finished["rows"] += chunk.size
                     yield chunk
-            except Exception:
+            except Exception as stream_error:
                 if autocommit and transaction.is_active:
                     self._database.transaction_manager.rollback(transaction)
                     finished["done"] = True
+                    finished["error"] = stream_error
                     finish_observation()
                 raise
 
@@ -323,15 +329,33 @@ class Connection:
     # -- observability ------------------------------------------------------
     def _finish_statement(self, sql_text: str, tracer: Optional["Tracer"],
                           query_span: Optional["Span"], wall_ns: int,
-                          cpu_ns: int, rows: int) -> None:
+                          cpu_ns: int, rows: int,
+                          error: Optional[BaseException] = None) -> None:
         """Close the statement's root span and fold per-statement metrics."""
         if tracer is not None and query_span is not None:
             tracer.finish_query(query_span, wall_ns, cpu_ns)
-        self._observe_statement(sql_text, tracer, query_span, wall_ns, rows)
+        self._observe_statement(sql_text, tracer, query_span, wall_ns, rows,
+                                error=error)
+
+    def _flight(self, sql_text: str, wall_ns: int, rows: int,
+                error: Optional[BaseException] = None) -> None:
+        """Record the statement in the flight ring; dump on engine faults.
+
+        The dump is best-effort (``try_dump`` semantics): a recorder that
+        cannot write must never mask the engine error it is documenting.
+        """
+        database = self._database
+        database.flight_recorder.record_statement(sql_text, wall_ns / 1e6,
+                                                  rows, error)
+        if error is not None and is_engine_fault(error):
+            database.dump_flight(f"engine fault: {type(error).__name__}",
+                                 error, best_effort=True)
 
     def _observe_statement(self, sql_text: str, tracer: Optional["Tracer"],
                            query_span: Optional["Span"], wall_ns: int,
-                           rows: int) -> None:
+                           rows: int,
+                           error: Optional[BaseException] = None) -> None:
+        self._flight(sql_text, wall_ns, rows, error)
         reg = metrics_registry()
         reg.counter("repro_queries_total", "Statements executed").inc()
         if rows:

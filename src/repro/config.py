@@ -101,6 +101,17 @@ class DatabaseConfig:
         Statements slower than this many milliseconds are captured in the
         in-process slow-query log (with their full trace when tracing is
         enabled).  ``0`` disables the log.
+    profile_enabled:
+        Run the sampling wall-clock profiler (see
+        :mod:`repro.introspection.profiler`): a background thread samples
+        worker stacks ``profile_hz`` times per second into per-operator/
+        per-phase self time, queryable via ``repro_profile()``.  Also
+        reachable as ``PRAGMA enable_profiling``/``disable_profiling``; the
+        ``REPRO_PROFILE`` environment variable provides the default for
+        configs built via :meth:`from_dict`.
+    profile_hz:
+        Stack samples per second while profiling is enabled (clamped to
+        [1, 1000] by the profiler).
     """
 
     memory_limit: int = 1 << 31  # 2 GiB default
@@ -113,6 +124,8 @@ class DatabaseConfig:
     checkpoint_on_close: bool = True
     trace_enabled: bool = False
     slow_query_ms: float = 0.0
+    profile_enabled: bool = False
+    profile_hz: float = 97.0
 
     @classmethod
     def from_dict(cls, options: Optional[Dict[str, Any]]) -> "DatabaseConfig":
@@ -130,6 +143,10 @@ class DatabaseConfig:
             env_trace = os.environ.get("REPRO_TRACE")
             if env_trace:
                 config.set_option("trace_enabled", env_trace)
+        if "profile_enabled" not in given:
+            env_profile = os.environ.get("REPRO_PROFILE")
+            if env_profile:
+                config.set_option("profile_enabled", env_profile)
         return config
 
     def set_option(self, name: str, value: Any) -> None:
@@ -148,13 +165,19 @@ class DatabaseConfig:
                 raise InvalidInputError("morsel_size must be >= 1")
             self.morsel_size = morsel_size
         elif name in ("verify_checksums", "buffer_memtest", "reactive_resources",
-                      "checkpoint_on_close", "trace_enabled"):
+                      "checkpoint_on_close", "trace_enabled",
+                      "profile_enabled"):
             setattr(self, name, _coerce_bool(value))
         elif name == "slow_query_ms":
             threshold = float(value)
             if threshold < 0:
                 raise InvalidInputError("slow_query_ms must be >= 0")
             self.slow_query_ms = threshold
+        elif name == "profile_hz":
+            hz = float(value)
+            if hz <= 0:
+                raise InvalidInputError("profile_hz must be > 0")
+            self.profile_hz = hz
         elif name == "wal_autocheckpoint":
             self.wal_autocheckpoint = parse_memory_size(value) if value else 0
         else:

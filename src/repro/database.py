@@ -9,6 +9,8 @@ can share one Database; MVCC keeps them consistent.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from typing import Any, Dict, Optional
 
 from . import observability
@@ -17,6 +19,8 @@ from .config import DatabaseConfig
 from .cooperation.controller import ReactiveController, StaticController
 from .cooperation.monitor import ResourceMonitor, SimulatedApplication
 from .errors import ConnectionError as DatabaseConnectionError
+from .introspection.flight import FlightRecorder
+from .introspection.profiler import SamplingProfiler
 from .observability.slowlog import SlowQueryLog
 from .observability.trace import Tracer
 from .sanitizer import SanLock
@@ -51,11 +55,19 @@ class Database:
         self._closed = False
         #: In-process slow-query log (see config.slow_query_ms).
         self.slow_log = SlowQueryLog()
+        #: Crash flight recorder: bounded ring of recent statements plus
+        #: metric baselines, dumped as JSON on engine faults and on
+        #: ``PRAGMA flight_dump`` (see :meth:`dump_flight`).
+        self.flight_recorder = FlightRecorder()
+        #: Sampling wall-clock profiler; idle until ``profile_enabled``.
+        self.profiler = SamplingProfiler()
         #: Last buffer-manager counter values folded into the metrics
         #: registry (see :meth:`fold_metrics`).
         self._metrics_baseline: Dict[str, int] = {}
         if self.config.trace_enabled:
             observability.enable_tracing()
+        if self.config.profile_enabled:
+            self.profiler.start(self.config.profile_hz)
         self.storage.load(self.catalog, self.transaction_manager)
 
     # -- observability --------------------------------------------------------
@@ -69,6 +81,45 @@ class Database:
         if self.config.trace_enabled:
             return observability.enable_tracing()
         return observability.get_tracer()
+
+    def sync_profiler(self) -> None:
+        """Bring the sampling profiler in line with the current config.
+
+        Called after ``PRAGMA enable_profiling`` / ``profile_enabled`` /
+        ``profile_hz`` changes: starts (or retunes) the sampler when
+        profiling is on, stops it otherwise.  Accumulated buckets survive a
+        stop so ``repro_profile()`` stays queryable after disabling.
+        """
+        if self.config.profile_enabled and not self._closed:
+            self.profiler.start(self.config.profile_hz)
+        else:
+            self.profiler.stop()
+
+    def dump_flight(self, reason: str, error: Optional[BaseException] = None,
+                    best_effort: bool = False) -> Optional[str]:
+        """Write the flight-recorder ring to ``repro_flight_<pid>.json``.
+
+        Persistent databases dump next to their data file; in-memory ones
+        dump into the current directory.  With ``best_effort`` the dump
+        swallows I/O failures (the crash path must never mask the original
+        engine error) and returns ``None`` on failure.
+        """
+        self.fold_metrics()
+        spans = None
+        tracer = self.tracer
+        if tracer is not None:
+            spans = tracer.sink.spans()
+        directory = None
+        if not self.storage.in_memory:
+            directory = os.path.dirname(os.path.abspath(self.path)) or None
+        config = dataclasses.asdict(self.config)
+        if best_effort:
+            return self.flight_recorder.try_dump(
+                directory=directory, reason=reason, error=error, spans=spans,
+                config=config)
+        return self.flight_recorder.dump(
+            directory=directory, reason=reason, error=error, spans=spans,
+            config=config)
 
     def fold_metrics(self) -> None:
         """Fold this instance's cheap counters into the process registry.
@@ -119,6 +170,7 @@ class Database:
             if self._closed:
                 return
             self._closed = True
+            self.profiler.stop()
             self.storage.close(self.catalog, self.transaction_manager)
 
     def __enter__(self) -> "Database":

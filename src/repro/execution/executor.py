@@ -347,10 +347,20 @@ class Executor:
             for report in failing:
                 lines.append(f"  {report!r}")
             return StatementResult.text_result("memtest", lines)
+        if name == "flight_dump":
+            path = database.dump_flight("PRAGMA flight_dump")
+            return StatementResult.text_result("flight_dump", [str(path)])
+        if name in ("enable_profiling", "disable_profiling"):
+            database.config.set_option("profile_enabled",
+                                       name == "enable_profiling")
+            database.sync_profiler()
+            return StatementResult.empty()
         if statement.value is None:
             value = database.config.get_option(name)
             return StatementResult.text_result(name, [str(value)])
         database.config.set_option(name, statement.value)
+        if name in ("profile_enabled", "profile_hz"):
+            database.sync_profiler()
         return StatementResult.empty()
 
     def execute_explain(self, statement: bound.BoundExplain) -> StatementResult:

@@ -20,6 +20,7 @@ from ..planner.logical import (
     LogicalEmpty,
     LogicalFilter,
     LogicalGet,
+    LogicalIntrospectionScan,
     LogicalJoin,
     LogicalLimit,
     LogicalOperator,
@@ -45,7 +46,13 @@ from .parallel import (
     plan_worker_count,
 )
 from .physical import ExecutionContext, PhysicalOperator
-from .scan import PhysicalCSVScan, PhysicalEmptyResult, PhysicalTableScan, PhysicalValues
+from .scan import (
+    PhysicalCSVScan,
+    PhysicalEmptyResult,
+    PhysicalIntrospectionScan,
+    PhysicalTableScan,
+    PhysicalValues,
+)
 from .sort import PhysicalOrder, PhysicalTopN
 
 __all__ = ["create_physical_plan"]
@@ -166,6 +173,9 @@ def create_physical_plan(plan: LogicalOperator,
     if isinstance(plan, LogicalCSVScan):
         return PhysicalCSVScan(context, plan.path, plan.options, plan.types,
                                plan.names)
+    if isinstance(plan, LogicalIntrospectionScan):
+        return PhysicalIntrospectionScan(context, plan.function, plan.types,
+                                         plan.names)
     if isinstance(plan, LogicalValues):
         return PhysicalValues(context, plan.rows, plan.types, plan.names)
     if isinstance(plan, LogicalEmpty):

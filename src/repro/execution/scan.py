@@ -12,11 +12,12 @@ from ..planner.expressions import (
     BoundExpression,
     BoundOperator,
 )
-from ..types import DataChunk, Vector
+from ..types import VECTOR_SIZE, DataChunk, Vector
 from .expression_executor import ExpressionExecutor
 from .physical import ExecutionContext, PhysicalOperator
 
-__all__ = ["PhysicalTableScan", "PhysicalCSVScan", "PhysicalValues",
+__all__ = ["PhysicalTableScan", "PhysicalCSVScan",
+           "PhysicalIntrospectionScan", "PhysicalValues",
            "PhysicalEmptyResult"]
 
 
@@ -158,6 +159,40 @@ class PhysicalCSVScan(PhysicalOperator):
 
     def _explain_line(self) -> str:
         return f"CSV_SCAN {self.path!r}"
+
+
+class PhysicalIntrospectionScan(PhysicalOperator):
+    """Generator-backed scan over a system table function's snapshot.
+
+    The provider materializes its snapshot once, at first pull (copy-then-
+    release under the engine lock hierarchy -- see
+    :mod:`repro.introspection.providers`); this operator then slices the
+    row list into standard 2048-value vectors, so filters, joins, and
+    aggregates over system tables go through the ordinary Vector Volcano
+    machinery.
+    """
+
+    def __init__(self, context: ExecutionContext, function,
+                 types, names) -> None:
+        super().__init__(context, [], types, names)
+        self.function = function
+
+    def execute(self) -> Iterator[DataChunk]:
+        rows = self.function.rows(self.context.database,
+                                  self.context.transaction)
+        for start in range(0, len(rows), VECTOR_SIZE):
+            self.context.check_interrupted()
+            batch = rows[start:start + VECTOR_SIZE]
+            columns = [
+                Vector.from_values([row[index] for row in batch], dtype)
+                for index, dtype in enumerate(self.types)
+            ]
+            chunk = DataChunk(columns)
+            self.context.bump_stat("rows_scanned", chunk.size)
+            yield chunk
+
+    def _explain_line(self) -> str:
+        return f"INTROSPECT {self.function.name}()"
 
 
 class PhysicalValues(PhysicalOperator):

@@ -1,0 +1,168 @@
+"""Crash flight recorder: the last moments of the engine, preserved as JSON.
+
+The resilience pillar (paper §6) assumes consumer hardware and unattended
+deployments: when an embedded engine fails there is no server log to pull,
+only whatever the process left behind.  This module keeps a bounded ring of
+recent statements (SQL, duration, rows, outcome) at near-zero cost, and on
+demand -- ``PRAGMA flight_dump``, or automatically when an *engine fault*
+escapes execution -- writes a single self-contained JSON file
+(``repro_flight_<pid>.json``) holding the statement ring, metric deltas
+since the recorder started, recent trace spans (when tracing is on), and
+the active configuration.
+
+An engine fault is an error that indicts the engine rather than the query:
+internal errors, detected corruption, memory faults, hardware faults -- or
+any exception that is not part of the :mod:`repro.errors` hierarchy at all
+(an escaping ``KeyError`` is by definition an engine bug).  User errors
+(parser, binder, constraint, ...) are recorded in the ring but never
+trigger a dump.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from .. import observability
+from ..errors import (
+    CorruptionError,
+    Error,
+    HardwareError,
+    InternalError,
+    MemoryFaultError,
+)
+
+__all__ = ["FlightRecorder", "is_engine_fault", "DEFAULT_CAPACITY",
+           "MAX_SQL_CHARS", "MAX_DUMPED_SPANS"]
+
+logger = logging.getLogger("repro.flight")
+
+#: Statements retained in the ring before the oldest fall out.
+DEFAULT_CAPACITY = 128
+#: SQL text is truncated in the ring: the recorder must stay cheap even
+#: when the application sends megabyte statements.
+MAX_SQL_CHARS = 500
+#: Most-recent trace spans included in a dump.
+MAX_DUMPED_SPANS = 200
+
+#: Exception types that indict the engine itself.
+_FAULT_TYPES = (InternalError, CorruptionError, MemoryFaultError,
+                HardwareError)
+
+
+def is_engine_fault(error: BaseException) -> bool:
+    """Does this exception warrant an automatic flight dump?"""
+    if isinstance(error, _FAULT_TYPES):
+        return True
+    # Anything escaping the engine that is not a repro error (and not an
+    # interpreter-control exception) is an unclassified engine bug.
+    if isinstance(error, Error):
+        return False
+    return isinstance(error, Exception)
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring of recent statements plus JSON dumping."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._statements: Deque[Dict[str, Any]] = deque(
+            maxlen=max(1, capacity))
+        self._baseline: Dict[str, float] = self._scalar_metrics()
+        self._dumps_written = 0
+
+    # -- recording ---------------------------------------------------------
+    def record_statement(self, sql: str, duration_ms: float, rows: int,
+                         error: Optional[BaseException] = None) -> None:
+        entry: Dict[str, Any] = {
+            "sql": sql[:MAX_SQL_CHARS],
+            "timestamp": time.time(),
+            "duration_ms": round(duration_ms, 3),
+            "rows": rows,
+            "status": "ok" if error is None else "error",
+        }
+        if error is not None:
+            entry["error"] = f"{type(error).__name__}: {error}"
+        with self._lock:
+            self._statements.append(entry)
+
+    def statements(self) -> List[Dict[str, Any]]:
+        """Snapshot of the ring, oldest first."""
+        with self._lock:
+            return [dict(entry) for entry in self._statements]
+
+    @property
+    def dumps_written(self) -> int:
+        return self._dumps_written
+
+    # -- metric deltas -----------------------------------------------------
+    @staticmethod
+    def _scalar_metrics() -> Dict[str, float]:
+        """Scalar counter/gauge values from the process registry."""
+        out: Dict[str, float] = {}
+        for name, value in observability.registry().snapshot().items():
+            if isinstance(value, (int, float)):
+                out[name] = float(value)
+        return out
+
+    def metric_deltas(self) -> Dict[str, float]:
+        """Change of every scalar metric since the recorder was created."""
+        current = self._scalar_metrics()
+        deltas: Dict[str, float] = {}
+        for name, value in current.items():
+            delta = value - self._baseline.get(name, 0.0)
+            if delta:
+                deltas[name] = delta
+        return deltas
+
+    # -- dumping -----------------------------------------------------------
+    def dump(self, directory: Optional[str] = None, reason: str = "",
+             error: Optional[BaseException] = None,
+             spans: Optional[Sequence[Any]] = None,
+             config: Optional[Dict[str, Any]] = None) -> str:
+        """Write ``repro_flight_<pid>.json``; returns the file path."""
+        payload: Dict[str, Any] = {
+            "format": "repro-flight-recorder-v1",
+            "pid": os.getpid(),
+            "created_at": time.time(),
+            "reason": reason,
+            "statements": self.statements(),
+            "metric_deltas": self.metric_deltas(),
+        }
+        if error is not None:
+            payload["error"] = {"type": type(error).__name__,
+                                "message": str(error)}
+        if config is not None:
+            payload["config"] = config
+        payload["spans"] = [
+            {"span_id": span.span_id, "parent_id": span.parent_id,
+             "trace_id": span.trace_id, "name": span.name, "kind": span.kind,
+             "wall_ms": span.wall_ms, "cpu_ms": span.cpu_ms,
+             "rows": span.rows, "chunks": span.chunks}
+            for span in (spans or [])[-MAX_DUMPED_SPANS:]
+        ]
+        path = os.path.join(directory or os.getcwd(),
+                            f"repro_flight_{os.getpid()}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        with self._lock:
+            self._dumps_written += 1
+        return path
+
+    def try_dump(self, directory: Optional[str] = None, reason: str = "",
+                 error: Optional[BaseException] = None,
+                 spans: Optional[Sequence[Any]] = None,
+                 config: Optional[Dict[str, Any]] = None) -> Optional[str]:
+        """Best-effort :meth:`dump` for failure paths: a recorder that
+        cannot write (read-only filesystem, disk full) must never mask the
+        original engine error it is documenting."""
+        try:
+            return self.dump(directory, reason, error, spans, config)
+        except OSError as dump_error:
+            logger.warning("flight-recorder dump failed: %s", dump_error)
+            return None

@@ -1,0 +1,213 @@
+"""Snapshot providers behind the built-in system table functions.
+
+Every provider turns one slice of engine state into a list of plain row
+tuples.  The sources are the same structures the Python-level APIs expose
+(``connection.metrics()``, the trace sink, the slow-query log, quacksan's
+lock statistics, the catalog, the transaction manager, the storage layer)
+-- this module only flattens them into relational shape.
+
+All providers follow the copy-then-release rule (quacklint QLO003): state
+guarded by an engine lock is copied into the result list inside the lock's
+scope and the lock is released before any row is handed to the scan; no
+provider is a generator that yields mid-snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, List, Tuple
+
+from .. import observability
+from ..sanitizer import lock_statistics
+from ..types import BIGINT, BOOLEAN, DOUBLE, VARCHAR
+from .registry import SystemTableFunction, register
+
+__all__ = ["register_builtin_functions"]
+
+Row = Tuple[Any, ...]
+
+
+# -- observability -----------------------------------------------------------
+
+def metrics_rows(database: Any, transaction: Any) -> List[Row]:
+    """Every registry instrument as ``(name, kind, value)`` rows."""
+    database.fold_metrics()
+    reg = observability.registry()
+    rows: List[Row] = []
+    for name, counter in sorted(reg.counters.items()):
+        rows.append((name, "counter", float(counter.value)))
+    for name, gauge in sorted(reg.gauges.items()):
+        rows.append((name, "gauge", float(gauge.value)))
+    for name, histogram in sorted(reg.histograms.items()):
+        rows.append((name + "_count", "histogram", float(histogram.count)))
+        rows.append((name + "_sum", "histogram", float(histogram.sum)))
+    return rows
+
+
+def traces_rows(database: Any, transaction: Any) -> List[Row]:
+    """Completed quacktrace spans (empty while tracing is disabled)."""
+    tracer = database.tracer
+    if tracer is None:
+        return []
+    rows: List[Row] = []
+    for span in tracer.sink.spans():
+        rows.append((span.span_id, span.parent_id, span.trace_id, span.name,
+                     span.kind, span.thread_ident, span.wall_ms, span.cpu_ms,
+                     span.rows, span.chunks, span.bytes_processed))
+    return rows
+
+
+def slow_queries_rows(database: Any, transaction: Any) -> List[Row]:
+    rows: List[Row] = []
+    for record in database.slow_log.records():
+        rows.append((record.sql, record.duration_ms, record.threshold_ms,
+                     record.timestamp, record.span_count))
+    return rows
+
+
+def profile_rows(database: Any, transaction: Any) -> List[Row]:
+    """Sampling-profiler buckets (empty until ``PRAGMA enable_profiling``)."""
+    return list(database.profiler.snapshot())
+
+
+# -- configuration -----------------------------------------------------------
+
+def settings_rows(database: Any, transaction: Any) -> List[Row]:
+    config = database.config
+    rows: List[Row] = []
+    for field in dataclasses.fields(config):
+        rows.append((field.name, str(getattr(config, field.name))))
+    return rows
+
+
+# -- catalog -----------------------------------------------------------------
+
+def tables_rows(database: Any, transaction: Any) -> List[Row]:
+    """Catalog entries visible to the *introspecting* transaction (MVCC)."""
+    rows: List[Row] = []
+    for table in database.catalog.tables(transaction):
+        rows.append((table.name, "table", len(table.columns),
+                     table.data.row_count, table.created_by))
+    for view in database.catalog.views(transaction):
+        rows.append((view.name, "view", None, None, view.created_by))
+    return rows
+
+
+def columns_rows(database: Any, transaction: Any) -> List[Row]:
+    rows: List[Row] = []
+    for table in database.catalog.tables(transaction):
+        for index, column in enumerate(table.columns):
+            rows.append((table.name, column.name, index, str(column.dtype),
+                         column.nullable))
+    return rows
+
+
+# -- transactions ------------------------------------------------------------
+
+def transactions_rows(database: Any, transaction: Any) -> List[Row]:
+    rows: List[Row] = []
+    for info in database.transaction_manager.snapshot_active():
+        rows.append((info["transaction_id"], info["start_time"],
+                     info["state"], info["has_writes"], info["wal_records"],
+                     info["modified_tables"]))
+    return rows
+
+
+# -- locks (quacksan) --------------------------------------------------------
+
+def locks_rows(database: Any, transaction: Any) -> List[Row]:
+    """Per-lock statistics from quacksan (empty while REPRO_SANITIZE is off)."""
+    rows: List[Row] = []
+    for name, stats in sorted(lock_statistics().items()):
+        data = stats.as_dict()
+        rows.append((name, int(data["acquisitions"]), int(data["contentions"]),
+                     float(data["wait_time"]), float(data["hold_time"]),
+                     float(data["max_hold"]), int(data["same_name_nestings"])))
+    return rows
+
+
+# -- storage -----------------------------------------------------------------
+
+def storage_rows(database: Any, transaction: Any) -> List[Row]:
+    storage = database.storage
+    buffers = database.buffer_manager
+    block_file_bytes = 0
+    if storage.block_file is not None and os.path.exists(storage.block_file.path):
+        block_file_bytes = os.path.getsize(storage.block_file.path)
+    checkpoint_stats = dict(storage.last_checkpoint_stats)
+    pairs: List[Tuple[str, int]] = [
+        ("in_memory", int(storage.in_memory)),
+        ("wal_enabled", int(storage.wal.enabled)),
+        ("wal_bytes", int(storage.wal.size())),
+        ("block_file_bytes", int(block_file_bytes)),
+        ("checkpoints_written", int(storage.checkpoints_written)),
+        ("last_checkpoint_bytes", int(checkpoint_stats.get("bytes_written", 0))),
+        ("buffer_used_bytes", int(buffers.used_bytes)),
+        ("buffer_peak_bytes", int(buffers.peak_bytes)),
+        ("buffer_memory_limit", int(buffers.memory_limit)),
+        ("block_cache_hits", int(buffers.cache_hits)),
+        ("block_cache_misses", int(buffers.cache_misses)),
+        ("block_cache_evictions", int(buffers.cache_evictions)),
+    ]
+    return [(name, value) for name, value in pairs]
+
+
+# -- registration ------------------------------------------------------------
+
+def register_builtin_functions() -> None:
+    """Register the nine built-in system table functions plus the profiler
+    view (idempotent; called at package import)."""
+    register(SystemTableFunction(
+        "repro_metrics", "process-wide engine metrics (quacktrace registry)",
+        [("name", VARCHAR), ("kind", VARCHAR), ("value", DOUBLE)],
+        metrics_rows))
+    register(SystemTableFunction(
+        "repro_traces", "completed quacktrace spans, oldest first",
+        [("span_id", BIGINT), ("parent_id", BIGINT), ("trace_id", BIGINT),
+         ("name", VARCHAR), ("kind", VARCHAR), ("thread", BIGINT),
+         ("wall_ms", DOUBLE), ("cpu_ms", DOUBLE), ("rows", BIGINT),
+         ("chunks", BIGINT), ("bytes", BIGINT)],
+        traces_rows))
+    register(SystemTableFunction(
+        "repro_slow_queries", "slow-query log records, oldest first",
+        [("sql", VARCHAR), ("duration_ms", DOUBLE), ("threshold_ms", DOUBLE),
+         ("timestamp", DOUBLE), ("span_count", BIGINT)],
+        slow_queries_rows))
+    register(SystemTableFunction(
+        "repro_settings", "current database configuration options",
+        [("name", VARCHAR), ("value", VARCHAR)],
+        settings_rows))
+    register(SystemTableFunction(
+        "repro_tables", "catalog tables and views visible to this transaction",
+        [("name", VARCHAR), ("type", VARCHAR), ("column_count", BIGINT),
+         ("row_count", BIGINT), ("created_by", BIGINT)],
+        tables_rows))
+    register(SystemTableFunction(
+        "repro_columns", "columns of every visible table",
+        [("table_name", VARCHAR), ("column_name", VARCHAR),
+         ("column_index", BIGINT), ("dtype", VARCHAR),
+         ("nullable", BOOLEAN)],
+        columns_rows))
+    register(SystemTableFunction(
+        "repro_transactions", "active transactions in this database",
+        [("transaction_id", BIGINT), ("start_time", BIGINT),
+         ("state", VARCHAR), ("has_writes", BOOLEAN),
+         ("wal_records", BIGINT), ("modified_tables", BIGINT)],
+        transactions_rows))
+    register(SystemTableFunction(
+        "repro_locks", "quacksan per-lock statistics (needs REPRO_SANITIZE)",
+        [("lock", VARCHAR), ("acquisitions", BIGINT),
+         ("contentions", BIGINT), ("wait_seconds", DOUBLE),
+         ("hold_seconds", DOUBLE), ("max_hold_seconds", DOUBLE),
+         ("same_name_nestings", BIGINT)],
+        locks_rows))
+    register(SystemTableFunction(
+        "repro_storage", "block file, WAL, and buffer-manager statistics",
+        [("name", VARCHAR), ("value", BIGINT)],
+        storage_rows))
+    register(SystemTableFunction(
+        "repro_profile", "sampling-profiler self time per operator and phase",
+        [("operator", VARCHAR), ("phase", VARCHAR), ("samples", BIGINT),
+         ("self_seconds", DOUBLE)],
+        profile_rows))

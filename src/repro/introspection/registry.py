@@ -1,0 +1,92 @@
+"""The system-table-function registry: engine state, addressable from SQL.
+
+Each entry maps one zero-argument table function name (``repro_metrics``,
+``repro_tables``, ...) to a static output schema plus a *provider*: a plain
+function that snapshots one slice of engine state into a list of row
+tuples.  The binder resolves the name through :func:`lookup`, the physical
+layer materializes the snapshot through :meth:`SystemTableFunction.rows`,
+and everything above the scan -- WHERE, JOIN, ORDER BY, aggregates -- is
+the ordinary relational engine.
+
+Provider discipline (enforced by quacklint's QLO003): providers snapshot
+under the engine's declared lock hierarchy and **copy then release** --
+they return fully materialized row lists and never yield while holding an
+engine lock, so a slow client draining an introspection query can never
+stall the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InternalError
+from ..types import LogicalType
+
+__all__ = ["SystemTableFunction", "Provider", "register", "lookup",
+           "function_names", "functions", "unregister"]
+
+#: A provider snapshots ``(database, transaction)`` into row tuples.
+Provider = Callable[[Any, Any], List[Tuple[Any, ...]]]
+
+
+class SystemTableFunction:
+    """One SQL-queryable view over engine internals."""
+
+    __slots__ = ("name", "description", "columns", "provider")
+
+    def __init__(self, name: str, description: str,
+                 columns: Sequence[Tuple[str, LogicalType]],
+                 provider: Provider) -> None:
+        self.name = name.lower()
+        self.description = description
+        #: Ordered ``(column name, logical type)`` output schema.
+        self.columns: Tuple[Tuple[str, LogicalType], ...] = tuple(columns)
+        self.provider = provider
+
+    @property
+    def column_names(self) -> List[str]:
+        return [name for name, _ in self.columns]
+
+    @property
+    def column_types(self) -> List[LogicalType]:
+        return [dtype for _, dtype in self.columns]
+
+    def rows(self, database: Any, transaction: Any) -> List[Tuple[Any, ...]]:
+        """Materialize the snapshot (called once per scan, at execute time)."""
+        if database is None:
+            raise InternalError(
+                f"System table function {self.name}() needs a database "
+                f"handle in its execution context")
+        return self.provider(database, transaction)
+
+    def __repr__(self) -> str:
+        return f"SystemTableFunction({self.name})"
+
+
+_FUNCTIONS: Dict[str, SystemTableFunction] = {}
+
+
+def register(function: SystemTableFunction) -> SystemTableFunction:
+    """Register a system table function (idempotent by name)."""
+    _FUNCTIONS[function.name] = function
+    return function
+
+
+def unregister(name: str) -> None:
+    """Remove a registered function (tests register throwaway fixtures)."""
+    _FUNCTIONS.pop(name.lower(), None)
+
+
+def lookup(name: str) -> Optional[SystemTableFunction]:
+    """The registered function for ``name``, or None (case-insensitive)."""
+    return _FUNCTIONS.get(name.lower())
+
+
+def function_names() -> List[str]:
+    """All registered system table function names, sorted."""
+    return sorted(_FUNCTIONS)
+
+
+def functions() -> List[SystemTableFunction]:
+    """All registered functions, sorted by name."""
+    return [_FUNCTIONS[name] for name in function_names()]

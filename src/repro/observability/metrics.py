@@ -28,15 +28,34 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash must go first -- escaping it last would re-escape the
+    backslashes introduced for quotes and newlines.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _render_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"'
+    inner = ",".join(f'{key}="{_escape_label_value(str(value))}"'
                      for key, value in sorted(labels.items()))
     return "{" + inner + "}"
 
 
 def _format_value(value: float) -> str:
+    # The exposition format spells non-finite values +Inf/-Inf/NaN
+    # (histogram +Inf buckets, uninitialized gauges); int() on them raises.
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if isinstance(value, float) and not value.is_integer():
         return repr(value)
     return str(int(value))

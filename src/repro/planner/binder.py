@@ -55,6 +55,7 @@ from .logical import (
     LogicalDistinct,
     LogicalFilter,
     LogicalGet,
+    LogicalIntrospectionScan,
     LogicalJoin,
     LogicalLimit,
     LogicalOperator,
@@ -643,6 +644,20 @@ class Binder:
 
     def _bind_table_function(self, ref: ast.TableFunctionRef,
                              context: BindContext) -> LogicalOperator:
+        from ..introspection import lookup as lookup_system_function
+
+        system = lookup_system_function(ref.name)
+        if system is not None:
+            if ref.args:
+                raise BinderError(
+                    f"{system.name}() is a system table function and "
+                    f"takes no arguments")
+            schema = [ColumnSchema(name, dtype)
+                      for name, dtype in system.columns]
+            plan = LogicalIntrospectionScan(system, schema)
+            alias = ref.alias or system.name
+            context.add(alias, plan.names, plan.types)
+            return plan
         if ref.name not in ("read_csv", "read_csv_auto", "scan_csv"):
             raise BinderError(f"Unknown table function {ref.name!r}")
         if not ref.args or not isinstance(ref.args[0], ast.Literal) \

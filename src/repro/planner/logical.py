@@ -15,6 +15,7 @@ from .expressions import BoundExpression
 
 __all__ = [
     "ColumnSchema", "LogicalOperator", "LogicalGet", "LogicalCSVScan",
+    "LogicalIntrospectionScan",
     "LogicalValues", "LogicalFilter", "LogicalProjection", "LogicalAggregate",
     "LogicalJoin", "LogicalOrder", "LogicalLimit", "LogicalDistinct",
     "LogicalSetOp", "BoundOrderByItem", "JoinCondition", "LogicalEmpty",
@@ -94,6 +95,19 @@ class LogicalCSVScan(LogicalOperator):
 
     def _explain_line(self) -> str:
         return f"CSV_SCAN {self.path!r}"
+
+
+class LogicalIntrospectionScan(LogicalOperator):
+    """Scan of a system table function (``repro_metrics()``, ...): engine
+    state surfaced as a relation, in-band (paper §4/§5 cooperation)."""
+
+    def __init__(self, function: Any, schema: List[ColumnSchema]) -> None:
+        super().__init__([], schema)
+        #: The :class:`~repro.introspection.registry.SystemTableFunction`.
+        self.function = function
+
+    def _explain_line(self) -> str:
+        return f"INTROSPECT {self.function.name}()"
 
 
 class LogicalValues(LogicalOperator):

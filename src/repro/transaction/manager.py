@@ -132,6 +132,26 @@ class TransactionManager:
         with self._lock:
             return self._lowest_active_start_locked()
 
+    def snapshot_active(self) -> List[dict]:
+        """Plain-data summaries of the active transactions, id order.
+
+        Copy-then-release (the introspection discipline): every field is
+        extracted while ``_lock`` is held, and the returned dicts share no
+        mutable state with the live transactions.
+        """
+        with self._lock:
+            return [
+                {
+                    "transaction_id": txn.transaction_id,
+                    "start_time": txn.start_time,
+                    "state": txn.state.value,
+                    "has_writes": txn.has_writes(),
+                    "wal_records": len(txn.wal_records),
+                    "modified_tables": len(txn.modified_tables),
+                }
+                for _, txn in sorted(self._active.items())
+            ]
+
     def _lowest_active_start_locked(self) -> int:
         if not self._active:
             return self._last_commit_id

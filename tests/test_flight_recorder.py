@@ -1,0 +1,204 @@
+"""Crash flight recorder: statement ring, fault classification, JSON dumps.
+
+ISSUE 5's resilience satellite: an embedded engine has no server log, so
+when it faults the process must leave a self-contained JSON post-mortem
+behind -- automatically on engine faults, on demand via
+``PRAGMA flight_dump``.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.errors import (
+    BinderError,
+    CatalogError,
+    CorruptionError,
+    InternalError,
+    InvalidInputError,
+)
+from repro.execution.executor import Executor
+from repro.introspection.flight import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    MAX_SQL_CHARS,
+    is_engine_fault,
+)
+
+
+class TestFaultClassification:
+    def test_internal_and_corruption_are_faults(self):
+        assert is_engine_fault(InternalError("x"))
+        assert is_engine_fault(CorruptionError("x"))
+
+    def test_user_errors_are_not_faults(self):
+        assert not is_engine_fault(BinderError("x"))
+        assert not is_engine_fault(CatalogError("x"))
+        assert not is_engine_fault(InvalidInputError("x"))
+
+    def test_foreign_exceptions_are_faults(self):
+        # An escaping KeyError is by definition an engine bug.
+        assert is_engine_fault(KeyError("x"))
+        assert is_engine_fault(ZeroDivisionError())
+
+    def test_interpreter_control_exceptions_are_not(self):
+        assert not is_engine_fault(KeyboardInterrupt())
+        assert not is_engine_fault(SystemExit())
+
+
+class TestRing:
+    def test_records_success_and_error(self):
+        recorder = FlightRecorder()
+        recorder.record_statement("SELECT 1", 1.5, 1)
+        recorder.record_statement("SELECT broken", 0.2, 0,
+                                  error=BinderError("no such column"))
+        ok, bad = recorder.statements()
+        assert ok["status"] == "ok" and ok["rows"] == 1
+        assert bad["status"] == "error"
+        assert "no such column" in bad["error"]
+
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record_statement(f"SELECT {index}", 0.0, 0)
+        statements = recorder.statements()
+        assert len(statements) == 4
+        assert statements[0]["sql"] == "SELECT 6"
+
+    def test_sql_is_truncated(self):
+        recorder = FlightRecorder()
+        recorder.record_statement("SELECT " + "x" * 10000, 0.0, 0)
+        (entry,) = recorder.statements()
+        assert len(entry["sql"]) == MAX_SQL_CHARS
+
+    def test_default_capacity(self):
+        recorder = FlightRecorder()
+        for index in range(DEFAULT_CAPACITY + 10):
+            recorder.record_statement("SELECT 1", 0.0, 0)
+        assert len(recorder.statements()) == DEFAULT_CAPACITY
+
+
+class TestConnectionRecording:
+    def test_statements_land_in_ring(self):
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE t (a INTEGER)")
+            con.execute("INSERT INTO t VALUES (1), (2)")
+            con.execute("SELECT * FROM t").fetchall()
+            with pytest.raises(BinderError):
+                con.execute("SELECT nope FROM t")
+            statements = con._database.flight_recorder.statements()
+            by_sql = {entry["sql"]: entry for entry in statements}
+            assert by_sql["SELECT * FROM t"]["status"] == "ok"
+            assert by_sql["SELECT * FROM t"]["rows"] == 2
+            assert by_sql["SELECT nope FROM t"]["status"] == "error"
+        finally:
+            con.close()
+
+    def test_user_error_does_not_dump(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        con = repro.connect()
+        try:
+            with pytest.raises(CatalogError):
+                con.execute("SELECT * FROM missing_table")
+        finally:
+            con.close()
+        assert list(tmp_path.glob("repro_flight_*.json")) == []
+
+
+class TestDump:
+    def test_pragma_flight_dump_writes_valid_json(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE t (a INTEGER)")
+            con.execute("INSERT INTO t VALUES (1)")
+            (path,) = con.execute("PRAGMA flight_dump").fetchone()
+            assert os.path.exists(path)
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["format"] == "repro-flight-recorder-v1"
+            assert payload["pid"] == os.getpid()
+            assert payload["reason"] == "PRAGMA flight_dump"
+            sqls = [entry["sql"] for entry in payload["statements"]]
+            assert "INSERT INTO t VALUES (1)" in sqls
+            assert payload["config"]["memory_limit"] > 0
+            assert "metric_deltas" in payload
+        finally:
+            con.close()
+
+    def test_engine_fault_auto_dumps(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        con = repro.connect()
+        try:
+            con.execute("CREATE TABLE t (a INTEGER)")
+
+            def boom(self, statement):
+                raise InternalError("forced fault for test")
+
+            monkeypatch.setattr(Executor, "execute_select", boom)
+            with pytest.raises(InternalError):
+                con.execute("SELECT * FROM t")
+            monkeypatch.undo()
+
+            (dump,) = list(tmp_path.glob("repro_flight_*.json"))
+            payload = json.loads(dump.read_text(encoding="utf-8"))
+            assert payload["error"] == {
+                "type": "InternalError",
+                "message": "forced fault for test"}
+            assert payload["reason"] == "engine fault: InternalError"
+            last = payload["statements"][-1]
+            assert last["sql"] == "SELECT * FROM t"
+            assert last["status"] == "error"
+            assert con._database.flight_recorder.dumps_written == 1
+        finally:
+            con.close()
+
+    def test_persistent_database_dumps_beside_file(self, tmp_path):
+        (tmp_path / "db").mkdir()
+        con = repro.connect(str(tmp_path / "db" / "data.repro"))
+        try:
+            con.execute("CREATE TABLE t (a INTEGER)")
+            (path,) = con.execute("PRAGMA flight_dump").fetchone()
+            assert os.path.dirname(path) == str(tmp_path / "db")
+        finally:
+            con.close()
+
+    def test_dump_failure_is_swallowed_on_fault_path(self, monkeypatch):
+        recorder = FlightRecorder()
+
+        def refuse(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("builtins.open", refuse)
+        assert recorder.try_dump(reason="test") is None
+        assert recorder.dumps_written == 0
+
+    def test_metric_deltas_since_creation(self):
+        recorder = FlightRecorder()
+        con = repro.connect()
+        try:
+            con.execute("SELECT 42").fetchall()
+            deltas = recorder.metric_deltas()
+            assert deltas.get("repro_queries_total", 0) >= 1
+        finally:
+            con.close()
+
+    def test_spans_serialized_when_tracing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        con = repro.connect(config={"trace_enabled": True})
+        try:
+            con.execute("CREATE TABLE t (a INTEGER)")
+            con.execute("SELECT * FROM t").fetchall()
+            (path,) = con.execute("PRAGMA flight_dump").fetchone()
+            payload = json.loads(open(path, encoding="utf-8").read())
+            assert payload["spans"], "tracing was on; spans must be dumped"
+            span_names = {span["name"] for span in payload["spans"]}
+            assert "SELECT * FROM t" in span_names
+        finally:
+            con.close()
+            from repro import observability as obs
+
+            obs.disable_tracing()

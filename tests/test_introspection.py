@@ -1,0 +1,260 @@
+"""In-band introspection: system table functions, profiler, SQL composability.
+
+ISSUE 5's tentpole contract: engine state is a relation.  Every registered
+``repro_*()`` function must be usable anywhere a table is -- filtered,
+joined, ordered, aggregated -- through the ordinary binder/planner/executor
+path, with no special-case client API.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro import observability as obs
+from repro import introspection
+from repro.errors import BinderError, CatalogError
+from repro.introspection import SystemTableFunction, register, unregister
+from repro.introspection.profiler import SamplingProfiler
+from repro.types import VECTOR_SIZE
+from repro.types.logical import BIGINT
+
+
+@pytest.fixture
+def con():
+    connection = repro.connect()
+    yield connection
+    connection.close()
+
+
+class TestSystemTableFunctions:
+    @pytest.mark.parametrize("name", introspection.function_names())
+    def test_every_function_is_queryable(self, con, name):
+        rows = con.execute(f"SELECT count(*) FROM {name}()").fetchall()
+        assert len(rows) == 1
+        assert rows[0][0] >= 0
+
+    @pytest.mark.parametrize("name", introspection.function_names())
+    def test_column_schema_matches_registration(self, con, name):
+        function = introspection.lookup(name)
+        result = con.execute(f"SELECT * FROM {name}()")
+        assert list(result.names) == list(function.column_names)
+        result.close()
+
+    def test_case_insensitive_lookup(self, con):
+        rows = con.execute("SELECT count(*) FROM REPRO_SETTINGS()").fetchall()
+        assert rows[0][0] > 0
+
+    def test_arguments_rejected(self, con):
+        with pytest.raises(BinderError, match="takes no arguments"):
+            con.execute("SELECT * FROM repro_settings(1)")
+
+    def test_unknown_table_function_still_errors(self, con):
+        with pytest.raises((BinderError, CatalogError)):
+            con.execute("SELECT * FROM repro_no_such_thing()")
+
+
+class TestComposability:
+    def _setup(self, con):
+        con.execute("CREATE TABLE points (x INTEGER, label VARCHAR)")
+        con.execute("INSERT INTO points VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+
+    def test_where_filter(self, con):
+        self._setup(con)
+        rows = con.execute(
+            "SELECT name, row_count FROM repro_tables() "
+            "WHERE type = 'table'").fetchall()
+        assert rows == [("points", 3)]
+
+    def test_alias_and_order_by_limit(self, con):
+        self._setup(con)
+        rows = con.execute(
+            "SELECT c.column_name FROM repro_columns() c "
+            "ORDER BY c.column_index DESC LIMIT 1").fetchall()
+        assert rows == [("label",)]
+
+    def test_join_tables_with_columns(self, con):
+        self._setup(con)
+        rows = con.execute(
+            "SELECT t.name, c.column_name, c.dtype "
+            "FROM repro_tables() t "
+            "JOIN repro_columns() c ON t.name = c.table_name "
+            "ORDER BY c.column_index").fetchall()
+        assert rows == [("points", "x", "INTEGER"),
+                        ("points", "label", "VARCHAR")]
+
+    def test_aggregate_over_system_table(self, con):
+        self._setup(con)
+        rows = con.execute(
+            "SELECT table_name, count(*) AS cols FROM repro_columns() "
+            "GROUP BY table_name").fetchall()
+        assert rows == [("points", 2)]
+
+    def test_settings_reflect_pragma(self, con):
+        con.execute("PRAGMA threads = 3")
+        value = con.execute(
+            "SELECT value FROM repro_settings() WHERE name = 'threads'"
+        ).fetchvalue()
+        assert value == "3"
+
+    def test_transactions_shows_own_snapshot(self, con):
+        rows = con.execute(
+            "SELECT state, has_writes FROM repro_transactions()").fetchall()
+        # The introspecting statement runs inside a transaction itself.
+        assert len(rows) >= 1
+        assert all(state == "active" for state, _ in rows)
+
+    def test_storage_counters_present(self, con):
+        rows = dict(con.execute("SELECT * FROM repro_storage()").fetchall())
+        assert rows["in_memory"] == 1
+        assert rows["wal_enabled"] == 0
+        assert rows["buffer_memory_limit"] > 0
+
+    def test_metrics_include_query_counter(self, con):
+        con.execute("SELECT 1").fetchall()
+        value = con.execute(
+            "SELECT value FROM repro_metrics() "
+            "WHERE name = 'repro_queries_total'").fetchvalue()
+        assert value >= 1.0
+
+
+class TestChunking:
+    def test_snapshot_larger_than_vector_size_chunks_correctly(self, con):
+        total = VECTOR_SIZE * 2 + 123
+        function = SystemTableFunction(
+            "repro_test_numbers", "test fixture",
+            (("n", BIGINT),),
+            lambda database, transaction: [(i,) for i in range(total)])
+        register(function)
+        try:
+            assert con.execute(
+                "SELECT count(*) FROM repro_test_numbers()").fetchvalue() \
+                == total
+            assert con.execute(
+                "SELECT sum(n) FROM repro_test_numbers() WHERE n < 10"
+            ).fetchvalue() == sum(range(10))
+        finally:
+            unregister("repro_test_numbers")
+
+
+class TestTraceAgreement:
+    def test_repro_traces_agrees_with_explain_analyze(self):
+        con = repro.connect(config={"trace_enabled": True})
+        try:
+            con.execute("CREATE TABLE t (a INTEGER)")
+            con.execute("INSERT INTO t VALUES (1), (2), (3)")
+            analyze = con.execute(
+                "EXPLAIN ANALYZE SELECT count(*) FROM t").fetchall()
+            text = "\n".join(line for (line,) in analyze)
+            # The same spans EXPLAIN ANALYZE rendered are visible, in-band,
+            # via SQL: every operator span of that trace appears in the
+            # report with the same row count.
+            spans = con.execute(
+                "SELECT name, rows FROM repro_traces() "
+                "WHERE kind = 'operator' AND trace_id = "
+                "  (SELECT max(trace_id) FROM repro_traces() "
+                "   WHERE name = 'explain analyze')").fetchall()
+            assert len(spans) >= 2  # scan + aggregate at minimum
+            names = dict(spans)
+            assert any(name.startswith("TABLE_SCAN t") for name in names)
+            for name, rows in spans:
+                line = next(ln for ln in text.splitlines()
+                            if ln.strip().startswith(name)
+                            and "rows_out=" in ln)
+                assert f"rows_out={rows}" in line
+        finally:
+            con.close()
+            if not obs.tracing_enabled():
+                return
+            obs.disable_tracing()
+
+
+class TestProfiler:
+    def test_profile_rows_accumulate_under_load(self, con):
+        import numpy as np
+
+        con.execute("CREATE TABLE t (v INTEGER)")
+        with con.appender("t") as appender:
+            appender.append_numpy({"v": np.arange(50000, dtype=np.int32)})
+        con.execute("PRAGMA enable_profiling")
+        try:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                con.execute("SELECT count(*), sum(v) FROM t WHERE v % 3 = 0"
+                            ).fetchall()
+                rows = con.execute(
+                    "SELECT * FROM repro_profile()").fetchall()
+                if rows:
+                    break
+            assert rows, "no samples attributed within 10s of load"
+            for operator, phase, samples, self_seconds in rows:
+                assert samples > 0
+                assert self_seconds > 0
+        finally:
+            con.execute("PRAGMA disable_profiling")
+
+    def test_pragma_toggles_sampler_thread(self, con):
+        profiler = con._database.profiler
+        assert not profiler.running
+        con.execute("PRAGMA enable_profiling")
+        assert profiler.running
+        con.execute("PRAGMA disable_profiling")
+        assert not profiler.running
+
+    def test_sample_once_attributes_engine_frames(self):
+        profiler = SamplingProfiler()
+        release = threading.Event()
+        ready = threading.Event()
+
+        def engine_work():
+            con = repro.connect()
+            try:
+                con.execute("CREATE TABLE t (v INTEGER)")
+
+                def hold(database, transaction):
+                    ready.set()
+                    release.wait(timeout=10.0)
+                    return [(1,)]
+
+                register(SystemTableFunction(
+                    "repro_test_hold", "fixture", (("v", BIGINT),), hold))
+                try:
+                    # The provider blocks inside PhysicalIntrospectionScan's
+                    # pull, so a sample taken now sees an engine stack.
+                    con.execute("SELECT * FROM repro_test_hold()").fetchall()
+                finally:
+                    unregister("repro_test_hold")
+            finally:
+                con.close()
+
+        worker = threading.Thread(target=engine_work, daemon=True)
+        worker.start()
+        assert ready.wait(timeout=10.0)
+        try:
+            hits = profiler.sample_once()
+            assert hits >= 1
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+        snapshot = profiler.snapshot()
+        assert snapshot
+        assert any(phase == "execute" for _, phase, _, _ in snapshot)
+
+    def test_env_var_enables_profiling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        con = repro.connect()
+        try:
+            assert con._database.config.profile_enabled
+            assert con._database.profiler.running
+        finally:
+            con.close()
+        assert not con._database.profiler.running
+
+    def test_reset_clears_buckets(self):
+        profiler = SamplingProfiler()
+        profiler._buckets[("X", "execute")] = 5
+        profiler._total_samples = 5
+        profiler.reset()
+        assert profiler.snapshot() == []
+        assert profiler.total_samples == 0

@@ -269,6 +269,67 @@ class TestMetrics:
         assert "# TYPE repro_queries_total counter" in text
 
 
+class TestExpositionFormat:
+    """The text format's escaping rules, held to a round trip.
+
+    A scraper unescapes label values by the Prometheus spec: ``\\\\`` ->
+    backslash, ``\\"`` -> quote, ``\\n`` -> newline.  Rendering then
+    unescaping must recover the original value exactly -- the spec's own
+    definition of correct escaping.
+    """
+
+    @staticmethod
+    def _unescape(value):
+        out = []
+        index = 0
+        while index < len(value):
+            char = value[index]
+            if char == "\\" and index + 1 < len(value):
+                nxt = value[index + 1]
+                out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                index += 2
+            else:
+                out.append(char)
+                index += 1
+        return "".join(out)
+
+    @pytest.mark.parametrize("raw", [
+        'plain',
+        'with "quotes"',
+        "back\\slash",
+        "new\nline",
+        'every\\thing "at\nonce\\"',
+        '\\n',  # literal backslash-n must not collapse into a newline
+    ])
+    def test_label_value_round_trip(self, raw):
+        from repro.observability.metrics import _render_labels
+
+        rendered = _render_labels({"lock": raw})
+        assert rendered.startswith('{lock="') and rendered.endswith('"}')
+        inner = rendered[len('{lock="'):-len('"}')]
+        # The rendered form is a single physical line ...
+        assert "\n" not in inner
+        # ... and unescaping recovers the original value exactly.
+        assert self._unescape(inner) == raw
+
+    def test_non_finite_values_render_per_spec(self):
+        from repro.observability.metrics import _format_value
+
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(3.0) == "3"
+        assert _format_value(3.5) == "3.5"
+
+    def test_non_finite_gauge_renders_without_raising(self):
+        reg = MetricsRegistry()
+        reg.gauge("g_inf").set(float("inf"))
+        reg.gauge("g_nan").set(float("nan"))
+        text = reg.render_text()
+        assert "g_inf +Inf" in text
+        assert "g_nan NaN" in text
+
+
 class TestSlowQueryLog:
     def test_record_and_render(self):
         log = SlowQueryLog(capacity=2)

@@ -829,6 +829,54 @@ class TestObservabilityRule:
         """
         assert check(source, "repro/observability/metrics.py") == []
 
+    INTROSPECTION_PATH = "repro/introspection/fixture.py"
+
+    def test_yield_under_lock_in_provider_flagged(self):
+        source = """
+        def locks_rows(database, transaction):
+            with database._lock:
+                for name, stats in database.locks.items():
+                    yield (name, stats.acquisitions)
+        """
+        assert rule_ids(check(source, self.INTROSPECTION_PATH)) == ["QLO003"]
+
+    def test_yield_from_under_lock_flagged(self):
+        source = """
+        def traces_rows(sink):
+            with sink._span_lock:
+                yield from sink.spans
+        """
+        assert rule_ids(check(source, self.INTROSPECTION_PATH)) == ["QLO003"]
+
+    def test_copy_then_release_provider_is_clean(self):
+        source = """
+        def locks_rows(database, transaction):
+            with database._lock:
+                snapshot = list(database.locks.items())
+            for name, stats in snapshot:
+                yield (name, stats.acquisitions)
+        """
+        assert check(source, self.INTROSPECTION_PATH) == []
+
+    def test_non_lock_with_block_yield_is_clean(self):
+        source = """
+        def dump_rows(path):
+            with open(path) as handle:
+                yield from handle
+        """
+        assert check(source, self.INTROSPECTION_PATH) == []
+
+    def test_yield_under_lock_outside_introspection_not_flagged(self):
+        # QLO003 enforces the snapshot discipline of introspection
+        # providers; generators elsewhere are out of scope (QLC rules
+        # govern their locking).
+        source = """
+        def rows(self):
+            with self._lock:
+                yield from self._rows
+        """
+        assert check(source, self.PATH) == []
+
 
 # -- the live tree and the CLI -----------------------------------------------
 
