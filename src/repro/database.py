@@ -23,6 +23,7 @@ from .introspection.flight import FlightRecorder
 from .introspection.profiler import SamplingProfiler
 from .observability.slowlog import SlowQueryLog
 from .observability.trace import Tracer
+from .optimizer.cost import OptimizerLog
 from .sanitizer import SanLock
 from .storage.buffer_manager import BufferManager
 from .storage.storage_manager import StorageManager
@@ -61,6 +62,9 @@ class Database:
         self.flight_recorder = FlightRecorder()
         #: Sampling wall-clock profiler; idle until ``profile_enabled``.
         self.profiler = SamplingProfiler()
+        #: Decisions taken while optimizing the most recent statement,
+        #: served by the ``repro_optimizer()`` system table.
+        self.optimizer_log = OptimizerLog()
         #: Last buffer-manager counter values folded into the metrics
         #: registry (see :meth:`fold_metrics`).
         self._metrics_baseline: Dict[str, int] = {}

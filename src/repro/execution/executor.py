@@ -118,7 +118,7 @@ class Executor:
 
     # -- SELECT ----------------------------------------------------------------
     def execute_select(self, statement: bound.BoundSelect) -> StatementResult:
-        plan = optimize(statement.plan)
+        plan = optimize(statement.plan, self.database)
         context = self._context()
         physical = create_physical_plan(plan, context)
         return StatementResult(plan.names, plan.types, physical.run())
@@ -138,7 +138,7 @@ class Executor:
 
     def execute_insert(self, statement: bound.BoundInsert) -> StatementResult:
         table = statement.table
-        plan = optimize(statement.source)
+        plan = optimize(statement.source, self.database)
         context = self._context()
         physical = create_physical_plan(plan, context)
         wal_enabled = self.database.storage.wal.enabled
@@ -296,7 +296,7 @@ class Executor:
     def execute_copy_to(self, statement: bound.BoundCopyTo) -> StatementResult:
         from ..etl.csv_writer import write_csv
 
-        plan = optimize(statement.source)
+        plan = optimize(statement.source, self.database)
         context = self._context()
         physical = create_physical_plan(plan, context)
         options = statement.options
@@ -366,7 +366,7 @@ class Executor:
     def execute_explain(self, statement: bound.BoundExplain) -> StatementResult:
         inner = statement.inner
         if isinstance(inner, bound.BoundSelect):
-            plan = optimize(inner.plan)
+            plan = optimize(inner.plan, self.database)
             context = self._context()
             physical = create_physical_plan(plan, context)
             text = ("-- logical plan --\n" + plan.explain()

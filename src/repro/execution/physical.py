@@ -105,6 +105,10 @@ class ExecutionContext:
 class PhysicalOperator:
     """Base class: children, output types, and a chunk generator."""
 
+    #: Optimizer cardinality estimate, copied from the logical operator by
+    #: the physical planner; EXPLAIN ANALYZE compares it to actual rows.
+    estimated_rows: Optional[float] = None
+
     def __init__(self, context: ExecutionContext,
                  children: List["PhysicalOperator"],
                  types: List[LogicalType], names: Optional[List[str]] = None) -> None:
@@ -134,6 +138,8 @@ class PhysicalOperator:
 
     def explain(self, indent: int = 0) -> str:
         line = " " * indent + self._explain_line()
+        if self.estimated_rows is not None:
+            line += f" (est={int(round(self.estimated_rows))} rows)"
         parts = [line]
         for child in self.children:
             parts.append(child.explain(indent + 2))

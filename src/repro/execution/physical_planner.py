@@ -62,7 +62,14 @@ _ESTIMATED_ROW_BYTES = 16
 
 
 def _estimate_build_bytes(plan: LogicalOperator) -> int:
-    """Crude cardinality-based estimate of a join build side's footprint."""
+    """Cardinality-based estimate of a join build side's footprint.
+
+    Prefers the optimizer's statistics-driven ``estimated_rows`` annotation;
+    the structural fallbacks below cover unannotated plans (tests, direct
+    lowering)."""
+    estimated = getattr(plan, "estimated_rows", None)
+    if estimated is not None:
+        return int(estimated) * len(plan.schema) * _ESTIMATED_ROW_BYTES
     if isinstance(plan, LogicalGet):
         rows = plan.table_entry.data.row_count
         return rows * len(plan.schema) * _ESTIMATED_ROW_BYTES
@@ -157,11 +164,25 @@ def _try_parallel_aggregate(plan: LogicalAggregate,
 
 def create_physical_plan(plan: LogicalOperator,
                          context: ExecutionContext) -> PhysicalOperator:
+    """Lower a logical operator tree, carrying the optimizer's cardinality
+    estimates onto the physical operators (for EXPLAIN ANALYZE spans)."""
+    physical = _lower(plan, context)
+    if physical.estimated_rows is None:
+        physical.estimated_rows = plan.estimated_rows
+    return physical
+
+
+def _lower(plan: LogicalOperator,
+           context: ExecutionContext) -> PhysicalOperator:
     """Recursively lower a logical operator tree."""
     if isinstance(plan, LogicalGet):
         workers = plan_worker_count(context)
         morsel_rows = _morsel_rows(context)
+        # A limit hint means only a handful of rows are needed: a serial
+        # scan that stops early beats spinning up workers that each fetch
+        # a full morsel.
         if (workers > 1
+                and plan.limit_hint is None
                 and plan.table_entry.data.row_count > morsel_rows
                 and expressions_parallel_safe(plan.pushed_filters)):
             return PhysicalParallelTableScan(
@@ -169,7 +190,8 @@ def create_physical_plan(plan: LogicalOperator,
                 plan.names, plan.pushed_filters, worker_count=workers,
                 morsel_rows=morsel_rows)
         return PhysicalTableScan(context, plan.table_entry, plan.column_ids,
-                                 plan.types, plan.names, plan.pushed_filters)
+                                 plan.types, plan.names, plan.pushed_filters,
+                                 limit_hint=plan.limit_hint)
     if isinstance(plan, LogicalCSVScan):
         return PhysicalCSVScan(context, plan.path, plan.options, plan.types,
                                plan.names)

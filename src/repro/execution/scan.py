@@ -78,7 +78,8 @@ class PhysicalTableScan(PhysicalOperator):
 
     def __init__(self, context: ExecutionContext, table_entry, column_ids: List[int],
                  types, names, filters: Optional[List[BoundExpression]] = None,
-                 row_range: Optional[Tuple[int, int]] = None) -> None:
+                 row_range: Optional[Tuple[int, int]] = None,
+                 limit_hint: Optional[int] = None) -> None:
         super().__init__(context, [], types, names)
         self.table_entry = table_entry
         self.column_ids = column_ids
@@ -86,6 +87,10 @@ class PhysicalTableScan(PhysicalOperator):
         #: Optional [start, end) physical row restriction -- one morsel of a
         #: parallel scan.  ``None`` scans the whole table (serial execution).
         self.row_range = row_range
+        #: Stop fetching once this many rows passed the filters (LIMIT
+        #: pushdown).  Exactness is still enforced by the LIMIT operator
+        #: above; this only lets the scan quit early.
+        self.limit_hint = limit_hint
         self._zone_conditions = _extract_zone_conditions(self.filters,
                                                          column_ids)
 
@@ -116,6 +121,7 @@ class PhysicalTableScan(PhysicalOperator):
             else None
         start_row, end_row = self.row_range if self.row_range is not None \
             else (0, None)
+        produced = 0
         for chunk in self.table_entry.data.scan(self.context.transaction,
                                                 self.column_ids,
                                                 range_predicate=range_predicate,
@@ -131,13 +137,20 @@ class PhysicalTableScan(PhysicalOperator):
                     chunk = chunk.slice(mask)
             if chunk.size:
                 yield chunk
+                produced += chunk.size
+                if self.limit_hint is not None \
+                        and produced >= self.limit_hint:
+                    self.context.bump_stat("scan_limit_stops", 1)
+                    return
 
     def _explain_line(self) -> str:
         filters = f" filters={len(self.filters)}" if self.filters else ""
         zones = f" zonemap={len(self._zone_conditions)}" \
             if self._zone_conditions else ""
+        hint = f" limit_hint={self.limit_hint}" \
+            if self.limit_hint is not None else ""
         return (f"TABLE_SCAN {self.table_entry.name}"
-                f"[{', '.join(self.names)}]{filters}{zones}")
+                f"[{', '.join(self.names)}]{filters}{zones}{hint}")
 
 
 class PhysicalCSVScan(PhysicalOperator):

@@ -247,21 +247,43 @@ class PhysicalTopN(PhysicalOperator):
         executor = ExpressionExecutor(self.context)
         width = len(child.types)
         keep = self.limit + self.offset
+        if self.limit <= 0:
+            return
         keys = [SortKey(width + index, item.ascending, item.nulls_first)
                 for index, item in enumerate(self.items)]
+        # Amortized heap-style accumulation: buffer incoming chunks and only
+        # sort-and-truncate once the resident rows reach 2*keep.  Sorting
+        # per chunk would be O(chunks * keep log keep); doubling before each
+        # compaction keeps the total sort work O(rows log keep).
         best: Optional[DataChunk] = None
+        pending: List[DataChunk] = []
+        pending_rows = 0
+
+        def compact() -> Optional[DataChunk]:
+            block = DataChunk.concat_many(
+                ([best] if best is not None else []) + pending)
+            pending.clear()
+            if block.size > keep:
+                self.context.bump_stat("topn_sorts", 1)
+                order = sort_order(block, keys)[:keep]
+                block = block.slice(order)
+            return block
+
         for chunk in child.run():
             self.context.check_interrupted()
             key_vectors = [executor.execute(item.expression, chunk)
                            for item in self.items]
-            extended = DataChunk(list(chunk.columns) + key_vectors)
-            best = extended if best is None \
-                else DataChunk.concat_many([best, extended])
-            if best.size > keep:
-                order = sort_order(best, keys)[:keep]
-                best = best.slice(order)
+            pending.append(DataChunk(list(chunk.columns) + key_vectors))
+            pending_rows += chunk.size
+            if (best.size if best is not None else 0) + pending_rows \
+                    >= 2 * keep:
+                best = compact()
+                pending_rows = 0
+        if pending:
+            best = compact()
         if best is None or best.size <= self.offset:
             return
+        self.context.bump_stat("topn_sorts", 1)
         order = sort_order(best, keys)
         selected = order[self.offset:self.offset + self.limit]
         result = best.slice(selected)

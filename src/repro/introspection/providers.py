@@ -127,6 +127,38 @@ def locks_rows(database: Any, transaction: Any) -> List[Row]:
     return rows
 
 
+# -- optimizer ---------------------------------------------------------------
+
+def optimizer_rows(database: Any, transaction: Any) -> List[Row]:
+    """Decisions the optimizer took for the most recent statement.
+
+    Statements that themselves read ``repro_optimizer()`` do not overwrite
+    the log, so the report always describes the last *other* statement.
+    """
+    rows: List[Row] = []
+    for decision in database.optimizer_log.snapshot():
+        rows.append((decision.statement_id, decision.seq, decision.phase,
+                     decision.decision, decision.detail,
+                     decision.estimated_rows))
+    return rows
+
+
+def column_stats_rows(database: Any, transaction: Any) -> List[Row]:
+    """Per-column statistics backing the cost model (min/max/NDV/nulls)."""
+    rows: List[Row] = []
+    for table in database.catalog.tables(transaction):
+        for index, column in enumerate(table.columns):
+            stats = table.data.columns[index].stats
+            rows.append((table.name, column.name, int(stats.row_count),
+                         int(stats.null_count), float(stats.ndv),
+                         repr(stats.min_value) if stats.min_value is not None
+                         else None,
+                         repr(stats.max_value) if stats.max_value is not None
+                         else None,
+                         bool(stats.stale)))
+    return rows
+
+
 # -- storage -----------------------------------------------------------------
 
 def storage_rows(database: Any, transaction: Any) -> List[Row]:
@@ -156,8 +188,8 @@ def storage_rows(database: Any, transaction: Any) -> List[Row]:
 # -- registration ------------------------------------------------------------
 
 def register_builtin_functions() -> None:
-    """Register the nine built-in system table functions plus the profiler
-    view (idempotent; called at package import)."""
+    """Register the built-in system table functions (idempotent; called at
+    package import)."""
     register(SystemTableFunction(
         "repro_metrics", "process-wide engine metrics (quacktrace registry)",
         [("name", VARCHAR), ("kind", VARCHAR), ("value", DOUBLE)],
@@ -211,3 +243,16 @@ def register_builtin_functions() -> None:
         [("operator", VARCHAR), ("phase", VARCHAR), ("samples", BIGINT),
          ("self_seconds", DOUBLE)],
         profile_rows))
+    register(SystemTableFunction(
+        "repro_optimizer", "optimizer decisions for the last statement",
+        [("statement", BIGINT), ("seq", BIGINT), ("phase", VARCHAR),
+         ("decision", VARCHAR), ("detail", VARCHAR),
+         ("estimated_rows", DOUBLE)],
+        optimizer_rows))
+    register(SystemTableFunction(
+        "repro_column_stats", "per-column statistics behind the cost model",
+        [("table_name", VARCHAR), ("column_name", VARCHAR),
+         ("row_count", BIGINT), ("null_count", BIGINT), ("ndv", DOUBLE),
+         ("min_value", VARCHAR), ("max_value", VARCHAR),
+         ("stale", BOOLEAN)],
+        column_stats_rows))

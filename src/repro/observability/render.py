@@ -57,12 +57,18 @@ def _format_span(span: Span, rows_in: int) -> str:
     if span.kind in ("operator", "morsel"):
         parts.append(f"rows_in={rows_in}")
         parts.append(f"rows_out={span.rows}")
+        # Estimated next to actual: the at-a-glance check of whether the
+        # optimizer's statistics matched reality for this operator.
+        if "est_rows" in span.attrs:
+            parts.append(f"est_rows={span.attrs['est_rows']}")
         parts.append(f"chunks={span.chunks}")
         if span.bytes_processed:
             parts.append(f"bytes={span.bytes_processed}")
     elif span.rows:
         parts.append(f"rows={span.rows}")
     for key, value in sorted(span.attrs.items()):
+        if key == "est_rows":
+            continue
         parts.append(f"{key}={value}")
     return "  ".join(parts)
 

@@ -206,6 +206,9 @@ class Tracer:
         """
         span = self.start_span(operator._explain_line(), kind="operator",
                                parent=parent)
+        estimated = getattr(operator, "estimated_rows", None)
+        if estimated is not None:
+            span.attrs["est_rows"] = int(round(estimated))
         source = operator.execute()
         try:
             while True:

@@ -1,6 +1,6 @@
 """Logical plan optimizer.
 
-Three rewrite passes, run in order:
+Five rewrite passes, run in order:
 
 1. **Constant folding** -- column-free expression subtrees are evaluated at
    plan time; trivially-true filters disappear, trivially-false ones
@@ -10,10 +10,26 @@ Three rewrite passes, run in order:
    turning cross products into equi-joins), through ORDER BY and DISTINCT,
    and finally *into* :class:`~repro.planner.logical.LogicalGet`, where they
    are evaluated right after each chunk is fetched.
-3. **Column pruning** -- only the columns an operator's ancestors actually
+3. **Join reordering** -- maximal inner/cross-join regions are flattened
+   into relations + predicates and rebuilt greedily from statistics
+   (:mod:`repro.optimizer.cost`): start from the smallest estimated
+   relation, repeatedly attach the connected relation with the smallest
+   estimated output, cross products last.  Each step also picks the hash
+   build side (the right child) as the smaller input.  A final projection
+   restores the original column order, so parents never notice.
+4. **Limit pushdown** -- LIMIT commutes past projections (exposing ORDER BY
+   for Top-N fusion), stacked limits merge, and a ``limit_hint`` lands on
+   the scan so it can stop fetching chunks once enough rows passed its
+   filters.
+5. **Column pruning** -- only the columns an operator's ancestors actually
    reference are scanned.  This matters doubly here: the paper's workloads
    "typically only target a subset of the columns of a large table" (§2),
    and our column store fetches each column independently.
+
+After the passes, every node is annotated with ``estimated_rows`` and the
+decisions taken (join order, build sides, pushdowns, scan selectivities)
+are published to the database's :class:`~repro.optimizer.cost.OptimizerLog`
+for the ``repro_optimizer()`` system table.
 """
 
 from __future__ import annotations
@@ -36,6 +52,7 @@ from ..planner.logical import (
     LogicalEmpty,
     LogicalFilter,
     LogicalGet,
+    LogicalIntrospectionScan,
     LogicalJoin,
     LogicalLimit,
     LogicalOperator,
@@ -45,16 +62,61 @@ from ..planner.logical import (
     LogicalValues,
 )
 from ..types import BOOLEAN
+from . import cost
+from .cost import DecisionRecorder
 
 __all__ = ["optimize"]
 
 
-def optimize(plan: LogicalOperator) -> LogicalOperator:
-    """Apply all rewrite passes to a bound logical plan."""
+def optimize(plan: LogicalOperator, database=None) -> LogicalOperator:
+    """Apply all rewrite passes to a bound logical plan.
+
+    ``database`` (optional) receives the decision record on its
+    ``optimizer_log`` -- the backing store of ``repro_optimizer()``.
+    """
+    recorder = DecisionRecorder()
     plan = _fold_operator(plan)
     plan = _push_filters(plan, [])
+    plan = _reorder_joins(plan, recorder)
+    plan = _push_limits(plan, recorder)
     plan, _ = _prune_columns(plan, set(range(len(plan.schema))))
+    cost.annotate(plan)
+    _record_scans(plan, recorder)
+    if database is not None and not _scans_optimizer_log(plan):
+        database.optimizer_log.publish(recorder)
     return plan
+
+
+def _scans_optimizer_log(plan: LogicalOperator) -> bool:
+    """True when the plan reads ``repro_optimizer()`` -- such statements
+    must not overwrite the very log they are reporting."""
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, LogicalIntrospectionScan) \
+                and node.function.name == "repro_optimizer":
+            return True
+        stack.extend(node.children)
+    return False
+
+
+def _record_scans(plan: LogicalOperator, recorder: DecisionRecorder) -> None:
+    """Log per-scan pushdown state and estimated selectivity."""
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        stack.extend(node.children)
+        if not isinstance(node, LogicalGet):
+            continue
+        base = cost.scan_base_rows(node)
+        est = cost.estimated_rows(node)
+        selectivity = (est / base) if (est is not None and base > 0) else 1.0
+        hint = getattr(node, "limit_hint", None)
+        detail = (f"filters={len(node.pushed_filters)} "
+                  f"selectivity={selectivity:.4f} rows={int(base)}")
+        if hint is not None:
+            detail += f" limit_hint={hint}"
+        recorder.record("scan", f"scan {node.table_entry.name}", detail, est)
 
 
 # ---------------------------------------------------------------------------
@@ -388,3 +450,387 @@ def _prune_columns(plan: LogicalOperator,
         new_children.append(pruned)
     plan.children = new_children
     return plan, identity
+
+
+# ---------------------------------------------------------------------------
+# join reordering
+# ---------------------------------------------------------------------------
+
+class _FlatRelation:
+    """One leaf of a flattened inner/cross-join region."""
+
+    __slots__ = ("node", "offset", "width", "rows")
+
+    def __init__(self, node: LogicalOperator, offset: int) -> None:
+        self.node = node
+        self.offset = offset
+        self.width = len(node.schema)
+        self.rows = 0.0
+
+
+class _FlatPredicate:
+    """One predicate of a region, with column refs in *global* coordinates
+    (positions into the concatenated schema of all relations).
+
+    Equi predicates keep their two sides separate (``left``/``right``) so
+    they can be re-attached as join conditions of whichever join step first
+    covers both sides; everything else is a ``general`` expression that
+    becomes a join residual (or an initial filter)."""
+
+    __slots__ = ("left", "right", "left_rels", "right_rels", "expr", "rels",
+                 "left_ndv", "right_ndv", "used")
+
+    def __init__(self, left: Optional[BoundExpression] = None,
+                 right: Optional[BoundExpression] = None,
+                 expr: Optional[BoundExpression] = None) -> None:
+        self.left = left
+        self.right = right
+        self.expr = expr
+        self.left_rels: Set[int] = set()
+        self.right_rels: Set[int] = set()
+        self.rels: Set[int] = set()
+        self.left_ndv: Optional[float] = None
+        self.right_ndv: Optional[float] = None
+        self.used = False
+
+    @property
+    def is_equi(self) -> bool:
+        return self.expr is None
+
+    def as_expr(self) -> BoundExpression:
+        """The predicate as one boolean expression (global coordinates)."""
+        if self.expr is not None:
+            return self.expr
+        assert self.left is not None and self.right is not None
+        return BoundOperator("=", [self.left, self.right], BOOLEAN)
+
+
+def _flatten_join_region(plan: LogicalOperator,
+                         offset: int,
+                         relations: List[_FlatRelation],
+                         predicates: List[_FlatPredicate]) -> None:
+    """Collect the leaves and predicates of a maximal inner/cross region.
+
+    Children are concatenated left-to-right, so a node's subtree occupies a
+    contiguous global position range starting at ``offset``; rebasing its
+    expressions by ``offset`` yields global coordinates."""
+    if isinstance(plan, LogicalJoin) and plan.join_type in ("inner", "cross"):
+        left, right = plan.children
+        left_width = len(left.schema)
+        _flatten_join_region(left, offset, relations, predicates)
+        _flatten_join_region(right, offset + left_width, relations, predicates)
+        for condition in plan.conditions:
+            predicates.append(_FlatPredicate(
+                left=_rebase(condition.left, offset),
+                right=_rebase(condition.right, offset + left_width)))
+        if plan.residual is not None:
+            for conjunct in _flatten_and(plan.residual):
+                predicates.append(
+                    _FlatPredicate(expr=_rebase(conjunct, offset)))
+    else:
+        relations.append(_FlatRelation(plan, offset))
+
+
+def _owning_relations(refs: Set[int],
+                      relations: List[_FlatRelation]) -> Set[int]:
+    out: Set[int] = set()
+    for position in refs:
+        for index, relation in enumerate(relations):
+            if relation.offset <= position < relation.offset + relation.width:
+                out.add(index)
+                break
+    return out
+
+
+def _side_ndv(expression: Optional[BoundExpression], rels: Set[int],
+              relations: List[_FlatRelation]) -> Optional[float]:
+    """NDV of one equi side, when it is a bare column of one relation."""
+    if expression is None or len(rels) != 1 \
+            or not isinstance(expression, BoundColumnRef):
+        return None
+    relation = relations[next(iter(rels))]
+    return cost.column_ndv(relation.node,
+                           expression.position - relation.offset)
+
+
+def _pair_estimate(acc_rows: float, cand_rows: float,
+                   applicable: List[Tuple[Optional[float], Optional[float]]]
+                   ) -> float:
+    """Estimated output of joining the accumulated plan with a candidate.
+
+    ``applicable`` lists (acc-side NDV, candidate-side NDV) per usable equi
+    predicate; unknown NDVs default to the respective input size."""
+    output = acc_rows * cand_rows
+    for acc_ndv, cand_ndv in applicable:
+        if acc_ndv is None:
+            acc_ndv = max(acc_rows, 1.0)
+        if cand_ndv is None:
+            cand_ndv = max(cand_rows, 1.0)
+        output /= max(acc_ndv, cand_ndv, 1.0)
+    return output
+
+
+def _applicable_equi(predicates: List[_FlatPredicate], placed: Set[int],
+                     candidate: int
+                     ) -> List[Tuple[_FlatPredicate, bool]]:
+    """Equi predicates joinable when ``candidate`` is attached to ``placed``.
+
+    The bool marks whether the predicate's *left* side is the accumulated
+    (placed) side."""
+    out: List[Tuple[_FlatPredicate, bool]] = []
+    for predicate in predicates:
+        if predicate.used or not predicate.is_equi:
+            continue
+        if not predicate.rels or not predicate.rels <= placed | {candidate}:
+            continue
+        if predicate.left_rels <= placed and predicate.right_rels \
+                and predicate.right_rels <= {candidate}:
+            out.append((predicate, True))
+        elif predicate.right_rels <= placed and predicate.left_rels \
+                and predicate.left_rels <= {candidate}:
+            out.append((predicate, False))
+    return out
+
+
+def _relation_label(node: LogicalOperator) -> str:
+    if isinstance(node, LogicalGet):
+        return node.table_entry.name
+    return type(node).__name__.replace("Logical", "").lower()
+
+
+def _reorder_joins(plan: LogicalOperator,
+                   recorder: DecisionRecorder) -> LogicalOperator:
+    """Greedy selectivity-ordered join reordering (pass 3)."""
+    if not (isinstance(plan, LogicalJoin)
+            and plan.join_type in ("inner", "cross")
+            and cost.statistics_enabled()):
+        plan.children = [_reorder_joins(child, recorder)
+                         for child in plan.children]
+        return plan
+
+    relations: List[_FlatRelation] = []
+    predicates: List[_FlatPredicate] = []
+    _flatten_join_region(plan, 0, relations, predicates)
+    for relation in relations:
+        relation.node = _reorder_joins(relation.node, recorder)
+        relation.rows = cost.annotate(relation.node)
+    for predicate in predicates:
+        if predicate.is_equi:
+            assert predicate.left is not None and predicate.right is not None
+            predicate.left_rels = _owning_relations(
+                predicate.left.referenced_columns(), relations)
+            predicate.right_rels = _owning_relations(
+                predicate.right.referenced_columns(), relations)
+            predicate.rels = predicate.left_rels | predicate.right_rels
+            predicate.left_ndv = _side_ndv(predicate.left,
+                                           predicate.left_rels, relations)
+            predicate.right_ndv = _side_ndv(predicate.right,
+                                            predicate.right_rels, relations)
+        else:
+            assert predicate.expr is not None
+            predicate.rels = _owning_relations(
+                predicate.expr.referenced_columns(), relations)
+
+    count = len(relations)
+    # Greedy order: smallest relation first, then repeatedly the connected
+    # relation minimizing the estimated intermediate; cross products last.
+    start = min(range(count), key=lambda index: (relations[index].rows, index))
+    order = [start]
+    placed = {start}
+    acc_rows = relations[start].rows
+    step_rows = [acc_rows]
+    while len(placed) < count:
+        best_index: Optional[int] = None
+        best_est = 0.0
+        best_connected = False
+        for candidate in range(count):
+            if candidate in placed:
+                continue
+            applicable = _applicable_equi(predicates, placed, candidate)
+            connected = bool(applicable)
+            ndv_pairs = [
+                (p.left_ndv, p.right_ndv) if acc_is_left
+                else (p.right_ndv, p.left_ndv)
+                for p, acc_is_left in applicable
+            ]
+            est = _pair_estimate(acc_rows, relations[candidate].rows,
+                                 ndv_pairs)
+            better = best_index is None \
+                or (connected and not best_connected) \
+                or (connected == best_connected and est < best_est)
+            if better:
+                best_index, best_est, best_connected = candidate, est, connected
+        assert best_index is not None
+        order.append(best_index)
+        placed.add(best_index)
+        acc_rows = best_est
+        step_rows.append(best_est)
+
+    rebuilt = _rebuild_join_region(relations, predicates, order, step_rows)
+    recorder.record(
+        "join_order",
+        " ".join(_relation_label(relations[index].node) for index in order),
+        f"relations={count} est_rows={int(round(acc_rows))}",
+        acc_rows)
+    return rebuilt
+
+
+def _rebuild_join_region(relations: List[_FlatRelation],
+                         predicates: List[_FlatPredicate],
+                         order: List[int],
+                         step_rows: List[float]) -> LogicalOperator:
+    """Reassemble a flattened region in ``order``, per-step choosing the
+    smaller input as the hash build side (the right child), and restoring
+    the original column order with a final projection."""
+    original_schema: List[ColumnSchema] = [None] * sum(  # type: ignore[list-item]
+        relation.width for relation in relations)
+    for relation in relations:
+        for index in range(relation.width):
+            original_schema[relation.offset + index] = \
+                relation.node.schema[index]
+
+    start = relations[order[0]]
+    acc: LogicalOperator = start.node
+    mapping = {start.offset + index: index for index in range(start.width)}
+    placed = {order[0]}
+    acc_rows = step_rows[0]
+
+    # Predicates already fully covered by the first relation (single-table
+    # residuals, constant predicates) become a plain filter on top of it.
+    initial = [predicate for predicate in predicates
+               if not predicate.used and predicate.rels <= placed]
+    if initial:
+        parts = []
+        for predicate in initial:
+            predicate.used = True
+            parts.append(_remap_expression(predicate.as_expr(), mapping))
+        acc = _wrap_filter(acc, parts)
+
+    for step, rel_index in enumerate(order[1:], start=1):
+        relation = relations[rel_index]
+        local = {relation.offset + index: index
+                 for index in range(relation.width)}
+        conditions: List[Tuple[BoundExpression, BoundExpression]] = []
+        residual_parts: List[BoundExpression] = []
+        for predicate in predicates:
+            if predicate.used \
+                    or not predicate.rels <= placed | {rel_index}:
+                continue
+            predicate.used = True
+            if predicate.is_equi:
+                if predicate.left_rels <= placed and predicate.right_rels \
+                        and predicate.right_rels <= {rel_index}:
+                    conditions.append((predicate.left, predicate.right))
+                    continue
+                if predicate.right_rels <= placed and predicate.left_rels \
+                        and predicate.left_rels <= {rel_index}:
+                    conditions.append((predicate.right, predicate.left))
+                    continue
+            residual_parts.append(predicate.as_expr())
+        rel_rows = relation.rows
+        if rel_rows <= acc_rows:
+            # New relation is the smaller input: keep it on the right (the
+            # hash build side), the original left-deep orientation.
+            left_node: LogicalOperator = acc
+            right_node: LogicalOperator = relation.node
+            new_mapping = dict(mapping)
+            base = len(acc.schema)
+            for index in range(relation.width):
+                new_mapping[relation.offset + index] = base + index
+            join_conditions = [
+                JoinCondition(_remap_expression(acc_side, mapping),
+                              _remap_expression(rel_side, local))
+                for acc_side, rel_side in conditions
+            ]
+        else:
+            # Accumulated intermediate is smaller: build on IT and stream
+            # the new (larger) relation as the probe side.
+            left_node, right_node = relation.node, acc
+            new_mapping = {position: target + relation.width
+                           for position, target in mapping.items()}
+            for index in range(relation.width):
+                new_mapping[relation.offset + index] = index
+            join_conditions = [
+                JoinCondition(_remap_expression(rel_side, local),
+                              _remap_expression(acc_side, mapping))
+                for acc_side, rel_side in conditions
+            ]
+        residual = None
+        if residual_parts:
+            residual = _combine_and([
+                _remap_expression(part, new_mapping)
+                for part in residual_parts
+            ])
+        join_type = "inner" if join_conditions else "cross"
+        acc = LogicalJoin(left_node, right_node, join_type, join_conditions,
+                          residual)
+        mapping = new_mapping
+        placed.add(rel_index)
+        acc_rows = step_rows[step]
+
+    total = len(original_schema)
+    if any(mapping[position] != position for position in range(total)):
+        expressions = [
+            BoundColumnRef(mapping[position],
+                           original_schema[position].dtype,
+                           original_schema[position].name)
+            for position in range(total)
+        ]
+        acc = LogicalProjection(
+            acc, expressions,
+            [column.name for column in original_schema])
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# limit pushdown
+# ---------------------------------------------------------------------------
+
+def _push_limits(plan: LogicalOperator,
+                 recorder: DecisionRecorder) -> LogicalOperator:
+    """Move LIMIT toward the sources (pass 4).
+
+    * stacked limits merge;
+    * LIMIT commutes past row-wise projections (which exposes
+      ``LIMIT(ORDER BY)`` pairs for the physical Top-N fusion);
+    * a LIMIT directly above a scan leaves a ``limit_hint`` on the scan so
+      it stops fetching once enough rows have passed its filters (the
+      LIMIT node stays for offset handling and exactness).
+    """
+    if isinstance(plan, LogicalLimit):
+        child = plan.children[0]
+        if isinstance(child, LogicalLimit):
+            # Offsets add; the outer window must fit inside the inner one.
+            offset = child.offset + plan.offset
+            if child.limit is None:
+                limit = plan.limit
+            else:
+                available = max(child.limit - plan.offset, 0)
+                limit = available if plan.limit is None \
+                    else min(plan.limit, available)
+            merged = LogicalLimit(child.children[0], limit, offset)
+            recorder.record("limit", "merge stacked limits",
+                            f"limit={limit} offset={offset}")
+            return _push_limits(merged, recorder)
+        if isinstance(child, LogicalProjection):
+            inner = _push_limits(
+                LogicalLimit(child.children[0], plan.limit, plan.offset),
+                recorder)
+            recorder.record("limit", "push past projection",
+                            f"limit={plan.limit} offset={plan.offset}")
+            return LogicalProjection(inner, child.expressions, child.names)
+        if isinstance(child, LogicalOrder) and plan.limit is not None:
+            child.children = [_push_limits(grandchild, recorder)
+                              for grandchild in child.children]
+            recorder.record("limit", "top-n fusion",
+                            f"limit={plan.limit} offset={plan.offset}")
+            return plan
+        if isinstance(child, LogicalGet) and plan.limit is not None:
+            child.limit_hint = plan.limit + plan.offset
+            recorder.record(
+                "limit", f"scan limit hint {child.table_entry.name}",
+                f"hint={child.limit_hint}")
+            return plan
+    plan.children = [_push_limits(child, recorder)
+                     for child in plan.children]
+    return plan

@@ -38,6 +38,9 @@ class ColumnSchema:
 class LogicalOperator:
     """Base: children plus an output schema."""
 
+    #: Optimizer cardinality estimate (rows), stamped by ``cost.annotate``.
+    estimated_rows: Optional[float] = None
+
     def __init__(self, children: Sequence["LogicalOperator"],
                  schema: List[ColumnSchema]) -> None:
         self.children = list(children)
@@ -54,6 +57,8 @@ class LogicalOperator:
     def explain(self, indent: int = 0) -> str:
         """Human-readable plan tree (the output of EXPLAIN)."""
         line = " " * indent + self._explain_line()
+        if self.estimated_rows is not None:
+            line += f" (est={int(round(self.estimated_rows))} rows)"
         parts = [line]
         for child in self.children:
             parts.append(child.explain(indent + 2))
@@ -77,11 +82,15 @@ class LogicalGet(LogicalOperator):
         self.column_ids = column_ids
         #: Filters pushed into the scan (conjuncts over the scan's schema).
         self.pushed_filters: List[BoundExpression] = []
+        #: Upper bound on rows the consumer needs (LIMIT pushdown); the
+        #: scan may stop fetching once this many rows passed its filters.
+        self.limit_hint: Optional[int] = None
 
     def _explain_line(self) -> str:
         filters = f" filters={len(self.pushed_filters)}" if self.pushed_filters else ""
+        hint = f" limit_hint={self.limit_hint}" if self.limit_hint is not None else ""
         return (f"GET {self.table_entry.name}"
-                f"[{', '.join(column.name for column in self.schema)}]{filters}")
+                f"[{', '.join(column.name for column in self.schema)}]{filters}{hint}")
 
 
 class LogicalCSVScan(LogicalOperator):

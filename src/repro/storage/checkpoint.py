@@ -30,6 +30,8 @@ import numpy as np
 from ..catalog.catalog import Catalog
 from ..catalog.entry import ColumnDefinition, TableEntry, ViewEntry
 from ..errors import CorruptionError, InternalError
+from ..optimizer.statistics import (compute_column_statistics,
+                                    restore_column_statistics)
 from ..types import DataChunk, Vector, cast_scalar, type_from_string, VARCHAR
 from .block_file import INVALID_BLOCK, BlockFile, MetaBlockReader, MetaBlockWriter
 from .buffer_manager import BufferManager
@@ -39,7 +41,11 @@ from .table_data import SEGMENT_ROWS, ColumnData, TableData
 
 __all__ = ["PersistedSegment", "CheckpointWriter", "CheckpointReader"]
 
-_CHECKPOINT_VERSION = 1
+#: Version 2 adds per-column optimizer statistics (min/max/NDV/null count)
+#: to the catalog metadata; version-1 files still load, with empty stats
+#: that the next checkpoint recomputes and persists.
+_CHECKPOINT_VERSION = 2
+_MIN_SUPPORTED_VERSION = 1
 
 
 class PersistedSegment:
@@ -65,6 +71,43 @@ def _deserialize_default(text: Optional[str], column_type) -> object:
     if text is None:
         return None
     return cast_scalar(text, column_type)
+
+
+def _write_stat_scalar(writer: BinaryWriter, value) -> None:
+    """Stats min/max live in the raw storage domain (DATE is int days,
+    TIMESTAMP int micros), so they are tagged and written natively instead
+    of round-tripping through SQL casts."""
+    if value is None:
+        writer.write_uint8(0)
+    elif isinstance(value, bool):
+        writer.write_uint8(4)
+        writer.write_bool(value)
+    elif isinstance(value, (int, np.integer)):
+        writer.write_uint8(1)
+        writer.write_int64(int(value))
+    elif isinstance(value, (float, np.floating)):
+        writer.write_uint8(2)
+        writer.write_double(float(value))
+    elif isinstance(value, str):
+        writer.write_uint8(3)
+        writer.write_string(value)
+    else:
+        writer.write_uint8(0)
+
+
+def _read_stat_scalar(reader: BinaryReader):
+    tag = reader.read_uint8()
+    if tag == 1:
+        return reader.read_int64()
+    if tag == 2:
+        return reader.read_double()
+    if tag == 3:
+        return reader.read_string()
+    if tag == 4:
+        return reader.read_bool()
+    if tag == 0:
+        return None
+    raise CorruptionError(f"Unknown statistics scalar tag {tag}")
 
 
 class CheckpointWriter:
@@ -145,6 +188,13 @@ class CheckpointWriter:
                     writer.write_uint32(len(segment.block_ids))
                     for block_id in segment.block_ids:
                         writer.write_int64(block_id)
+                stats = column_data.stats
+                writer.write_uint64(stats.row_count)
+                writer.write_uint64(stats.null_count)
+                writer.write_double(stats.ndv)
+                writer.write_bool(stats.stale)
+                _write_stat_scalar(writer, stats.min_value)
+                _write_stat_scalar(writer, stats.max_value)
         views = list(catalog.views(transaction))
         writer.write_uint32(len(views))
         for view in views:
@@ -167,6 +217,16 @@ class CheckpointWriter:
                 mask = data.visible_mask(transaction, 0, data.row_count)
                 data.compact(mask)
             for column_data in data.columns:
+                # Updates/deletes only widen the in-memory summary; the
+                # checkpoint re-derives exact statistics, but only for
+                # columns whose summary went stale -- clean columns are
+                # never re-scanned (paper §2).
+                stats = column_data.stats
+                if stats.stale or stats.row_count != data.row_count:
+                    column_data.stats = compute_column_statistics(
+                        column_data.data[:data.row_count],
+                        column_data.validity[:data.row_count],
+                        column_data.dtype)
                 column_data.persisted_segments = self._checkpoint_column(
                     column_data, data.row_count
                 )
@@ -248,7 +308,7 @@ class CheckpointReader:
         self.metadata_blocks = meta_reader_chain.blocks_read
         reader = BinaryReader(meta_reader_chain.data)
         version = reader.read_uint32()
-        if version != _CHECKPOINT_VERSION:
+        if not _MIN_SUPPORTED_VERSION <= version <= _CHECKPOINT_VERSION:
             raise CorruptionError(f"Unsupported checkpoint version {version}")
         table_count = reader.read_uint32()
         for _ in range(table_count):
@@ -279,6 +339,16 @@ class CheckpointReader:
                         PersistedSegment(row_start, segment_rows, head_block, block_ids)
                     )
                 column_data.persisted_segments = segments
+                if version >= 2:
+                    stats_rows = reader.read_uint64()
+                    stats_nulls = reader.read_uint64()
+                    stats_ndv = reader.read_double()
+                    stats_stale = reader.read_bool()
+                    stats_min = _read_stat_scalar(reader)
+                    stats_max = _read_stat_scalar(reader)
+                    column_data.stats = restore_column_statistics(
+                        column_data.dtype, stats_rows, stats_nulls,
+                        stats_ndv, stats_stale, stats_min, stats_max)
             data.row_count = row_count
             for column_data in data.columns:
                 for segment in column_data.persisted_segments:

@@ -21,6 +21,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import InternalError, TransactionConflict
+from ..optimizer.statistics import (ColumnStatistics,
+                                    compute_column_statistics)
 from ..sanitizer import SanRLock, tracked_access
 from ..transaction.transaction import Transaction
 from ..transaction.undo import DeleteUndo, InsertUndo, UpdateUndo
@@ -53,7 +55,8 @@ class ColumnData:
     """One column of a table: master copy, validity, undo chain, dirty range."""
 
     __slots__ = ("dtype", "table", "data", "validity", "undo_entries",
-                 "dirty_lo", "dirty_hi", "persisted_segments", "_zone_cache")
+                 "dirty_lo", "dirty_hi", "persisted_segments", "_zone_cache",
+                 "stats")
 
     def __init__(self, dtype: LogicalType, table: "TableData") -> None:
         self.dtype = dtype
@@ -68,10 +71,14 @@ class ColumnData:
         #: Opaque per-segment persistence info owned by the checkpointer;
         #: entry i describes rows [i*SEGMENT_ROWS, (i+1)*SEGMENT_ROWS).
         self.persisted_segments: list = []
-        #: Zonemap: lazily computed (min, max) per scan-chunk-sized zone,
-        #: letting scans "skip irrelevant blocks of rows" (paper §6).
+        #: Zonemap: lazily computed (min, max) per scan-chunk window, keyed
+        #: on the full ``(start, end)`` window so a tail segment that grows
+        #: between calls can never satisfy a wider window from stale cached
+        #: bounds.  Lets scans "skip irrelevant blocks of rows" (paper §6).
         #: Invalidated wholesale by any write to the column.
         self._zone_cache: dict = {}
+        #: Optimizer summary (min/max/NDV/null count); advisory only.
+        self.stats = ColumnStatistics(dtype)
 
     # -- capacity -----------------------------------------------------------
     def ensure_capacity(self, rows: int) -> None:
@@ -109,6 +116,7 @@ class ColumnData:
         self.data[row_start:row_start + count] = vector.data
         self.validity[row_start:row_start + count] = vector.validity
         self.mark_dirty(row_start, row_start + count - 1)
+        self.stats.observe_append(vector.data, vector.validity)
 
     def update(self, transaction: Transaction, rows: np.ndarray, vector: Vector) -> UpdateUndo:
         """In-place update of ``rows`` with undo capture (rows must be sorted)."""
@@ -121,6 +129,7 @@ class ColumnData:
         self.validity[rows] = vector.validity
         self.undo_entries.append(undo)
         self.mark_dirty(int(rows[0]), int(rows[-1]))
+        self.stats.observe_update(vector.data, vector.validity)
         return undo
 
     def set_writer(self, rows: np.ndarray, version: int) -> None:
@@ -203,7 +212,7 @@ class ColumnData:
         with self.table.lock:
             if self.undo_entries:
                 return None
-            cached = self._zone_cache.get(start)
+            cached = self._zone_cache.get((start, end))
             if cached is not None:
                 return cached
             window = self.data[start:end]
@@ -212,7 +221,7 @@ class ColumnData:
             # NULL slots hold zeros; including them only widens the bounds,
             # which keeps skipping conservative.
             bounds = (window.min(), window.max())
-            self._zone_cache[start] = bounds
+            self._zone_cache[(start, end)] = bounds
             return bounds
 
 
@@ -310,6 +319,8 @@ class TableData:
             self.deleted_by[fresh] = transaction.transaction_id
             self.last_writer[fresh] = transaction.transaction_id
             self.needs_compaction = True
+            for column in self.columns:
+                column.stats.mark_stale()
             transaction.record_delete(DeleteUndo(self, fresh, prev_writer))
             return int(fresh.size)
 
@@ -448,7 +459,17 @@ class TableData:
             for column in self.columns:
                 column.data = column.data[keep].copy()
                 column.validity = column.validity[keep].copy()
-                column.mark_dirty(0, max(new_count - 1, 0))
+                if new_count:
+                    column.mark_dirty(0, new_count - 1)
+                else:
+                    # Nothing survived: there is no row 0 to dirty.  The
+                    # zone cache still describes the dropped rows, so it
+                    # must be cleared even without a dirty range.
+                    column.mark_clean()
+                    column._zone_cache.clear()
+                column.stats = compute_column_statistics(
+                    column.data[:new_count], column.validity[:new_count],
+                    column.dtype)
                 column.persisted_segments = []
             self.inserted_by = np.zeros(max(new_count, _INITIAL_CAPACITY), dtype=np.int64)
             self.deleted_by = np.zeros(max(new_count, _INITIAL_CAPACITY), dtype=np.int64)

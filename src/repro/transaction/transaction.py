@@ -124,11 +124,16 @@ class Transaction:
             delete.table.deleted_by[delete.rows] = NOT_DELETED
             delete.table.last_writer[delete.rows] = delete.prev_writer
         # Inserts: the rows stay physically present but become invisible to
-        # everyone; checkpointing reclaims the space.
+        # everyone; the next checkpoint must compact them away, or they
+        # would resurrect on reload (checkpoint-loaded rows are pre-history,
+        # visible to all).
         for insert in reversed(self.insert_log):
             table = insert.table
             rows = slice(insert.start_row, insert.start_row + insert.count)
             table.inserted_by[rows] = ABORTED_MARKER
+            table.needs_compaction = True
+            for column in table.columns:
+                column.stats.mark_stale()
         for entry, action in reversed(self.catalog_log):
             if action == "create":
                 entry.created_by = ABORTED_MARKER

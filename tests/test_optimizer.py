@@ -1,9 +1,10 @@
-"""Optimizer tests: folding, filter pushdown, column pruning (plan shapes)."""
+"""Optimizer tests: folding, filter pushdown, join reordering, limit
+pushdown, column pruning (plan shapes), and decision introspection."""
 
 import pytest
 
 import repro
-from repro.optimizer import optimize
+from repro.optimizer import cost, optimize
 from repro.planner import (
     Binder,
     LogicalAggregate,
@@ -13,6 +14,7 @@ from repro.planner import (
     LogicalJoin,
     LogicalProjection,
 )
+from repro.planner.logical import LogicalLimit
 from repro.planner.expressions import BoundConstant
 from repro.sql import parse_one
 
@@ -186,3 +188,230 @@ class TestColumnPruning:
         assert con.execute("SELECT c FROM w WHERE e > 10").fetchall() == [(30,)]
         assert con.execute("SELECT e, a FROM w ORDER BY b DESC").fetchall() == \
             [(50, 10), (5, 1)]
+
+
+@pytest.fixture
+def star(con):
+    """A small star schema: one fact table, two dimensions of very
+    different sizes, so the statistics-driven join order is unambiguous."""
+    con.execute("CREATE TABLE facts (k INTEGER, dim_a INTEGER, "
+                "dim_b INTEGER, v INTEGER)")
+    con.execute("CREATE TABLE dim_small (id INTEGER, label VARCHAR)")
+    con.execute("CREATE TABLE dim_large (id INTEGER, payload INTEGER)")
+    import numpy as np
+
+    with con.appender("facts") as appender:
+        arange = np.arange(4000, dtype=np.int32)
+        appender.append_numpy({"k": arange, "dim_a": arange % 20,
+                               "dim_b": arange % 500, "v": arange})
+    con.executemany("INSERT INTO dim_small VALUES (?, ?)",
+                    [(i, f"label-{i}") for i in range(20)])
+    con.executemany("INSERT INTO dim_large VALUES (?, ?)",
+                    [(i, i * 10) for i in range(500)])
+    return con
+
+
+def _join_shape(plan):
+    """(left, right) table/operator labels of every join, top-down."""
+    shapes = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, LogicalJoin):
+            labels = []
+            for child in node.children:
+                inner = child
+                while not isinstance(inner, LogicalGet) and inner.children:
+                    inner = inner.children[0] if len(inner.children) == 1 \
+                        else inner
+                    if isinstance(inner, LogicalJoin):
+                        break
+                labels.append(inner.table_entry.name
+                              if isinstance(inner, LogicalGet) else "join")
+            shapes.append(tuple(labels))
+        stack.extend(node.children)
+    return shapes
+
+
+class TestJoinReorder:
+    SQL = ("SELECT facts.v, dim_small.label FROM facts, dim_large, dim_small "
+           "WHERE facts.dim_b = dim_large.id AND facts.dim_a = dim_small.id")
+
+    def test_smallest_relation_starts_the_order(self, star):
+        star.execute(self.SQL).fetchall()
+        decisions = {row[2]: row for row in star.execute(
+            "SELECT * FROM repro_optimizer()").fetchall()}
+        order = decisions["join_order"][3]
+        assert order.split()[0] == "dim_small"
+
+    def test_large_probe_side_streams(self, star, plan_for):
+        plan = plan_for(self.SQL)
+        joins = find_ops(plan, LogicalJoin)
+        assert len(joins) == 2
+        # The big fact table must never be a hash build side (right child).
+        for join in joins:
+            right = join.children[1]
+            while not isinstance(right, LogicalGet):
+                right = right.children[0]
+            assert right.table_entry.name != "facts"
+
+    def test_results_unchanged_by_reordering(self, star):
+        expected = sorted(star.execute(
+            "SELECT facts.v, dim_small.label FROM facts "
+            "JOIN dim_small ON facts.dim_a = dim_small.id "
+            "JOIN dim_large ON facts.dim_b = dim_large.id "
+            "WHERE facts.v < 50").fetchall())
+        got = sorted(star.execute(
+            "SELECT facts.v, dim_small.label FROM dim_large, facts, dim_small "
+            "WHERE facts.dim_b = dim_large.id AND facts.dim_a = dim_small.id "
+            "AND facts.v < 50").fetchall())
+        assert got == expected
+        assert len(got) == 50
+
+    def test_column_order_restored_after_reorder(self, star):
+        rows = star.execute(
+            "SELECT dim_large.payload, facts.k, dim_small.label "
+            "FROM dim_large, facts, dim_small "
+            "WHERE facts.dim_b = dim_large.id AND facts.dim_a = dim_small.id "
+            "AND facts.k = 7").fetchall()
+        assert rows == [(70, 7, "label-7")]
+
+    def test_residual_predicates_survive(self, star):
+        rows = star.execute(
+            "SELECT count(*) FROM facts, dim_large "
+            "WHERE facts.dim_b = dim_large.id "
+            "AND facts.v + dim_large.payload > 100000").fetchall()
+        expected = star.execute(
+            "SELECT count(*) FROM facts JOIN dim_large "
+            "ON facts.dim_b = dim_large.id "
+            "WHERE facts.v + dim_large.payload > 100000").fetchall()
+        assert rows == expected
+
+    def test_cross_product_without_conditions(self, star):
+        rows = star.execute(
+            "SELECT count(*) FROM dim_small, dim_large").fetchall()
+        assert rows == [(20 * 500,)]
+
+    def test_outer_joins_not_flattened(self, star):
+        rows = star.execute(
+            "SELECT count(*) FROM dim_small LEFT JOIN facts "
+            "ON dim_small.id = facts.dim_a").fetchall()
+        assert rows == [(4000,)]
+
+    def test_disabled_statistics_keep_syntactic_order(self, star, plan_for):
+        previous = cost.set_statistics_enabled(False)
+        try:
+            plan = plan_for(self.SQL)
+            joins = find_ops(plan, LogicalJoin)
+            rights = []
+            for join in joins:
+                right = join.children[1]
+                while not isinstance(right, LogicalGet):
+                    right = right.children[0]
+                rights.append(right.table_entry.name)
+            # Syntactic left-deep order: the last-listed table stays the
+            # build side of the top join.
+            assert rights == ["dim_small", "dim_large"]
+        finally:
+            cost.set_statistics_enabled(previous)
+
+    def test_four_way_chain(self, star):
+        star.execute("CREATE TABLE bridge (b_id INTEGER, s_id INTEGER)")
+        star.executemany("INSERT INTO bridge VALUES (?, ?)",
+                         [(i, i % 20) for i in range(500)])
+        rows = star.execute(
+            "SELECT count(*) FROM facts, dim_large, bridge, dim_small "
+            "WHERE facts.dim_b = dim_large.id AND dim_large.id = bridge.b_id "
+            "AND bridge.s_id = dim_small.id").fetchall()
+        assert rows == [(4000,)]
+
+
+class TestLimitPushdown:
+    def test_scan_gets_limit_hint(self, plan_for):
+        plan = plan_for("SELECT i FROM sample LIMIT 2")
+        get = find_ops(plan, LogicalGet)[0]
+        assert get.limit_hint == 2
+
+    def test_offset_included_in_hint(self, plan_for):
+        plan = plan_for("SELECT i FROM sample LIMIT 2 OFFSET 3")
+        get = find_ops(plan, LogicalGet)[0]
+        assert get.limit_hint == 5
+
+    def test_stacked_limits_merge(self, plan_for):
+        plan = plan_for(
+            "SELECT * FROM (SELECT i FROM sample LIMIT 4) t LIMIT 2")
+        limits = find_ops(plan, LogicalLimit)
+        assert len(limits) == 1
+        assert limits[0].limit == 2
+
+    def test_stacked_limit_windows_clip(self, populated):
+        rows = populated.execute(
+            "SELECT * FROM (SELECT i FROM sample ORDER BY i LIMIT 3) t "
+            "LIMIT 5").fetchall()
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_offset_stacking_correct(self, populated):
+        rows = populated.execute(
+            "SELECT * FROM (SELECT i FROM sample ORDER BY i LIMIT 4 OFFSET 1)"
+            " t LIMIT 2 OFFSET 1").fetchall()
+        assert rows == [(3,), (4,)]
+
+    def test_limit_exact_with_hint(self, con):
+        con.execute("CREATE TABLE big (a INTEGER)")
+        con.executemany("INSERT INTO big VALUES (?)",
+                        [(i,) for i in range(100)])
+        rows = con.execute("SELECT a FROM big WHERE a >= 10 LIMIT 7").fetchall()
+        assert len(rows) == 7
+        assert all(a >= 10 for (a,) in rows)
+
+    def test_topn_fusion_still_happens(self, populated):
+        rows = populated.execute("EXPLAIN ANALYZE SELECT i FROM sample "
+                                 "ORDER BY i DESC LIMIT 2").fetchall()
+        text = "\n".join(row[0] for row in rows)
+        assert "TOP_N" in text
+        result = populated.execute(
+            "SELECT i FROM sample ORDER BY i DESC LIMIT 2").fetchall()
+        assert result == [(5,), (4,)]
+
+
+class TestOptimizerIntrospection:
+    def test_estimates_in_explain(self, star):
+        rows = star.execute(
+            "EXPLAIN SELECT count(*) FROM facts WHERE v < 100").fetchall()
+        text = "\n".join(row[0] for row in rows)
+        assert "(est=" in text
+
+    def test_explain_analyze_pairs_est_with_actual(self, star):
+        rows = star.execute(
+            "EXPLAIN ANALYZE SELECT facts.v, dim_small.label "
+            "FROM facts, dim_large, dim_small "
+            "WHERE facts.dim_b = dim_large.id "
+            "AND facts.dim_a = dim_small.id").fetchall()
+        text = "\n".join(row[0] for row in rows)
+        assert "est_rows=" in text
+        assert "rows_out=" in text
+
+    def test_optimizer_log_reports_join_order_and_scans(self, star):
+        star.execute(
+            "SELECT count(*) FROM facts, dim_small "
+            "WHERE facts.dim_a = dim_small.id AND facts.v < 100").fetchall()
+        rows = star.execute("SELECT phase, decision, detail "
+                            "FROM repro_optimizer()").fetchall()
+        phases = {row[0] for row in rows}
+        assert "join_order" in phases
+        assert "scan" in phases
+        scan_details = [row[2] for row in rows if row[0] == "scan"]
+        assert any("selectivity=" in detail for detail in scan_details)
+
+    def test_reading_log_does_not_clobber_it(self, star):
+        star.execute("SELECT count(*) FROM facts WHERE v = 1").fetchall()
+        first = star.execute("SELECT * FROM repro_optimizer()").fetchall()
+        second = star.execute("SELECT * FROM repro_optimizer()").fetchall()
+        assert first == second
+        assert first  # the SELECT on facts was recorded
+
+    def test_limit_decisions_recorded(self, star):
+        star.execute("SELECT v FROM facts LIMIT 5").fetchall()
+        rows = star.execute("SELECT decision FROM repro_optimizer() "
+                            "WHERE phase = 'limit'").fetchall()
+        assert any("limit hint" in row[0] for row in rows)

@@ -129,6 +129,60 @@ class TestTopNFusion:
         assert rows == [(None,), (1,)]
 
 
+class TestTopNAmortization:
+    """The Top-N accumulator must not re-sort on every incoming chunk."""
+
+    def _run_topn(self, chunk_values, limit, offset=0):
+        from repro.execution.physical import ExecutionContext, PhysicalOperator
+        from repro.execution.sort import PhysicalTopN
+        from repro.planner.expressions import BoundColumnRef
+        from repro.planner.logical import BoundOrderByItem
+
+        context = ExecutionContext(None)
+
+        class FeedOperator(PhysicalOperator):
+            def execute(self):
+                for values in chunk_values:
+                    yield DataChunk([Vector.from_values(values, INTEGER)])
+
+        child = FeedOperator(context, [], [INTEGER], ["x"])
+        items = [BoundOrderByItem(BoundColumnRef(0, INTEGER, "x"), True, None)]
+        topn = PhysicalTopN(context, child, items, limit, offset)
+        rows = [row[0] for chunk in topn.execute() for row in chunk.to_rows()]
+        return rows, context.stats
+
+    def test_sort_count_amortized(self):
+        # 200 chunks of 50 rows with keep=500: compaction may only fire
+        # every ~10 chunks (when resident rows reach 2*keep), not per chunk.
+        rng = np.random.default_rng(11)
+        chunks = [rng.integers(0, 10**6, 50).tolist() for _ in range(200)]
+        rows, stats = self._run_topn(chunks, limit=500)
+        total = 200 * 50
+        flat = sorted(value for chunk in chunks for value in chunk)
+        assert rows == flat[:500]
+        # Upper bound: one compaction per 2*keep-row fill, plus the final
+        # output sort.  Per-chunk re-sorting would be ~190 sorts.
+        assert stats["topn_sorts"] <= total // 500 + 2
+
+    def test_amortized_results_with_offset(self):
+        rng = np.random.default_rng(12)
+        chunks = [rng.integers(0, 1000, 17).tolist() for _ in range(30)]
+        rows, _ = self._run_topn(chunks, limit=10, offset=25)
+        flat = sorted(value for chunk in chunks for value in chunk)
+        assert rows == flat[25:35]
+
+    def test_final_partial_buffer_flushed(self):
+        # Fewer total rows than 2*keep: nothing compacts mid-stream, the
+        # tail flush must still produce the right answer.
+        chunks = [[5, 3], [9, 1], [7]]
+        rows, _ = self._run_topn(chunks, limit=3)
+        assert rows == [1, 3, 5]
+
+    def test_limit_zero_yields_nothing(self):
+        rows, _ = self._run_topn([[1, 2, 3]], limit=0)
+        assert rows == []
+
+
 class TestSetOpEdgeCases:
     def test_union_all_with_empty_side(self, con):
         con.execute("CREATE TABLE a (x INTEGER)")

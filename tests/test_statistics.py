@@ -1,0 +1,293 @@
+"""Statistics layer tests: sketches, per-column summaries, persistence,
+selectivity estimation, and the ablation switch."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.optimizer import cost
+from repro.optimizer.statistics import (
+    EXACT_NDV_LIMIT,
+    ColumnStatistics,
+    DistinctCounter,
+    HyperLogLog,
+    compute_column_statistics,
+    restore_column_statistics,
+)
+from repro.planner.expressions import BoundColumnRef, BoundConstant, BoundOperator
+from repro.types import BOOLEAN, INTEGER, VARCHAR
+
+
+class TestHyperLogLog:
+    def test_accuracy_large_integers(self):
+        sketch = HyperLogLog()
+        values = np.arange(100_000, dtype=np.int64)
+        sketch.add_array(values)
+        estimate = sketch.estimate()
+        assert 0.93 * 100_000 < estimate < 1.07 * 100_000
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = HyperLogLog()
+        for _ in range(10):
+            sketch.add_array(np.arange(1000, dtype=np.int64))
+        assert sketch.estimate() < 1200
+
+    def test_small_cardinality_linear_counting(self):
+        sketch = HyperLogLog()
+        sketch.add_array(np.arange(10, dtype=np.int64))
+        assert 8 <= sketch.estimate() <= 12
+
+    def test_merge_is_union(self):
+        a, b = HyperLogLog(), HyperLogLog()
+        a.add_array(np.arange(0, 50_000, dtype=np.int64))
+        b.add_array(np.arange(25_000, 75_000, dtype=np.int64))
+        a.merge(b)
+        assert 0.9 * 75_000 < a.estimate() < 1.1 * 75_000
+
+    def test_float_negative_zero_canonicalized(self):
+        sketch = HyperLogLog()
+        sketch.add_array(np.array([0.0, -0.0], dtype=np.float64))
+        assert sketch.estimate() <= 2
+
+
+class TestDistinctCounter:
+    def test_exact_below_limit(self):
+        counter = DistinctCounter()
+        counter.add_array(np.arange(100, dtype=np.int64))
+        counter.add_array(np.arange(50, dtype=np.int64))  # duplicates
+        assert counter.estimate() == 100.0
+        assert not counter.approximate
+
+    def test_promotion_keeps_estimate_consistent(self):
+        # Values seen before promotion must hash the same as values added
+        # after, or re-adding the same data would double-count.
+        counter = DistinctCounter(limit=512)
+        counter.add_array(np.arange(400, dtype=np.int64))
+        assert not counter.approximate
+        counter.add_array(np.arange(400, dtype=np.int64))  # same values again
+        counter.add_array(np.arange(400, 1000, dtype=np.int64))  # promotes
+        assert counter.approximate
+        estimate = counter.estimate()
+        assert 0.9 * 1000 < estimate < 1.1 * 1000
+
+    def test_string_promotion_consistent(self):
+        counter = DistinctCounter(limit=64)
+        values = np.array([f"key-{i}" for i in range(50)], dtype=object)
+        counter.add_array(values)
+        counter.add_array(
+            np.array([f"key-{i}" for i in range(120)], dtype=object))
+        assert counter.approximate
+        assert 100 < counter.estimate() < 140
+
+    def test_default_limit(self):
+        counter = DistinctCounter()
+        counter.add_array(np.arange(EXACT_NDV_LIMIT, dtype=np.int64))
+        assert not counter.approximate
+
+
+class TestColumnStatistics:
+    def test_observe_append_tracks_min_max_nulls(self):
+        stats = ColumnStatistics(INTEGER)
+        data = np.array([5, 2, 9, 7], dtype=np.int32)
+        validity = np.array([True, True, False, True])
+        stats.observe_append(data, validity)
+        assert stats.row_count == 4
+        assert stats.null_count == 1
+        assert stats.min_value == 2
+        assert stats.max_value == 7
+        assert not stats.stale
+
+    def test_update_widens_and_marks_stale(self):
+        stats = ColumnStatistics(INTEGER)
+        stats.observe_append(np.array([1, 2, 3], dtype=np.int32),
+                             np.ones(3, dtype=bool))
+        stats.observe_update(np.array([100], dtype=np.int32),
+                             np.ones(1, dtype=bool))
+        assert stats.stale
+        assert stats.max_value == 100
+        assert stats.min_value == 1
+
+    def test_restore_uses_baseline_ndv_floor(self):
+        stats = restore_column_statistics(INTEGER, 1000, 10, 250.0, False,
+                                          0, 999)
+        assert stats.ndv == 250.0
+        # Fresh observations below the baseline do not lower the estimate.
+        stats.observe_append(np.array([1, 2], dtype=np.int32),
+                             np.ones(2, dtype=bool))
+        assert stats.ndv == 250.0
+
+    def test_compute_exact(self):
+        data = np.array([3, 1, 3, 2], dtype=np.int32)
+        stats = compute_column_statistics(data, np.ones(4, dtype=bool),
+                                          INTEGER)
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+        assert stats.ndv == 3.0
+
+
+def _stats_for(values, nulls=0):
+    data = np.asarray(values, dtype=np.int64)
+    validity = np.ones(len(data), dtype=bool)
+    stats = compute_column_statistics(data, validity, INTEGER)
+    stats.null_count = nulls
+    stats.row_count += nulls
+    return stats
+
+
+class TestSelectivity:
+    def test_equality_is_one_over_ndv(self):
+        stats = _stats_for(range(100))
+        resolver = lambda position: stats
+        predicate = BoundOperator("=", [BoundColumnRef(0, INTEGER, "c"),
+                                        BoundConstant(42, INTEGER)], BOOLEAN)
+        assert cost.predicate_selectivity(predicate, resolver) == \
+            pytest.approx(0.01)
+
+    def test_out_of_range_equality_is_zero(self):
+        stats = _stats_for(range(100))
+        predicate = BoundOperator("=", [BoundColumnRef(0, INTEGER, "c"),
+                                        BoundConstant(5000, INTEGER)], BOOLEAN)
+        assert cost.predicate_selectivity(predicate, lambda p: stats) == 0.0
+
+    def test_range_interval_fraction(self):
+        stats = _stats_for(range(101))  # min 0, max 100
+        predicate = BoundOperator("<", [BoundColumnRef(0, INTEGER, "c"),
+                                        BoundConstant(25, INTEGER)], BOOLEAN)
+        assert cost.predicate_selectivity(predicate, lambda p: stats) == \
+            pytest.approx(0.25)
+
+    def test_flipped_comparison(self):
+        stats = _stats_for(range(101))
+        # 25 > c  is  c < 25
+        predicate = BoundOperator(">", [BoundConstant(25, INTEGER),
+                                        BoundColumnRef(0, INTEGER, "c")],
+                                  BOOLEAN)
+        assert cost.predicate_selectivity(predicate, lambda p: stats) == \
+            pytest.approx(0.25)
+
+    def test_null_fraction_scales_estimates(self):
+        stats = _stats_for(range(50), nulls=50)  # half the rows are NULL
+        predicate = BoundOperator("<", [BoundColumnRef(0, INTEGER, "c"),
+                                        BoundConstant(1000, INTEGER)], BOOLEAN)
+        selectivity = cost.predicate_selectivity(predicate, lambda p: stats)
+        assert selectivity == pytest.approx(0.5)
+
+    def test_conjunction_multiplies(self):
+        stats = _stats_for(range(101))
+        ref = BoundColumnRef(0, INTEGER, "c")
+        conjunct = BoundOperator("and", [
+            BoundOperator("<", [ref, BoundConstant(50, INTEGER)], BOOLEAN),
+            BoundOperator(">=", [ref, BoundConstant(0, INTEGER)], BOOLEAN),
+        ], BOOLEAN)
+        assert cost.predicate_selectivity(conjunct, lambda p: stats) == \
+            pytest.approx(0.5, abs=0.01)
+
+    def test_defaults_without_stats(self):
+        predicate = BoundOperator("=", [BoundColumnRef(0, INTEGER, "c"),
+                                        BoundConstant(1, INTEGER)], BOOLEAN)
+        selectivity = cost.predicate_selectivity(predicate, lambda p: None)
+        assert selectivity == pytest.approx(
+            cost.DEFAULT_EQUALITY_SELECTIVITY
+            * (1.0 - cost.DEFAULT_NULL_FRACTION))
+
+
+class TestStatisticsLifecycle:
+    def test_append_maintains_stats(self, con):
+        con.execute("CREATE TABLE t (a INTEGER, s VARCHAR)")
+        con.executemany("INSERT INTO t VALUES (?, ?)",
+                        [(i, f"v{i % 10}") for i in range(500)])
+        row = con.execute(
+            "SELECT row_count, null_count, ndv, min_value, max_value, stale "
+            "FROM repro_column_stats() "
+            "WHERE table_name = 't' AND column_name = 'a'").fetchall()[0]
+        assert row[0] == 500
+        assert row[1] == 0
+        assert row[2] == 500.0
+        assert row[3] == "0" and row[4] == "499"
+        assert row[5] is False
+
+    def test_update_marks_stale(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        con.execute("INSERT INTO t VALUES (1), (2), (3)")
+        con.execute("UPDATE t SET a = 99 WHERE a = 2")
+        row = con.execute(
+            "SELECT stale, max_value FROM repro_column_stats() "
+            "WHERE table_name = 't'").fetchall()[0]
+        assert row[0] is True
+        assert row[1] == "99"
+
+    def test_delete_marks_stale(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        con.execute("INSERT INTO t VALUES (1), (2), (3)")
+        con.execute("DELETE FROM t WHERE a = 3")
+        row = con.execute("SELECT stale FROM repro_column_stats() "
+                          "WHERE table_name = 't'").fetchall()[0]
+        assert row[0] is True
+
+    def test_checkpoint_persists_stats(self, db_path):
+        con = repro.connect(db_path)
+        con.execute("CREATE TABLE t (a INTEGER, s VARCHAR)")
+        con.executemany("INSERT INTO t VALUES (?, ?)",
+                        [(i, f"name-{i % 7}") for i in range(300)])
+        con.close()
+
+        con = repro.connect(db_path)
+        rows = {row[0]: row for row in con.execute(
+            "SELECT column_name, row_count, ndv, min_value, max_value, stale "
+            "FROM repro_column_stats() WHERE table_name = 't'").fetchall()}
+        assert rows["a"][1] == 300
+        assert rows["a"][2] == 300.0
+        assert rows["a"][3] == "0" and rows["a"][4] == "299"
+        assert rows["a"][5] is False
+        assert rows["s"][2] == 7.0
+        assert rows["s"][3] == "'name-0'"
+        con.close()
+
+    def test_checkpoint_recomputes_stale_stats(self, db_path):
+        con = repro.connect(db_path)
+        con.execute("CREATE TABLE t (a INTEGER)")
+        con.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(100)])
+        con.execute("DELETE FROM t WHERE a >= 10")
+        con.close()  # checkpoint: compaction + exact recompute
+
+        con = repro.connect(db_path)
+        row = con.execute(
+            "SELECT row_count, ndv, min_value, max_value, stale "
+            "FROM repro_column_stats() WHERE table_name = 't'").fetchall()[0]
+        assert row[0] == 10
+        assert row[1] == 10.0
+        assert row[2] == "0" and row[3] == "9"
+        assert row[4] is False
+        con.close()
+
+    def test_rolled_back_insert_not_persisted(self, db_path):
+        con = repro.connect(db_path)
+        con.execute("CREATE TABLE t (a INTEGER)")
+        con.execute("INSERT INTO t VALUES (1)")
+        con.execute("BEGIN TRANSACTION")
+        con.execute("INSERT INTO t VALUES (1000000)")
+        con.execute("ROLLBACK")
+        con.close()
+
+        con = repro.connect(db_path)
+        assert con.execute("SELECT count(*), max(a) FROM t").fetchall() == \
+            [(1, 1)]
+        con.close()
+
+
+class TestAblationSwitch:
+    def test_disabling_statistics_restores_defaults(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        con.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(100)])
+        previous = cost.set_statistics_enabled(False)
+        try:
+            rows = con.execute(
+                "EXPLAIN SELECT a FROM t WHERE a = 1").fetchall()
+            text = "\n".join(row[0] for row in rows)
+            # 100 rows * default equality selectivity, not 1/NDV.
+            assert "est=10 rows" in text
+        finally:
+            cost.set_statistics_enabled(previous)
+        rows = con.execute("EXPLAIN SELECT a FROM t WHERE a = 1").fetchall()
+        text = "\n".join(row[0] for row in rows)
+        assert "est=1 rows" in text

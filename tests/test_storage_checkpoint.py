@@ -99,6 +99,28 @@ class TestRoundTrip:
             [(1,), (3,)]
         con.close()
 
+    def test_checkpoint_after_full_delete(self, db_path):
+        """Regression: compacting to zero rows must not mark phantom row 0
+        dirty -- the follow-up checkpoint would serialize garbage."""
+        con = repro.connect(db_path)
+        con.execute("CREATE TABLE t (i INTEGER, s VARCHAR)")
+        con.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+        con.execute("CHECKPOINT")
+        con.execute("DELETE FROM t")
+        con.execute("CHECKPOINT")
+        transaction = con.database.transaction_manager.begin()
+        table = con.database.catalog.get_table("t", transaction)
+        assert table.data.row_count == 0
+        for column in table.data.columns:
+            assert not column.is_dirty()
+        con.database.transaction_manager.rollback(transaction)
+        con.close()
+        con = reopen(db_path)
+        assert con.query_value("SELECT count(*) FROM t") == 0
+        con.execute("INSERT INTO t VALUES (9, 'z')")
+        assert con.execute("SELECT * FROM t").fetchall() == [(9, "z")]
+        con.close()
+
 
 class TestColumnGranularRewrite:
     def test_update_rewrites_only_touched_column(self, db_path):

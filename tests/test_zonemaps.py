@@ -169,3 +169,94 @@ class TestZoneBounds:
         clustered.database.transaction_manager.rollback(transaction)
         writer.execute("ROLLBACK")
         writer.close()
+
+    def test_cache_keyed_on_full_window(self, con):
+        """Regression: the zone cache must key on (start, end), not start
+        alone -- a cached narrow window must never answer a wider one."""
+        con.execute("CREATE TABLE g (x INTEGER)")
+        con.execute("INSERT INTO g VALUES (1), (2), (3)")
+        transaction = con.database.transaction_manager.begin()
+        column = con.database.catalog.get_table("g", transaction).data.columns[0]
+        assert column.zone_bounds(0, 2) == (1, 2)
+        # Same start, wider end: must see row 3, not the cached (1, 2).
+        assert column.zone_bounds(0, 3) == (1, 3)
+        con.database.transaction_manager.rollback(transaction)
+
+    def test_append_into_tail_segment_then_filter(self, con):
+        """Regression for the stale-tail-cache bug: grow the tail segment
+        after its bounds were cached, then filter on the new rows."""
+        con.execute("CREATE TABLE g (x INTEGER)")
+        con.executemany("INSERT INTO g VALUES (?)", [(i,) for i in range(100)])
+        sql = "SELECT count(*) FROM g WHERE x >= 100"
+        run_with_stats(con, sql)  # caches the tail segment's bounds
+        assert con.query_value(sql) == 0
+        con.execute("INSERT INTO g VALUES (500)")  # same tail segment
+        assert con.query_value(sql) == 1
+        assert con.query_value("SELECT count(*) FROM g WHERE x = 500") == 1
+
+
+class TestChurnCorrectness:
+    """Zone-map pruning must match an unpruned scan under churn."""
+
+    def _unpruned(self, con, sql):
+        from repro.storage.table_data import ColumnData
+
+        original = ColumnData.zone_bounds
+        ColumnData.zone_bounds = lambda self, start, end: None
+        try:
+            rows, _ = run_with_stats(con, sql)
+        finally:
+            ColumnData.zone_bounds = original
+        return rows
+
+    def _assert_matches_unpruned(self, con, sql):
+        pruned, _ = run_with_stats(con, sql)
+        assert sorted(pruned) == sorted(self._unpruned(con, sql))
+        return pruned
+
+    def test_equality_and_range_after_update(self, clustered):
+        clustered.execute("UPDATE ts SET t = 300000 WHERE t < 10")
+        for sql in ("SELECT v FROM ts WHERE t = 300000",
+                    "SELECT count(*) FROM ts WHERE t >= 250000",
+                    "SELECT count(*) FROM ts WHERE t < 10"):
+            self._assert_matches_unpruned(clustered, sql)
+        assert clustered.query_value(
+            "SELECT count(*) FROM ts WHERE t = 300000") == 10
+        assert clustered.query_value(
+            "SELECT count(*) FROM ts WHERE t < 10") == 0
+
+    def test_after_delete_and_compact(self, clustered):
+        clustered.execute("DELETE FROM ts WHERE t BETWEEN 50000 AND 149999")
+        transaction = clustered.database.transaction_manager.begin()
+        table = clustered.database.catalog.get_table("ts", transaction)
+        mask = table.data.visible_mask(transaction, 0, table.data.row_count)
+        clustered.database.transaction_manager.rollback(transaction)
+        table.data.compact(mask)
+        for sql in ("SELECT count(*) FROM ts WHERE t >= 100000",
+                    "SELECT count(*) FROM ts WHERE t = 49999",
+                    "SELECT count(*) FROM ts WHERE t = 100000"):
+            self._assert_matches_unpruned(clustered, sql)
+        assert clustered.query_value("SELECT count(*) FROM ts") == 100_000
+
+    def test_float_constant_against_integer_column(self, clustered):
+        for sql in ("SELECT count(*) FROM ts WHERE t > 199998.5",
+                    "SELECT count(*) FROM ts WHERE t < 0.5",
+                    "SELECT count(*) FROM ts WHERE t = 1000.0"):
+            self._assert_matches_unpruned(clustered, sql)
+        assert clustered.query_value(
+            "SELECT count(*) FROM ts WHERE t > 199998.5") == 1
+
+    def test_temporal_constants_prune_correctly(self, con):
+        con.execute("CREATE TABLE ev (d DATE, at TIMESTAMP)")
+        con.executemany(
+            "INSERT INTO ev VALUES (?, ?)",
+            [(f"2024-{month:02d}-01", f"2024-{month:02d}-01 12:00:00")
+             for month in range(1, 13)])
+        for sql in ("SELECT count(*) FROM ev WHERE d >= "
+                    "CAST('2024-06-01' AS DATE)",
+                    "SELECT count(*) FROM ev WHERE at < "
+                    "CAST('2024-03-01 00:00:00' AS TIMESTAMP)"):
+            self._assert_matches_unpruned(con, sql)
+        assert con.query_value(
+            "SELECT count(*) FROM ev WHERE d >= "
+            "CAST('2024-06-01' AS DATE)") == 7
