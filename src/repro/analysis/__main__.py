@@ -42,6 +42,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--config", default=None, metavar="PYPROJECT",
                         help="explicit pyproject.toml with a "
                              "[tool.quacklint] table")
+    parser.add_argument("--fail-on", choices=("error", "warning"),
+                        default="warning", dest="fail_on",
+                        help="minimum severity that fails the run: "
+                             "'warning' (default) exits 1 on any finding, "
+                             "'error' reports warnings but exits 0 unless "
+                             "an error-severity violation was found")
     return parser
 
 
@@ -69,6 +75,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     violations = analyze_paths(paths, config)
     scanned = sum(1 for _ in iter_python_files(paths))
+    errors = [v for v in violations if v.severity == "error"]
+    warnings = [v for v in violations if v.severity != "error"]
 
     if options.output_format == "json":
         print(json.dumps({
@@ -76,15 +84,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "files_scanned": scanned,
             "files_flagged": len({v.path for v in violations}),
             "violation_count": len(violations),
+            "error_count": len(errors),
+            "warning_count": len(warnings),
         }, indent=2))
     elif options.output_format == "github":
-        # GitHub Actions workflow-command annotations: one ::error line per
-        # violation, surfaced inline on the PR diff.  Newlines/percent in
-        # the message must be URL-style escaped per the Actions spec.
+        # GitHub Actions workflow-command annotations: one ::error (or
+        # ::warning) line per violation, surfaced inline on the PR diff.
+        # Newlines/percent in the message must be URL-style escaped per
+        # the Actions spec.
         for violation in violations:
             message = (violation.message.replace("%", "%25")
                        .replace("\r", "%0D").replace("\n", "%0A"))
-            print(f"::error file={violation.path},line={violation.line},"
+            command = "error" if violation.severity == "error" else "warning"
+            print(f"::{command} file={violation.path},line={violation.line},"
                   f"col={violation.col + 1},title={violation.rule}::"
                   f"{message}")
     else:
@@ -92,9 +104,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(violation.render())
         noun = "violation" if len(violations) == 1 else "violations"
         flagged_files = len({violation.path for violation in violations})
-        print(f"quacklint: {len(violations)} {noun} in {flagged_files} "
-              f"file(s) ({scanned} files scanned)")
-    return 1 if violations else 0
+        breakdown = f" ({len(errors)} errors, {len(warnings)} warnings)" \
+            if warnings else ""
+        print(f"quacklint: {len(violations)} {noun}{breakdown} in "
+              f"{flagged_files} file(s) ({scanned} files scanned)")
+    failing = errors if options.fail_on == "error" else violations
+    return 1 if failing else 0
 
 
 if __name__ == "__main__":

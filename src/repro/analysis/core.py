@@ -28,7 +28,7 @@ import io
 import os
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
@@ -51,16 +51,24 @@ PARSE_ERROR_RULE = "QLP000"
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: rule id, location, and a human-readable message."""
+    """One finding: rule id, location, and a human-readable message.
+
+    ``severity`` is ``"error"`` (the default) or ``"warning"``; a family
+    downgrades specific ids by listing them in :attr:`Rule.warning_ids`,
+    and the CLI's ``--fail-on error`` lets warnings through the exit code.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        suffix = "" if self.severity == "error" else f" [{self.severity}]"
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}{suffix}")
 
 
 def package_path(path: str) -> str:
@@ -130,6 +138,9 @@ class Rule:
     description: str = ""
     ids: Dict[str, str] = {}
     default_scope: Tuple[str, ...] = ("repro/",)
+    #: Ids this family reports as warnings instead of errors (advisory
+    #: findings with a known false-positive rate).
+    warning_ids: Tuple[str, ...] = ()
 
     def applies_to(self, ctx: "FileContext", config: "AnalysisConfig") -> bool:
         scope = tuple(self.default_scope) + tuple(
@@ -199,6 +210,9 @@ def analyze_source(source: str, path: str,
                 continue
             if ctx.is_suppressed(violation):
                 continue
+            if violation.rule in rule.warning_ids \
+                    and violation.severity == "error":
+                violation = replace(violation, severity="warning")
             violations.append(violation)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return violations

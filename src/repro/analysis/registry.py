@@ -64,9 +64,12 @@ DEFAULT_SHARED_CLASSES: Dict[str, Dict[str, SharedClassSpec]] = {
         # store, polled between chunks -- guarding it would serialize the
         # hot path for nothing.  ``_subquery_results`` is coordinator-only:
         # pipelines containing subqueries never parallelize (see
-        # expressions_parallel_safe).
+        # expressions_parallel_safe).  ``lowering_active`` is likewise
+        # coordinator-only: plans (including subquery plans) are lowered
+        # before/outside morsel workers.
         "ExecutionContext": SharedClassSpec(
-            "_stats_lock", frozenset({"interrupted", "_subquery_results"})),
+            "_stats_lock", frozenset({"interrupted", "_subquery_results",
+                                      "lowering_active"})),
     },
     "repro/execution/parallel.py": {
         # ``_parent_span`` is written once by the coordinator before any
@@ -100,6 +103,13 @@ DEFAULT_SHARED_CLASSES: Dict[str, Dict[str, SharedClassSpec]] = {
         # Every connection thread appends to the statement ring.
         "FlightRecorder": SharedClassSpec("_lock"),
     },
+    "repro/verifier/verifier.py": {
+        # quackplan is shared engine state: statements on concurrent
+        # connections (and subquery lowerings mid-execution) report their
+        # check results here.
+        "PlanVerifier": SharedClassSpec("_lock"),
+        "PlanCheckLog": SharedClassSpec("_lock"),
+    },
 }
 
 #: Modules whose functions run on morsel worker threads (or are called from
@@ -112,6 +122,7 @@ DEFAULT_WORKER_REACHABLE: Tuple[str, ...] = (
     "repro/storage/table_data.py",
     "repro/catalog/",
     "repro/transaction/",
+    "repro/verifier/",
 )
 
 

@@ -3,7 +3,7 @@
 One module per family; :data:`ALL_RULES` is the engine's default rule set.
 Family prefixes: QLC (concurrency), QLL (lock order), QLV (vectorization),
 QLZ (zero-copy), QLE (exception discipline), QLR (resource discipline),
-QLO (observability discipline).
+QLO (observability discipline), QLP (plan discipline).
 """
 
 from __future__ import annotations
@@ -15,6 +15,7 @@ from .concurrency import ConcurrencyRule
 from .exceptions import ExceptionDisciplineRule
 from .lockorder import LockOrderRule
 from .observability import ObservabilityRule
+from .plans import PlanDisciplineRule
 from .resources import ResourceDisciplineRule
 from .vectorization import VectorizationRule
 from .zerocopy import ZeroCopyRule
@@ -26,6 +27,7 @@ __all__ = [
     "VectorizationRule",
     "ZeroCopyRule",
     "ExceptionDisciplineRule",
+    "PlanDisciplineRule",
     "ResourceDisciplineRule",
     "ObservabilityRule",
     "all_rule_ids",
@@ -39,6 +41,7 @@ ALL_RULES: List[Rule] = [
     ExceptionDisciplineRule(),
     ResourceDisciplineRule(),
     ObservabilityRule(),
+    PlanDisciplineRule(),
 ]
 
 

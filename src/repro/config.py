@@ -112,6 +112,15 @@ class DatabaseConfig:
     profile_hz:
         Stack samples per second while profiling is enabled (clamped to
         [1, 1000] by the profiler).
+    verify_plans:
+        Run quackplan (see :mod:`repro.verifier`) on every statement: each
+        optimizer pass and every logical->physical lowering is checked
+        against the plan invariants, violations surface through
+        ``repro_plan_checks()`` and raise
+        :class:`~repro.errors.PlanVerificationError`.  Off by default with
+        near-zero overhead (one attribute test per optimize call); the
+        ``REPRO_VERIFY_PLANS`` environment variable provides the default
+        for configs built via :meth:`from_dict` -- tests and CI turn it on.
     """
 
     memory_limit: int = 1 << 31  # 2 GiB default
@@ -126,6 +135,7 @@ class DatabaseConfig:
     slow_query_ms: float = 0.0
     profile_enabled: bool = False
     profile_hz: float = 97.0
+    verify_plans: bool = False
 
     @classmethod
     def from_dict(cls, options: Optional[Dict[str, Any]]) -> "DatabaseConfig":
@@ -147,6 +157,10 @@ class DatabaseConfig:
             env_profile = os.environ.get("REPRO_PROFILE")
             if env_profile:
                 config.set_option("profile_enabled", env_profile)
+        if "verify_plans" not in given:
+            env_verify = os.environ.get("REPRO_VERIFY_PLANS")
+            if env_verify:
+                config.set_option("verify_plans", env_verify)
         return config
 
     def set_option(self, name: str, value: Any) -> None:
@@ -166,7 +180,7 @@ class DatabaseConfig:
             self.morsel_size = morsel_size
         elif name in ("verify_checksums", "buffer_memtest", "reactive_resources",
                       "checkpoint_on_close", "trace_enabled",
-                      "profile_enabled"):
+                      "profile_enabled", "verify_plans"):
             setattr(self, name, _coerce_bool(value))
         elif name == "slow_query_ms":
             threshold = float(value)

@@ -28,6 +28,7 @@ from .sanitizer import SanLock
 from .storage.buffer_manager import BufferManager
 from .storage.storage_manager import StorageManager
 from .transaction.manager import TransactionManager
+from .verifier import PlanCheckLog, PlanVerifier
 
 __all__ = ["Database"]
 
@@ -65,6 +66,12 @@ class Database:
         #: Decisions taken while optimizing the most recent statement,
         #: served by the ``repro_optimizer()`` system table.
         self.optimizer_log = OptimizerLog()
+        #: quackplan results for the most recently verified statement,
+        #: served by the ``repro_plan_checks()`` system table.
+        self.plan_check_log = PlanCheckLog()
+        #: Static plan verifier; consulted by the optimizer and the
+        #: physical planner only while ``config.verify_plans`` is on.
+        self.plan_verifier = PlanVerifier(self.plan_check_log)
         #: Last buffer-manager counter values folded into the metrics
         #: registry (see :meth:`fold_metrics`).
         self._metrics_baseline: Dict[str, int] = {}

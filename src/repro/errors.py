@@ -30,6 +30,7 @@ __all__ = [
     "MemoryFaultError",
     "ConnectionError",
     "InterruptError",
+    "PlanVerificationError",
 ]
 
 
@@ -123,3 +124,17 @@ class ConnectionError(Error):
 
 class InterruptError(Error):
     """Query execution was interrupted (cooperative cancellation)."""
+
+
+class PlanVerificationError(Error):
+    """quackplan found a plan that violates a structural invariant.
+
+    Raised (under ``REPRO_VERIFY_PLANS=1`` / ``verify_plans``) when an
+    optimizer pass or the logical->physical lowering produces a plan with a
+    dangling column reference, a changed output schema, an inflated limit,
+    or a nonsensical cardinality estimate.  Deliberately *not* an
+    :class:`InternalError`: the verifier reports through its own channel
+    (``repro_plan_checks()`` plus this exception, which already carries the
+    offending pass and before/after plan snippets), so it must not also
+    trigger the flight recorder's engine-fault dump.
+    """

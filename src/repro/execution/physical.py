@@ -42,6 +42,13 @@ class ExecutionContext:
         #: concurrently.
         self.stats = {}
         self._stats_lock = SanLock("operator_stats")
+        #: True while ``create_physical_plan`` is lowering this query's
+        #: tree, so the recursive per-child calls know they are not the
+        #: root (only the root lowering is verified by quackplan).
+        #: Coordinator-only, like the subquery cache: plans are lowered
+        #: before morsel workers exist, and subquery lowerings happen on
+        #: the coordinator (``materialize_subquery``).
+        self.lowering_active = False
 
     @property
     def buffer_manager(self):
@@ -108,6 +115,10 @@ class PhysicalOperator:
     #: Optimizer cardinality estimate, copied from the logical operator by
     #: the physical planner; EXPLAIN ANALYZE compares it to actual rows.
     estimated_rows: Optional[float] = None
+    #: True when the estimate leaned on column statistics marked stale
+    #: (rows changed since the last recompute); copied from the logical
+    #: operator so EXPLAIN can flag it.
+    estimate_stale: bool = False
 
     def __init__(self, context: ExecutionContext,
                  children: List["PhysicalOperator"],
@@ -139,7 +150,8 @@ class PhysicalOperator:
     def explain(self, indent: int = 0) -> str:
         line = " " * indent + self._explain_line()
         if self.estimated_rows is not None:
-            line += f" (est={int(round(self.estimated_rows))} rows)"
+            stale = ", stale" if self.estimate_stale else ""
+            line += f" (est={int(round(self.estimated_rows))} rows{stale})"
         parts = [line]
         for child in self.children:
             parts.append(child.explain(indent + 2))

@@ -29,6 +29,7 @@ from ..planner.logical import (
     LogicalSetOp,
     LogicalValues,
 )
+from ..verifier import active_verifier
 from .aggregate import (
     PhysicalDistinct,
     PhysicalHashAggregate,
@@ -165,10 +166,28 @@ def _try_parallel_aggregate(plan: LogicalAggregate,
 def create_physical_plan(plan: LogicalOperator,
                          context: ExecutionContext) -> PhysicalOperator:
     """Lower a logical operator tree, carrying the optimizer's cardinality
-    estimates onto the physical operators (for EXPLAIN ANALYZE spans)."""
-    physical = _lower(plan, context)
+    estimates onto the physical operators (for EXPLAIN ANALYZE spans).
+
+    Recursive: ``_lower`` calls back in here per child.  Only the outermost
+    call is a *root* lowering -- that is the one quackplan verifies (when
+    ``config.verify_plans`` is on), including subquery plans lowered
+    mid-execution by ``materialize_subquery``, which re-enter at depth 0.
+    """
+    root = not context.lowering_active
+    context.lowering_active = True
+    try:
+        physical = _lower(plan, context)
+    finally:
+        if root:
+            context.lowering_active = False
     if physical.estimated_rows is None:
         physical.estimated_rows = plan.estimated_rows
+    if plan.estimate_stale and not physical.estimate_stale:
+        physical.estimate_stale = True
+    if root:
+        verifier = active_verifier(context.database)
+        if verifier is not None:
+            verifier.check_lowering(plan, physical)
     return physical
 
 

@@ -143,6 +143,21 @@ def optimizer_rows(database: Any, transaction: Any) -> List[Row]:
     return rows
 
 
+def plan_checks_rows(database: Any, transaction: Any) -> List[Row]:
+    """quackplan results for the most recently verified statement.
+
+    Empty unless the database runs with ``verify_plans``.  Statements that
+    themselves read ``repro_plan_checks()`` are verified but do not reset
+    the log, so the report always describes the last *other* statement.
+    """
+    rows: List[Row] = []
+    for record in database.plan_check_log.snapshot():
+        rows.append((record.statement_id, record.seq, record.stage,
+                     record.invariant, record.status, record.operator,
+                     record.detail))
+    return rows
+
+
 def column_stats_rows(database: Any, transaction: Any) -> List[Row]:
     """Per-column statistics backing the cost model (min/max/NDV/nulls)."""
     rows: List[Row] = []
@@ -249,6 +264,13 @@ def register_builtin_functions() -> None:
          ("decision", VARCHAR), ("detail", VARCHAR),
          ("estimated_rows", DOUBLE)],
         optimizer_rows))
+    register(SystemTableFunction(
+        "repro_plan_checks",
+        "quackplan verification results for the last statement",
+        [("statement", BIGINT), ("seq", BIGINT), ("stage", VARCHAR),
+         ("invariant", VARCHAR), ("status", VARCHAR),
+         ("operator", VARCHAR), ("detail", VARCHAR)],
+        plan_checks_rows))
     register(SystemTableFunction(
         "repro_column_stats", "per-column statistics behind the cost model",
         [("table_name", VARCHAR), ("column_name", VARCHAR),

@@ -453,15 +453,67 @@ def _estimate(plan: LogicalOperator) -> float:
     return 1.0
 
 
+def _column_stale(plan: LogicalOperator, position: int) -> bool:
+    """Whether an output column's statistics are marked stale, chased
+    through pass-through operators like :func:`column_ndv`."""
+    if isinstance(plan, LogicalGet):
+        stats = _get_stats(plan, position)
+        return stats is not None and stats.stale
+    if isinstance(plan, LogicalProjection):
+        expression = plan.expressions[position]
+        if isinstance(expression, BoundColumnRef):
+            return _column_stale(plan.children[0], expression.position)
+        return False
+    if isinstance(plan, (LogicalFilter, LogicalOrder, LogicalLimit,
+                         LogicalDistinct)):
+        return _column_stale(plan.children[0], position)
+    if isinstance(plan, LogicalJoin):
+        left_width = len(plan.children[0].schema)
+        if position < left_width:
+            return _column_stale(plan.children[0], position)
+        return _column_stale(plan.children[1], position - left_width)
+    return False
+
+
+def _expression_stale(plan: LogicalOperator,
+                      expression: BoundExpression) -> bool:
+    return any(_column_stale(plan, position)
+               for position in expression.referenced_columns())
+
+
+def _estimate_stale(plan: LogicalOperator) -> bool:
+    """Whether this node's *own* estimate consulted stale statistics
+    (child staleness propagates separately in :func:`annotate`)."""
+    if isinstance(plan, LogicalGet):
+        return any(_expression_stale(plan, predicate)
+                   for predicate in plan.pushed_filters)
+    if isinstance(plan, LogicalJoin):
+        return any(
+            _expression_stale(plan.children[0], condition.left)
+            or _expression_stale(plan.children[1], condition.right)
+            for condition in plan.conditions)
+    if isinstance(plan, LogicalAggregate):
+        return any(_expression_stale(plan.children[0], group)
+                   for group in plan.groups)
+    if isinstance(plan, LogicalDistinct):
+        return any(_column_stale(plan.children[0], position)
+                   for position in range(len(plan.schema)))
+    return False
+
+
 def annotate(plan: LogicalOperator) -> float:
     """Stamp ``estimated_rows`` on every node, bottom-up; returns the root
     estimate.  Estimates land on logical nodes first and are copied onto
     the physical operators during lowering, where EXPLAIN ANALYZE pairs
-    them with actual row counts."""
+    them with actual row counts.  Nodes whose estimate consulted stale
+    column statistics (or sit above one that did) also get
+    ``estimate_stale`` so EXPLAIN can flag them."""
     for child in plan.children:
         annotate(child)
     rows = _estimate(plan)
     plan.estimated_rows = rows  # type: ignore[attr-defined]
+    plan.estimate_stale = _estimate_stale(plan) \
+        or any(child.estimate_stale for child in plan.children)
     return rows
 
 

@@ -30,6 +30,12 @@ After the passes, every node is annotated with ``estimated_rows`` and the
 decisions taken (join order, build sides, pushdowns, scan selectivities)
 are published to the database's :class:`~repro.optimizer.cost.OptimizerLog`
 for the ``repro_optimizer()`` system table.
+
+When the database runs with ``verify_plans`` (quackplan,
+:mod:`repro.verifier`), every pass executes inside a verification session:
+the plan is checked for binding integrity, root-schema preservation, limit
+soundness, and -- after annotation -- cardinality sanity, with violations
+naming the offending pass.
 """
 
 from __future__ import annotations
@@ -62,39 +68,59 @@ from ..planner.logical import (
     LogicalValues,
 )
 from ..types import BOOLEAN
+from ..verifier import active_verifier
 from . import cost
 from .cost import DecisionRecorder
 
 __all__ = ["optimize"]
 
 
+def _run_pass(session, name, fn, plan):
+    """Run one rewrite pass, verified when a quackplan session is open."""
+    if session is None:
+        return fn(plan)
+    return session.run_pass(name, fn, plan)
+
+
 def optimize(plan: LogicalOperator, database=None) -> LogicalOperator:
     """Apply all rewrite passes to a bound logical plan.
 
     ``database`` (optional) receives the decision record on its
-    ``optimizer_log`` -- the backing store of ``repro_optimizer()``.
+    ``optimizer_log`` -- the backing store of ``repro_optimizer()`` -- and,
+    when ``config.verify_plans`` is on, supplies the quackplan verifier
+    that checks the plan after every pass.
     """
     recorder = DecisionRecorder()
-    plan = _fold_operator(plan)
-    plan = _push_filters(plan, [])
-    plan = _reorder_joins(plan, recorder)
-    plan = _push_limits(plan, recorder)
-    plan, _ = _prune_columns(plan, set(range(len(plan.schema))))
+    verifier = active_verifier(database)
+    session = verifier.begin(plan) if verifier is not None else None
+    plan = _run_pass(session, "constant_folding", _fold_operator, plan)
+    plan = _run_pass(session, "filter_pushdown",
+                     lambda p: _push_filters(p, []), plan)
+    plan = _run_pass(session, "join_reordering",
+                     lambda p: _reorder_joins(p, recorder), plan)
+    plan = _run_pass(session, "limit_pushdown",
+                     lambda p: _push_limits(p, recorder), plan)
+    plan = _run_pass(session, "column_pruning",
+                     lambda p: _prune_columns(
+                         p, set(range(len(p.schema))))[0], plan)
     cost.annotate(plan)
+    if session is not None:
+        session.check_annotated(plan)
     _record_scans(plan, recorder)
-    if database is not None and not _scans_optimizer_log(plan):
+    if database is not None and not _scans_system_table(plan,
+                                                        "repro_optimizer"):
         database.optimizer_log.publish(recorder)
     return plan
 
 
-def _scans_optimizer_log(plan: LogicalOperator) -> bool:
-    """True when the plan reads ``repro_optimizer()`` -- such statements
-    must not overwrite the very log they are reporting."""
+def _scans_system_table(plan: LogicalOperator, name: str) -> bool:
+    """True when the plan reads the named system table function -- such
+    statements must not overwrite the very log they are reporting."""
     stack = [plan]
     while stack:
         node = stack.pop()
         if isinstance(node, LogicalIntrospectionScan) \
-                and node.function.name == "repro_optimizer":
+                and node.function.name == name:
             return True
         stack.extend(node.children)
     return False
@@ -250,7 +276,8 @@ def _push_filters(plan: LogicalOperator,
         return LogicalProjection(child, plan.expressions, plan.names)
 
     if isinstance(plan, LogicalGet):
-        plan.pushed_filters.extend(conjuncts)
+        # Scans accumulate their own pushed filters; the schema is untouched.
+        plan.pushed_filters.extend(conjuncts)  # quacklint: disable=QLP003 -- scan-owned list, schema unchanged
         return plan
 
     if isinstance(plan, LogicalJoin):
@@ -311,8 +338,14 @@ def _push_filters(plan: LogicalOperator,
             else:
                 keep.append(conjunct)
         child = _push_filters(plan.children[0], pushable)
+        # Re-derive the schema from the (unchanged) groups and aggregates
+        # rather than borrowing the old node's: quackplan's QLP002 treats a
+        # borrowed ``.schema`` as a stale-binding hazard.
+        schema = [ColumnSchema(column.name, expression.return_type)
+                  for column, expression in zip(
+                      plan.schema, list(plan.groups) + list(plan.aggregates))]
         new_aggregate = LogicalAggregate(child, plan.groups, plan.aggregates,
-                                         plan.schema)
+                                         schema)
         return _wrap_filter(new_aggregate, keep)
 
     if isinstance(plan, (LogicalOrder, LogicalDistinct)):
@@ -346,8 +379,8 @@ def _prune_columns(plan: LogicalOperator,
             needed = {0}  # a scan must produce at least one column
         keep = sorted(needed)
         mapping = {old: new for new, old in enumerate(keep)}
-        plan.column_ids = [plan.column_ids[old] for old in keep]
-        plan.schema = [plan.schema[old] for old in keep]
+        plan.column_ids = [plan.column_ids[old] for old in keep]  # quacklint: disable=QLP001 -- leaf rebind: ids and schema are narrowed together
+        plan.schema = [plan.schema[old] for old in keep]  # quacklint: disable=QLP001 -- narrowed in lockstep with column_ids above
         plan.pushed_filters = [_remap_expression(predicate, mapping)
                                for predicate in plan.pushed_filters]
         return plan, mapping
@@ -434,7 +467,7 @@ def _prune_columns(plan: LogicalOperator,
     if isinstance(plan, LogicalValues):
         keep = sorted(required) if required else list(range(len(plan.schema)))
         plan.rows = [[row[old] for old in keep] for row in plan.rows]
-        plan.schema = [plan.schema[old] for old in keep]
+        plan.schema = [plan.schema[old] for old in keep]  # quacklint: disable=QLP001 -- leaf rebind: rows and schema are narrowed together
         mapping = {old: new for new, old in enumerate(keep)}
         return plan, mapping
 

@@ -40,6 +40,10 @@ class LogicalOperator:
 
     #: Optimizer cardinality estimate (rows), stamped by ``cost.annotate``.
     estimated_rows: Optional[float] = None
+    #: True when the estimate leaned on column statistics marked stale --
+    #: rows changed since the summaries were last recomputed -- so EXPLAIN
+    #: flags it as ``(est=N rows, stale)``.  Also stamped by ``annotate``.
+    estimate_stale: bool = False
 
     def __init__(self, children: Sequence["LogicalOperator"],
                  schema: List[ColumnSchema]) -> None:
@@ -58,7 +62,8 @@ class LogicalOperator:
         """Human-readable plan tree (the output of EXPLAIN)."""
         line = " " * indent + self._explain_line()
         if self.estimated_rows is not None:
-            line += f" (est={int(round(self.estimated_rows))} rows)"
+            stale = ", stale" if self.estimate_stale else ""
+            line += f" (est={int(round(self.estimated_rows))} rows{stale})"
         parts = [line]
         for child in self.children:
             parts.append(child.explain(indent + 2))

@@ -1,0 +1,239 @@
+"""quackplan orchestration: sessions, the check log, and loud failure.
+
+:class:`PlanVerifier` is the engine-facing object (one per
+:class:`~repro.database.Database`, consulted only when
+``config.verify_plans`` is on -- the disabled cost is one attribute test in
+the optimizer).  The optimizer opens a :class:`VerificationSession` per
+statement and runs every rewrite pass through it; the physical planner
+reports each root lowering.  Results land in the :class:`PlanCheckLog`
+behind the ``repro_plan_checks()`` system table, and -- in strict mode,
+which is what ``REPRO_VERIFY_PLANS=1`` enables -- any violation raises
+:class:`~repro.errors.PlanVerificationError` carrying the offending pass
+name and before/after plan snippets.
+
+Thread safety: one session belongs to one statement on one thread, but the
+verifier and its log are shared engine state -- subquery lowerings verified
+mid-execution and statements on concurrent connections all report here, so
+both classes serialize behind instance locks (see the thread-safety
+registry in :mod:`repro.analysis.registry`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..errors import PlanVerificationError
+from ..planner.logical import LogicalIntrospectionScan, LogicalOperator
+from . import invariants
+from .invariants import PlanViolation
+
+__all__ = [
+    "PlanCheckLog",
+    "PlanCheckRecord",
+    "PlanVerifier",
+    "VerificationSession",
+    "active_verifier",
+]
+
+#: Cap on plan-snippet length inside one log record (plans can be big; the
+#: exception carries the full text, the table carries the gist).
+_SNIPPET_CHARS = 400
+
+#: The system table fed by the log; statements reading it must not reset it.
+_PLAN_CHECKS_FUNCTION = "repro_plan_checks"
+
+
+def _snippet(text: str) -> str:
+    flat = " / ".join(part.strip() for part in text.splitlines())
+    if len(flat) > _SNIPPET_CHARS:
+        flat = flat[:_SNIPPET_CHARS - 3] + "..."
+    return flat
+
+
+def _scans_plan_checks(plan: LogicalOperator) -> bool:
+    """True when the plan reads ``repro_plan_checks()`` -- such statements
+    are still verified but must not overwrite the log they report."""
+    for node in invariants.iter_nodes(plan):
+        if isinstance(node, LogicalIntrospectionScan) \
+                and node.function.name == _PLAN_CHECKS_FUNCTION:
+            return True
+    return False
+
+
+def active_verifier(database) -> Optional["PlanVerifier"]:
+    """The database's verifier when plan verification is enabled, else None.
+
+    This is the whole disabled-mode cost: two attribute reads per optimize
+    call and per root lowering.
+    """
+    if database is None:
+        return None
+    config = getattr(database, "config", None)
+    if config is None or not getattr(config, "verify_plans", False):
+        return None
+    return database.plan_verifier
+
+
+class PlanCheckRecord:
+    """One check outcome of one verified statement."""
+
+    __slots__ = ("statement_id", "seq", "stage", "invariant", "status",
+                 "operator", "detail")
+
+    def __init__(self, statement_id: int, seq: int, stage: str,
+                 invariant: str, status: str, operator: str,
+                 detail: str) -> None:
+        self.statement_id = statement_id
+        self.seq = seq
+        self.stage = stage
+        self.invariant = invariant
+        self.status = status
+        self.operator = operator
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return (f"PlanCheckRecord({self.stage}/{self.invariant}: "
+                f"{self.status})")
+
+
+class PlanCheckLog:
+    """Verification results of the most recently verified statement.
+
+    Unlike :class:`~repro.optimizer.cost.OptimizerLog` (which atomically
+    *replaces* its records once), records accumulate per statement: the
+    optimizer stages land first, the lowering stage(s) -- including
+    subquery lowerings that happen mid-execution -- append to the same
+    statement.  Readers get a snapshot copy (copy-then-release)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._statement_id = 0
+        self._records: List[PlanCheckRecord] = []
+
+    def start_statement(self) -> int:
+        with self._lock:
+            self._statement_id += 1
+            self._records = []
+            return self._statement_id
+
+    def record(self, stage: str, invariant: str, status: str,
+               operator: str, detail: str) -> None:
+        with self._lock:
+            self._records.append(PlanCheckRecord(
+                self._statement_id, len(self._records), stage, invariant,
+                status, operator, detail))
+
+    def snapshot(self) -> List[PlanCheckRecord]:
+        with self._lock:
+            return list(self._records)
+
+
+class PlanVerifier:
+    """Static plan checks after every optimizer pass and at lowering."""
+
+    def __init__(self, log: Optional[PlanCheckLog] = None,
+                 strict: bool = True) -> None:
+        self.log = log if log is not None else PlanCheckLog()
+        #: Raise :class:`PlanVerificationError` on any violation.  The
+        #: non-strict mode records violations to the log only (used by
+        #: tests that inspect ``repro_plan_checks()`` output).
+        self.strict = strict
+        self._lock = threading.Lock()
+        self._checks_run = 0
+        self._violations_found = 0
+
+    # -- entry points --------------------------------------------------------
+
+    def begin(self, plan: LogicalOperator) -> "VerificationSession":
+        """Start verifying one statement; checks the binder's output too."""
+        publish = not _scans_plan_checks(plan)
+        if publish:
+            self.log.start_statement()
+        session = VerificationSession(self, publish)
+        text = plan.explain()
+        session._report("binder", invariants.check_logical(plan), text, text)
+        return session
+
+    def check_lowering(self, logical: LogicalOperator, physical) -> None:
+        """Verify one root logical->physical translation."""
+        violations = invariants.check_lowering(logical, physical)
+        self._finish_stage("lowering", violations,
+                           logical.explain(), physical.explain(),
+                           publish=not _scans_plan_checks(logical))
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"checks_run": self._checks_run,
+                    "violations_found": self._violations_found}
+
+    # -- internals -----------------------------------------------------------
+
+    def _finish_stage(self, stage: str, violations: List[PlanViolation],
+                      before: str, after: str, publish: bool) -> None:
+        with self._lock:
+            self._checks_run += 1
+            self._violations_found += len(violations)
+        if publish:
+            if not violations:
+                self.log.record(stage, "all", "ok", "", "")
+            for violation in violations:
+                self.log.record(
+                    stage, violation.invariant, "violation",
+                    violation.operator,
+                    f"{violation.message} | before: {_snippet(before)} | "
+                    f"after: {_snippet(after)}")
+        if violations and self.strict:
+            first = violations[0]
+            raise PlanVerificationError(
+                f"quackplan: {len(violations)} plan invariant violation(s) "
+                f"after {stage!r}: [{first.invariant}] {first.operator}: "
+                f"{first.message}\n"
+                f"-- plan before {stage} --\n{before}\n"
+                f"-- plan after {stage} --\n{after}")
+
+
+class VerificationSession:
+    """Per-statement driver: wraps each optimizer pass with checks."""
+
+    def __init__(self, verifier: PlanVerifier, publish: bool) -> None:
+        self._verifier = verifier
+        self._publish = publish
+
+    def run_pass(self, name: str,
+                 fn: Callable[[LogicalOperator], LogicalOperator],
+                 plan: LogicalOperator) -> LogicalOperator:
+        """Run one rewrite pass and verify what it produced.
+
+        Passes mutate plans in place, so the before-snapshot (explain text,
+        schema signature, output bound) is captured eagerly."""
+        before_text = plan.explain()
+        before_signature = invariants.schema_signature(plan)
+        before_bound = invariants.output_bound(plan)
+        result = fn(plan)
+        violations = invariants.check_logical(result)
+        violations.extend(
+            invariants.check_schema_preserved(before_signature, result))
+        after_bound = invariants.output_bound(result)
+        if before_bound is not None \
+                and (after_bound is None or after_bound > before_bound):
+            violations.append(PlanViolation(
+                "limit_monotonic", type(result).__name__,
+                f"pass raised the plan's output bound from "
+                f"{before_bound:g} to "
+                f"{'unbounded' if after_bound is None else format(after_bound, 'g')}"
+                f" rows -- ancestors may now see more rows than the "
+                f"original LIMIT allowed"))
+        self._report(name, violations, before_text, result.explain())
+        return result
+
+    def check_annotated(self, plan: LogicalOperator) -> None:
+        """Cardinality sanity after ``cost.annotate`` stamped the tree."""
+        text = plan.explain()
+        self._report("annotate", invariants.check_cardinality(plan),
+                     text, text)
+
+    def _report(self, stage: str, violations: List[PlanViolation],
+                before: str, after: str) -> None:
+        self._verifier._finish_stage(stage, violations, before, after,
+                                     self._publish)

@@ -3,6 +3,12 @@
 import os
 import tempfile
 
+# The whole suite runs under quackplan (see repro.verifier): every
+# optimizer pass and lowering of every test query is verified, and any
+# plan-invariant violation raises.  Export before any connection is made;
+# an explicit REPRO_VERIFY_PLANS=0 in the environment still wins.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
+
 import pytest
 
 import repro

@@ -878,6 +878,106 @@ class TestObservabilityRule:
         assert check(source, self.PATH) == []
 
 
+class TestPlanDiscipline:
+    PATH = "repro/optimizer/fixture.py"
+
+    def test_cross_node_schema_assign_flagged(self):
+        source = """
+        def rewrite(plan, child):
+            plan.schema = child.schema
+            return plan
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLP001"]
+
+    def test_column_ids_assign_flagged(self):
+        source = """
+        def prune(plan, keep):
+            plan.column_ids = [plan.column_ids[old] for old in keep]
+            return plan
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLP001"]
+
+    def test_self_schema_assign_is_construction(self):
+        source = """
+        class LogicalThing:
+            def __init__(self, schema):
+                self.schema = schema
+                self.column_ids = list(range(len(schema)))
+        """
+        assert check(source, self.PATH) == []
+
+    def test_borrowed_schema_is_warning(self):
+        source = """
+        def rebuild(plan, child):
+            return LogicalAggregate(child, plan.groups, plan.aggregates,
+                                    plan.schema)
+        """
+        violations = check(source, self.PATH)
+        assert rule_ids(violations) == ["QLP002"]
+        assert violations[0].severity == "warning"
+        assert "[warning]" in violations[0].render()
+
+    def test_rederived_schema_is_clean(self):
+        source = """
+        def rebuild(plan, child, derive):
+            schema = derive(plan.groups, plan.aggregates)
+            return LogicalAggregate(child, plan.groups, plan.aggregates,
+                                    schema)
+        """
+        assert check(source, self.PATH) == []
+
+    def test_own_schema_passthrough_is_clean(self):
+        source = """
+        class Planner:
+            def lower(self, child):
+                return PhysicalFilter(child, self.schema)
+        """
+        assert check(source, self.PATH) == []
+
+    def test_list_growth_flagged(self):
+        source = """
+        def push(plan, conjuncts):
+            plan.pushed_filters.extend(conjuncts)
+            return plan
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLP003"]
+
+    def test_local_list_growth_is_clean(self):
+        source = """
+        def collect(plans):
+            conjuncts = []
+            for plan in plans:
+                conjuncts.append(plan)
+            return conjuncts
+        """
+        assert check(source, self.PATH) == []
+
+    def test_physical_planner_in_scope(self):
+        source = """
+        def lower(plan, child):
+            plan.schema = child.schema
+        """
+        path = "repro/execution/physical_planner.py"
+        assert rule_ids(check(source, path)) == ["QLP001"]
+
+    def test_executor_modules_out_of_scope(self):
+        # Executors legitimately adjust their own state; QLP governs the
+        # plan-constructing layers only.
+        source = """
+        def lower(plan, child):
+            plan.schema = child.schema
+        """
+        assert check(source, "repro/execution/basic.py") == []
+
+    def test_suppression_with_justification(self):
+        source = """
+        def prune(plan, keep):
+            plan.schema = [plan.schema[old] for old in keep]  # quacklint: disable=QLP001 -- leaf rebind
+            return plan
+        """
+        assert check(source, self.PATH) == []
+
+
 # -- the live tree and the CLI -----------------------------------------------
 
 class TestLiveTree:
@@ -892,6 +992,7 @@ class TestLiveTree:
         assert {rule.name for rule in ALL_RULES} == {
             "concurrency", "lockorder", "vectorization", "zero-copy",
             "exception-discipline", "resource-discipline", "observability",
+            "plans",
         }
 
 
@@ -996,3 +1097,56 @@ class TestCommandLine:
         proc = self.run_cli("--format", "github", SRC_TREE)
         assert proc.returncode == 0
         assert proc.stdout.strip() == ""
+
+    WARNING_FIXTURE = ("def rebuild(plan, child):\n"
+                       "    return LogicalAggregate(child, plan.groups,\n"
+                       "                            plan.aggregates,\n"
+                       "                            plan.schema)\n")
+
+    def seed_warning_file(self, tmp_path):
+        bad = tmp_path / "repro" / "optimizer" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(self.WARNING_FIXTURE)
+        return bad
+
+    def test_fail_on_default_fails_on_warnings(self, tmp_path):
+        bad = self.seed_warning_file(tmp_path)
+        proc = self.run_cli(str(bad), cwd=str(tmp_path))
+        assert proc.returncode == 1
+        assert "QLP002" in proc.stdout
+        assert "[warning]" in proc.stdout
+        assert "(0 errors, 1 warnings)" in proc.stdout
+
+    def test_fail_on_error_passes_warnings(self, tmp_path):
+        bad = self.seed_warning_file(tmp_path)
+        proc = self.run_cli("--fail-on", "error", str(bad), cwd=str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        # The warning is still reported, it just does not gate the run.
+        assert "QLP002" in proc.stdout
+
+    def test_fail_on_error_still_fails_on_errors(self, tmp_path):
+        bad = self.seed_bad_file(tmp_path)
+        proc = self.run_cli("--fail-on", "error", str(bad), cwd=str(tmp_path))
+        assert proc.returncode == 1
+
+    def test_json_severity_counts(self, tmp_path):
+        import json as json_module
+
+        self.seed_bad_file(tmp_path)
+        self.seed_warning_file(tmp_path)
+        proc = self.run_cli("--format", "json", "repro", cwd=str(tmp_path))
+        assert proc.returncode == 1
+        report = json_module.loads(proc.stdout)
+        assert report["error_count"] == 1  # QLE001
+        assert report["warning_count"] == 1
+        severities = {v["rule"]: v["severity"] for v in report["violations"]}
+        assert severities["QLP002"] == "warning"
+        assert severities["QLE001"] == "error"
+
+    def test_github_warning_annotation(self, tmp_path):
+        bad = self.seed_warning_file(tmp_path)
+        proc = self.run_cli("--format", "github", str(bad), cwd=str(tmp_path))
+        assert proc.returncode == 1
+        (line,) = proc.stdout.splitlines()
+        assert line.startswith("::warning file=")
+        assert "title=QLP002::" in line
