@@ -1,0 +1,1122 @@
+"""AST-level abstract interpretation of registered kernels.
+
+The analyzer is *runtime assisted*: it locates each kernel's ``FunctionDef``
+through its code object, then interprets the AST with the kernel's concrete
+closure environment in scope.  Factory-built kernels (e.g.
+``_numeric_unary_kernel(np.sign, INTEGER)``) are therefore analysed as the
+*specialised* kernel -- branches on captured constants such as
+``result_dtype is not None`` are pruned, not merged.
+
+The abstract domain tracks, per value:
+
+* NumPy dtype as a string (``"float64"``, ``"object"``, ``"argument"`` when
+  it mirrors the input vector's dtype, ``"unknown"``);
+* provenance (input array vs. freshly allocated);
+* validity derivation (narrowing-only vs. widened / data-dependent).
+
+From the interpreted returns the analyzer derives every :class:`KernelFact`
+field: declared vs. produced dtype, NULL contract, copy behaviour,
+vectorization, purity, and fusion eligibility.
+"""
+
+# quacklint: disable-file=QLE001 -- the abstract interpreter probes bind
+# functions with deliberately wrong signatures and getattr's arbitrary
+# closure objects; an exception is a negative probe result, not a failure.
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import inspect
+import sys
+import types as pytypes
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .facts import (
+    ARG_DEPENDENT,
+    COPY_FRESH,
+    COPY_INPLACE,
+    COPY_UNKNOWN,
+    COPY_VIEW,
+    NULL_CUSTOM,
+    NULL_PROPAGATE,
+    NULL_SKIP,
+    NULL_UNCHECKED,
+    UNKNOWN,
+    KernelFact,
+)
+
+__all__ = ["analyze_registry", "analyze_scalar_functions", "analyze_aggregates",
+           "analyze_operators", "source_fingerprints"]
+
+#: Modules whose source participates in the manifest fingerprint.
+KERNEL_MODULES = (
+    "repro.functions.scalar",
+    "repro.functions.aggregate",
+    "repro.execution.expression_executor",
+)
+
+_MISSING = object()
+
+
+# -- abstract values ---------------------------------------------------------
+
+@dataclass
+class AVal:
+    """One abstract value flowing through a kernel body."""
+
+    kind: str  # const | array | vector | vectors | logical | unknown
+    value: Any = _MISSING          # concrete payload for kind == "const"
+    dtype: str = UNKNOWN           # numpy dtype name for array/vector data
+    logical: str = UNKNOWN         # LogicalType name for vector/logical
+    fresh: bool = False            # allocated inside the kernel
+    from_input: bool = False       # derived from an input vector's arrays
+    from_validity: bool = False    # derived from input validity masks
+    from_data: bool = False        # derived from input data values
+    widened: bool = False          # validity may become True where input was NULL
+
+    def clone(self) -> "AVal":
+        return AVal(**self.__dict__)
+
+
+def _const(value: Any) -> AVal:
+    return AVal("const", value=value)
+
+
+def _unknown() -> AVal:
+    return AVal("unknown")
+
+
+def _input_vector() -> AVal:
+    return AVal("vector", dtype=ARG_DEPENDENT, logical=ARG_DEPENDENT,
+                from_input=True)
+
+
+def _is_none(val: AVal) -> Optional[bool]:
+    if val.kind == "const":
+        return val.value is None
+    if val.kind in ("vector", "vectors", "array", "logical"):
+        return False
+    return None
+
+
+def _dtype_name(obj: Any) -> str:
+    try:
+        name = np.dtype(obj).name
+    except Exception:
+        return UNKNOWN
+    return name
+
+
+# -- evidence gathered while interpreting ------------------------------------
+
+@dataclass
+class Evidence:
+    propagate_helper: bool = False
+    validity_read: bool = False
+    data_read: bool = False
+    per_row_loop: bool = False
+    inplace_input_write: bool = False
+    global_mutation: bool = False
+    io_call: bool = False
+    self_state: bool = False
+    avoidable_copies: List[str] = field(default_factory=list)
+    followed: List[str] = field(default_factory=list)
+    #: (logical, dtype, data AVal, validity AVal) per return site.
+    returns: List[Tuple[str, str, AVal, AVal]] = field(default_factory=list)
+
+
+# -- module source cache -----------------------------------------------------
+
+@dataclass
+class ModuleInfo:
+    module: pytypes.ModuleType
+    path: str
+    source: str
+    tree: ast.Module
+    sha256: str
+    #: firstlineno -> FunctionDef (module level and class methods alike).
+    by_line: Dict[int, ast.FunctionDef]
+    #: method name -> FunctionDef for class bodies.
+    methods: Dict[str, ast.FunctionDef]
+
+
+_MODULE_CACHE: Dict[str, ModuleInfo] = {}
+
+
+def _load_module(name: str) -> ModuleInfo:
+    info = _MODULE_CACHE.get(name)
+    if info is not None:
+        return info
+    __import__(name)
+    module = sys.modules[name]
+    path = inspect.getsourcefile(module) or ""
+    source = inspect.getsource(module)
+    tree = ast.parse(source)
+    by_line: Dict[int, ast.FunctionDef] = {}
+    methods: Dict[str, ast.FunctionDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            by_line[node.lineno] = node
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    methods[item.name] = item
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    info = ModuleInfo(module, path, source, tree, digest, by_line, methods)
+    _MODULE_CACHE[name] = info
+    return info
+
+
+def source_fingerprints() -> Dict[str, str]:
+    """sha256 of each kernel module's source, keyed by module name."""
+    return {name: _load_module(name).sha256 for name in KERNEL_MODULES}
+
+
+def _find_funcdef(fn: Callable) -> Tuple[Optional[ast.FunctionDef],
+                                         Optional[ModuleInfo]]:
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None, None
+    for name in KERNEL_MODULES:
+        info = _load_module(name)
+        if info.path == code.co_filename:
+            node = info.by_line.get(code.co_firstlineno)
+            if node is None:
+                # Decorated / lambda kernels: scan nearby lines.
+                node = info.by_line.get(code.co_firstlineno + 1)
+            return node, info
+    return None, None
+
+
+def _closure_env(fn: Callable) -> Dict[str, AVal]:
+    env: Dict[str, AVal] = {}
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is not None and closure is not None:
+        for name, cell in zip(code.co_freevars, closure):
+            try:
+                env[name] = _const(cell.cell_contents)
+            except ValueError:
+                env[name] = _unknown()
+    return env
+
+
+# -- the interpreter ---------------------------------------------------------
+
+_PER_ROW_ITERS = ("range", "enumerate", "flatnonzero")
+_ALLOC_FUNCS = {"zeros": None, "empty": None, "ones": "ones", "full": "full"}
+
+
+class _Interp:
+    """Walks one kernel body, maintaining an abstract environment."""
+
+    def __init__(self, genv: Dict[str, Any], methods: Dict[str, ast.FunctionDef],
+                 evidence: Evidence, depth: int = 0) -> None:
+        self.genv = genv
+        self.methods = methods
+        self.evidence = evidence
+        self.depth = depth
+        self.env: Dict[str, AVal] = {}
+
+    # -- name resolution --------------------------------------------------
+    def _lookup(self, name: str) -> AVal:
+        val = self.env.get(name)
+        if val is not None:
+            return val
+        if name in self.genv:
+            return _const(self.genv[name])
+        import builtins
+        if hasattr(builtins, name):
+            return _const(getattr(builtins, name))
+        return _unknown()
+
+    # -- test resolution ---------------------------------------------------
+    def _truth(self, node: ast.expr) -> Optional[bool]:
+        if isinstance(node, ast.Compare):
+            return self._truth_compare(node)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            inner = self._truth(node.operand)
+            return None if inner is None else not inner
+        if isinstance(node, ast.BoolOp):
+            parts = [self._truth(value) for value in node.values]
+            if isinstance(node.op, ast.And):
+                if any(part is False for part in parts):
+                    return False
+                if all(part is True for part in parts):
+                    return True
+            else:
+                if any(part is True for part in parts):
+                    return True
+                if all(part is False for part in parts):
+                    return False
+            return None
+        val = self._eval(node)
+        if val.kind == "const":
+            try:
+                return bool(val.value)
+            except Exception:
+                return None
+        return None
+
+    def _truth_compare(self, node: ast.Compare) -> Optional[bool]:
+        if len(node.ops) == 1:
+            left = self._eval(node.left)
+            right = self._eval(node.comparators[0])
+            op = node.ops[0]
+            if isinstance(op, (ast.Is, ast.IsNot)):
+                left_none = _is_none(left)
+                if right.kind == "const" and right.value is None \
+                        and left_none is not None:
+                    return left_none if isinstance(op, ast.Is) else not left_none
+            if left.kind == "const" and right.kind == "const":
+                try:
+                    if isinstance(op, ast.Eq):
+                        return bool(left.value == right.value)
+                    if isinstance(op, ast.NotEq):
+                        return bool(left.value != right.value)
+                    if isinstance(op, ast.In):
+                        return bool(left.value in right.value)
+                    if isinstance(op, ast.NotIn):
+                        return bool(left.value not in right.value)
+                    if isinstance(op, ast.Is):
+                        return left.value is right.value
+                    if isinstance(op, ast.IsNot):
+                        return left.value is not right.value
+                except Exception:
+                    return None
+        return None
+
+    # -- expression evaluation ---------------------------------------------
+    def _eval(self, node: ast.expr) -> AVal:
+        if isinstance(node, ast.Constant):
+            return _const(node.value)
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BoolOp):
+            return self._eval_boolop(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval_unaryop(node)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node)
+        if isinstance(node, ast.IfExp):
+            branch = self._truth(node.test)
+            if branch is True:
+                return self._eval(node.body)
+            if branch is False:
+                return self._eval(node.orelse)
+            return self._merge(self._eval(node.body), self._eval(node.orelse))
+        if isinstance(node, (ast.List, ast.Tuple)):
+            elements = [self._eval(element) for element in node.elts]
+            if all(element.kind == "const" for element in elements):
+                values = tuple(element.value for element in elements)
+                return _const(list(values) if isinstance(node, ast.List)
+                              else values)
+            return AVal("vectors")
+        if isinstance(node, ast.ListComp):
+            return AVal("vectors")
+        if isinstance(node, ast.Dict):
+            return _unknown()
+        return _unknown()
+
+    def _eval_attribute(self, node: ast.Attribute) -> AVal:
+        base = self._eval(node.value)
+        attr = node.attr
+        if base.kind == "const":
+            try:
+                return _const(getattr(base.value, attr))
+            except Exception:
+                return _unknown()
+        if base.kind == "vector":
+            if attr == "data":
+                self.evidence.data_read = True
+                return AVal("array", dtype=base.dtype, from_input=base.from_input,
+                            fresh=base.fresh, from_data=True)
+            if attr == "validity":
+                self.evidence.validity_read = True
+                return AVal("array", dtype="bool", from_input=base.from_input,
+                            fresh=base.fresh, from_validity=True)
+            if attr == "dtype":
+                return AVal("logical", logical=base.logical)
+        if base.kind == "logical":
+            if attr == "numpy_dtype":
+                return AVal("logical", logical=base.logical)
+            return _unknown()
+        if base.kind == "array" and attr == "dtype":
+            if base.dtype not in (UNKNOWN, ARG_DEPENDENT):
+                try:
+                    return _const(np.dtype(base.dtype))
+                except Exception:
+                    return _unknown()
+            return _unknown()
+        return _unknown()
+
+    def _eval_subscript(self, node: ast.Subscript) -> AVal:
+        base = self._eval(node.value)
+        if base.kind == "vectors":
+            return _input_vector()
+        if base.kind == "array":
+            # Masked reads / scalar indexing keep provenance and dtype.
+            out = base.clone()
+            out.fresh = False if isinstance(node.slice, ast.Constant) else base.fresh
+            return out
+        if base.kind == "const":
+            index = self._eval(node.slice)
+            if index.kind == "const":
+                try:
+                    return _const(base.value[index.value])
+                except Exception:
+                    return _unknown()
+        return _unknown()
+
+    def _call_name(self, func: ast.expr) -> Tuple[Optional[str], Optional[str]]:
+        """(base, attr) of the callee; base None for bare names."""
+        if isinstance(func, ast.Name):
+            return None, func.id
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                return func.value.id, func.attr
+            return "", func.attr
+        return None, None
+
+    def _eval_call(self, node: ast.Call) -> AVal:
+        base_name, attr = self._call_name(node.func)
+        args = [self._eval(arg) for arg in node.args]
+        kwargs = {kw.arg: self._eval(kw.value) for kw in node.keywords
+                  if kw.arg is not None}
+
+        callee = self._eval(node.func) if not isinstance(node.func, ast.Lambda) \
+            else _unknown()
+
+        # Vector(...) construction.
+        if callee.kind == "const" and getattr(callee.value, "__name__", "") == \
+                "Vector":
+            return self._make_vector(args)
+
+        # I/O and impurity probes.
+        if base_name is None and attr in ("print", "open", "input"):
+            self.evidence.io_call = True
+            return _unknown()
+
+        if attr == "copy":
+            receiver = self._eval(node.func.value) \
+                if isinstance(node.func, ast.Attribute) else _unknown()
+            if receiver.kind in ("array", "vector"):
+                out = receiver.clone()
+                out.fresh = True
+                out.from_input = False
+                return out
+            return _unknown()
+
+        if attr == "astype":
+            receiver = self._eval(node.func.value) \
+                if isinstance(node.func, ast.Attribute) else _unknown()
+            dtype = self._dtype_of(args[0]) if args else UNKNOWN
+            copy_kw = kwargs.get("copy")
+            if receiver.kind == "array":
+                if receiver.from_input and not (
+                        copy_kw is not None and copy_kw.kind == "const"
+                        and copy_kw.value is False):
+                    line = getattr(node, "lineno", 0)
+                    self.evidence.avoidable_copies.append(
+                        f"astype without copy=False at line {line}")
+                out = receiver.clone()
+                out.dtype = dtype if dtype != UNKNOWN else receiver.dtype
+                out.fresh = True
+                out.from_input = False
+                return out
+            return AVal("array", dtype=dtype, fresh=True)
+
+        # numpy allocation and transforms.
+        if callee.kind == "const":
+            fn = callee.value
+            fn_name = getattr(fn, "__name__", "")
+            if fn is np.ones or fn_name == "ones":
+                dtype = self._dtype_of(kwargs.get("dtype")) \
+                    if "dtype" in kwargs else "float64"
+                return AVal("array", dtype=dtype, fresh=True, widened=True)
+            if fn in (np.zeros, np.empty) or fn_name in ("zeros", "empty"):
+                dtype = self._dtype_of(kwargs.get("dtype")) \
+                    if "dtype" in kwargs else "float64"
+                return AVal("array", dtype=dtype, fresh=True)
+            if fn is np.full or fn_name == "full":
+                dtype = self._dtype_of(kwargs.get("dtype")) \
+                    if "dtype" in kwargs else UNKNOWN
+                widened = bool(len(args) > 1 and args[1].kind == "const"
+                               and args[1].value is True)
+                return AVal("array", dtype=dtype, fresh=True, widened=widened)
+            if fn_name == "_propagate_validity":
+                self.evidence.propagate_helper = True
+                self.evidence.validity_read = True
+                return AVal("array", dtype="bool", fresh=True,
+                            from_validity=True)
+            if fn_name == "where":
+                merged = self._merge_args(args[1:])
+                merged.fresh = True
+                merged.from_input = False
+                return merged
+            if fn_name == "asarray":
+                merged = self._merge_args(args)
+                if "dtype" in kwargs:
+                    merged.dtype = self._dtype_of(kwargs["dtype"])
+                return merged
+            if isinstance(fn, np.ufunc) or callable(fn):
+                # A concrete ufunc keeps its array arguments' dtype; any
+                # other callable's result dtype is not trusted.
+                merged = self._merge_args(args)
+                out = AVal("array", fresh=True,
+                           dtype=merged.dtype if isinstance(fn, np.ufunc)
+                           else UNKNOWN,
+                           from_data=merged.from_data,
+                           from_validity=merged.from_validity)
+                if fn_name in ("isfinite", "isnan", "flatnonzero", "argsort",
+                               "lexsort"):
+                    out.dtype = "bool" if fn_name.startswith("is") else "int64"
+                return out
+
+        # self.execute(...) and followed helper methods.
+        if base_name == "self":
+            if attr == "execute":
+                return _input_vector()
+            target = self.methods.get(attr or "")
+            if target is not None and self.depth < 3:
+                self.evidence.followed.append(attr or "")
+                return self._follow(target, args)
+            return _unknown()
+
+        return _unknown()
+
+    def _follow(self, funcdef: ast.FunctionDef, args: List[AVal]) -> AVal:
+        sub = _Interp(self.genv, self.methods, self.evidence, self.depth + 1)
+        params = [arg.arg for arg in funcdef.args.args]
+        if params and params[0] == "self":
+            params = params[1:]
+        for name, val in zip(params, args):
+            sub.env[name] = val
+        for name in params[len(args):]:
+            sub.env[name] = _unknown()
+        result = sub.exec_block(funcdef.body)
+        return result if result is not None else _unknown()
+
+    def _make_vector(self, args: List[AVal]) -> AVal:
+        logical = UNKNOWN
+        dtype = UNKNOWN
+        data = args[1] if len(args) > 1 else _unknown()
+        validity = args[2] if len(args) > 2 else AVal("array", dtype="bool",
+                                                      fresh=True, widened=True)
+        if args:
+            head = args[0]
+            if head.kind == "const":
+                logical = str(head.value)
+                dtype = _dtype_name(getattr(head.value, "numpy_dtype", None))
+            elif head.kind == "logical":
+                logical = head.logical
+                dtype = self._dtype_of(head)
+        if data.kind == "array" and data.dtype != UNKNOWN:
+            dtype = data.dtype
+        out = AVal("vector", logical=logical, dtype=dtype, fresh=data.fresh,
+                   from_input=data.from_input, widened=validity.widened)
+        self.evidence.returns.append((logical, dtype, data, validity))
+        return out
+
+    def _dtype_of(self, val: Optional[AVal]) -> str:
+        if val is None:
+            return UNKNOWN
+        if val.kind == "const":
+            return _dtype_name(val.value)
+        if val.kind == "logical":
+            if val.logical in (UNKNOWN, ARG_DEPENDENT):
+                return val.logical
+            try:
+                from ...types import type_from_string
+                return _dtype_name(type_from_string(val.logical).numpy_dtype)
+            except Exception:
+                return UNKNOWN
+        return UNKNOWN
+
+    def _merge(self, left: AVal, right: AVal) -> AVal:
+        if left.kind == "const" and right.kind == "const" \
+                and left.value is right.value:
+            return left
+        kind = left.kind if left.kind == right.kind else "unknown"
+        out = AVal(kind)
+        out.dtype = left.dtype if left.dtype == right.dtype else ARG_DEPENDENT
+        out.logical = left.logical if left.logical == right.logical \
+            else ARG_DEPENDENT
+        out.fresh = left.fresh and right.fresh
+        out.from_input = left.from_input or right.from_input
+        out.from_validity = left.from_validity or right.from_validity
+        out.from_data = left.from_data or right.from_data
+        out.widened = left.widened or right.widened
+        return out
+
+    def _merge_args(self, args: Sequence[AVal]) -> AVal:
+        arrays = [arg for arg in args if arg.kind == "array"]
+        if not arrays:
+            return AVal("array", dtype=UNKNOWN, fresh=True)
+        out = arrays[0].clone()
+        for other in arrays[1:]:
+            out = self._merge(out, other)
+            out.kind = "array"
+        return out
+
+    def _eval_boolop(self, node: ast.BoolOp) -> AVal:
+        values = [self._eval(value) for value in node.values]
+        # `result_dtype or source.dtype` with a concrete closure resolves.
+        if isinstance(node.op, ast.Or):
+            for val in values[:-1]:
+                if val.kind == "const":
+                    if val.value:
+                        return val
+                    continue
+                break
+            else:
+                return values[-1]
+        arrays = [val for val in values if val.kind == "array"]
+        if arrays:
+            out = self._merge_args(values)
+            out.dtype = "bool"
+            if isinstance(node.op, ast.Or) and any(a.from_validity or a.from_data
+                                                   for a in arrays):
+                out.widened = True
+            return out
+        return _unknown()
+
+    def _eval_binop(self, node: ast.BinOp) -> AVal:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        if left.kind == "const" and right.kind == "const":
+            try:
+                import operator as op_mod
+                ops = {ast.Add: op_mod.add, ast.Sub: op_mod.sub,
+                       ast.Mult: op_mod.mul, ast.Mod: op_mod.mod}
+                fn = ops.get(type(node.op))
+                if fn is not None:
+                    return _const(fn(left.value, right.value))
+            except Exception:
+                return _unknown()
+        arrays = [val for val in (left, right) if val.kind == "array"]
+        if arrays:
+            out = self._merge_args([left, right])
+            out.fresh = True
+            out.from_input = False
+            if isinstance(node.op, ast.BitOr) and any(
+                    a.from_validity or a.from_data for a in arrays):
+                out.widened = True
+            return out
+        return _unknown()
+
+    def _eval_unaryop(self, node: ast.UnaryOp) -> AVal:
+        val = self._eval(node.operand)
+        if val.kind == "const":
+            try:
+                if isinstance(node.op, ast.USub):
+                    return _const(-val.value)
+                if isinstance(node.op, ast.Not):
+                    return _const(not val.value)
+                if isinstance(node.op, ast.Invert):
+                    return _const(~val.value)
+            except Exception:
+                return _unknown()
+        if val.kind == "array":
+            out = val.clone()
+            out.fresh = True
+            out.from_input = False
+            return out
+        return _unknown()
+
+    def _eval_compare(self, node: ast.Compare) -> AVal:
+        truth = self._truth(node)
+        if truth is not None:
+            return _const(truth)
+        operands = [self._eval(node.left)] + \
+            [self._eval(cmp) for cmp in node.comparators]
+        arrays = [val for val in operands if val.kind == "array"]
+        if arrays:
+            out = self._merge_args(operands)
+            out.dtype = "bool"
+            out.fresh = True
+            out.from_input = False
+            return out
+        return _unknown()
+
+    # -- statements ---------------------------------------------------------
+    def exec_block(self, stmts: Sequence[ast.stmt]) -> Optional[AVal]:
+        result: Optional[AVal] = None
+        for stmt in stmts:
+            value = self._exec_stmt(stmt)
+            if value is not None:
+                if result is None:
+                    result = value
+                else:
+                    result = self._merge(result, value)
+                if isinstance(stmt, ast.Return):
+                    return result
+        return result
+
+    def _exec_stmt(self, stmt: ast.stmt) -> Optional[AVal]:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                return _unknown()
+            value = self._eval(stmt.value)
+            # Vector(...) constructions record themselves in _make_vector;
+            # a plain `return result` of a tracked vector records here.
+            if value.kind == "vector" and not isinstance(stmt.value, ast.Call):
+                self.evidence.returns.append(
+                    (value.logical, value.dtype, value,
+                     AVal("array", dtype="bool",
+                          from_validity=value.from_input,
+                          widened=value.widened)))
+            return value
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value)
+            return None
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self._eval(stmt.value))
+            return None
+        if isinstance(stmt, ast.AugAssign):
+            self._aug_assign(stmt)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt)
+        if isinstance(stmt, (ast.For, ast.While)):
+            return self._exec_loop(stmt)
+        if isinstance(stmt, ast.With):
+            return self.exec_block(stmt.body)
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+            return None
+        if isinstance(stmt, ast.Global):
+            self.evidence.global_mutation = True
+            return None
+        if isinstance(stmt, (ast.Raise, ast.Pass, ast.Break, ast.Continue)):
+            return None
+        if isinstance(stmt, ast.Try):
+            result = self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                sub = self.exec_block(handler.body)
+                if sub is not None:
+                    result = sub if result is None else self._merge(result, sub)
+            return result
+        if isinstance(stmt, ast.FunctionDef):
+            self.env[stmt.name] = _unknown()
+            return None
+        return None
+
+    def _assign(self, target: ast.expr, value: AVal) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+            return
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._assign(element, _unknown())
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            # data[mask] = ... / result.validity[take] = ...
+            if isinstance(base, ast.Attribute):
+                owner = self._eval(base.value)
+                if base.attr == "validity" and owner.kind == "vector":
+                    # Any elementwise validity rewrite -- True (coalesce),
+                    # False (nullif), or copied (CASE) -- is custom NULL
+                    # semantics: the output mask is no longer a pure
+                    # function of the input masks.
+                    owner = owner.clone()
+                    owner.widened = True
+                    self._mark_local_vector(base.value, owner)
+                    return
+                if base.attr == "data" and owner.kind == "vector":
+                    if owner.from_input and not owner.fresh:
+                        self.evidence.inplace_input_write = True
+                    return
+            arr = self._eval(base)
+            if arr.kind == "array" and arr.from_input and not arr.fresh:
+                self.evidence.inplace_input_write = True
+            if arr.kind == "const":
+                self.evidence.global_mutation = True
+            return
+        if isinstance(target, ast.Attribute):
+            owner = self._eval(target.value)
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                self.evidence.self_state = True
+            elif owner.kind == "const":
+                self.evidence.global_mutation = True
+            return
+
+    def _mark_local_vector(self, node: ast.expr, owner: AVal) -> None:
+        if isinstance(node, ast.Name) and node.id in self.env:
+            self.env[node.id] = owner
+
+    def _aug_assign(self, stmt: ast.AugAssign) -> None:
+        target = stmt.target
+        value = self._eval(stmt.value)
+        if isinstance(target, ast.Name):
+            current = self.env.get(target.id, _unknown())
+            if current.kind == "array":
+                out = current.clone()
+                out.from_data = current.from_data or value.from_data
+                out.from_validity = current.from_validity or value.from_validity
+                if isinstance(stmt.op, ast.BitOr) and (value.from_data or
+                                                       value.from_validity):
+                    out.widened = True
+                self.env[target.id] = out
+            return
+        if isinstance(target, ast.Subscript):
+            arr = self._eval(target.value)
+            if arr.kind == "array" and arr.from_input and not arr.fresh:
+                self.evidence.inplace_input_write = True
+
+    def _exec_if(self, stmt: ast.If) -> Optional[AVal]:
+        branch = self._truth(stmt.test)
+        if branch is True:
+            return self.exec_block(stmt.body)
+        if branch is False:
+            return self.exec_block(stmt.orelse)
+        saved = dict(self.env)
+        then_value = self.exec_block(stmt.body)
+        then_env = self.env
+        self.env = dict(saved)
+        else_value = self.exec_block(stmt.orelse)
+        merged: Dict[str, AVal] = {}
+        for name in set(then_env) | set(self.env):
+            left = then_env.get(name)
+            right = self.env.get(name)
+            if left is None or right is None:
+                merged[name] = (left or right or _unknown())
+            elif left is right:
+                merged[name] = left
+            else:
+                merged[name] = self._merge(left, right)
+        self.env = merged
+        if then_value is not None and else_value is not None:
+            return self._merge(then_value, else_value)
+        return then_value or else_value
+
+    def _exec_loop(self, stmt: Any) -> Optional[AVal]:
+        if isinstance(stmt, ast.For):
+            if isinstance(stmt.iter, ast.Call):
+                _, iter_name = self._call_name(stmt.iter.func)
+                if iter_name in _PER_ROW_ITERS:
+                    self.evidence.per_row_loop = True
+            iterated = self._eval(stmt.iter)
+            if iterated.kind == "vectors":
+                self._assign(stmt.target, _input_vector())
+            else:
+                self._assign(stmt.target, _unknown())
+        body_value = self.exec_block(stmt.body)
+        else_value = self.exec_block(stmt.orelse) if stmt.orelse else None
+        if body_value is not None and else_value is not None:
+            return self._merge(body_value, else_value)
+        return body_value or else_value
+
+
+# -- classification ----------------------------------------------------------
+
+def _classify(evidence: Evidence, kind: str) -> Tuple[str, str, str, bool, bool]:
+    """(inferred_dtype, null_contract, copy_behaviour, vectorized, pure)."""
+    dtypes = {ret[1] for ret in evidence.returns if ret[1] != UNKNOWN}
+    if not dtypes:
+        inferred = UNKNOWN
+    elif len(dtypes) == 1:
+        inferred = dtypes.pop()
+    else:
+        inferred = ARG_DEPENDENT
+
+    widened = any(ret[3].widened or ret[2].widened for ret in evidence.returns)
+    derived = any(ret[3].from_validity for ret in evidence.returns)
+    if kind == "aggregate":
+        contract = NULL_SKIP if evidence.validity_read else NULL_CUSTOM
+    elif widened:
+        contract = NULL_CUSTOM
+    elif evidence.propagate_helper or derived or evidence.validity_read:
+        contract = NULL_PROPAGATE
+    elif evidence.data_read:
+        contract = NULL_UNCHECKED
+    else:
+        contract = NULL_PROPAGATE
+
+    if evidence.inplace_input_write:
+        copy = COPY_INPLACE
+    elif evidence.returns and all(ret[2].fresh or not ret[2].from_input
+                                  for ret in evidence.returns):
+        copy = COPY_FRESH
+    elif evidence.returns:
+        copy = COPY_VIEW
+    else:
+        copy = COPY_UNKNOWN
+
+    vectorized = not evidence.per_row_loop
+    pure = not (evidence.global_mutation or evidence.io_call)
+    return inferred, contract, copy, vectorized, pure
+
+
+def _notes(evidence: Evidence) -> List[str]:
+    notes: List[str] = []
+    notes.extend(sorted(set(evidence.avoidable_copies)))
+    if evidence.per_row_loop:
+        notes.append("per-row python loop over element data")
+    if evidence.self_state:
+        notes.append("mutates executor-instance state (per-query, allowed)")
+    if evidence.followed:
+        notes.append("follows helpers: " +
+                     ", ".join(sorted(set(evidence.followed))))
+    return notes
+
+
+def _make_fact(name: str, kind: str, arity: str, signature: str,
+               declared: str, evidence: Evidence, source: str) -> KernelFact:
+    inferred, contract, copy, vectorized, pure = _classify(evidence, kind)
+    thread_safe = pure
+    fusable = (pure and thread_safe and vectorized
+               and contract != NULL_UNCHECKED and kind != "aggregate")
+    return KernelFact(
+        name=name, kind=kind, arity=arity, signature=signature,
+        declared_type=declared, inferred_dtype=inferred, null_contract=contract,
+        copy_behaviour=copy, vectorized=vectorized, pure=pure,
+        thread_safe=thread_safe, fusable=fusable, source=source,
+        notes=_notes(evidence))
+
+
+def _source_of(funcdef: Optional[ast.FunctionDef], info: Optional[ModuleInfo],
+               fallback: str) -> str:
+    if funcdef is None or info is None:
+        return fallback
+    short = "/".join(info.path.split("/")[-3:])
+    return f"{short}:{funcdef.lineno}"
+
+
+# -- scalar functions --------------------------------------------------------
+
+def _probe_scalar_bind(bind: Callable) -> Tuple[str, str, str, str]:
+    """(declared_type, arity, signature_args, probe_name) via bind probing."""
+    from ...types import BOOLEAN, DATE, DOUBLE, INTEGER, VARCHAR
+    bases = (DOUBLE, VARCHAR, INTEGER, DATE, BOOLEAN)
+    successes: Dict[int, Tuple[Any, List[Any]]] = {}
+    returns = set()
+    for arity in range(0, 7):
+        for base in bases:
+            try:
+                result_type, coerced = bind([base] * arity)
+            except Exception:
+                continue
+            successes.setdefault(arity, (result_type, list(coerced)))
+            returns.add(str(result_type))
+    if not successes:
+        return UNKNOWN, UNKNOWN, "", ""
+    arities = sorted(successes)
+    if arities[-1] >= 6:
+        arity = f"{arities[0]}+"
+    elif arities[0] == arities[-1]:
+        arity = str(arities[0])
+    else:
+        arity = f"{arities[0]}-{arities[-1]}"
+    declared = returns.pop() if len(returns) == 1 else ARG_DEPENDENT
+    probe_arity = arities[0] if arities[0] > 0 else (arities[-1] if
+                                                     arities[-1] > 0 else 0)
+    result_type, coerced = successes[probe_arity]
+    args = ", ".join(str(t) for t in coerced)
+    return declared, arity, args, str(result_type)
+
+
+def analyze_scalar_functions() -> List[KernelFact]:
+    from ...functions.scalar import SCALAR_FUNCTIONS
+    facts = []
+    for name, function in sorted(SCALAR_FUNCTIONS.items()):
+        declared, arity, sig_args, probe_return = \
+            _probe_scalar_bind(function.bind)
+        signature = f"{name}({sig_args}) -> {probe_return or declared}"
+        funcdef, info = _find_funcdef(function.execute)
+        evidence = Evidence()
+        if funcdef is not None and info is not None:
+            interp = _Interp(vars(info.module), info.methods, evidence)
+            interp.env.update(_closure_env(function.execute))
+            params = [arg.arg for arg in funcdef.args.args]
+            if params:
+                interp.env[params[0]] = AVal("vectors")
+            for param in params[1:]:
+                interp.env[param] = _unknown()
+            interp.exec_block(funcdef.body)
+        facts.append(_make_fact(
+            name, "scalar", arity, signature, declared, evidence,
+            _source_of(funcdef, info, "repro/functions/scalar.py")))
+    return facts
+
+
+# -- aggregates --------------------------------------------------------------
+
+def analyze_aggregates() -> List[KernelFact]:
+    from ...functions.aggregate import (AGGREGATE_NAMES, bind_aggregate,
+                                        compute_aggregate)
+    from ...types import DOUBLE, INTEGER, VARCHAR
+    facts = []
+    funcdef, info = _find_funcdef(compute_aggregate)
+    for name in sorted(AGGREGATE_NAMES):
+        returns = set()
+        coerced_args: List[Any] = []
+        for base in (DOUBLE, INTEGER, VARCHAR):
+            try:
+                result_type, coerced = bind_aggregate(name, [base], False)
+            except Exception:
+                continue
+            returns.add(str(result_type))
+            if not coerced_args:
+                coerced_args = [str(t) for t in coerced]
+        star = False
+        if not returns:
+            try:
+                result_type, coerced = bind_aggregate(name, [], True)
+                returns.add(str(result_type))
+                star = True
+            except Exception:
+                pass
+        declared = returns.pop() if len(returns) == 1 else ARG_DEPENDENT
+        signature = f"{name}({', '.join(coerced_args) or '*'}) -> {declared}"
+        evidence = Evidence()
+        if funcdef is not None and info is not None:
+            interp = _Interp(vars(info.module), info.methods, evidence)
+            interp.env["name"] = _const(name)
+            interp.env["distinct"] = _const(False)
+            interp.env["argument"] = _const(None) if star else _input_vector()
+            interp.env["group_ids"] = AVal("array", dtype="int64",
+                                           from_input=True)
+            interp.env["group_count"] = _unknown()
+            interp.env["return_type"] = AVal("logical", logical=declared)
+            interp.exec_block(funcdef.body)
+        facts.append(_make_fact(
+            name, "aggregate", "1" if not star else "0-1", signature, declared,
+            evidence, _source_of(funcdef, info, "repro/functions/aggregate.py")))
+    return facts
+
+
+# -- builtin expression operators --------------------------------------------
+
+#: op -> (method, seeded environment attributes on the abstract expression).
+_OPERATOR_SPECS: List[Tuple[str, str, Dict[str, Any]]] = [
+    ("=", "_execute_operator", {}), ("<>", "_execute_operator", {}),
+    ("<", "_execute_operator", {}), ("<=", "_execute_operator", {}),
+    (">", "_execute_operator", {}), (">=", "_execute_operator", {}),
+    ("+", "_execute_operator", {}), ("-", "_execute_operator", {}),
+    ("*", "_execute_operator", {}), ("/", "_execute_operator", {}),
+    ("%", "_execute_operator", {}), ("not", "_execute_operator", {}),
+    ("negate", "_execute_operator", {}), ("concat", "_execute_operator", {}),
+    ("and", "_execute_conjunction", {"op": "and"}),
+    ("or", "_execute_conjunction", {"op": "or"}),
+    ("is_null", "_is_null", {"negated": False}),
+    ("is_not_null", "_is_null", {"negated": True}),
+    ("in_list", "_execute_in_list", {"negated": False}),
+    ("like", "_execute_like",
+     {"negated": False, "case_insensitive": False, "escape": None}),
+    ("case", "_execute_case", {}),
+]
+
+_OPERATOR_SIGNATURES = {
+    "=": ("2", "ANY = ANY -> BOOLEAN", "BOOLEAN"),
+    "<>": ("2", "ANY <> ANY -> BOOLEAN", "BOOLEAN"),
+    "<": ("2", "ANY < ANY -> BOOLEAN", "BOOLEAN"),
+    "<=": ("2", "ANY <= ANY -> BOOLEAN", "BOOLEAN"),
+    ">": ("2", "ANY > ANY -> BOOLEAN", "BOOLEAN"),
+    ">=": ("2", "ANY >= ANY -> BOOLEAN", "BOOLEAN"),
+    "+": ("2", "NUMERIC + NUMERIC -> NUMERIC", ARG_DEPENDENT),
+    "-": ("2", "NUMERIC - NUMERIC -> NUMERIC", ARG_DEPENDENT),
+    "*": ("2", "NUMERIC * NUMERIC -> NUMERIC", ARG_DEPENDENT),
+    "/": ("2", "NUMERIC / NUMERIC -> NUMERIC", ARG_DEPENDENT),
+    "%": ("2", "NUMERIC % NUMERIC -> NUMERIC", ARG_DEPENDENT),
+    "not": ("1", "NOT BOOLEAN -> BOOLEAN", "BOOLEAN"),
+    "negate": ("1", "- NUMERIC -> NUMERIC", ARG_DEPENDENT),
+    "concat": ("2", "VARCHAR || VARCHAR -> VARCHAR", "VARCHAR"),
+    "and": ("2", "BOOLEAN AND BOOLEAN -> BOOLEAN", "BOOLEAN"),
+    "or": ("2", "BOOLEAN OR BOOLEAN -> BOOLEAN", "BOOLEAN"),
+    "is_null": ("1", "ANY IS NULL -> BOOLEAN", "BOOLEAN"),
+    "is_not_null": ("1", "ANY IS NOT NULL -> BOOLEAN", "BOOLEAN"),
+    "in_list": ("2+", "ANY IN (ANY, ...) -> BOOLEAN", "BOOLEAN"),
+    "like": ("2-3", "VARCHAR LIKE VARCHAR -> BOOLEAN", "BOOLEAN"),
+    "case": ("1+", "CASE WHEN ... END -> ANY", ARG_DEPENDENT),
+}
+
+
+class _AbstractExpression:
+    """Duck-typed BoundExpression stand-in for operator analysis."""
+
+    def __init__(self, **attrs: Any) -> None:
+        for key, value in attrs.items():
+            setattr(self, key, value)
+
+
+def analyze_operators() -> List[KernelFact]:
+    info = _load_module("repro.execution.expression_executor")
+    facts = []
+    for op, method, attrs in _OPERATOR_SPECS:
+        arity, signature, declared = _OPERATOR_SIGNATURES[op]
+        evidence = Evidence()
+        if method == "_is_null":
+            _analyze_is_null(info, evidence, attrs.get("negated", False))
+            funcdef = info.methods.get("execute")
+        else:
+            funcdef = info.methods.get(method)
+            if funcdef is not None:
+                interp = _Interp(vars(info.module), info.methods, evidence)
+                expr_attrs = dict(attrs)
+                expr_attrs.setdefault("op", op)
+                interp.env["self"] = _unknown()
+                interp.env["expression"] = _const(
+                    _AbstractExpression(**expr_attrs))
+                interp.env["chunk"] = _unknown()
+                interp.env["op"] = _const(op)
+                if method == "_execute_operator":
+                    interp.env["expression"] = _const(
+                        _AbstractExpression(op=op, return_type=None,
+                                            args=None))
+                interp.exec_block(funcdef.body)
+        facts.append(_make_fact(
+            op, "operator", arity, signature, declared, evidence,
+            _source_of(funcdef, info,
+                       "repro/execution/expression_executor.py")))
+    return facts
+
+
+def _analyze_is_null(info: ModuleInfo, evidence: Evidence,
+                     negated: bool) -> None:
+    """IS [NOT] NULL lives in an isinstance branch of ``execute``."""
+    funcdef = info.methods.get("execute")
+    if funcdef is None:
+        return
+    for stmt in ast.walk(funcdef):
+        if isinstance(stmt, ast.If) and isinstance(stmt.test, ast.Call):
+            _, callee = None, None
+            if isinstance(stmt.test.func, ast.Name) \
+                    and stmt.test.func.id == "isinstance" \
+                    and len(stmt.test.args) == 2 \
+                    and isinstance(stmt.test.args[1], ast.Name) \
+                    and stmt.test.args[1].id == "BoundIsNull":
+                interp = _Interp(vars(info.module), info.methods, evidence)
+                interp.env["self"] = _unknown()
+                interp.env["expression"] = _const(
+                    _AbstractExpression(negated=negated))
+                interp.env["chunk"] = _unknown()
+                interp.env["count"] = _unknown()
+                interp.exec_block(stmt.body)
+                return
+
+
+# -- entry point -------------------------------------------------------------
+
+def analyze_registry() -> List[KernelFact]:
+    """Analyze every registered kernel; sorted by (kind, name)."""
+    facts = (analyze_scalar_functions() + analyze_aggregates()
+             + analyze_operators())
+    facts.sort(key=lambda fact: (fact.kind, fact.name))
+    return facts

@@ -1,0 +1,461 @@
+"""Runtime conformance harness: does each kernel honour its manifest entry?
+
+The static analyzer *claims* contracts; this harness *checks* them by
+fuzzing every kernel with NULL-heavy, empty, and extreme vectors:
+
+* garbage independence -- two runs differing only in the poison planted at
+  masked-out lanes must agree on every valid output lane (a kernel that
+  computes on masked garbage and leaks it through ``np.where`` fails here);
+* NULL propagation -- for ``propagate`` kernels, a NULL in any argument
+  lane must yield NULL in that output lane (extra NULLs are allowed);
+* input immutability -- kernels never write into their argument arrays;
+* dtype conformance -- the produced array dtype is convertible to the
+  declared LogicalType; and
+* shape -- empty vectors round-trip without crashing, lengths match.
+
+Aggregates are additionally checked for skip-NULL semantics: the result
+over the full input must equal the result over the input with NULL rows
+physically removed.
+"""
+
+# quacklint: disable-file=QLE001 -- the harness fuzzes kernels with hostile
+# inputs; a raised exception IS the finding (reported as a ConformanceIssue),
+# so broad handlers here convert failures into results by design.
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .facts import NULL_PROPAGATE, NULL_SKIP, KernelFact
+
+__all__ = ["ConformanceIssue", "run_conformance"]
+
+
+@dataclass
+class ConformanceIssue:
+    """One contract violation observed at runtime."""
+
+    kernel: str
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kernel} [{self.check}]: {self.detail}"
+
+
+_SIZES = (0, 1, 17, 64)
+
+#: Valid-lane sample values per LogicalType name (cycled to length).
+_VALUES: Dict[str, List[object]] = {
+    "BOOLEAN": [True, False, True, True, False],
+    "TINYINT": [0, 1, -3, 7, 5],
+    "SMALLINT": [0, 2, -9, 31, 8],
+    "INTEGER": [0, 1, -2, 3, 100, -7, 2],
+    "BIGINT": [0, 5, -11, 1_000_000, 3, -2],
+    "FLOAT": [0.0, 1.5, -2.25, 100.0, 0.125],
+    "DOUBLE": [0.0, 1.5, -2.25, 1e10, -0.5, 3.75, 42.0],
+    "VARCHAR": ["", "a", "Hello", "foo%bar", "quack", "Zebra"],
+    "DATE": [0, 1, 365, 20_000, -400, 7_305],
+    "TIMESTAMP": [0, 86_400_000_000, 123_456_789, 5_000_000],
+}
+
+#: Two distinct poison families planted at masked-out lanes.
+_POISON: Dict[str, Tuple[object, object]] = {
+    "BOOLEAN": (True, False),
+    "TINYINT": (111, -99),
+    "SMALLINT": (31_000, -31_000),
+    "INTEGER": (999_983, -123_457),
+    "BIGINT": (88_888_888, -77_777_777),
+    "FLOAT": (3.0e38, -1.5e38),
+    "DOUBLE": (1.0e308, -6.66e307),
+    "VARCHAR": ("GARBAGE-A", "GARBAGE-B"),
+    "DATE": (2_000_003, -2_000_003),
+    "TIMESTAMP": (9_000_000_000_000, -9_000_000_000_000),
+}
+
+_VALIDITY_PATTERNS = ("all-valid", "all-null", "alternating", "head-null")
+
+
+def _validity(pattern: str, size: int, seed: int) -> np.ndarray:
+    if pattern == "all-valid":
+        return np.ones(size, dtype=np.bool_)
+    if pattern == "all-null":
+        return np.zeros(size, dtype=np.bool_)
+    mask = np.ones(size, dtype=np.bool_)
+    if pattern == "alternating":
+        mask[seed % 2::2] = False
+    else:  # head-null
+        mask[: min(size, 3 + seed % 3)] = False
+    return mask
+
+
+def _make_vector(logical: object, size: int, validity: np.ndarray,
+                 poison_index: int, seed: int) -> object:
+    from ...types import Vector
+
+    name = str(logical)
+    values = _VALUES.get(name, _VALUES["INTEGER"])
+    poison = _POISON.get(name, _POISON["INTEGER"])[poison_index]
+    dtype = logical.numpy_dtype  # type: ignore[attr-defined]
+    if name == "VARCHAR":
+        data = np.empty(size, dtype=object)
+    else:
+        data = np.zeros(size, dtype=dtype)
+    for row in range(size):
+        if validity[row]:
+            data[row] = values[(row + seed) % len(values)]
+        else:
+            data[row] = poison
+    return Vector(logical, data, validity.copy())
+
+
+def _snapshot(vectors: Sequence[object]) -> List[Tuple[np.ndarray, np.ndarray]]:
+    return [(vector.data.copy(), vector.validity.copy())  # type: ignore[attr-defined]
+            for vector in vectors]
+
+
+def _inputs_mutated(vectors: Sequence[object],
+                    snapshots: List[Tuple[np.ndarray, np.ndarray]]) -> bool:
+    for vector, (data, validity) in zip(vectors, snapshots):
+        if not np.array_equal(vector.validity, validity):  # type: ignore[attr-defined]
+            return True
+        before = np.asarray(data)
+        after = np.asarray(vector.data)  # type: ignore[attr-defined]
+        if before.dtype == object or after.dtype == object:
+            if list(after) != list(before):
+                return True
+        elif not np.array_equal(after, before):
+            return True
+    return False
+
+
+def _valid_lanes_equal(first: object, second: object) -> bool:
+    if not np.array_equal(first.validity, second.validity):  # type: ignore[attr-defined]
+        return False
+    valid = np.asarray(first.validity)  # type: ignore[attr-defined]
+    left = np.asarray(first.data)[valid]  # type: ignore[attr-defined]
+    right = np.asarray(second.data)[valid]  # type: ignore[attr-defined]
+    if left.dtype == object or right.dtype == object:
+        return list(left) == list(right)
+    if left.dtype.kind == "f":
+        return bool(np.allclose(left, right, equal_nan=True))
+    return bool(np.array_equal(left, right))
+
+
+def _probe_arg_types(bind: Callable) -> List[List[object]]:
+    """Concrete coerced argument-type lists the bind function accepts."""
+    from ...types import BOOLEAN, DATE, DOUBLE, INTEGER, VARCHAR
+
+    accepted: List[List[object]] = []
+    for arity in range(0, 5):
+        for base in (DOUBLE, VARCHAR, INTEGER, DATE, BOOLEAN):
+            try:
+                _, coerced = bind([base] * arity)
+            except Exception:
+                continue
+            if list(coerced) not in accepted:
+                accepted.append(list(coerced))
+            break
+    return accepted
+
+
+# -- scalar kernels ----------------------------------------------------------
+
+def _check_scalar(fact: KernelFact, issues: List[ConformanceIssue]) -> None:
+    from ...functions.scalar import SCALAR_FUNCTIONS
+    from .facts import dtype_convertible
+
+    function = SCALAR_FUNCTIONS.get(fact.name)
+    if function is None:
+        issues.append(ConformanceIssue(fact.key, "registry",
+                                       "manifest entry has no registered kernel"))
+        return
+    signatures = _probe_arg_types(function.bind)
+    if not signatures:
+        issues.append(ConformanceIssue(fact.key, "bind",
+                                       "no probe signature binds"))
+        return
+    for arg_types in signatures:
+        try:
+            return_type, coerced = function.bind(list(arg_types))
+        except Exception as error:
+            issues.append(ConformanceIssue(fact.key, "bind", repr(error)))
+            continue
+        arg_types = list(coerced)
+        for size in _SIZES:
+            for pattern in _VALIDITY_PATTERNS:
+                _fuzz_scalar_case(fact, function, return_type, arg_types,
+                                  size, pattern, issues)
+
+
+def _fuzz_scalar_case(fact: KernelFact, function: object, return_type: object,
+                      arg_types: List[object], size: int, pattern: str,
+                      issues: List[ConformanceIssue]) -> None:
+    from .facts import dtype_convertible
+
+    validities = [_validity(pattern, size, seed)
+                  for seed in range(len(arg_types))]
+    runs = []
+    for poison_index in (0, 1):
+        vectors = [_make_vector(arg_type, size, validity, poison_index, seed)
+                   for seed, (arg_type, validity)
+                   in enumerate(zip(arg_types, validities))]
+        snapshots = _snapshot(vectors)
+        try:
+            result = function.execute(vectors, size)  # type: ignore[attr-defined]
+        except Exception as error:
+            issues.append(ConformanceIssue(
+                fact.key, "crash",
+                f"size={size} validity={pattern} poison={poison_index}: "
+                f"{error!r}"))
+            return
+        if _inputs_mutated(vectors, snapshots):
+            issues.append(ConformanceIssue(
+                fact.key, "input-immutability",
+                f"size={size} validity={pattern}: kernel wrote into its "
+                "argument arrays"))
+            return
+        runs.append(result)
+
+    first, second = runs
+    if len(first) != size:
+        issues.append(ConformanceIssue(
+            fact.key, "shape",
+            f"size={size}: result length {len(first)}"))
+        return
+    produced = np.asarray(first.data).dtype.name
+    if dtype_convertible(produced, str(return_type)) is False:
+        issues.append(ConformanceIssue(
+            fact.key, "dtype",
+            f"produced {produced}, declared {return_type}"))
+        return
+    if not _valid_lanes_equal(first, second):
+        issues.append(ConformanceIssue(
+            fact.key, "garbage-independence",
+            f"size={size} validity={pattern}: output depends on values at "
+            "masked-out (NULL) input lanes"))
+        return
+    if fact.null_contract == NULL_PROPAGATE and size:
+        any_null = np.zeros(size, dtype=np.bool_)
+        for validity in validities:
+            any_null |= ~validity
+        leaked = any_null & np.asarray(first.validity)
+        if leaked.any():
+            issues.append(ConformanceIssue(
+                fact.key, "null-propagation",
+                f"size={size} validity={pattern}: NULL input lanes "
+                f"{np.flatnonzero(leaked)[:5].tolist()} produced valid "
+                "output"))
+
+
+# -- aggregate kernels -------------------------------------------------------
+
+def _check_aggregate(fact: KernelFact, issues: List[ConformanceIssue]) -> None:
+    from ...functions.aggregate import bind_aggregate, compute_aggregate
+    from ...types import DOUBLE, VARCHAR
+
+    bases = [DOUBLE] if fact.name not in ("min", "max", "first", "count") \
+        else [DOUBLE, VARCHAR]
+    for base in bases:
+        star = False
+        try:
+            return_type, coerced = bind_aggregate(fact.name, [base], False)
+        except Exception:
+            try:
+                return_type, coerced = bind_aggregate(fact.name, [], True)
+                star = True
+            except Exception as error:
+                issues.append(ConformanceIssue(fact.key, "bind", repr(error)))
+                continue
+        arg_type = coerced[0] if coerced else base
+        for size in (0, 1, 31):
+            for pattern in _VALIDITY_PATTERNS:
+                _fuzz_aggregate_case(fact, star, arg_type, return_type, size,
+                                     pattern, compute_aggregate, issues)
+
+
+def _fuzz_aggregate_case(fact: KernelFact, star: bool, arg_type: object,
+                         return_type: object, size: int, pattern: str,
+                         compute: Callable,
+                         issues: List[ConformanceIssue]) -> None:
+    group_count = max(1, min(4, size))
+    group_ids = (np.arange(size, dtype=np.int64) % group_count
+                 if size else np.zeros(0, dtype=np.int64))
+    validity = _validity(pattern, size, 0)
+    results = []
+    for poison_index in (0, 1):
+        argument = None if star else _make_vector(arg_type, size, validity,
+                                                  poison_index, 0)
+        try:
+            result = compute(fact.name, False, argument, group_ids,
+                             group_count, return_type)
+        except Exception as error:
+            issues.append(ConformanceIssue(
+                fact.key, "crash",
+                f"size={size} validity={pattern}: {error!r}"))
+            return
+        results.append(result)
+    if not _valid_lanes_equal(results[0], results[1]):
+        issues.append(ConformanceIssue(
+            fact.key, "garbage-independence",
+            f"size={size} validity={pattern}: group results depend on "
+            "masked-out input rows"))
+        return
+    if star or fact.null_contract != NULL_SKIP:
+        return
+    # Skip-NULL equivalence: physically removing NULL rows must not change
+    # any group's result.
+    keep = np.flatnonzero(validity)
+    argument = _make_vector(arg_type, size, validity, 0, 0)
+    from ...types import Vector
+    reduced = Vector(argument.dtype,  # type: ignore[attr-defined]
+                     np.asarray(argument.data)[keep],  # type: ignore[attr-defined]
+                     np.ones(len(keep), dtype=np.bool_))
+    try:
+        expected = compute(fact.name, False, reduced, group_ids[keep],
+                           group_count, return_type)
+    except Exception as error:
+        issues.append(ConformanceIssue(
+            fact.key, "skip-nulls",
+            f"size={size} validity={pattern}: NULL-free rerun crashed "
+            f"{error!r}"))
+        return
+    if not _valid_lanes_equal(results[0], expected):
+        issues.append(ConformanceIssue(
+            fact.key, "skip-nulls",
+            f"size={size} validity={pattern}: result differs from the "
+            "NULL-rows-removed rerun"))
+
+
+# -- builtin operators -------------------------------------------------------
+
+def _operator_expression(fact: KernelFact) -> Optional[Tuple[object, List[object]]]:
+    """(BoundExpression over column refs, argument LogicalTypes) for one op."""
+    from ...planner.expressions import (
+        BoundColumnRef,
+        BoundInList,
+        BoundIsNull,
+        BoundLike,
+        BoundOperator,
+    )
+    from ...types import BOOLEAN, DOUBLE, VARCHAR
+
+    name = fact.name
+    if name in ("=", "<>", "<", "<=", ">", ">="):
+        args = [DOUBLE, DOUBLE]
+        return BoundOperator(name, [BoundColumnRef(0, DOUBLE),
+                                    BoundColumnRef(1, DOUBLE)], BOOLEAN), args
+    if name in ("+", "-", "*", "/", "%"):
+        args = [DOUBLE, DOUBLE]
+        return BoundOperator(name, [BoundColumnRef(0, DOUBLE),
+                                    BoundColumnRef(1, DOUBLE)], DOUBLE), args
+    if name in ("and", "or"):
+        args = [BOOLEAN, BOOLEAN]
+        return BoundOperator(name, [BoundColumnRef(0, BOOLEAN),
+                                    BoundColumnRef(1, BOOLEAN)], BOOLEAN), args
+    if name == "not":
+        return BoundOperator("not", [BoundColumnRef(0, BOOLEAN)],
+                             BOOLEAN), [BOOLEAN]
+    if name == "negate":
+        return BoundOperator("negate", [BoundColumnRef(0, DOUBLE)],
+                             DOUBLE), [DOUBLE]
+    if name == "concat":
+        return BoundOperator("concat", [BoundColumnRef(0, VARCHAR),
+                                        BoundColumnRef(1, VARCHAR)],
+                             VARCHAR), [VARCHAR, VARCHAR]
+    if name in ("is_null", "is_not_null"):
+        return BoundIsNull(BoundColumnRef(0, DOUBLE),
+                           name == "is_not_null"), [DOUBLE]
+    if name == "in_list":
+        return BoundInList(BoundColumnRef(0, DOUBLE),
+                           [BoundColumnRef(1, DOUBLE)], False), [DOUBLE, DOUBLE]
+    if name == "like":
+        return BoundLike(BoundColumnRef(0, VARCHAR), BoundColumnRef(1, VARCHAR),
+                         False, False), [VARCHAR, VARCHAR]
+    return None  # CASE needs constant branches; covered by engine tests.
+
+
+def _check_operator(fact: KernelFact, issues: List[ConformanceIssue]) -> None:
+    from ...execution.expression_executor import ExpressionExecutor
+    from ...types.chunk import DataChunk
+
+    built = _operator_expression(fact)
+    if built is None:
+        return
+    expression, arg_types = built
+    executor = ExpressionExecutor()
+    for size in _SIZES:
+        if size == 0:
+            continue  # DataChunk carries no empty-chunk constructor contract
+        for pattern in _VALIDITY_PATTERNS:
+            validities = [_validity(pattern, size, seed)
+                          for seed in range(len(arg_types))]
+            runs = []
+            crashed = False
+            for poison_index in (0, 1):
+                columns = [
+                    _make_vector(arg_type, size, validity, poison_index, seed)
+                    for seed, (arg_type, validity)
+                    in enumerate(zip(arg_types, validities))]
+                chunk = DataChunk(columns)
+                snapshots = _snapshot(columns)
+                try:
+                    result = executor.execute(expression, chunk)
+                except Exception as error:
+                    issues.append(ConformanceIssue(
+                        fact.key, "crash",
+                        f"size={size} validity={pattern}: {error!r}"))
+                    crashed = True
+                    break
+                if _inputs_mutated(columns, snapshots):
+                    issues.append(ConformanceIssue(
+                        fact.key, "input-immutability",
+                        f"size={size} validity={pattern}: operator wrote "
+                        "into its input chunk"))
+                    crashed = True
+                    break
+                runs.append(result)
+            if crashed:
+                return
+            if not _valid_lanes_equal(runs[0], runs[1]):
+                issues.append(ConformanceIssue(
+                    fact.key, "garbage-independence",
+                    f"size={size} validity={pattern}: output depends on "
+                    "masked-out input lanes"))
+                return
+            if fact.null_contract == NULL_PROPAGATE:
+                any_null = np.zeros(size, dtype=np.bool_)
+                for validity in validities:
+                    any_null |= ~validity
+                if (any_null & np.asarray(runs[0].validity)).any():
+                    issues.append(ConformanceIssue(
+                        fact.key, "null-propagation",
+                        f"size={size} validity={pattern}: NULL input lanes "
+                        "produced valid output"))
+                    return
+
+
+# -- entry point -------------------------------------------------------------
+
+def run_conformance(
+        facts: Optional[Sequence[KernelFact]] = None) -> List[ConformanceIssue]:
+    """Fuzz every kernel against its manifest entry; empty list = clean."""
+    if facts is None:
+        from .manifest import manifest_entries
+        try:
+            facts = manifest_entries()
+        except (OSError, ValueError):
+            from .analyzer import analyze_registry
+            facts = analyze_registry()
+    issues: List[ConformanceIssue] = []
+    for fact in facts:
+        if fact.kind == "scalar":
+            _check_scalar(fact, issues)
+        elif fact.kind == "aggregate":
+            _check_aggregate(fact, issues)
+        elif fact.kind == "operator":
+            _check_operator(fact, issues)
+    return issues

@@ -1,0 +1,155 @@
+"""The kernel capability model: what one kernel promises the engine.
+
+A :class:`KernelFact` is the unit of the committed manifest.  Every field
+is a *verifiable* claim: the analyzer infers it statically, the
+conformance harness asserts it dynamically, and the planner consumes it
+when deciding fusion eligibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "KernelFact",
+    "NULL_PROPAGATE",
+    "NULL_CUSTOM",
+    "NULL_SKIP",
+    "NULL_UNCHECKED",
+    "COPY_FRESH",
+    "COPY_VIEW",
+    "COPY_INPLACE",
+    "COPY_UNKNOWN",
+    "dtype_convertible",
+]
+
+# -- NULL contracts ----------------------------------------------------------
+#: Any NULL input lane yields a NULL output lane (narrowing -- producing
+#: *extra* NULLs for domain errors like sqrt(-1) -- is allowed).
+NULL_PROPAGATE = "propagate"
+#: The kernel defines its own NULL semantics (coalesce, concat, CASE,
+#: three-valued AND/OR); NULL-in does not imply NULL-out.
+NULL_CUSTOM = "custom"
+#: Aggregate semantics: NULL input rows are skipped and never contribute
+#: to any group's result.
+NULL_SKIP = "skip-nulls"
+#: The kernel reads ``.data`` without consulting validity at all -- it may
+#: compute on masked-out garbage and leak it.  Never acceptable for a
+#: registered kernel.
+NULL_UNCHECKED = "unchecked"
+
+# -- copy behaviour on the transfer path -------------------------------------
+#: Output arrays are freshly allocated per call; inputs are never aliased.
+COPY_FRESH = "fresh"
+#: Output aliases an input array (zero-copy view).
+COPY_VIEW = "view"
+#: The kernel writes into its input arrays.
+COPY_INPLACE = "in-place"
+COPY_UNKNOWN = "unknown"
+
+#: Sentinel for facts that depend on the argument types at bind time.
+ARG_DEPENDENT = "argument"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class KernelFact:
+    """Inferred contract of one registered kernel."""
+
+    name: str
+    #: ``scalar`` | ``aggregate`` | ``operator``.
+    kind: str
+    #: Human-readable argument-count summary: ``"1"``, ``"1-2"``, ``"1+"``.
+    arity: str
+    #: Canonical bind-time signature, e.g. ``"round(DOUBLE, INTEGER) -> DOUBLE"``.
+    signature: str
+    #: The LogicalType the bind function declares (``"argument"`` when the
+    #: return type follows the argument types).
+    declared_type: str
+    #: NumPy dtype the kernel's AST constructs (``"argument"`` when it
+    #: mirrors the input vector's dtype).
+    inferred_dtype: str
+    #: One of the NULL_* contract constants.
+    null_contract: str
+    #: One of the COPY_* constants.
+    copy_behaviour: str
+    #: False when the kernel falls back to a per-row Python loop over
+    #: element data (LIKE, substr) -- such kernels are never fusable.
+    vectorized: bool
+    #: No module-global mutation, no I/O.
+    pure: bool
+    #: Safe under morsel workers (pure kernels are; executor-instance state
+    #: is allowed because executors are per-operator-instance).
+    thread_safe: bool
+    #: Eligible for filter->project operator fusion / JIT tier selection.
+    fusable: bool
+    #: ``repro/functions/scalar.py:412`` -- where the kernel body lives.
+    source: str
+    #: Analyzer notes (avoidable copies, followed helpers, ...).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "KernelFact":
+        return cls(**data)
+
+
+#: dtype kind produced by each logical type name (mirrors
+#: ``LogicalType.numpy_dtype.kind``).
+_LOGICAL_KIND = {
+    "BOOLEAN": "b",
+    "TINYINT": "i",
+    "SMALLINT": "i",
+    "INTEGER": "i",
+    "BIGINT": "i",
+    "FLOAT": "f",
+    "DOUBLE": "f",
+    "VARCHAR": "O",
+    "DATE": "i",
+    "TIMESTAMP": "i",
+    "NULL": "b",
+}
+
+#: numpy dtype name -> kind character.
+_NUMPY_KIND = {
+    "bool": "b",
+    "int8": "i",
+    "int16": "i",
+    "int32": "i",
+    "int64": "i",
+    "float32": "f",
+    "float64": "f",
+    "object": "O",
+}
+
+
+def dtype_convertible(inferred_dtype: str, declared_type: str) -> Optional[bool]:
+    """Is a kernel-produced NumPy dtype convertible to the declared type?
+
+    Returns None when either side is unknown/argument-dependent (nothing to
+    check).  Conversion must be lossless in *kind*: int -> float and
+    bool -> numeric widen fine, float -> int silently truncates (error),
+    and object (VARCHAR) never mixes with numerics.
+    """
+    produced = _NUMPY_KIND.get(inferred_dtype)
+    declared = _LOGICAL_KIND.get(declared_type)
+    if produced is None or declared is None:
+        return None
+    if produced == declared:
+        return True
+    if produced == "O" or declared == "O":
+        return False
+    if declared == "f":
+        return True  # any numeric widens to float
+    if declared == "i":
+        return produced == "b"  # bool widens; float would truncate
+    if declared == "b":
+        return False  # numeric -> BOOLEAN needs an explicit comparison
+    return False

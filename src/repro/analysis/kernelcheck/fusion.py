@@ -1,0 +1,96 @@
+"""Fusion eligibility: the planner-facing consumer of the manifest.
+
+A filter->project chain can be fused into one pass (and later handed to a
+compiled-kernel tier) only when every kernel it evaluates is *verified*
+pure, thread-safe, vectorized, and NULL-honouring.  The physical planner
+asks this module, which answers from the committed manifest -- capability
+by verification, not by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .facts import NULL_UNCHECKED, KernelFact
+
+__all__ = ["kernel_fusable", "expression_chain_fusable", "clear_cache"]
+
+_CACHE: Optional[Dict[str, KernelFact]] = None
+
+
+def _facts() -> Dict[str, KernelFact]:
+    global _CACHE
+    if _CACHE is None:
+        try:
+            from .manifest import manifest_entries
+            _CACHE = {fact.key: fact for fact in manifest_entries()}
+        except (OSError, ValueError, KeyError):
+            _CACHE = {}
+    return _CACHE
+
+
+def clear_cache() -> None:
+    """Drop the memoized manifest (tests that rewrite it call this)."""
+    global _CACHE
+    _CACHE = None
+
+
+def kernel_fusable(name: str, kind: str = "scalar") -> bool:
+    """Is the named kernel marked fusable in the committed manifest?"""
+    fact = _facts().get(f"{kind}:{name.lower()}")
+    if fact is None:
+        return False
+    return bool(fact.fusable and fact.pure and fact.thread_safe
+                and fact.vectorized and fact.null_contract != NULL_UNCHECKED)
+
+
+def expression_chain_fusable(expressions: Iterable[object]) -> bool:
+    """Can a filter->project chain over these bound expressions be fused?
+
+    Walks each bound expression tree; every scalar function and operator it
+    evaluates must carry a fusable manifest entry.  Subqueries, LIKE, CASE
+    and anything unknown to the manifest disqualify the chain.
+    """
+    from ...planner.expressions import (
+        BoundCase,
+        BoundCast,
+        BoundColumnRef,
+        BoundConstant,
+        BoundExpression,
+        BoundFunction,
+        BoundInList,
+        BoundIsNull,
+        BoundLike,
+        BoundOperator,
+    )
+
+    def walk(expression: object) -> bool:
+        if isinstance(expression, (BoundConstant, BoundColumnRef)):
+            return True
+        if isinstance(expression, BoundCast):
+            return walk(expression.child)
+        if isinstance(expression, BoundIsNull):
+            return kernel_fusable(
+                "is_not_null" if expression.negated else "is_null",
+                "operator") and walk(expression.child)
+        if isinstance(expression, BoundOperator):
+            return kernel_fusable(expression.op, "operator") and \
+                all(walk(arg) for arg in expression.args)
+        if isinstance(expression, BoundFunction):
+            return kernel_fusable(expression.name, "scalar") and \
+                all(walk(arg) for arg in expression.args)
+        if isinstance(expression, BoundInList):
+            return kernel_fusable("in_list", "operator") and \
+                walk(expression.child) and \
+                all(walk(item) for item in expression.items)
+        if isinstance(expression, (BoundLike, BoundCase)):
+            # LIKE is per-row; CASE re-executes branches lazily -- neither
+            # carries a fusable manifest bit today.
+            name = "like" if isinstance(expression, BoundLike) else "case"
+            return kernel_fusable(name, "operator")
+        if isinstance(expression, BoundExpression):
+            return False
+        return False
+
+    expressions = list(expressions)
+    return bool(expressions) and all(walk(expr) for expr in expressions)

@@ -1,0 +1,133 @@
+"""The committed kernel capability manifest and its drift gate.
+
+``kernel_manifest.json`` is a build artifact that lives *in the tree*: it
+records what the analyzer inferred about every registered kernel, plus a
+sha256 fingerprint of each kernel module's source.  CI (and
+``python -m repro.analysis --check-manifest``) regenerates the facts and
+fails when the committed manifest no longer matches -- so kernel code cannot
+change contracts silently.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional
+
+from .analyzer import analyze_registry, source_fingerprints
+from .facts import KernelFact, dtype_convertible
+
+__all__ = [
+    "MANIFEST_PATH",
+    "MANIFEST_VERSION",
+    "generate_manifest",
+    "load_manifest",
+    "manifest_entries",
+    "write_manifest",
+    "check_manifest",
+    "cross_check_declarations",
+]
+
+MANIFEST_VERSION = 1
+
+#: The committed manifest sits next to this module so it ships with the
+#: package and is found regardless of the working directory.
+MANIFEST_PATH = pathlib.Path(__file__).resolve().parent / "kernel_manifest.json"
+
+
+def generate_manifest() -> Dict[str, Any]:
+    """Run the analyzer and build the manifest document."""
+    facts = analyze_registry()
+    return {
+        "version": MANIFEST_VERSION,
+        "sources": source_fingerprints(),
+        "kernels": [fact.as_dict() for fact in facts],
+    }
+
+
+def write_manifest(path: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Regenerate and write the manifest; returns the path written."""
+    target = path or MANIFEST_PATH
+    document = generate_manifest()
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target
+
+
+def load_manifest(path: Optional[pathlib.Path] = None) -> Dict[str, Any]:
+    """Load the committed manifest document."""
+    target = path or MANIFEST_PATH
+    return json.loads(target.read_text(encoding="utf-8"))
+
+
+def manifest_entries(path: Optional[pathlib.Path] = None) -> List[KernelFact]:
+    """The committed manifest as :class:`KernelFact` objects."""
+    document = load_manifest(path)
+    return [KernelFact.from_dict(entry) for entry in document["kernels"]]
+
+
+def check_manifest(path: Optional[pathlib.Path] = None) -> List[str]:
+    """Drift gate: regenerate facts and diff against the committed manifest.
+
+    Returns a list of human-readable problems; empty means the manifest is
+    current.  Fingerprints are checked first so a stale manifest reports the
+    changed module even when the inferred facts happen to agree.
+    """
+    problems: List[str] = []
+    try:
+        committed = load_manifest(path)
+    except FileNotFoundError:
+        return [f"manifest missing: {path or MANIFEST_PATH} "
+                "(run python -m repro.analysis --write-manifest)"]
+    except (OSError, ValueError) as error:
+        return [f"manifest unreadable: {error}"]
+
+    if committed.get("version") != MANIFEST_VERSION:
+        problems.append(
+            f"manifest version {committed.get('version')!r} != "
+            f"{MANIFEST_VERSION} (regenerate)")
+
+    current_sources = source_fingerprints()
+    committed_sources = committed.get("sources", {})
+    for module, digest in sorted(current_sources.items()):
+        if committed_sources.get(module) != digest:
+            problems.append(f"source drift: {module} changed since the "
+                            "manifest was generated")
+    for module in sorted(set(committed_sources) - set(current_sources)):
+        problems.append(f"source drift: {module} in manifest but not analyzed")
+
+    current = {fact.key: fact.as_dict() for fact in analyze_registry()}
+    committed_kernels = {
+        f"{entry.get('kind')}:{entry.get('name')}": entry
+        for entry in committed.get("kernels", [])
+    }
+    for key in sorted(set(current) - set(committed_kernels)):
+        problems.append(f"kernel {key} registered but missing from manifest")
+    for key in sorted(set(committed_kernels) - set(current)):
+        problems.append(f"kernel {key} in manifest but no longer registered")
+    for key in sorted(set(current) & set(committed_kernels)):
+        fresh, stale = current[key], committed_kernels[key]
+        for field_name in sorted(set(fresh) | set(stale)):
+            if fresh.get(field_name) != stale.get(field_name):
+                problems.append(
+                    f"kernel {key}: field {field_name!r} drifted "
+                    f"({stale.get(field_name)!r} -> {fresh.get(field_name)!r})")
+    return problems
+
+
+def cross_check_declarations(
+        facts: Optional[List[KernelFact]] = None) -> List[str]:
+    """Bind-declaration cross-check: inferred dtype vs. declared LogicalType.
+
+    Returns one message per kernel whose produced NumPy dtype cannot losslessly
+    convert to the LogicalType its bind function declares (the registry-level
+    view of QLK001).
+    """
+    problems: List[str] = []
+    for fact in (facts if facts is not None else analyze_registry()):
+        verdict = dtype_convertible(fact.inferred_dtype, fact.declared_type)
+        if verdict is False:
+            problems.append(
+                f"{fact.key}: kernel produces {fact.inferred_dtype} but bind "
+                f"declares {fact.declared_type} ({fact.source})")
+    return problems

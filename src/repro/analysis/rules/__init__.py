@@ -3,7 +3,8 @@
 One module per family; :data:`ALL_RULES` is the engine's default rule set.
 Family prefixes: QLC (concurrency), QLL (lock order), QLV (vectorization),
 QLZ (zero-copy), QLE (exception discipline), QLR (resource discipline),
-QLO (observability discipline), QLP (plan discipline).
+QLO (observability discipline), QLP (plan discipline), QLK (kernel
+contracts).
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from typing import Dict, List
 from ..core import Rule
 from .concurrency import ConcurrencyRule
 from .exceptions import ExceptionDisciplineRule
+from .kernels import KernelContractRule
 from .lockorder import LockOrderRule
 from .observability import ObservabilityRule
 from .plans import PlanDisciplineRule
@@ -23,6 +25,7 @@ from .zerocopy import ZeroCopyRule
 __all__ = [
     "ALL_RULES",
     "ConcurrencyRule",
+    "KernelContractRule",
     "LockOrderRule",
     "VectorizationRule",
     "ZeroCopyRule",
@@ -42,6 +45,7 @@ ALL_RULES: List[Rule] = [
     ResourceDisciplineRule(),
     ObservabilityRule(),
     PlanDisciplineRule(),
+    KernelContractRule(),
 ]
 
 

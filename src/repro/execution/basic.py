@@ -41,6 +41,11 @@ class PhysicalProjection(PhysicalOperator):
                          [expression.return_type for expression in expressions],
                          names)
         self.expressions = expressions
+        #: Set by the physical planner when every kernel in this projection
+        #: and the filter directly below it satisfies the fusion contract
+        #: (pure, thread-safe, vectorized, no unchecked NULL handling) per
+        #: the kernel capability manifest.  Advisory: surfaced in EXPLAIN.
+        self.fusable = False
 
     def execute(self) -> Iterator[DataChunk]:
         executor = ExpressionExecutor(self.context)
@@ -50,7 +55,8 @@ class PhysicalProjection(PhysicalOperator):
                              for expression in self.expressions])
 
     def _explain_line(self) -> str:
-        return f"PROJECT [{', '.join(self.names)}]"
+        suffix = " [fusable]" if self.fusable else ""
+        return f"PROJECT [{', '.join(self.names)}]{suffix}"
 
 
 class PhysicalLimit(PhysicalOperator):

@@ -100,7 +100,7 @@ class ExpressionExecutor:
                        chunk: DataChunk) -> np.ndarray:
         """Evaluate a predicate to a selection mask (NULL counts as False)."""
         result = self.execute(predicate, chunk)
-        return result.data.astype(np.bool_) & result.validity
+        return result.data.astype(np.bool_, copy=False) & result.validity
 
     # -- operators ------------------------------------------------------------
     def _execute_operator(self, expression: BoundOperator,
@@ -111,7 +111,7 @@ class ExpressionExecutor:
         vectors = [self.execute(arg, chunk) for arg in expression.args]
         if op == "not":
             source = vectors[0]
-            return Vector(BOOLEAN, ~source.data.astype(np.bool_),
+            return Vector(BOOLEAN, ~source.data.astype(np.bool_, copy=False),
                           source.validity.copy())
         if op == "negate":
             source = vectors[0]
@@ -135,8 +135,8 @@ class ExpressionExecutor:
                              chunk: DataChunk) -> Vector:
         left = self.execute(expression.args[0], chunk)
         right = self.execute(expression.args[1], chunk)
-        left_data = left.data.astype(np.bool_)
-        right_data = right.data.astype(np.bool_)
+        left_data = left.data.astype(np.bool_, copy=False)
+        right_data = right.data.astype(np.bool_, copy=False)
         if expression.op == "and":
             # FALSE dominates NULL: the result is valid if both sides are
             # valid, or either side is a known FALSE.
@@ -281,7 +281,7 @@ class ExpressionExecutor:
         decided = np.zeros(count, dtype=np.bool_)
         for condition, branch in expression.whens:
             condition_vector = self.execute(condition, chunk)
-            take = (condition_vector.data.astype(np.bool_)
+            take = (condition_vector.data.astype(np.bool_, copy=False)
                     & condition_vector.validity & ~decided)
             if take.any():
                 branch_vector = self.execute(branch, chunk)

@@ -226,7 +226,20 @@ def _lower(plan: LogicalOperator,
         return PhysicalFilter(context, child, plan.predicate)
     if isinstance(plan, LogicalProjection):
         child = create_physical_plan(plan.children[0], context)
-        return PhysicalProjection(context, child, plan.expressions, plan.names)
+        projection = PhysicalProjection(context, child, plan.expressions,
+                                        plan.names)
+        if isinstance(plan.children[0], LogicalFilter):
+            # Filter->project chains whose kernels all satisfy the fusion
+            # contract (kernel capability manifest: pure, thread-safe,
+            # vectorized, NULL-checked) are marked fusable for EXPLAIN.
+            # Imported lazily: the analysis layer must not load during
+            # ordinary query execution.
+            from ..analysis.kernelcheck import expression_chain_fusable
+
+            chain = list(plan.expressions) + [plan.children[0].predicate]
+            if expression_chain_fusable(chain):
+                projection.fusable = True
+        return projection
     if isinstance(plan, LogicalAggregate):
         parallel = _try_parallel_aggregate(plan, context)
         if parallel is not None:

@@ -152,15 +152,26 @@ def _round_bind(arg_types):
 
 
 def _round_execute(vectors, count):
+    """round(x[, digits]) with per-row digits and full NULL propagation.
+
+    A NULL in either argument yields NULL; masked-out lanes never reach
+    ``np.round`` (garbage independence).
+    """
     source = vectors[0]
+    validity = _propagate_validity(vectors)
+    data = np.zeros(count, dtype=np.float64)
     if len(vectors) == 2:
         digits_vector = vectors[1]
-        digits = int(digits_vector.data[0]) if len(digits_vector) and \
-            digits_vector.validity[0] else 0
+        # Digits vary per row; one bulk np.round per distinct digit count
+        # (almost always exactly one -- the literal-digits case).
+        safe_digits = np.where(digits_vector.validity,
+                               digits_vector.data, 0).astype(np.int64)
+        for digits in np.unique(safe_digits[validity]):
+            lanes = validity & (safe_digits == digits)
+            data[lanes] = np.round(source.data[lanes], int(digits))
     else:
-        digits = 0
-    data = np.round(source.data, digits)
-    return Vector(DOUBLE, data, source.validity.copy())
+        data[validity] = np.round(source.data[validity])
+    return Vector(DOUBLE, data, validity)
 
 
 # -- string functions --------------------------------------------------------
@@ -371,7 +382,7 @@ def _date_part_execute(part: str):
         if source.dtype.id is LogicalTypeId.TIMESTAMP:
             days = np.floor_divide(source.data, 86_400_000_000).astype(np.int64)
         else:
-            days = source.data.astype(np.int64)
+            days = source.data.astype(np.int64, copy=False)
         # Civil-date decomposition (Howard Hinnant's algorithm), vectorized.
         z = days + 719_468
         era = np.floor_divide(z, 146_097)

@@ -174,6 +174,27 @@ def column_stats_rows(database: Any, transaction: Any) -> List[Row]:
     return rows
 
 
+# -- kernels -----------------------------------------------------------------
+
+def kernels_rows(database: Any, transaction: Any) -> List[Row]:
+    """Kernel capability manifest rows (quackkernel static analysis).
+
+    Backed by the committed ``kernel_manifest.json`` -- the same facts the
+    ``--check-manifest`` drift gate verifies -- so the table reflects what
+    was analyzed and reviewed, not a live re-analysis on every query.
+    """
+    from ..analysis.kernelcheck import manifest_entries
+    rows: List[Row] = []
+    for fact in manifest_entries():
+        rows.append((fact.name, fact.kind, fact.arity, fact.signature,
+                     fact.declared_type, fact.inferred_dtype,
+                     fact.null_contract, fact.copy_behaviour,
+                     bool(fact.vectorized), bool(fact.pure),
+                     bool(fact.thread_safe), bool(fact.fusable),
+                     fact.source))
+    return rows
+
+
 # -- storage -----------------------------------------------------------------
 
 def storage_rows(database: Any, transaction: Any) -> List[Row]:
@@ -271,6 +292,16 @@ def register_builtin_functions() -> None:
          ("invariant", VARCHAR), ("status", VARCHAR),
          ("operator", VARCHAR), ("detail", VARCHAR)],
         plan_checks_rows))
+    register(SystemTableFunction(
+        "repro_kernels",
+        "kernel capability manifest: dtype, NULL, copy, and purity contracts",
+        [("name", VARCHAR), ("kind", VARCHAR), ("arity", VARCHAR),
+         ("signature", VARCHAR), ("declared_type", VARCHAR),
+         ("inferred_dtype", VARCHAR), ("null_contract", VARCHAR),
+         ("copy_behaviour", VARCHAR), ("vectorized", BOOLEAN),
+         ("pure", BOOLEAN), ("thread_safe", BOOLEAN), ("fusable", BOOLEAN),
+         ("source", VARCHAR)],
+        kernels_rows))
     register(SystemTableFunction(
         "repro_column_stats", "per-column statistics behind the cost model",
         [("table_name", VARCHAR), ("column_name", VARCHAR),

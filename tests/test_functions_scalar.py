@@ -195,3 +195,39 @@ class TestErrors:
     def test_star_argument_rejected(self, con):
         with pytest.raises(BinderError):
             con.execute("SELECT abs(*)")
+
+
+class TestRoundNullContract:
+    """Regression pin for the NULL-contract bug the conformance harness
+    found: ``round`` used to feed masked-out lanes (and NULL digit counts)
+    straight into ``np.round``, producing valid garbage where NULL was due.
+    """
+
+    def test_null_value_stays_null(self, con):
+        assert con.execute("SELECT round(NULL)").fetchone() == (None,)
+        assert con.execute(
+            "SELECT round(CAST(NULL AS DOUBLE), 2)").fetchone() == (None,)
+
+    def test_null_digits_yields_null(self, con):
+        # NULL in *either* argument must propagate; digits=NULL used to be
+        # silently treated as garbage integer digits.
+        assert con.execute(
+            "SELECT round(2.567, NULL)").fetchone() == (None,)
+
+    def test_null_lanes_in_vector_stay_null(self, con):
+        con.execute("CREATE TABLE r (x DOUBLE, d INTEGER)")
+        con.execute("INSERT INTO r VALUES (2.567, 2), (NULL, 2), "
+                    "(3.14159, NULL), (NULL, NULL), (1.5, 0)")
+        rows = con.execute("SELECT round(x, d) FROM r").fetchall()
+        assert rows == [(2.57,), (None,), (None,), (None,), (2.0,)]
+
+    def test_per_row_digit_counts(self, con):
+        con.execute("CREATE TABLE digits (x DOUBLE, d INTEGER)")
+        con.execute("INSERT INTO digits VALUES (2.5678, 1), (2.5678, 2), "
+                    "(2.5678, 3), (2.5678, 0)")
+        rows = con.execute("SELECT round(x, d) FROM digits").fetchall()
+        assert rows == [(2.6,), (2.57,), (2.568,), (3.0,)]
+
+    def test_empty_input(self, con):
+        con.execute("CREATE TABLE empty_r (x DOUBLE)")
+        assert con.execute("SELECT round(x, 1) FROM empty_r").fetchall() == []

@@ -258,3 +258,59 @@ class TestProfiler:
         profiler.reset()
         assert profiler.snapshot() == []
         assert profiler.total_samples == 0
+
+
+class TestKernelManifestTable:
+    """``repro_kernels()``: the kernel capability manifest as a relation."""
+
+    def test_row_count_matches_committed_manifest(self, con):
+        from repro.analysis.kernelcheck import manifest_entries
+        count = con.execute(
+            "SELECT count(*) FROM repro_kernels()").fetchvalue()
+        assert count == len(manifest_entries())
+
+    def test_where_on_null_contract(self, con):
+        rows = con.execute(
+            "SELECT name FROM repro_kernels() "
+            "WHERE null_contract <> 'propagate' AND kind = 'scalar' "
+            "ORDER BY name").fetchall()
+        names = [name for (name,) in rows]
+        # The conditional family rewrites validity itself.
+        assert "coalesce" in names
+        assert "nullif" in names
+        assert "abs" not in names
+
+    def test_order_by_and_limit(self, con):
+        rows = con.execute(
+            "SELECT kind, name FROM repro_kernels() "
+            "ORDER BY kind, name LIMIT 3").fetchall()
+        assert rows == sorted(rows)
+        assert all(kind == "aggregate" for kind, _ in rows)
+
+    def test_aggregate_contract_census(self, con):
+        rows = dict(con.execute(
+            "SELECT null_contract, count(*) FROM repro_kernels() "
+            "WHERE kind = 'aggregate' GROUP BY null_contract").fetchall())
+        assert set(rows) == {"skip-nulls"}
+
+    def test_join_against_other_system_tables(self, con):
+        # Engine state is a relation: the manifest joins against the
+        # settings snapshot through the ordinary executor path.
+        rows = con.execute(
+            "SELECT k.name, s.value FROM repro_kernels() k "
+            "JOIN repro_settings() s ON s.name = 'threads' "
+            "WHERE k.name = 'round'").fetchall()
+        assert len(rows) == 1
+        assert rows[0][0] == "round"
+
+    def test_fusable_kernels_are_vectorized_and_pure(self, con):
+        rows = con.execute(
+            "SELECT count(*) FROM repro_kernels() "
+            "WHERE fusable AND NOT (vectorized AND pure AND thread_safe)"
+        ).fetchvalue()
+        assert rows == 0
+
+    def test_no_unchecked_kernels_ship(self, con):
+        assert con.execute(
+            "SELECT count(*) FROM repro_kernels() "
+            "WHERE null_contract = 'unchecked'").fetchvalue() == 0

@@ -1,0 +1,135 @@
+"""The runtime conformance harness: fuzzing kernels against their manifest.
+
+Two directions: the live registry must come back clean (every kernel
+honours its committed contract under NULL-heavy, empty, and extreme
+vectors), and deliberately broken kernels -- NULL leaks, input mutation,
+dtype lies -- must be caught.  The second half is the harness's own test:
+a fuzzer that passes everything proves nothing.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.kernelcheck import manifest_entries, run_conformance
+from repro.functions.scalar import (
+    SCALAR_FUNCTIONS,
+    ScalarFunction,
+    _bind_double_unary,
+)
+from repro.types import DOUBLE, Vector
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return {fact.key: fact for fact in manifest_entries()}
+
+
+class TestLiveRegistryConforms:
+    def test_every_kernel_honours_its_contract(self):
+        with np.errstate(all="ignore"):
+            issues = run_conformance()
+        assert issues == [], "\n".join(str(issue) for issue in issues)
+
+
+class _SeededKernel:
+    """Context manager registering a deliberately broken scalar kernel."""
+
+    def __init__(self, name, execute):
+        self.name = name
+        self.execute = execute
+
+    def __enter__(self):
+        SCALAR_FUNCTIONS[self.name] = ScalarFunction(
+            self.name, _bind_double_unary(self.name), self.execute)
+        return self
+
+    def __exit__(self, *exc_info):
+        SCALAR_FUNCTIONS.pop(self.name, None)
+        return False
+
+
+def _issues_for(fact):
+    with np.errstate(all="ignore"):
+        return run_conformance([fact])
+
+
+class TestSeededViolationsAreCaught:
+    def _fact(self, manifest, name, **overrides):
+        base = manifest["scalar:sqrt"]
+        return replace(base, name=name,
+                       signature=f"{name}(DOUBLE) -> DOUBLE", **overrides)
+
+    def test_null_leak_is_caught(self, manifest):
+        # Ignores validity entirely: NULL input lanes come out valid.
+        # (Deterministic data, so only the NULL contract is broken.)
+        def leaky(vectors, count):
+            data = np.zeros(count, dtype=np.float64)
+            valid = vectors[0].validity
+            data[valid] = np.abs(vectors[0].data[valid])
+            return Vector(DOUBLE, data, np.ones(count, dtype=np.bool_))
+
+        with _SeededKernel("seeded_null_leak", leaky):
+            fact = self._fact(manifest, "seeded_null_leak")
+            issues = _issues_for(fact)
+        assert any(issue.check == "null-propagation" for issue in issues), \
+            [str(issue) for issue in issues]
+
+    def test_garbage_leak_is_caught(self, manifest):
+        # Result at *valid* lanes depends on poison planted at masked lanes.
+        def summing(vectors, count):
+            source = vectors[0]
+            total = source.data.sum() if count else 0.0
+            return Vector(DOUBLE, np.full(count, total, dtype=np.float64),
+                          source.validity.copy())
+
+        with _SeededKernel("seeded_garbage_leak", summing):
+            fact = self._fact(manifest, "seeded_garbage_leak")
+            issues = _issues_for(fact)
+        assert any(issue.check == "garbage-independence"
+                   for issue in issues), [str(issue) for issue in issues]
+
+    def test_input_mutation_is_caught(self, manifest):
+        def mutating(vectors, count):
+            source = vectors[0]
+            np.negative(source.data, out=source.data)
+            return Vector(DOUBLE, source.data.copy(),
+                          source.validity.copy())
+
+        with _SeededKernel("seeded_mutator", mutating):
+            fact = self._fact(manifest, "seeded_mutator")
+            issues = _issues_for(fact)
+        assert any(issue.check == "input-immutability"
+                   for issue in issues), [str(issue) for issue in issues]
+
+    def test_dtype_lie_is_caught(self, manifest):
+        # Declares DOUBLE but hands back an object array.
+        def lying(vectors, count):
+            data = np.empty(count, dtype=object)
+            data[:] = list(vectors[0].data)
+            return Vector(DOUBLE, data, vectors[0].validity.copy())
+
+        with _SeededKernel("seeded_dtype_lie", lying):
+            fact = self._fact(manifest, "seeded_dtype_lie")
+            issues = _issues_for(fact)
+        assert any(issue.check == "dtype" for issue in issues), \
+            [str(issue) for issue in issues]
+
+    def test_crash_on_empty_input_is_caught(self, manifest):
+        def brittle(vectors, count):
+            source = vectors[0]
+            peak = float(source.data.max())  # raises on empty vectors
+            return Vector(DOUBLE, np.full(count, peak, dtype=np.float64),
+                          source.validity.copy())
+
+        with _SeededKernel("seeded_brittle", brittle):
+            fact = self._fact(manifest, "seeded_brittle")
+            issues = _issues_for(fact)
+        assert any(issue.check == "crash" for issue in issues), \
+            [str(issue) for issue in issues]
+
+    def test_unregistered_manifest_entry_is_caught(self, manifest):
+        fact = self._fact(manifest, "seeded_ghost")
+        issues = _issues_for(fact)
+        assert any(issue.check == "registry" for issue in issues)

@@ -992,7 +992,7 @@ class TestLiveTree:
         assert {rule.name for rule in ALL_RULES} == {
             "concurrency", "lockorder", "vectorization", "zero-copy",
             "exception-discipline", "resource-discipline", "observability",
-            "plans",
+            "plans", "kernels",
         }
 
 
@@ -1150,3 +1150,165 @@ class TestCommandLine:
         (line,) = proc.stdout.splitlines()
         assert line.startswith("::warning file=")
         assert "title=QLP002::" in line
+
+    def test_github_mixed_severities_in_one_run(self, tmp_path):
+        # Regression strength for the --format github severity fix: a run
+        # with both an error- and a warning-severity violation must emit
+        # one ::error and one ::warning annotation, not two ::error lines.
+        self.seed_bad_file(tmp_path)
+        self.seed_warning_file(tmp_path)
+        proc = self.run_cli("--format", "github", "repro", cwd=str(tmp_path))
+        assert proc.returncode == 1
+        lines = proc.stdout.splitlines()
+        assert len(lines) == 2
+        assert sum(1 for line in lines if line.startswith("::error ")) == 1
+        assert sum(1 for line in lines if line.startswith("::warning ")) == 1
+
+
+# -- QLK: kernel contracts ---------------------------------------------------
+
+class TestKernelContractRules:
+    GOOD_KERNEL = """
+    import numpy as np
+    from repro.types import DOUBLE, Vector
+
+    def _good_execute(vectors, count):
+        source = vectors[0]
+        data = np.sqrt(np.abs(source.data))
+        return Vector(DOUBLE, data, source.validity.copy())
+    """
+
+    def test_good_kernel_is_clean(self):
+        assert check(self.GOOD_KERNEL, "repro/functions/fixture.py") == []
+
+    def test_qlk001_lossy_dtype(self):
+        source = """
+        import numpy as np
+        from repro.types import INTEGER, Vector
+
+        def _bad_execute(vectors, count):
+            data = np.zeros(count, dtype=np.float64)
+            data[:] = vectors[0].data[:count]
+            validity = vectors[0].validity.copy()
+            return Vector(INTEGER, data, validity)
+        """
+        violations = check(source, "repro/functions/fixture.py")
+        assert rule_ids(violations) == ["QLK001"]
+        assert violations[0].severity == "error"
+
+    def test_qlk001_sees_inline_astype(self):
+        source = """
+        import numpy as np
+        from repro.types import BOOLEAN, Vector
+
+        def _bad_execute(vectors, count):
+            source = vectors[0]
+            return Vector(BOOLEAN, source.data.astype(np.float64, copy=False),
+                          source.validity.copy())
+        """
+        assert rule_ids(check(source, "repro/functions/fixture.py")) == \
+            ["QLK001"]
+
+    def test_qlk002_data_without_validity(self):
+        source = """
+        import numpy as np
+        from repro.types import DOUBLE, Vector
+
+        def _leaky_execute(vectors, count):
+            data = np.sqrt(vectors[0].data)
+            return Vector(DOUBLE, data)
+        """
+        violations = check(source, "repro/functions/fixture.py")
+        assert rule_ids(violations) == ["QLK002"]
+
+    def test_qlk002_docstring_contract_is_accepted(self):
+        source = '''
+        import numpy as np
+        from repro.types import DOUBLE, Vector
+
+        def _documented_execute(vectors, count):
+            """Every output lane is valid; NULL inputs are treated as 0."""
+            data = np.sqrt(vectors[0].data)
+            return Vector(DOUBLE, data)
+        '''
+        assert check(source, "repro/functions/fixture.py") == []
+
+    def test_qlk003_avoidable_copy_is_a_warning(self):
+        source = """
+        import numpy as np
+        from repro.types import BOOLEAN, Vector
+
+        def _copy_execute(vectors, count):
+            source = vectors[0]
+            data = source.data.astype(np.bool_)
+            return Vector(BOOLEAN, data, source.validity.copy())
+        """
+        violations = check(source, "repro/functions/fixture.py")
+        # The lossless-dtype rule stays quiet (bool -> BOOLEAN); only the
+        # copy advisory fires, downgraded to warning severity.
+        assert rule_ids(violations) == ["QLK003"]
+        assert violations[0].severity == "warning"
+
+    def test_qlk003_copy_false_is_clean(self):
+        source = """
+        import numpy as np
+        from repro.types import BOOLEAN, Vector
+
+        def _view_execute(vectors, count):
+            source = vectors[0]
+            data = source.data.astype(np.bool_, copy=False)
+            return Vector(BOOLEAN, data, source.validity.copy())
+        """
+        assert check(source, "repro/functions/fixture.py") == []
+
+    def test_qlk004_module_global_mutation(self):
+        source = """
+        import numpy as np
+        from repro.types import DOUBLE, Vector
+
+        _CACHE = {}
+
+        def _stateful_execute(vectors, count):
+            source = vectors[0]
+            _CACHE[count] = source.data
+            return Vector(DOUBLE, source.data.copy(), source.validity.copy())
+        """
+        violations = check(source, "repro/functions/fixture.py")
+        assert rule_ids(violations) == ["QLK004"]
+
+    def test_qlk004_global_statement(self):
+        source = """
+        import numpy as np
+        from repro.types import DOUBLE, Vector
+
+        _CALLS = 0
+
+        def _counting_execute(vectors, count):
+            global _CALLS
+            _CALLS += 1
+            source = vectors[0]
+            return Vector(DOUBLE, source.data.copy(), source.validity.copy())
+        """
+        violations = check(source, "repro/functions/fixture.py")
+        assert "QLK004" in rule_ids(violations)
+
+    def test_non_kernel_functions_are_ignored(self):
+        # No Vector construction => not a kernel => no QLK scrutiny.
+        source = """
+        def helper(values):
+            return [value.data for value in values]
+        """
+        assert check(source, "repro/functions/fixture.py") == []
+
+    def test_rule_scoped_to_kernel_modules(self):
+        source = """
+        import numpy as np
+        from repro.types import DOUBLE, Vector
+
+        _CACHE = {}
+
+        def _stateful_execute(vectors, count):
+            _CACHE[0] = vectors
+            return Vector(DOUBLE, np.zeros(0), np.zeros(0, dtype=bool))
+        """
+        assert check(source, "repro/storage/fixture.py") == []
