@@ -33,7 +33,10 @@ class StepClock:
 
 
 def main() -> None:
-    con = repro.connect()
+    # The demo re-runs one query under changing memory pressure; the result
+    # cache would serve it without executing, so turn it off -- we want the
+    # engine to re-plan its compression choice on every run.
+    con = repro.connect(config={"result_cache_entries": 0})
     con.execute("CREATE TABLE readings (sensor INTEGER, value DOUBLE)")
     rng = np.random.default_rng(5)
     n = 200_000

@@ -22,13 +22,16 @@ Persistent single-file databases are created by passing a path::
 """
 
 from .errors import (
+    AdmissionError,
     BinderError,
     CatalogError,
+    ClosedHandleError,
     ConstraintError,
     ConversionError,
     CorruptionError,
     Error,
     HardwareError,
+    InterfaceError,
     InternalError,
     InterruptError,
     InvalidInputError,
@@ -45,8 +48,12 @@ __version__ = "0.1.0"
 
 __all__ = [
     "connect",
+    "serve",
     "__version__",
     "Error",
+    "AdmissionError",
+    "ClosedHandleError",
+    "InterfaceError",
     "InternalError",
     "ParserError",
     "BinderError",
@@ -66,8 +73,8 @@ __all__ = [
 ]
 
 
-def connect(database=":memory:", config=None):
-    """Open a database and return a :class:`~repro.client.connection.Connection`.
+def connect(database=":memory:", config=None, pool_size=None):
+    """Open a database; return a connection, or a pool when sized.
 
     Parameters
     ----------
@@ -77,7 +84,34 @@ def connect(database=":memory:", config=None):
     config:
         Optional :class:`~repro.config.DatabaseConfig` or a plain dict of
         option overrides (e.g. ``{"memory_limit": 256 * 2**20}``).
+    pool_size:
+        When given, return a :class:`~repro.client.pool.ConnectionPool` of
+        this many connections over the (pool-owned) database instead of a
+        single :class:`~repro.client.connection.Connection`.  Borrow with
+        ``pool.acquire()`` / ``with pool.connection() as con:``; each
+        borrower gets session-scoped PRAGMAs that reset on return.
     """
+    if pool_size is not None:
+        from .client.pool import ConnectionPool
+        from .config import DatabaseConfig
+        from .database import Database
+
+        if isinstance(config, dict) or config is None:
+            config = DatabaseConfig.from_dict(config)
+        instance = Database(database, config)
+        return ConnectionPool(instance, pool_size, owns_database=True)
     from .client.connection import connect as _connect
 
     return _connect(database, config)
+
+
+def serve(database=":memory:", config=None):
+    """Open a database behind a :class:`~repro.server.QueryServer`.
+
+    The server multiplexes many sessions (``server.session()``) onto one
+    database with shared plan/result caches and admission control; it owns
+    the database and closes it with the server.
+    """
+    from .server.server import QueryServer
+
+    return QueryServer(path=database, config=config)

@@ -94,6 +94,23 @@ DEFAULT_SHARED_CLASSES: Dict[str, Dict[str, SharedClassSpec]] = {
         "Connection": SharedClassSpec("_lock",
                                       frozenset({"_active_context"})),
     },
+    "repro/server/cache.py": {
+        # Every connection thread looks up / stores through the shared
+        # caches; all state (the LRU map and its counters) lives behind one
+        # lock per cache.
+        "PlanCache": SharedClassSpec("_lock"),
+        "ResultCache": SharedClassSpec("_lock"),
+    },
+    "repro/server/admission.py": {
+        "AdmissionController": SharedClassSpec("_lock"),
+    },
+    "repro/server/session.py": {
+        "SessionRegistry": SharedClassSpec("_lock"),
+        # Session stats share the registry's lock (aliased at construction)
+        # so the repro_sessions() snapshot is one consistent critical
+        # section.  ``_closed``/``state`` transitions happen under it too.
+        "Session": SharedClassSpec("_registry_lock"),
+    },
     "repro/introspection/profiler.py": {
         # The sampler daemon writes buckets while any connection thread may
         # snapshot them through repro_profile().

@@ -10,10 +10,12 @@ positionally.
 from ..errors import (
     BinderError,
     CatalogError,
+    ClosedHandleError,
     ConstraintError,
     ConversionError,
     CorruptionError,
     Error,
+    InterfaceError,
     InternalError,
     InvalidInputError,
     ParserError,
@@ -24,6 +26,8 @@ from ..errors import ConnectionError as OperationalError
 from .appender import Appender
 from .connection import Connection, connect
 from .cursor import Cursor
+from .pool import ConnectionPool, PooledConnection
+from .prepared import PreparedStatement
 from .protocol import (
     GIGABIT_PER_SECOND,
     SocketProtocolClient,
@@ -37,14 +41,17 @@ apilevel: str = "2.0"
 #: Threads may share the module and connections (each connection
 #: serializes its statements behind an internal lock).
 threadsafety: int = 2
-#: SQL parameters use ``?`` question-mark placeholders.
+#: SQL parameters use ``?`` question-mark placeholders.  As a DB-API
+#: extension the ``:name`` named style is also accepted (bind values from a
+#: mapping); the two styles cannot be mixed in one statement.
 paramstyle: str = "qmark"
 
 # -- PEP 249 exception names, aliased onto the engine hierarchy ------------
 #: Base of every error the module raises (PEP 249 ``Error``).
 DatabaseError = Error
-#: Client-side misuse: closed handles, bad arguments.
-InterfaceError = InvalidInputError
+# InterfaceError (client-side misuse: closed handles, bad arguments) is now
+# a first-class exception imported from repro.errors; it still subclasses
+# InvalidInputError, the alias it replaced.
 #: Statement-level problems: parse, bind, catalog errors.
 ProgrammingError = BinderError
 #: Value conversion and data representation failures.
@@ -57,10 +64,14 @@ NotSupportedError = InvalidInputError
 __all__ = [
     "Connection",
     "connect",
+    "ConnectionPool",
+    "PooledConnection",
+    "PreparedStatement",
     "QueryResult",
     "ColumnDescription",
     "Appender",
     "Cursor",
+    "ClosedHandleError",
     "SocketProtocolClient",
     "serialize_result",
     "deserialize_result",

@@ -11,6 +11,7 @@ transfer-efficiency design of paper §5/§6.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -27,14 +28,16 @@ from ..config import DatabaseConfig
 from ..database import Database
 from ..observability import registry as metrics_registry
 from ..sanitizer import SanRLock
-from ..errors import ConnectionError as ClosedError
+from ..errors import ClosedHandleError, Error
 from ..errors import InvalidInputError, TransactionContextError
 from ..execution.executor import Executor, StatementResult
 from ..introspection.flight import is_engine_fault
 from ..planner.binder import Binder
 from ..planner import bound_statements as bound
+from ..server.cache import CachedPlan, CachedResult, plan_result_cacheable
 from ..sql import ast, parse
 from ..types import DataChunk
+from .params import normalize_parameters, type_fingerprint, value_fingerprint
 from .result import QueryResult
 
 if TYPE_CHECKING:
@@ -44,6 +47,7 @@ if TYPE_CHECKING:
     from ..transaction.transaction import Transaction
     from .appender import Appender
     from .cursor import Cursor
+    from .prepared import PreparedStatement
 
 __all__ = ["Connection", "connect"]
 
@@ -59,16 +63,32 @@ def connect(database: str = ":memory:",
     if isinstance(config, dict) or config is None:
         config = DatabaseConfig.from_dict(config)
     instance = Database(database, config)
-    connection = Connection(instance, owns_database=True)
+    connection = Connection(instance, owns_database=True, _internal=True)
     return connection
 
 
 class Connection:
     """One client connection: a transaction context plus the execute API."""
 
-    def __init__(self, database: Database, owns_database: bool = False) -> None:
+    def __init__(self, database: Database, owns_database: bool = False,
+                 config: Optional[DatabaseConfig] = None,
+                 _internal: bool = False) -> None:
+        if not _internal:
+            # Deprecation shim (one release): the supported entry points are
+            # repro.connect(), Database.connect(), ConnectionPool, and
+            # QueryServer.session() -- direct construction bypasses session
+            # config handling and will lose access to it.
+            warnings.warn(
+                "Constructing Connection directly is deprecated; use "
+                "repro.connect(), Database.connect(), or a ConnectionPool",
+                DeprecationWarning, stacklevel=2)
         self._database = database
         self._owns_database = owns_database
+        #: Effective session config.  Plain connections share the database's
+        #: config (PRAGMAs apply instance-wide, the embedded behaviour);
+        #: pooled and served connections receive a private copy so session
+        #: PRAGMAs cannot leak across clients.
+        self._config = config if config is not None else database.config
         # Explicit transaction, if BEGIN was issued.
         self._transaction: Optional["Transaction"] = None
         # Execution context of the in-flight query, for interrupt().
@@ -78,6 +98,11 @@ class Connection:
         # takes the checkpoint, transaction-manager, catalog, table, and
         # buffer locks -- never acquired while any of those is held.
         self._lock = SanRLock("connection")
+
+    @property
+    def session_config(self) -> DatabaseConfig:
+        """The config this connection's statements run under (see __init__)."""
+        return self._config
 
     # -- properties ---------------------------------------------------------
     @property
@@ -90,7 +115,9 @@ class Connection:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise ClosedError("Connection has been closed")
+            # ClosedHandleError subclasses both InterfaceError (PEP 249
+            # client misuse) and ConnectionError (the historical type).
+            raise ClosedHandleError("Connection has been closed")
         self._database.check_open()
 
     # -- lifecycle -------------------------------------------------------------
@@ -114,7 +141,7 @@ class Connection:
     def duplicate(self) -> "Connection":
         """Another connection to the same database (for concurrent use)."""
         self._check_open()
-        return Connection(self._database)
+        return Connection(self._database, _internal=True)
 
     # -- transaction control ------------------------------------------------------
     def begin(self) -> None:
@@ -142,19 +169,43 @@ class Connection:
             self._database.transaction_manager.rollback(transaction)
 
     # -- execution ---------------------------------------------------------------
-    def execute(self, sql: str, parameters: Optional[Sequence[Any]] = None,
+    def execute(self, sql: str, parameters: Any = None,
                 stream: bool = False) -> QueryResult:
         """Parse and run SQL (possibly multiple ``;``-separated statements).
 
-        Returns the result of the last statement.  With ``stream=True`` the
-        final result is *lazy*: chunks are computed as the client polls them
-        (the client becomes the plan's root operator) and, in autocommit
-        mode, the transaction commits when the result is exhausted/closed.
+        ``parameters`` binds ``?`` markers from a sequence or ``:name``
+        markers from a mapping (the two styles cannot be mixed in one
+        statement).  Returns the result of the last statement.  With
+        ``stream=True`` the final result is *lazy*: chunks are computed as
+        the client polls them (the client becomes the plan's root operator)
+        and, in autocommit mode, the transaction commits when the result is
+        exhausted/closed.
+
+        Autocommit SELECTs ride the database's shared plan cache (and,
+        eager ones, the result cache) -- see :mod:`repro.server.cache`.
         """
         self._check_open()
-        statements = parse(sql)
+        parameters = normalize_parameters(parameters)
+        served = self._execute_served(sql, parameters, stream)
+        if served is not None:
+            return served
+        return self._execute_parsed(parse(sql), sql, parameters, stream)
+
+    def _execute_parsed(self, statements: List[ast.Statement], sql: str,
+                        parameters: Any, stream: bool) -> QueryResult:
+        """Run pre-parsed statements (shared with PreparedStatement)."""
         if not statements:
             raise InvalidInputError("No statement to execute")
+        if (len(statements) == 1 and self._transaction is None
+                and isinstance(statements[0], ast.SelectStatement)
+                and self._database.plan_cache.capacity > 0):
+            tfp = type_fingerprint(parameters)
+            if tfp is not None:
+                vfp = value_fingerprint(parameters) if not stream else None
+                filled = self._execute_select_fill(
+                    statements[0], parameters, stream, sql, tfp, vfp)
+                if filled is not None:
+                    return filled
         result: Optional[QueryResult] = None
         for index, statement in enumerate(statements):
             if result is not None:
@@ -168,7 +219,7 @@ class Connection:
 
     def executemany(self, sql: str,
                     parameter_sets: Iterable[Sequence[Any]]) -> QueryResult:
-        """Run the same statement for each parameter tuple."""
+        """Run the same statement for each parameter tuple (or mapping)."""
         result: Optional[QueryResult] = None
         for parameters in parameter_sets:
             if result is not None:
@@ -177,6 +228,153 @@ class Connection:
         if result is None:
             raise InvalidInputError("executemany() with no parameter sets")
         return result
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse a single statement once for repeated parameterized runs."""
+        self._check_open()
+        from .prepared import PreparedStatement
+
+        return PreparedStatement(self, sql)
+
+    # -- cache fast paths ---------------------------------------------------
+    def _execute_served(self, sql: str, parameters: Any,
+                        stream: bool) -> Optional[QueryResult]:
+        """Serve from the plan/result caches, or None to take the slow path.
+
+        Only autocommit statements are eligible: inside an explicit
+        transaction the session's snapshot may predate (or outpace) the
+        version counters the caches key on.
+        """
+        if self._transaction is not None:
+            return None
+        database = self._database
+        if database.plan_cache.capacity <= 0:
+            return None
+        # Cheap statement-kind sniff: only SELECTs are ever cached (the fill
+        # path checks the parsed AST), so skip the lookup -- and the miss it
+        # would count -- for DML/DDL text.
+        head = sql.lstrip()[:7].upper()
+        if not (head.startswith("SELECT") or head.startswith("WITH")
+                or head.startswith("(")):
+            return None
+        tfp = type_fingerprint(parameters)
+        if tfp is None:
+            return None
+        key_sql = sql.strip()
+        manager = database.transaction_manager
+        entry = database.plan_cache.lookup((key_sql, tfp),
+                                           manager.catalog_version)
+        if entry is None:
+            return None
+        vfp = value_fingerprint(parameters) if not stream else None
+        if vfp is not None and database.result_cache.capacity > 0:
+            wall = time.perf_counter_ns()
+            hit = database.result_cache.lookup(
+                (key_sql, vfp, manager.data_version))
+            if hit is not None:
+                self._observe_statement(sql, None, None,
+                                        time.perf_counter_ns() - wall,
+                                        hit.rows)
+                return QueryResult(hit.names, hit.types, iter(hit.chunks),
+                                   hit.rowcount)
+        with self._lock:
+            transaction = manager.begin()
+            return self._run_select_locked(entry.plan, transaction,
+                                           parameters, stream, sql, key_sql,
+                                           vfp)
+
+    def _execute_select_fill(self, statement: ast.Statement, parameters: Any,
+                             stream: bool, sql: str, tfp: Any,
+                             vfp: Any) -> Optional[QueryResult]:
+        """Bind a SELECT with late-bound parameters and cache its plan.
+
+        Returns None when the statement cannot be parameterized (e.g.
+        ``LIMIT ?``, which must fold to a constant at bind time) -- the
+        caller falls back to the legacy value-inlining path, uncached.
+        """
+        database = self._database
+        manager = database.transaction_manager
+        key_sql = sql.strip()
+        with self._lock:
+            # Capture the catalog version BEFORE beginning: a DDL commit
+            # racing in between marks the fresh plan stale (conservative),
+            # never the reverse.
+            catalog_version = manager.catalog_version
+            transaction = manager.begin()
+            try:
+                binder = Binder(database.catalog, transaction, parameters,
+                                parameterize=True)
+                bound_statement = binder.bind_statement(statement)
+                executor = self._make_executor(transaction, parameters)
+                plan = executor.prepare_select(bound_statement)
+            except Error:
+                manager.rollback(transaction)
+                return None
+            database.plan_cache.store(
+                (key_sql, tfp),
+                CachedPlan(key_sql, plan, catalog_version,
+                           parameterized=bool(parameters)))
+            return self._run_select_locked(plan, transaction, parameters,
+                                           stream, sql, key_sql, vfp)
+
+    def _make_executor(self, transaction: "Transaction",
+                       parameters: Any = None) -> Executor:
+        return Executor(
+            self._database, transaction,
+            on_context=lambda context: setattr(
+                self, "_active_context", context),
+            config=self._config,
+            parameters=parameters if parameters is not None else ())
+
+    def _run_select_locked(self, plan: Any, transaction: "Transaction",
+                           parameters: Any, stream: bool, sql_text: str,
+                           key_sql: str, vfp: Any) -> QueryResult:
+        """Run an optimized SELECT plan in autocommit mode (lock held)."""
+        database = self._database
+        manager = database.transaction_manager
+        tracer = database.tracer
+        query_span = tracer.start_query(sql_text) \
+            if tracer is not None else None
+        wall = time.perf_counter_ns()
+        cpu = time.thread_time_ns()
+        try:
+            executor = self._make_executor(transaction, parameters)
+            outcome = executor.run_plan(plan)
+        except Exception as execute_error:
+            self._finish_statement(sql_text, tracer, query_span,
+                                   time.perf_counter_ns() - wall,
+                                   time.thread_time_ns() - cpu, 0,
+                                   error=execute_error)
+            manager.rollback(transaction)
+            raise
+        if stream:
+            return self._streaming_result(outcome, transaction, True,
+                                          sql_text, tracer, query_span,
+                                          wall, cpu)
+        try:
+            chunks = [chunk for chunk in outcome.chunks if chunk.size]
+        except Exception as drain_error:
+            self._finish_statement(sql_text, tracer, query_span,
+                                   time.perf_counter_ns() - wall,
+                                   time.thread_time_ns() - cpu, 0,
+                                   error=drain_error)
+            manager.rollback(transaction)
+            raise
+        start_version = transaction.start_data_version
+        manager.commit(transaction)
+        database.maybe_auto_checkpoint()
+        self._finish_statement(sql_text, tracer, query_span,
+                               time.perf_counter_ns() - wall,
+                               time.thread_time_ns() - cpu,
+                               sum(chunk.size for chunk in chunks))
+        if (vfp is not None and database.result_cache.capacity > 0
+                and plan_result_cacheable(plan)):
+            database.result_cache.store(
+                (key_sql, vfp, start_version),
+                CachedResult(outcome.names, outcome.types, tuple(chunks),
+                             outcome.rowcount))
+        return QueryResult(outcome.names, outcome.types, iter(chunks),
+                           outcome.rowcount)
 
     def _execute_statement(self, statement: ast.Statement,
                            parameters: Optional[Sequence[Any]],
@@ -218,10 +416,7 @@ class Connection:
             wall = time.perf_counter_ns()
             cpu = time.thread_time_ns()
             try:
-                executor = Executor(
-                    self._database, transaction,
-                    on_context=lambda context: setattr(
-                        self, "_active_context", context))
+                executor = self._make_executor(transaction, parameters)
                 outcome = executor.execute(bound_statement)
             except Exception as execute_error:
                 self._finish_statement(sql_text, tracer, query_span,
@@ -365,7 +560,7 @@ class Connection:
                       "End-to-end statement latency").observe(wall_ns / 1e9)
         database = self._database
         database.fold_metrics()
-        threshold = database.config.slow_query_ms
+        threshold = self._config.slow_query_ms
         if threshold > 0:
             duration_ms = wall_ns / 1e6
             if duration_ms >= threshold:
@@ -415,6 +610,7 @@ class Connection:
 
     def cursor(self) -> "Cursor":
         """A value-at-a-time cursor (the ODBC/JDBC-style baseline API)."""
+        self._check_open()
         from .cursor import Cursor
 
         return Cursor(self)

@@ -32,7 +32,7 @@ from typing import (
     Tuple,
 )
 
-from ..errors import InvalidInputError
+from ..errors import ClosedHandleError, InvalidInputError
 from ..types import DataChunk
 from .result import ColumnDescription, QueryResult
 
@@ -66,11 +66,13 @@ class Cursor:
 
     def _check_usable(self) -> None:
         if self._closed:
-            raise InvalidInputError("Cursor has been closed")
+            # InterfaceError-family (and still an InvalidInputError for
+            # callers written against the historical exception).
+            raise ClosedHandleError("Cursor has been closed")
 
     # -- execution -------------------------------------------------------
-    def execute(self, sql: str,
-                parameters: Optional[Sequence[Any]] = None) -> "Cursor":
+    def execute(self, sql: str, parameters: Any = None) -> "Cursor":
+        """Run SQL; ``parameters`` is a sequence (qmark) or mapping (named)."""
         self._check_usable()
         self.finalize()
         self._result = self._connection.execute(sql, parameters, stream=True)

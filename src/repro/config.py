@@ -121,6 +121,28 @@ class DatabaseConfig:
         near-zero overhead (one attribute test per optimize call); the
         ``REPRO_VERIFY_PLANS`` environment variable provides the default
         for configs built via :meth:`from_dict` -- tests and CI turn it on.
+    plan_cache_entries:
+        Capacity (in plans) of the shared plan cache: bound+optimized
+        SELECT plans memoized on (SQL text, parameter-type fingerprint)
+        and invalidated by DDL commits via the catalog version.  ``0``
+        disables plan caching.
+    result_cache_entries:
+        Capacity (in result sets) of the shared read-only result cache,
+        keyed on (SQL text, parameter values, data version) -- any
+        committed write moves the data version, so stale entries are never
+        served and age out by LRU.  ``0`` disables result caching.
+    result_cache_max_rows:
+        Results larger than this many rows are not cached (they would
+        evict many small, hot entries for one cold scan).
+    max_concurrent_queries:
+        Admission-control limit on queries executing at once across all
+        sessions of a :class:`~repro.server.QueryServer`.  ``0`` means
+        unlimited.  Queries over the limit wait up to
+        ``admission_timeout_ms`` before failing with
+        :class:`~repro.errors.AdmissionError`.
+    admission_timeout_ms:
+        How long an admitted-over-limit query may wait in the admission
+        queue, in milliseconds.
     """
 
     memory_limit: int = 1 << 31  # 2 GiB default
@@ -136,6 +158,11 @@ class DatabaseConfig:
     profile_enabled: bool = False
     profile_hz: float = 97.0
     verify_plans: bool = False
+    plan_cache_entries: int = 256
+    result_cache_entries: int = 128
+    result_cache_max_rows: int = 16384
+    max_concurrent_queries: int = 0
+    admission_timeout_ms: float = 30000.0
 
     @classmethod
     def from_dict(cls, options: Optional[Dict[str, Any]]) -> "DatabaseConfig":
@@ -194,6 +221,17 @@ class DatabaseConfig:
             self.profile_hz = hz
         elif name == "wal_autocheckpoint":
             self.wal_autocheckpoint = parse_memory_size(value) if value else 0
+        elif name in ("plan_cache_entries", "result_cache_entries",
+                      "result_cache_max_rows", "max_concurrent_queries"):
+            count = int(value)
+            if count < 0:
+                raise InvalidInputError(f"{name} must be >= 0")
+            setattr(self, name, count)
+        elif name == "admission_timeout_ms":
+            timeout = float(value)
+            if timeout < 0:
+                raise InvalidInputError("admission_timeout_ms must be >= 0")
+            self.admission_timeout_ms = timeout
         else:
             raise InvalidInputError(f"Unknown configuration option {name!r}")
 

@@ -25,6 +25,9 @@ from .observability.slowlog import SlowQueryLog
 from .observability.trace import Tracer
 from .optimizer.cost import OptimizerLog
 from .sanitizer import SanLock
+from .server.admission import AdmissionController
+from .server.cache import PlanCache, ResultCache
+from .server.session import SessionRegistry
 from .storage.buffer_manager import BufferManager
 from .storage.storage_manager import StorageManager
 from .transaction.manager import TransactionManager
@@ -72,6 +75,17 @@ class Database:
         #: Static plan verifier; consulted by the optimizer and the
         #: physical planner only while ``config.verify_plans`` is on.
         self.plan_verifier = PlanVerifier(self.plan_check_log)
+        #: Shared plan cache: bound+optimized SELECT plans keyed on
+        #: (SQL, parameter-type fingerprint), invalidated by DDL commits.
+        self.plan_cache = PlanCache(self.config)
+        #: Shared read-only result cache, keyed on (SQL, parameter values,
+        #: data version) -- any committed write supersedes its entries.
+        self.result_cache = ResultCache(self.config)
+        #: Live serving sessions (see :mod:`repro.server.session`), the
+        #: source of the ``repro_sessions()`` system table.
+        self.session_registry = SessionRegistry()
+        #: Admission controller shared by every serving session.
+        self.admission = AdmissionController(self)
         #: Last buffer-manager counter values folded into the metrics
         #: registry (see :meth:`fold_metrics`).
         self._metrics_baseline: Dict[str, int] = {}
@@ -155,6 +169,31 @@ class Database:
             if delta > 0:
                 registry.counter(name, help_text).inc(delta)
                 baseline[attr] = current
+        for source, prefix, attrs in (
+            (self.plan_cache, "repro_plan_cache", ("hits", "misses",
+                                                   "evictions",
+                                                   "invalidations")),
+            (self.result_cache, "repro_result_cache", ("hits", "misses",
+                                                       "evictions")),
+            (self.admission, "repro_admission", ("admitted", "waits",
+                                                 "timeouts")),
+        ):
+            stats = source.stats()
+            for attr in attrs:
+                key = f"{prefix}_{attr}"
+                current = stats[attr]
+                delta = current - baseline.get(key, 0)
+                if delta > 0:
+                    registry.counter(f"{key}_total",
+                                     f"Serving front end: {prefix[6:]} {attr}"
+                                     ).inc(delta)
+                    baseline[key] = current
+        registry.gauge("repro_sessions_active",
+                       "Serving sessions currently open"
+                       ).set(len(self.session_registry))
+        registry.gauge("repro_queries_active",
+                       "Queries currently admitted for execution"
+                       ).set(self.admission.active)
         registry.gauge("repro_buffer_used_bytes",
                        "Bytes currently accounted by the buffer manager"
                        ).set(self.buffer_manager.used_bytes)
@@ -165,7 +204,7 @@ class Database:
         self.check_open()
         from .client.connection import Connection
 
-        return Connection(self)
+        return Connection(self, _internal=True)
 
     def check_open(self) -> None:
         if self._closed:

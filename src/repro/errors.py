@@ -28,7 +28,10 @@ __all__ = [
     "WALError",
     "HardwareError",
     "MemoryFaultError",
+    "InterfaceError",
     "ConnectionError",
+    "ClosedHandleError",
+    "AdmissionError",
     "InterruptError",
     "PlanVerificationError",
 ]
@@ -118,8 +121,29 @@ class MemoryFaultError(HardwareError):
     """A memory self-test (moving inversions) found a broken region."""
 
 
+class InterfaceError(InvalidInputError):
+    """Client-side misuse of the API surface (PEP 249 ``InterfaceError``).
+
+    Raised for structurally invalid use of connections, cursors, pools, and
+    prepared statements -- never for engine-internal failures.
+    """
+
+
 class ConnectionError(Error):
     """The connection or database handle was used after being closed."""
+
+
+class ClosedHandleError(InterfaceError, ConnectionError):
+    """Operation on a closed (or pool-returned) connection or cursor.
+
+    Deliberately both an :class:`InterfaceError` (the DB-API contract for
+    closed handles) and a :class:`ConnectionError` (the engine's historical
+    category for used-after-close), so both client idioms keep working.
+    """
+
+
+class AdmissionError(Error):
+    """The admission controller rejected a query (queue full past timeout)."""
 
 
 class InterruptError(Error):

@@ -74,15 +74,23 @@ class StatementResult:
 class Executor:
     """Executes bound statements within one transaction context."""
 
-    def __init__(self, database, transaction, on_context=None) -> None:
+    def __init__(self, database, transaction, on_context=None, config=None,
+                 parameters=None) -> None:
         self.database = database
         self.transaction = transaction
         #: Callback invoked with each fresh ExecutionContext -- the client
         #: layer hooks in here to support query interruption.
         self.on_context = on_context
+        #: Effective configuration: the database's config unless a server
+        #: session supplies its own copy (session PRAGMAs, admission quotas).
+        self.config = config if config is not None else database.config
+        #: Late-bound values for BoundParameterRef slots (plan-cache path).
+        self.parameters = parameters
 
     def _context(self) -> ExecutionContext:
-        context = ExecutionContext(self.transaction, self.database)
+        context = ExecutionContext(self.transaction, self.database,
+                                   parameters=self.parameters,
+                                   config=self.config)
         if self.on_context is not None:
             self.on_context(context)
         return context
@@ -117,11 +125,23 @@ class Executor:
         )
 
     # -- SELECT ----------------------------------------------------------------
-    def execute_select(self, statement: bound.BoundSelect) -> StatementResult:
-        plan = optimize(statement.plan, self.database)
+    def prepare_select(self, statement: bound.BoundSelect):
+        """Optimize a bound SELECT once, returning the reusable logical plan.
+
+        The returned plan is treated as read-only from here on: the plan
+        cache shares it across concurrent executions, each of which lowers
+        it into its own physical operator tree via :meth:`run_plan`.
+        """
+        return optimize(statement.plan, self.database)
+
+    def run_plan(self, plan) -> StatementResult:
+        """Lower an optimized logical plan and stream its chunks."""
         context = self._context()
         physical = create_physical_plan(plan, context)
         return StatementResult(plan.names, plan.types, physical.run())
+
+    def execute_select(self, statement: bound.BoundSelect) -> StatementResult:
+        return self.run_plan(self.prepare_select(statement))
 
     # -- INSERT -----------------------------------------------------------------
     def _check_not_null(self, table: TableEntry, chunk: DataChunk,
@@ -351,15 +371,21 @@ class Executor:
             path = database.dump_flight("PRAGMA flight_dump")
             return StatementResult.text_result("flight_dump", [str(path)])
         if name in ("enable_profiling", "disable_profiling"):
-            database.config.set_option("profile_enabled",
-                                       name == "enable_profiling")
-            database.sync_profiler()
+            self.config.set_option("profile_enabled",
+                                   name == "enable_profiling")
+            if self.config is database.config:
+                database.sync_profiler()
             return StatementResult.empty()
         if statement.value is None:
-            value = database.config.get_option(name)
+            value = self.config.get_option(name)
             return StatementResult.text_result(name, [str(value)])
-        database.config.set_option(name, statement.value)
-        if name in ("profile_enabled", "profile_hz"):
+        # A session-scoped config (server sessions, pooled connections)
+        # takes the PRAGMA locally; only a connection running on the
+        # database's own config mutates process-wide behaviour like the
+        # profiler daemon.
+        self.config.set_option(name, statement.value)
+        if name in ("profile_enabled", "profile_hz") \
+                and self.config is database.config:
             database.sync_profiler()
         return StatementResult.empty()
 

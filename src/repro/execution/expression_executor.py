@@ -29,6 +29,7 @@ from ..planner.expressions import (
     BoundIsNull,
     BoundLike,
     BoundOperator,
+    BoundParameterRef,
 )
 from ..planner.subquery import (
     BoundExistsSubquery,
@@ -41,6 +42,7 @@ from ..types import (
     LogicalTypeId,
     SQLNULL,
     Vector,
+    cast_scalar,
     cast_vector,
 )
 from ..types.chunk import DataChunk
@@ -64,6 +66,9 @@ class ExpressionExecutor:
             return Vector.constant(expression.value, count, expression.return_type)
         if isinstance(expression, BoundColumnRef):
             return chunk.columns[expression.position]
+        if isinstance(expression, BoundParameterRef):
+            value = self._parameter_value(expression)
+            return Vector.constant(value, count, expression.return_type)
         if isinstance(expression, BoundCast):
             return cast_vector(self.execute(expression.child, chunk),
                                expression.return_type)
@@ -95,6 +100,18 @@ class ExpressionExecutor:
             raise InternalError("Aggregate reached the expression executor; "
                                 "it should have been rewritten by the binder")
         raise InternalError(f"Cannot execute expression {type(expression).__name__}")
+
+    def _parameter_value(self, expression: BoundParameterRef) -> Any:
+        """Current value of a late-bound parameter slot, cast to plan type."""
+        context = self.context
+        parameters = context.parameters if context is not None else None
+        key = expression.key
+        try:
+            value = parameters[key]  # sequence (int key) or mapping (str key)
+        except (KeyError, IndexError, TypeError):
+            raise InternalError(
+                f"No value bound for parameter {key!r} in this execution")
+        return cast_scalar(value, expression.return_type)
 
     def execute_filter(self, predicate: BoundExpression,
                        chunk: DataChunk) -> np.ndarray:

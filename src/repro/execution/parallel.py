@@ -98,7 +98,8 @@ def plan_worker_count(context: ExecutionContext) -> int:
     database = context.database
     if database is None:
         return 1
-    threads = int(getattr(database.config, "threads", 1) or 1)
+    config = context.config if context.config is not None else database.config
+    threads = int(getattr(config, "threads", 1) or 1)
     if threads <= 1:
         return 1
     controller = context.controller

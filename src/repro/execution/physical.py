@@ -23,10 +23,20 @@ __all__ = ["PhysicalOperator", "ExecutionContext"]
 class ExecutionContext:
     """Per-query execution state shared by all operators of one plan."""
 
-    def __init__(self, transaction, database=None, parameters=None) -> None:
+    def __init__(self, transaction, database=None, parameters=None,
+                 config=None) -> None:
         self.transaction = transaction
         self.database = database
-        self.parameters = parameters or []
+        #: Late-bound parameter values for BoundParameterRef slots: a
+        #: sequence for qmark parameters, a mapping for named parameters.
+        self.parameters = parameters if parameters is not None else ()
+        #: Effective configuration for this query.  Usually the database's
+        #: config object itself, but a server session passes its own copy
+        #: here so session-scoped PRAGMAs (threads, memory_limit,
+        #: morsel_size) and admission quotas apply per query without
+        #: mutating global state.
+        self.config = config if config is not None \
+            else (database.config if database is not None else None)
         #: The quacktrace tracer, or None while tracing is disabled.  The
         #: hot path (PhysicalOperator.run) pays one ``is None`` test;
         #: EXPLAIN ANALYZE swaps in a private, forced tracer per query.
@@ -61,8 +71,8 @@ class ExecutionContext:
 
     @property
     def memory_limit(self) -> int:
-        if self.database is not None:
-            return self.database.config.memory_limit
+        if self.config is not None:
+            return self.config.memory_limit
         return 1 << 62
 
     def check_interrupted(self) -> None:

@@ -90,9 +90,9 @@ def _merge_join_eligible(op: LogicalJoin) -> bool:
 # -- morsel-driven parallel lowering ------------------------------------------
 
 def _morsel_rows(context: ExecutionContext) -> int:
-    if context.database is not None:
+    if context.config is not None:
         return aligned_morsel_rows(
-            getattr(context.database.config, "morsel_size", MORSEL_ROWS))
+            getattr(context.config, "morsel_size", MORSEL_ROWS))
     return MORSEL_ROWS
 
 

@@ -221,6 +221,37 @@ def storage_rows(database: Any, transaction: Any) -> List[Row]:
     return [(name, value) for name, value in pairs]
 
 
+# -- serving front end -------------------------------------------------------
+
+def sessions_rows(database: Any, transaction: Any) -> List[Row]:
+    """Live serving sessions with their per-session statistics.
+
+    Copy-then-release: the registry snapshots every session's stats inside
+    one ``server.sessions`` critical section (sessions alias that lock for
+    their stat writes), then the rows are built lock-free.
+    """
+    rows: List[Row] = []
+    for info in database.session_registry.snapshot():
+        rows.append((info["session_id"], info["name"], info["state"],
+                     info["statements"], info["rows_returned"],
+                     info["errors"], info["last_sql"], info["created_at"]))
+    return rows
+
+
+def serving_rows(database: Any, transaction: Any) -> List[Row]:
+    """Serving-layer counters: sessions, plan/result caches, admission."""
+    pairs: List[Tuple[str, int]] = []
+    for prefix, stats in (
+        ("sessions", database.session_registry.stats()),
+        ("plan_cache", database.plan_cache.stats()),
+        ("result_cache", database.result_cache.stats()),
+        ("admission", database.admission.stats()),
+    ):
+        for name, value in stats.items():
+            pairs.append((f"{prefix}.{name}", int(value)))
+    return pairs
+
+
 # -- registration ------------------------------------------------------------
 
 def register_builtin_functions() -> None:
@@ -302,6 +333,19 @@ def register_builtin_functions() -> None:
          ("pure", BOOLEAN), ("thread_safe", BOOLEAN), ("fusable", BOOLEAN),
          ("source", VARCHAR)],
         kernels_rows))
+    register(SystemTableFunction(
+        "repro_sessions",
+        "live serving sessions and their per-session statistics",
+        [("session_id", BIGINT), ("name", VARCHAR), ("state", VARCHAR),
+         ("statements", BIGINT), ("rows_returned", BIGINT),
+         ("errors", BIGINT), ("last_sql", VARCHAR),
+         ("created_at", DOUBLE)],
+        sessions_rows))
+    register(SystemTableFunction(
+        "repro_serving",
+        "serving-layer counters: caches, admission, session registry",
+        [("name", VARCHAR), ("value", BIGINT)],
+        serving_rows))
     register(SystemTableFunction(
         "repro_column_stats", "per-column statistics behind the cost model",
         [("table_name", VARCHAR), ("column_name", VARCHAR),

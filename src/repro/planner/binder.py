@@ -9,7 +9,7 @@ ever sees fully typed positional plans.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..catalog.catalog import Catalog
 from ..catalog.entry import ColumnDefinition, TableEntry, ViewEntry
@@ -44,6 +44,7 @@ from .expressions import (
     BoundIsNull,
     BoundLike,
     BoundOperator,
+    BoundParameterRef,
     contains_aggregate,
 )
 from .logical import (
@@ -170,10 +171,17 @@ class Binder:
     """Binds one statement.  Create a fresh Binder per statement."""
 
     def __init__(self, catalog: Catalog, transaction, parameters: Optional[Sequence] = None,
-                 cte_scope: Optional[Dict[str, ast.Statement]] = None) -> None:
+                 cte_scope: Optional[Dict[str, ast.Statement]] = None,
+                 parameterize: bool = False) -> None:
         self.catalog = catalog
         self.transaction = transaction
-        self.parameters = list(parameters) if parameters is not None else []
+        #: Either a sequence (qmark style) or a mapping (named style).
+        self.parameters = parameters if parameters is not None else ()
+        #: With ``parameterize=True`` parameter markers bind to
+        #: :class:`BoundParameterRef` slots (values supplied per execution
+        #: through the ExecutionContext) instead of being baked in as
+        #: constants -- this is what makes the bound plan cacheable.
+        self.parameterize = parameterize
         self.cte_scope: Dict[str, ast.Statement] = dict(cte_scope or {})
         #: FROM-clause scopes of enclosing queries, innermost first.  Only
         #: consulted to *diagnose* correlated references -- this engine does
@@ -184,7 +192,7 @@ class Binder:
 
     def _child_binder(self) -> "Binder":
         child = Binder(self.catalog, self.transaction, self.parameters,
-                       self.cte_scope)
+                       self.cte_scope, parameterize=self.parameterize)
         child.outer_contexts = list(self.outer_contexts)
         return child
 
@@ -679,18 +687,43 @@ class Binder:
         return plan
 
     # ------------------------------------------------------------------ expressions
+    def _parameter_value(self, expression: ast.Parameter) -> Tuple[Any, Any]:
+        """Resolve a parameter marker to ``(value, key)``.
+
+        Positional markers index a sequence; named markers look up a
+        mapping.  The parser already rejects mixing the styles in one SQL
+        string, so only the supplied-parameters *shape* can mismatch here.
+        """
+        if expression.name is not None:
+            if not isinstance(self.parameters, Mapping):
+                raise BinderError(
+                    f"Named parameter :{expression.name} requires parameters "
+                    f"passed as a mapping")
+            if expression.name not in self.parameters:
+                raise BinderError(
+                    f"Missing value for named parameter :{expression.name}")
+            return self.parameters[expression.name], expression.name
+        if isinstance(self.parameters, Mapping):
+            raise BinderError(
+                "Positional parameter '?' requires parameters passed as a "
+                "sequence")
+        if expression.index >= len(self.parameters):
+            raise BinderError(
+                f"Query expects at least {expression.index + 1} parameter(s), "
+                f"got {len(self.parameters)}"
+            )
+        return self.parameters[expression.index], expression.index
+
     def bind_expression(self, expression: ast.Expression, context: BindContext,
                         allow_aggregates: bool = False) -> BoundExpression:
         if isinstance(expression, ast.Literal):
             return BoundConstant(expression.value, infer_type_of_value(expression.value))
         if isinstance(expression, ast.Parameter):
-            if expression.index >= len(self.parameters):
-                raise BinderError(
-                    f"Query expects at least {expression.index + 1} parameter(s), "
-                    f"got {len(self.parameters)}"
-                )
-            value = self.parameters[expression.index]
-            return BoundConstant(value, infer_type_of_value(value))
+            value, key = self._parameter_value(expression)
+            dtype = infer_type_of_value(value)
+            if self.parameterize:
+                return BoundParameterRef(key, dtype)
+            return BoundConstant(value, dtype)
         if isinstance(expression, ast.ColumnRef):
             match = context.try_resolve(expression.table_name,
                                         expression.column_name)

@@ -15,9 +15,9 @@ from ..types import BOOLEAN, LogicalType
 from ..errors import InternalError
 
 __all__ = [
-    "BoundExpression", "BoundConstant", "BoundColumnRef", "BoundOperator",
-    "BoundCast", "BoundCase", "BoundIsNull", "BoundInList", "BoundLike",
-    "BoundFunction", "BoundAggregate",
+    "BoundExpression", "BoundConstant", "BoundParameterRef", "BoundColumnRef",
+    "BoundOperator", "BoundCast", "BoundCase", "BoundIsNull", "BoundInList",
+    "BoundLike", "BoundFunction", "BoundAggregate",
 ]
 
 
@@ -85,6 +85,37 @@ class BoundConstant(BoundExpression):
 
     def __repr__(self) -> str:
         return f"Constant({self.value!r})"
+
+
+class BoundParameterRef(BoundExpression):
+    """A late-bound query parameter slot (``?`` or ``:name``).
+
+    Unlike :class:`BoundConstant`, the value is *not* baked into the plan:
+    it is read from ``ExecutionContext.parameters`` at execution time, keyed
+    by position (qmark) or name.  This is what makes a bound+optimized plan
+    reusable across executions with different parameter values -- the plan
+    cache stores plans containing these and supplies fresh values per run.
+    ``return_type`` is fixed at bind time from the first execution's value;
+    the plan-cache key includes the parameter type fingerprint, so a value
+    of a different type binds a fresh plan instead of miscasting.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any, return_type: LogicalType) -> None:
+        super().__init__(return_type)
+        #: int for positional (qmark) parameters, str for named parameters.
+        self.key = key
+
+    def is_foldable(self) -> bool:
+        # Never constant-fold: the value differs between executions.
+        return False
+
+    def _fields_equal(self, other: "BoundParameterRef") -> bool:
+        return self.key == other.key
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.key!r})"
 
 
 class BoundColumnRef(BoundExpression):

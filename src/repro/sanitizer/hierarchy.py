@@ -6,13 +6,24 @@ the engine declares a single global order -- outermost first -- and every
 code path must acquire nested locks in (a subsequence of) that order:
 
     connection                (client/connection.py  Connection._lock)
-      -> database.checkpoint  (database.py           Database._checkpoint_lock)
-        -> transaction_manager (transaction/manager.py TransactionManager._lock)
-          -> catalog          (catalog/catalog.py     Catalog._lock)
-            -> table_data     (storage/table_data.py  TableData.lock)
-              -> buffer_manager (storage/buffer_manager.py BufferManager._lock)
-                -> morsel_driver  (execution/parallel.py MorselDriver._lock)
-                  -> operator_stats (execution/physical.py ExecutionContext._stats_lock)
+      -> server.sessions      (server/session.py     SessionRegistry._lock)
+        -> server.admission   (server/admission.py   AdmissionController._lock)
+          -> server.plan_cache (server/cache.py      PlanCache._lock)
+            -> server.result_cache (server/cache.py  ResultCache._lock)
+              -> database.checkpoint  (database.py   Database._checkpoint_lock)
+                -> transaction_manager (transaction/manager.py TransactionManager._lock)
+                  -> catalog          (catalog/catalog.py     Catalog._lock)
+                    -> table_data     (storage/table_data.py  TableData.lock)
+                      -> buffer_manager (storage/buffer_manager.py BufferManager._lock)
+                        -> morsel_driver  (execution/parallel.py MorselDriver._lock)
+                          -> operator_stats (execution/physical.py ExecutionContext._stats_lock)
+
+The four ``server.*`` locks of the serving front end sit between the
+connection lock and the engine proper: a connection may consult a cache or
+the admission controller while holding its own lock (and a cache fold may
+run at a statement boundary under it), but no server lock is ever held
+while calling back into a connection -- which is why a session close always
+leaves the registry's critical section before closing its connection.
 
 Skipping levels is fine (a scan takes ``table_data`` without ``catalog``);
 *inverting* them is not.  The hierarchy is enforced twice:
@@ -43,6 +54,10 @@ __all__ = [
 #: Outermost-first declared acquisition order of every named engine lock.
 LOCK_HIERARCHY: Tuple[str, ...] = (
     "connection",
+    "server.sessions",
+    "server.admission",
+    "server.plan_cache",
+    "server.result_cache",
     "database.checkpoint",
     "transaction_manager",
     "catalog",
@@ -63,6 +78,17 @@ CLASS_LOCK_ATTRS: Dict[str, Dict[str, Dict[str, str]]] = {
     },
     "repro/client/connection.py": {
         "Connection": {"_lock": "connection"},
+    },
+    "repro/server/session.py": {
+        "SessionRegistry": {"_lock": "server.sessions"},
+        "Session": {"_registry_lock": "server.sessions"},
+    },
+    "repro/server/admission.py": {
+        "AdmissionController": {"_lock": "server.admission"},
+    },
+    "repro/server/cache.py": {
+        "PlanCache": {"_lock": "server.plan_cache"},
+        "ResultCache": {"_lock": "server.result_cache"},
     },
     "repro/transaction/manager.py": {
         "TransactionManager": {"_lock": "transaction_manager"},

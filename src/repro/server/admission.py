@@ -1,0 +1,117 @@
+"""Admission control: bound concurrent queries, share resources fairly.
+
+The paper's cooperation pillar (§4) says the embedded engine must not
+assume it owns the machine; under a serving front end the same discipline
+applies *between queries*.  The controller enforces
+``config.max_concurrent_queries`` (0 = unlimited): a query over the limit
+waits up to ``config.admission_timeout_ms`` and then fails with
+:class:`~repro.errors.AdmissionError` instead of piling onto an overloaded
+engine.
+
+Each admitted query receives an :class:`AdmissionTicket` with its fair
+share of the configured thread and memory budgets -- computed through the
+existing cooperation controller
+(:meth:`~repro.cooperation.controller.StaticController.choose_worker_count`)
+so application CPU pressure degrades the grant further.  The session layer
+applies the grant to the query's session config for the statement's
+duration.
+
+Lock discipline: ``server.admission`` guards only the active-count
+bookkeeping; quota arithmetic runs outside the critical section and the
+condition wait holds no other lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+from ..errors import AdmissionError
+from ..sanitizer import SanLock
+
+__all__ = ["AdmissionTicket", "AdmissionController"]
+
+
+class AdmissionTicket:
+    """Per-query resource grant: apply for the statement, then release."""
+
+    __slots__ = ("threads", "memory_limit")
+
+    def __init__(self, threads: int, memory_limit: int) -> None:
+        self.threads = threads
+        self.memory_limit = memory_limit
+
+
+class AdmissionController:
+    """Gates query execution on a shared :class:`~repro.database.Database`."""
+
+    #: Never grant a query less than this much memory (quota floor).
+    MIN_QUERY_MEMORY = 16 << 20
+
+    def __init__(self, database) -> None:
+        self._database = database
+        self._lock = SanLock("server.admission")
+        self._condition = threading.Condition(self._lock)
+        self._active = 0
+        self.admitted = 0
+        self.waits = 0
+        self.timeouts = 0
+        self.peak_active = 0
+
+    def admit(self) -> AdmissionTicket:
+        """Block until a slot is free (or time out), returning the grant."""
+        config = self._database.config
+        limit = max(0, int(getattr(config, "max_concurrent_queries", 0)))
+        timeout = max(0.0, float(getattr(config, "admission_timeout_ms",
+                                         0.0))) / 1000.0
+        with self._lock:
+            if limit and self._active >= limit:
+                deadline = time.monotonic() + timeout
+                self.waits += 1
+                while self._active >= limit:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._condition.wait(remaining):
+                        self.timeouts += 1
+                        raise AdmissionError(
+                            f"Admission queue timed out after "
+                            f"{timeout * 1000:.0f} ms ({self._active} queries "
+                            f"active, limit {limit})")
+            self._active += 1
+            self.admitted += 1
+            if self._active > self.peak_active:
+                self.peak_active = self._active
+            active = self._active
+        # Quota arithmetic outside the critical section: an approximate
+        # share based on the active count at admission is good enough, and
+        # it keeps engine calls out of the admission lock.
+        threads = max(1, int(getattr(config, "threads", 1)) // active)
+        controller = self._database.resource_controller
+        if controller is not None:
+            chooser = getattr(controller, "choose_worker_count", None)
+            if chooser is not None:
+                threads = max(1, int(chooser(threads)))
+        memory = max(self.MIN_QUERY_MEMORY,
+                     int(config.memory_limit) // active)
+        memory = min(memory, int(config.memory_limit))
+        return AdmissionTicket(threads, memory)
+
+    def release(self) -> None:
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+            self._condition.notify()
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "active": self._active,
+                "admitted": self.admitted,
+                "waits": self.waits,
+                "timeouts": self.timeouts,
+                "peak_active": self.peak_active,
+            }

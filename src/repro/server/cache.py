@@ -1,0 +1,214 @@
+"""Plan and result caches: memoization layers of the serving front end.
+
+Both caches hang off the :class:`~repro.database.Database` so every
+connection and server session shares them, and both are version-keyed
+against the transaction manager's counters rather than walked on
+invalidation:
+
+* the **plan cache** memoizes parse+bind+optimize for SELECTs on
+  ``(SQL text, parameter-type fingerprint)``.  Each entry records the
+  catalog version at fill time; a DDL commit bumps that version, so stale
+  plans fail validation lazily on their next lookup.  Data-only commits do
+  *not* move the catalog version -- a mixed OLAP/ETL workload keeps its
+  warm plans.
+* the **result cache** memoizes materialized read-only result sets on
+  ``(SQL text, parameter values, data version)``.  Any committed write
+  advances the data version, so a hit is always snapshot-consistent with
+  "begin a fresh transaction now"; superseded entries age out by LRU.
+
+Lock discipline: each cache owns one lock (``server.plan_cache`` /
+``server.result_cache``, declared between ``connection`` and
+``database.checkpoint`` in the hierarchy) and its critical sections are
+pure dict operations -- no engine lock is ever taken while one is held.
+Hit/miss counters are plain ints folded into the metrics registry at
+statement boundaries (same pattern as the buffer manager).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sanitizer import SanLock
+
+__all__ = ["CachedPlan", "PlanCache", "CachedResult", "ResultCache",
+           "plan_result_cacheable"]
+
+
+def plan_result_cacheable(plan: Any) -> bool:
+    """Whether a logical plan's output is stable for a given data version.
+
+    Introspection scans read live engine state (metrics, locks, sessions)
+    and CSV scans read files the engine does not version -- results over
+    either must never be served from cache.
+    """
+    from ..planner.logical import LogicalCSVScan, LogicalIntrospectionScan
+
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (LogicalCSVScan, LogicalIntrospectionScan)):
+            return False
+        stack.extend(node.children)
+    return True
+
+
+class CachedPlan:
+    """One bound+optimized SELECT plan, shared read-only across executions."""
+
+    __slots__ = ("sql", "plan", "catalog_version", "parameterized")
+
+    def __init__(self, sql: str, plan: Any, catalog_version: int,
+                 parameterized: bool) -> None:
+        self.sql = sql
+        self.plan = plan
+        self.catalog_version = catalog_version
+        #: False when the statement had no parameter markers (the plan still
+        #: needs no per-execution values).
+        self.parameterized = parameterized
+
+
+class PlanCache:
+    """LRU cache of optimized SELECT plans keyed on SQL + parameter types."""
+
+    def __init__(self, config) -> None:
+        self._config = config
+        self._lock = SanLock("server.plan_cache")
+        self._entries: "OrderedDict[Any, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def capacity(self) -> int:
+        return max(0, int(getattr(self._config, "plan_cache_entries", 0)))
+
+    def lookup(self, key: Any, catalog_version: int) -> Optional[CachedPlan]:
+        """The cached plan for ``key``, or None on miss/stale entry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.catalog_version != catalog_version:
+                # Lazy invalidation: a DDL commit moved the catalog version.
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, key: Any, entry: CachedPlan) -> None:
+        capacity = self.capacity
+        if capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (PRAGMA-style manual invalidation)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+
+class CachedResult:
+    """One materialized read-only result set, replayed on every hit."""
+
+    __slots__ = ("names", "types", "chunks", "rowcount", "rows")
+
+    def __init__(self, names: List[str], types: List[Any],
+                 chunks: Tuple[Any, ...], rowcount: int) -> None:
+        self.names = names
+        self.types = types
+        self.chunks = chunks
+        self.rowcount = rowcount
+        self.rows = sum(chunk.size for chunk in chunks)
+
+
+class ResultCache:
+    """LRU cache of result sets keyed on SQL + parameter values + version."""
+
+    def __init__(self, config) -> None:
+        self._config = config
+        self._lock = SanLock("server.result_cache")
+        self._entries: "OrderedDict[Any, CachedResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return max(0, int(getattr(self._config, "result_cache_entries", 0)))
+
+    @property
+    def max_rows(self) -> int:
+        return max(0, int(getattr(self._config, "result_cache_max_rows", 0)))
+
+    def lookup(self, key: Any) -> Optional[CachedResult]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, key: Any, entry: CachedResult) -> None:
+        capacity = self.capacity
+        if capacity <= 0 or entry.rows > self.max_rows:
+            return
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,164 @@
+"""Load generator: thousands of mixed OLAP/ETL sessions against one server.
+
+Shared by the committed serving benchmark
+(``benchmarks/test_serving_load.py``, which writes ``BENCH_PR9.json``) and
+the CI smoke CLI (``tools/load_generator.py``).  The workload models the
+paper's §2 deployment: many short dashboard sessions issuing a small,
+repeated set of parameterized aggregations (OLAP) interleaved with writer
+sessions appending and updating rows (ETL).  The repeated templates are
+what the plan cache is for -- a warm run parses and optimizes each template
+once -- while the ETL fraction keeps advancing the data version, so the
+result cache is exercised under realistic invalidation.
+
+Latency samples are collected per worker and merged after the join (no
+shared mutable state during the run), then summarized as p50/p99.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Dict, List, Tuple
+
+from ..errors import TransactionConflict
+
+__all__ = ["prepare_schema", "run_load", "OLAP_TEMPLATES", "ETL_TEMPLATES"]
+
+#: The dashboard's repeated query set: parameterized so the plan cache is
+#: keyed on a handful of (SQL, type-fingerprint) pairs regardless of the
+#: concrete values each session plugs in.
+OLAP_TEMPLATES: List[Tuple[str, Any]] = [
+    ("SELECT category, count(*), sum(amount) FROM events "
+     "WHERE amount > ? GROUP BY category ORDER BY category",
+     lambda rng: (float(rng.randint(0, 50)),)),
+    ("SELECT count(*) FROM events WHERE category = ?",
+     lambda rng: (rng.randint(0, 9),)),
+    ("SELECT avg(amount), min(amount), max(amount) FROM events "
+     "WHERE category = :cat",
+     lambda rng: {"cat": rng.randint(0, 9)}),
+    ("SELECT category, avg(amount) FROM events WHERE amount BETWEEN ? AND ? "
+     "GROUP BY category",
+     lambda rng: (float(rng.randint(0, 20)), float(rng.randint(60, 100)))),
+    ("SELECT count(*) FROM events WHERE amount < ? AND category <> ?",
+     lambda rng: (float(rng.randint(10, 90)), rng.randint(0, 9))),
+]
+
+#: The ETL side: appends and updates that advance the data version.
+ETL_TEMPLATES: List[Tuple[str, Any]] = [
+    ("INSERT INTO events VALUES (?, ?)",
+     lambda rng: (rng.randint(0, 9), float(rng.randint(0, 100)))),
+    ("UPDATE events SET amount = amount + ? WHERE category = ?",
+     lambda rng: (1.0, rng.randint(0, 9))),
+]
+
+
+def prepare_schema(server: Any, rows: int = 2000, seed: int = 11) -> None:
+    """Create and seed the ``events`` table the workload runs against."""
+    rng = random.Random(seed)
+    with server.session("loadgen-setup") as session:
+        session.execute(
+            "CREATE TABLE events (category INTEGER, amount DOUBLE)")
+        batch = [(rng.randint(0, 9), float(rng.randint(0, 100)))
+                 for _ in range(rows)]
+        session.executemany("INSERT INTO events VALUES (?, ?)", batch)
+
+
+def run_load(server: Any, *, sessions: int = 1000,
+             statements_per_session: int = 4, olap_fraction: float = 0.8,
+             workers: int = 8, seed: int = 7) -> Dict[str, Any]:
+    """Drive ``sessions`` short client sessions through ``server``.
+
+    Sessions are spread over ``workers`` concurrent threads; each session
+    opens, runs ``statements_per_session`` statements drawn from the OLAP
+    templates with probability ``olap_fraction`` (ETL otherwise), and
+    closes.  Returns a summary dict with p50/p99 latency, error counts,
+    and the server's cache/admission statistics.
+    """
+    shares = [sessions // workers] * workers
+    for index in range(sessions % workers):
+        shares[index] += 1
+    latencies: List[List[float]] = [[] for _ in range(workers)]
+    errors: List[List[str]] = [[] for _ in range(workers)]
+    conflicts = [0] * workers
+
+    def worker(worker_index: int) -> None:
+        rng = random.Random(seed * 1000 + worker_index)
+        samples = latencies[worker_index]
+        failures = errors[worker_index]
+        for session_index in range(shares[worker_index]):
+            session = server.session(
+                f"load-w{worker_index}-s{session_index}")
+            try:
+                for _ in range(statements_per_session):
+                    if rng.random() < olap_fraction:
+                        sql, make_params = rng.choice(OLAP_TEMPLATES)
+                    else:
+                        sql, make_params = rng.choice(ETL_TEMPLATES)
+                    params = make_params(rng)
+                    start = time.perf_counter()
+                    for attempt in range(5):
+                        try:
+                            result = session.execute(sql, params)
+                            result.fetchall()
+                            break
+                        except TransactionConflict:
+                            # First-updater-wins MVCC: concurrent writers on
+                            # the same rows serialize by retrying, exactly
+                            # like a real client.  Count, back off, retry.
+                            conflicts[worker_index] += 1
+                            if attempt == 4:
+                                failures.append("TransactionConflict: "
+                                                "retries exhausted")
+                            else:
+                                time.sleep(0.001 * (attempt + 1))
+                        except Exception as exc:  # quacklint: disable=QLE001 -- the load generator's job is to record failures, not die on the first one
+                            failures.append(f"{type(exc).__name__}: {exc}")
+                            break
+                    samples.append(time.perf_counter() - start)
+            finally:
+                session.close()
+
+    threads = [threading.Thread(target=worker, args=(index,), daemon=True)
+               for index in range(workers)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    merged = sorted(sample for worker_samples in latencies
+                    for sample in worker_samples)
+    all_errors = [message for worker_errors in errors
+                  for message in worker_errors]
+    plan_stats = server.database.plan_cache.stats()
+    plan_lookups = plan_stats["hits"] + plan_stats["misses"]
+    return {
+        "sessions": sessions,
+        "workers": workers,
+        "statements": len(merged),
+        "olap_fraction": olap_fraction,
+        "errors": len(all_errors),
+        "error_samples": all_errors[:5],
+        "write_conflicts_retried": sum(conflicts),
+        "wall_seconds": wall,
+        "statements_per_second": len(merged) / wall if wall else 0.0,
+        "p50_ms": _percentile(merged, 0.50) * 1000.0,
+        "p99_ms": _percentile(merged, 0.99) * 1000.0,
+        "max_ms": merged[-1] * 1000.0 if merged else 0.0,
+        "plan_cache": plan_stats,
+        "plan_cache_hit_rate":
+            plan_stats["hits"] / plan_lookups if plan_lookups else 0.0,
+        "result_cache": server.database.result_cache.stats(),
+        "admission": server.database.admission.stats(),
+        "session_registry": server.database.session_registry.stats(),
+    }
+
+
+def _percentile(sorted_samples: List[float], fraction: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    index = min(len(sorted_samples) - 1,
+                int(fraction * (len(sorted_samples) - 1)))
+    return sorted_samples[index]

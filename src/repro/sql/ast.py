@@ -208,13 +208,20 @@ class WindowExpr(Expression):
 
 
 class Parameter(Expression):
-    """A ``?`` placeholder, numbered left to right from 0."""
+    """A parameter placeholder: positional ``?`` or named ``:name``.
 
-    __slots__ = ("index",)
+    Positional parameters are numbered left to right from 0 and bound from
+    a sequence; named parameters carry ``name`` and are bound from a
+    mapping.  The parser rejects mixing both styles in one SQL string.
+    """
 
-    def __init__(self, index: int, position: int = -1) -> None:
+    __slots__ = ("index", "name")
+
+    def __init__(self, index: int, position: int = -1,
+                 name: Optional[str] = None) -> None:
         super().__init__(position)
         self.index = index
+        self.name = name
 
 
 class LikeExpr(Expression):

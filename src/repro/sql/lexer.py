@@ -163,10 +163,21 @@ def tokenize(sql: str) -> List[Token]:
             else:
                 tokens.append(Token(TokenType.IDENTIFIER, text, start))
             continue
-        # Parameter marker.
+        # Parameter markers: positional ``?`` or named ``:name``.  A bare
+        # ``:`` followed by anything else (notably a second ``:`` -- the
+        # cast operator) falls through to the operator rules below.
         if char == "?":
             tokens.append(Token(TokenType.PARAMETER, "?", position))
             position += 1
+            continue
+        if char == ":" and position + 1 < length \
+                and (sql[position + 1].isalpha() or sql[position + 1] == "_"):
+            start = position
+            position += 1
+            while position < length and (sql[position].isalnum()
+                                         or sql[position] == "_"):
+                position += 1
+            tokens.append(Token(TokenType.PARAMETER, sql[start:position], start))
             continue
         # Operators.
         two = sql[position:position + 2]

@@ -46,6 +46,8 @@ class Parser:
         self.tokens = tokenize(sql)
         self.index = 0
         self._parameter_count = 0
+        #: Parameter styles seen so far ("qmark"/"named"); mixing is an error.
+        self._parameter_styles: set = set()
 
     # -- token helpers ---------------------------------------------------
     @property
@@ -754,7 +756,14 @@ class Parser:
             return ast.Literal(token.text, token.position)
         if token.type is TokenType.PARAMETER:
             self.advance()
-            parameter = ast.Parameter(self._parameter_count, token.position)
+            name = None if token.text == "?" else token.text[1:]
+            self._parameter_styles.add("qmark" if name is None else "named")
+            if len(self._parameter_styles) > 1:
+                raise ParserError(
+                    "Cannot mix '?' and ':name' parameter styles in one "
+                    "SQL string", token.position)
+            parameter = ast.Parameter(self._parameter_count, token.position,
+                                      name=name)
             self._parameter_count += 1
             return parameter
         if token.is_keyword("NULL"):

@@ -28,6 +28,14 @@ class TransactionManager:
         # (bootstrap catalog entries and checkpoint-loaded data).
         self._last_commit_id = 1
         self._next_transaction_id = TRANSACTION_ID_START
+        #: Bumped only by commits that wrote data or catalog entries --
+        #: unlike ``_last_commit_id`` (which advances on every commit,
+        #: including read-only autocommits), this is a stable cache key:
+        #: the result cache keys entries on it.
+        self._data_version = 0
+        #: Bumped only by commits that carry catalog (DDL) changes; the
+        #: plan cache invalidates on it.
+        self._catalog_version = 0
         self._active: Dict[int, Transaction] = {}
         #: Callbacks run (under the commit lock) with each committing
         #: transaction, before its tags flip -- the WAL hooks in here.
@@ -41,6 +49,7 @@ class TransactionManager:
         """Start a transaction whose snapshot is "everything committed so far"."""
         with self._lock:
             transaction = Transaction(self, self._next_transaction_id, self._last_commit_id)
+            transaction.start_data_version = self._data_version
             self._next_transaction_id += 1
             self._active[transaction.transaction_id] = transaction
             return transaction
@@ -50,6 +59,10 @@ class TransactionManager:
         transaction.check_active()
         with self._lock:
             commit_id = self._last_commit_id + 1
+            # Capture before apply_commit: the hooks and tag flips must not
+            # be able to perturb what "this transaction wrote".
+            wrote_data = transaction.has_writes()
+            wrote_catalog = bool(transaction.catalog_log)
             try:
                 for hook in self.pre_commit_hooks:
                     hook(transaction, commit_id)
@@ -72,6 +85,10 @@ class TransactionManager:
             # (commit-id) tags are invisible -- no torn reads.
             transaction.apply_commit(commit_id)
             self._last_commit_id = commit_id
+            if wrote_data:
+                self._data_version += 1
+            if wrote_catalog:
+                self._catalog_version += 1
             del self._active[transaction.transaction_id]
             if transaction.update_log:
                 self._retired.append(transaction)
@@ -122,6 +139,21 @@ class TransactionManager:
     @property
     def last_commit_id(self) -> int:
         return self._last_commit_id
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic count of commits that wrote data or catalog entries.
+
+        Read lock-free (a single int load): the caches use it as a key, and
+        a racing read merely classifies the reader as having arrived just
+        before/after a concurrent commit -- both orders are serializable.
+        """
+        return self._data_version
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic count of commits that changed the catalog (DDL)."""
+        return self._catalog_version
 
     def active_count(self) -> int:
         with self._lock:

@@ -49,6 +49,10 @@ class Transaction:
         self.wal_records: List[Any] = []
         #: Tables whose data this transaction modified (for checkpoint dirtiness).
         self.modified_tables: set = set()
+        #: The manager's data version when this transaction began -- the
+        #: result cache keys read-only snapshots on it (unlike commit ids,
+        #: it only advances when a commit actually wrote something).
+        self.start_data_version = 0
 
     # -- state guards -----------------------------------------------------
     @property

@@ -135,10 +135,12 @@ class TestDump:
         try:
             con.execute("CREATE TABLE t (a INTEGER)")
 
-            def boom(self, statement):
+            def boom(self, plan):
                 raise InternalError("forced fault for test")
 
-            monkeypatch.setattr(Executor, "execute_select", boom)
+            # run_plan is the funnel every SELECT execution passes through
+            # (both the plan-cache path and the legacy execute_select path).
+            monkeypatch.setattr(Executor, "run_plan", boom)
             with pytest.raises(InternalError):
                 con.execute("SELECT * FROM t")
             monkeypatch.undo()

@@ -359,6 +359,10 @@ class TestStaleEstimates:
 class TestThreadSafety:
     def test_concurrent_connections_share_the_verifier(self, populated):
         database = populated.database
+        # Every execution must re-optimize (and so re-verify): the plan and
+        # result caches would legitimately skip the work being counted here.
+        database.config.plan_cache_entries = 0
+        database.config.result_cache_entries = 0
         before = database.plan_verifier.stats()
         errors = []
 

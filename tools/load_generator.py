@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Serving load-generator CLI: drive N mixed OLAP/ETL sessions at a server.
+
+CI smoke usage (the ``serve`` job)::
+
+    PYTHONPATH=src REPRO_SANITIZE=1 REPRO_THREADS=4 \
+        python tools/load_generator.py --sessions 200 --output BENCH_PR9.json
+
+Builds an in-memory :class:`repro.server.QueryServer`, seeds the workload
+schema, runs :func:`repro.server.loadgen.run_load`, prints a human summary,
+and optionally writes the machine-readable JSON report.  Exits non-zero if
+any session statement errored, so CI fails loudly.
+"""
+
+import argparse
+import json
+import sys
+
+import repro
+from repro import sanitizer
+from repro.server import loadgen
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run a mixed OLAP/ETL session load against a QueryServer")
+    parser.add_argument("--sessions", type=int, default=1000,
+                        help="total client sessions to run (default 1000)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="concurrent session threads (default 8)")
+    parser.add_argument("--statements", type=int, default=4,
+                        help="statements per session (default 4)")
+    parser.add_argument("--olap-fraction", type=float, default=0.8,
+                        help="fraction of OLAP statements (default 0.8)")
+    parser.add_argument("--rows", type=int, default=2000,
+                        help="seed rows in the events table (default 2000)")
+    parser.add_argument("--max-concurrent-queries", type=int, default=8,
+                        help="admission-controller concurrency (default 8)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON summary to this path")
+    args = parser.parse_args(argv)
+
+    config = {"max_concurrent_queries": args.max_concurrent_queries}
+    with repro.serve(config=config) as server:
+        loadgen.prepare_schema(server, rows=args.rows)
+        summary = loadgen.run_load(
+            server,
+            sessions=args.sessions,
+            statements_per_session=args.statements,
+            olap_fraction=args.olap_fraction,
+            workers=args.workers,
+        )
+
+    print(f"sessions={summary['sessions']} workers={summary['workers']} "
+          f"statements={summary['statements']} errors={summary['errors']}")
+    print(f"p50={summary['p50_ms']:.3f}ms p99={summary['p99_ms']:.3f}ms "
+          f"max={summary['max_ms']:.3f}ms "
+          f"throughput={summary['statements_per_second']:.0f} stmt/s")
+    print(f"plan_cache hit_rate={summary['plan_cache_hit_rate']:.3f} "
+          f"{summary['plan_cache']}")
+    print(f"result_cache {summary['result_cache']}")
+    print(f"admission {summary['admission']}")
+    if summary["error_samples"]:
+        for sample in summary["error_samples"]:
+            print(f"error: {sample}", file=sys.stderr)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump({"format": "repro-bench-v1", "serving": summary},
+                      handle, indent=2)
+        print(f"wrote {args.output}")
+
+    if sanitizer.enabled():
+        sanitizer.assert_clean()
+        print("sanitizer: clean")
+
+    return 1 if summary["errors"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
