@@ -91,8 +91,17 @@ DEFAULT_SHARED_CLASSES: Dict[str, Dict[str, SharedClassSpec]] = {
         # ``_active_context`` is published so Connection.interrupt() (called
         # from another thread) can set the cancellation flag; a stale read
         # merely misses an interrupt window, it cannot corrupt state.
-        "Connection": SharedClassSpec("_lock",
-                                      frozenset({"_active_context"})),
+        # The accounting scratch (``_statement_seq``, ``_buffer_baseline``,
+        # ``last_accounting``) is written on the result-cache hit path,
+        # which deliberately skips the connection lock; a torn value can
+        # only mislabel one accounting estimate, never corrupt engine
+        # state, and guarding it would put a lock on the hottest path.
+        # ``_session_id`` is written once by SessionRegistry.create before
+        # the connection serves any statement.
+        "Connection": SharedClassSpec(
+            "_lock", frozenset({"_active_context", "_session_id",
+                                "_statement_seq", "_buffer_baseline",
+                                "last_accounting"})),
     },
     "repro/server/cache.py": {
         # Every connection thread looks up / stores through the shared
@@ -115,6 +124,28 @@ DEFAULT_SHARED_CLASSES: Dict[str, Dict[str, SharedClassSpec]] = {
         # The sampler daemon writes buckets while any connection thread may
         # snapshot them through repro_profile().
         "SamplingProfiler": SharedClassSpec("_lock"),
+    },
+    "repro/observability/history.py": {
+        # The telemetry daemon appends samples while any connection thread
+        # snapshots them through repro_metrics_history().
+        # ``_span_watermark`` is sampler-thread-only state on the sampler.
+        "MetricsHistory": SharedClassSpec("_lock"),
+        "TelemetrySampler": SharedClassSpec(
+            "_lock", frozenset({"_span_watermark"})),
+    },
+    "repro/observability/accounting.py": {
+        # Every connection thread appends statement bills; introspection
+        # snapshots them concurrently.
+        "StatementLog": SharedClassSpec("_lock"),
+    },
+    "repro/observability/export.py": {
+        # The sampler daemon and the closing coordinator may emit into the
+        # sink concurrently.
+        "JsonlTelemetrySink": SharedClassSpec("_lock"),
+    },
+    "repro/server/capture.py": {
+        # Sessions on many worker threads emit captured statements.
+        "WorkloadCapture": SharedClassSpec("_lock"),
     },
     "repro/introspection/flight.py": {
         # Every connection thread appends to the statement ring.

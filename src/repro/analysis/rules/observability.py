@@ -20,6 +20,14 @@ Two ways instrumentation itself becomes a bug:
   the moment the query touches the same subsystem.  Snapshot providers in
   ``repro/introspection/`` must copy-then-release: extract plain data under
   the lock, release it, then return (or yield from) the copy.
+* **telemetry emitted while holding an engine lock** (QLO004) couples the
+  engine's critical sections to file-system latency: every ``emit_*``
+  method (``emit_sample``, ``emit_span``, ``emit_statement``) ends in a
+  blocking ``write()``+``flush()``, so one slow disk stalls whatever lock
+  the caller was holding -- and every thread queued behind it.  Telemetry
+  export is fed copy-then-release, exactly like QLO003: snapshot under the
+  lock, release, then emit from the copy (the sampler thread and the
+  ``Session.execute`` epilogue are the two sanctioned emission sites).
 
 Pairing for QLO001 is checked at *class* scope: a span started in one
 method and closed in another (``Connection._execute_statement`` starts the
@@ -79,6 +87,8 @@ class ObservabilityRule(Rule):
         "QLO002": "metric object constructed outside the MetricsRegistry",
         "QLO003": "introspection snapshot provider yields while holding an "
                   "engine lock (must copy-then-release)",
+        "QLO004": "telemetry emitted (emit_* call) while holding an engine "
+                  "lock (must copy-then-release, then emit outside)",
     }
     default_scope = ("repro/",)
 
@@ -87,6 +97,7 @@ class ObservabilityRule(Rule):
         yield from self._check_span_pairing(ctx)
         yield from self._check_metric_construction(ctx)
         yield from self._check_snapshot_locks(ctx)
+        yield from self._check_emit_under_lock(ctx)
 
     # -- QLO001: span lifecycle ------------------------------------------------
     def _check_span_pairing(self, ctx: FileContext) -> Iterator[Violation]:
@@ -151,6 +162,26 @@ class ObservabilityRule(Rule):
                         "generator; copy the snapshot under the lock, "
                         "release it, then yield from the copy",
                     )
+
+    # -- QLO004: telemetry emission under an engine lock -----------------------
+    def _check_emit_under_lock(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(_is_lock_expr(item.context_expr)
+                       for item in node.items):
+                continue
+            for inner in ast.walk(node):
+                attr = _called_attr(inner)
+                if attr is None or not attr.startswith("emit_"):
+                    continue
+                yield Violation(
+                    "QLO004", ctx.path, inner.lineno, inner.col_offset,
+                    f"{attr}() inside a 'with <lock>:' block ties the lock's "
+                    f"hold time to telemetry-sink I/O (write+flush per "
+                    f"record); snapshot the data under the lock, release "
+                    f"it, then emit from the copy",
+                )
 
     # -- QLO002: off-registry metrics -----------------------------------------
     def _check_metric_construction(self,

@@ -27,6 +27,7 @@ from typing import (
 from ..config import DatabaseConfig
 from ..database import Database
 from ..observability import registry as metrics_registry
+from ..observability.accounting import StatementRecord
 from ..sanitizer import SanRLock
 from ..errors import ClosedHandleError, Error
 from ..errors import InvalidInputError, TransactionContextError
@@ -93,6 +94,21 @@ class Connection:
         self._transaction: Optional["Transaction"] = None
         # Execution context of the in-flight query, for interrupt().
         self._active_context: Optional["ExecutionContext"] = None
+        # -- per-statement resource accounting ------------------------------
+        # Serving session this connection belongs to (0 = direct embedded
+        # connection); set by SessionRegistry.create before any statement.
+        self._session_id = 0
+        # Statements observed on this connection, the `statement_seq` half
+        # of the accounting attribution key.
+        self._statement_seq = 0
+        # Buffer-manager counters at the previous statement boundary; the
+        # next statement's hits/misses/peak are deltas against these.
+        buffers = database.buffer_manager
+        self._buffer_baseline = (buffers.cache_hits, buffers.cache_misses,
+                                 buffers.peak_bytes)
+        # Resource bill of the most recently finished statement (the
+        # serving session folds it into its stats).
+        self.last_accounting: Optional[StatementRecord] = None
         self._closed = False
         # Outermost lock of the declared hierarchy: held while the engine
         # takes the checkpoint, transaction-manager, catalog, table, and
@@ -272,9 +288,10 @@ class Connection:
             hit = database.result_cache.lookup(
                 (key_sql, vfp, manager.data_version))
             if hit is not None:
-                self._observe_statement(sql, None, None,
-                                        time.perf_counter_ns() - wall,
-                                        hit.rows)
+                self._observe_statement(
+                    sql, None, None, time.perf_counter_ns() - wall,
+                    hit.rows,
+                    vectors=sum(chunk.column_count for chunk in hit.chunks))
                 return QueryResult(hit.names, hit.types, iter(hit.chunks),
                                    hit.rowcount)
         with self._lock:
@@ -366,7 +383,9 @@ class Connection:
         self._finish_statement(sql_text, tracer, query_span,
                                time.perf_counter_ns() - wall,
                                time.thread_time_ns() - cpu,
-                               sum(chunk.size for chunk in chunks))
+                               sum(chunk.size for chunk in chunks),
+                               vectors=sum(chunk.column_count
+                                           for chunk in chunks))
         if (vfp is not None and database.result_cache.capacity > 0
                 and plan_result_cacheable(plan)):
             database.result_cache.store(
@@ -408,7 +427,8 @@ class Connection:
                 # keep going; an implicit one is simply discarded.
                 if autocommit:
                     self._database.transaction_manager.rollback(transaction)
-                self._flight(sql_text, 0, 0, bind_error)
+                self._observe_statement(sql_text, None, None, 0, 0,
+                                        error=bind_error)
                 raise
             tracer = self._database.tracer
             query_span = tracer.start_query(sql_text) \
@@ -454,7 +474,9 @@ class Connection:
             self._finish_statement(sql_text, tracer, query_span,
                                    time.perf_counter_ns() - wall,
                                    time.thread_time_ns() - cpu,
-                                   sum(chunk.size for chunk in chunks))
+                                   sum(chunk.size for chunk in chunks),
+                                   vectors=sum(chunk.column_count
+                                               for chunk in chunks))
             return QueryResult(outcome.names, outcome.types, iter(chunks),
                                outcome.rowcount)
 
@@ -477,7 +499,8 @@ class Connection:
                           query_span: Optional["Span"] = None,
                           wall_start: int = 0,
                           cpu_start: int = 0) -> QueryResult:
-        finished: Dict[str, Any] = {"done": False, "rows": 0, "error": None}
+        finished: Dict[str, Any] = {"done": False, "rows": 0, "vectors": 0,
+                                    "error": None}
         # The root span must not stay on this thread's stack while the
         # client holds the lazy result (the next statement would nest under
         # it) -- pop now, close with final timing when the stream ends.
@@ -493,7 +516,9 @@ class Connection:
                 tracer.end_span(query_span)
             self._observe_statement(sql_text, tracer, query_span, wall_ns,
                                     finished["rows"],
-                                    error=finished["error"])
+                                    error=finished["error"], cpu_ns=cpu_ns,
+                                    vectors=finished["vectors"],
+                                    context=self._active_context)
 
         def on_close() -> None:
             if finished["done"]:
@@ -509,6 +534,7 @@ class Connection:
             try:
                 for chunk in outcome.chunks:
                     finished["rows"] += chunk.size
+                    finished["vectors"] += chunk.column_count
                     yield chunk
             except Exception as stream_error:
                 if autocommit and transaction.is_active:
@@ -525,12 +551,14 @@ class Connection:
     def _finish_statement(self, sql_text: str, tracer: Optional["Tracer"],
                           query_span: Optional["Span"], wall_ns: int,
                           cpu_ns: int, rows: int,
-                          error: Optional[BaseException] = None) -> None:
+                          error: Optional[BaseException] = None,
+                          vectors: int = 0) -> None:
         """Close the statement's root span and fold per-statement metrics."""
         if tracer is not None and query_span is not None:
             tracer.finish_query(query_span, wall_ns, cpu_ns)
         self._observe_statement(sql_text, tracer, query_span, wall_ns, rows,
-                                error=error)
+                                error=error, cpu_ns=cpu_ns, vectors=vectors,
+                                context=self._active_context)
 
     def _flight(self, sql_text: str, wall_ns: int, rows: int,
                 error: Optional[BaseException] = None) -> None:
@@ -549,7 +577,10 @@ class Connection:
     def _observe_statement(self, sql_text: str, tracer: Optional["Tracer"],
                            query_span: Optional["Span"], wall_ns: int,
                            rows: int,
-                           error: Optional[BaseException] = None) -> None:
+                           error: Optional[BaseException] = None,
+                           cpu_ns: int = 0, vectors: int = 0,
+                           context: Optional["ExecutionContext"] = None,
+                           ) -> None:
         self._flight(sql_text, wall_ns, rows, error)
         reg = metrics_registry()
         reg.counter("repro_queries_total", "Statements executed").inc()
@@ -560,6 +591,37 @@ class Connection:
                       "End-to-end statement latency").observe(wall_ns / 1e9)
         database = self._database
         database.fold_metrics()
+        seq = self._statement_seq + 1
+        self._statement_seq = seq
+        # Per-statement resource bill.  Buffer traffic and peak memory are
+        # deltas against the previous statement boundary on this
+        # connection -- concurrent connections share the buffer manager,
+        # so these are attribution *estimates*, exact only for serial use.
+        buffers = database.buffer_manager
+        hits, misses = buffers.cache_hits, buffers.cache_misses
+        peak = buffers.peak_bytes
+        base_hits, base_misses, base_peak = self._buffer_baseline
+        self._buffer_baseline = (hits, misses, peak)
+        rows_scanned = 0
+        if context is not None:
+            # Lock-free read after the run, same idiom as the executor's
+            # post-run stats reads.
+            rows_scanned = int(context.stats.get("rows_scanned", 0))
+        memory = peak if peak > base_peak else buffers.used_bytes
+        record = StatementRecord(
+            self._session_id, seq, sql_text,
+            wall_ms=wall_ns / 1e6, cpu_ms=cpu_ns / 1e6, rows_out=rows,
+            rows_scanned=rows_scanned, vectors=vectors,
+            buffer_hits=max(0, hits - base_hits),
+            buffer_misses=max(0, misses - base_misses),
+            memory_bytes=memory,
+            error=type(error).__name__ if error is not None else "")
+        self.last_accounting = record
+        database.statement_log.record(record)
+        if context is not None and context is self._active_context:
+            # The statement is over: de-target interrupt() and keep the
+            # next statement's accounting from re-reading these stats.
+            self._active_context = None
         threshold = self._config.slow_query_ms
         if threshold > 0:
             duration_ms = wall_ns / 1e6
@@ -567,7 +629,9 @@ class Connection:
                 spans = tracer.sink.trace(query_span.trace_id) \
                     if tracer is not None and query_span is not None else None
                 database.slow_log.record(sql_text, duration_ms, threshold,
-                                         spans)
+                                         spans,
+                                         session_id=self._session_id,
+                                         statement_seq=seq)
 
     def metrics(self) -> Dict[str, Any]:
         """Snapshot of the process-wide engine metrics (plain dict)."""

@@ -143,6 +143,35 @@ class DatabaseConfig:
     admission_timeout_ms:
         How long an admitted-over-limit query may wait in the admission
         queue, in milliseconds.
+    telemetry_interval_ms:
+        Cadence of the continuous-telemetry sampler (see
+        :mod:`repro.observability.history`): every interval the background
+        sampler snapshots the metrics registry into the ring-buffer
+        metrics history (``repro_metrics_history()``) and exports to the
+        telemetry sink when one is configured.  ``0`` (the default) keeps
+        the sampler off entirely -- the ~0-overhead state.
+    telemetry_path:
+        When non-empty, telemetry samples and completed trace spans are
+        exported as structured JSON lines appended to this file.  Setting
+        a path with ``telemetry_interval_ms`` still 0 starts the sampler
+        at its default cadence.  The ``REPRO_TELEMETRY_PATH`` environment
+        variable provides the default for configs built via
+        :meth:`from_dict`.
+    statement_log_entries:
+        Capacity of the per-statement resource-accounting ring
+        (``repro_statement_log()``): wall/CPU, rows in/out, buffer
+        traffic, and peak-memory estimate per ``(session_id,
+        statement_seq)``.  ``0`` disables statement accounting.
+    capture_enabled:
+        Record every served statement (SQL + parameters + timing offset)
+        into the workload-capture JSONL at ``capture_path`` for later
+        replay by ``tools/replay_workload.py``.  Instance-wide: flipping
+        it via PRAGMA from any session affects the whole database.
+    capture_path:
+        Destination file of the workload capture.  Empty with capture
+        enabled is an error at sync time.  The ``REPRO_CAPTURE_PATH``
+        environment variable provides the default for configs built via
+        :meth:`from_dict`.
     """
 
     memory_limit: int = 1 << 31  # 2 GiB default
@@ -163,6 +192,11 @@ class DatabaseConfig:
     result_cache_max_rows: int = 16384
     max_concurrent_queries: int = 0
     admission_timeout_ms: float = 30000.0
+    telemetry_interval_ms: float = 0.0
+    telemetry_path: str = ""
+    statement_log_entries: int = 512
+    capture_enabled: bool = False
+    capture_path: str = ""
 
     @classmethod
     def from_dict(cls, options: Optional[Dict[str, Any]]) -> "DatabaseConfig":
@@ -188,6 +222,14 @@ class DatabaseConfig:
             env_verify = os.environ.get("REPRO_VERIFY_PLANS")
             if env_verify:
                 config.set_option("verify_plans", env_verify)
+        if "telemetry_path" not in given:
+            env_telemetry = os.environ.get("REPRO_TELEMETRY_PATH")
+            if env_telemetry:
+                config.set_option("telemetry_path", env_telemetry)
+        if "capture_path" not in given:
+            env_capture = os.environ.get("REPRO_CAPTURE_PATH")
+            if env_capture:
+                config.set_option("capture_path", env_capture)
         return config
 
     def set_option(self, name: str, value: Any) -> None:
@@ -232,6 +274,20 @@ class DatabaseConfig:
             if timeout < 0:
                 raise InvalidInputError("admission_timeout_ms must be >= 0")
             self.admission_timeout_ms = timeout
+        elif name == "telemetry_interval_ms":
+            interval = float(value)
+            if interval < 0:
+                raise InvalidInputError("telemetry_interval_ms must be >= 0")
+            self.telemetry_interval_ms = interval
+        elif name in ("telemetry_path", "capture_path"):
+            setattr(self, name, str(value))
+        elif name == "statement_log_entries":
+            entries = int(value)
+            if entries < 0:
+                raise InvalidInputError("statement_log_entries must be >= 0")
+            self.statement_log_entries = entries
+        elif name == "capture_enabled":
+            self.capture_enabled = _coerce_bool(value)
         else:
             raise InvalidInputError(f"Unknown configuration option {name!r}")
 

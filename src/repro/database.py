@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from . import observability
 from .catalog.catalog import Catalog
@@ -19,8 +19,12 @@ from .config import DatabaseConfig
 from .cooperation.controller import ReactiveController, StaticController
 from .cooperation.monitor import ResourceMonitor, SimulatedApplication
 from .errors import ConnectionError as DatabaseConnectionError
+from .errors import InvalidInputError
 from .introspection.flight import FlightRecorder
 from .introspection.profiler import SamplingProfiler
+from .observability.accounting import StatementLog
+from .observability.export import JsonlTelemetrySink
+from .observability.history import DEFAULT_INTERVAL_MS, TelemetrySampler
 from .observability.slowlog import SlowQueryLog
 from .observability.trace import Tracer
 from .optimizer.cost import OptimizerLog
@@ -32,6 +36,9 @@ from .storage.buffer_manager import BufferManager
 from .storage.storage_manager import StorageManager
 from .transaction.manager import TransactionManager
 from .verifier import PlanCheckLog, PlanVerifier
+
+if TYPE_CHECKING:
+    from .server.capture import WorkloadCapture
 
 __all__ = ["Database"]
 
@@ -89,10 +96,21 @@ class Database:
         #: Last buffer-manager counter values folded into the metrics
         #: registry (see :meth:`fold_metrics`).
         self._metrics_baseline: Dict[str, int] = {}
+        #: Per-statement resource-accounting ring, served by the
+        #: ``repro_statement_log()`` system table.
+        self.statement_log = StatementLog(self.config.statement_log_entries)
+        #: Continuous-telemetry sampler + ring-buffer metrics history,
+        #: served by ``repro_metrics_history()`` (see :meth:`sync_telemetry`).
+        self.telemetry = TelemetrySampler(self)
+        #: Workload capture (JSONL statement recorder) when
+        #: ``config.capture_enabled`` (see :meth:`sync_capture`).
+        self.workload_capture: Optional["WorkloadCapture"] = None
         if self.config.trace_enabled:
             observability.enable_tracing()
         if self.config.profile_enabled:
             self.profiler.start(self.config.profile_hz)
+        self.sync_telemetry()
+        self.sync_capture()
         self.storage.load(self.catalog, self.transaction_manager)
 
     # -- observability --------------------------------------------------------
@@ -119,6 +137,69 @@ class Database:
             self.profiler.start(self.config.profile_hz)
         else:
             self.profiler.stop()
+
+    def sync_telemetry(self) -> None:
+        """Bring the telemetry sampler in line with the current config.
+
+        Called at open and after ``PRAGMA telemetry_interval_ms`` /
+        ``telemetry_path`` changes.  An interval > 0 starts (or retunes)
+        the background sampler; a configured path additionally attaches a
+        JSONL export sink (and implies the default cadence when no
+        interval was set).  Interval 0 with no path stops the sampler --
+        collected history stays queryable.
+        """
+        if self._closed:
+            return
+        path = self.config.telemetry_path
+        sink = self.telemetry.sink
+        if path:
+            if sink is None or getattr(sink, "path", None) != path:
+                self.telemetry.set_sink(JsonlTelemetrySink(path))
+        elif sink is not None:
+            self.telemetry.set_sink(None)
+        interval = self.config.telemetry_interval_ms
+        if interval > 0:
+            self.telemetry.start(interval)
+        elif path:
+            self.telemetry.start(DEFAULT_INTERVAL_MS)
+        else:
+            self.telemetry.stop()
+
+    def sync_capture(self) -> None:
+        """Bring the workload capture in line with the current config.
+
+        Instance-wide by design: PRAGMA plumbing routes capture option
+        changes here against the *database* config even when issued from a
+        serving session with a private config copy -- a capture records
+        the whole instance's workload or none of it.
+        """
+        from .server.capture import WorkloadCapture
+
+        if self.config.capture_enabled and not self._closed:
+            path = self.config.capture_path
+            if not path:
+                self.config.capture_enabled = False
+                raise InvalidInputError(
+                    "capture_enabled requires capture_path to be set")
+            if (self.workload_capture is None
+                    or self.workload_capture.path != path):
+                previous = self.workload_capture
+                self.workload_capture = WorkloadCapture(path)
+                if previous is not None:
+                    previous.close()
+        elif self.workload_capture is not None:
+            capture, self.workload_capture = self.workload_capture, None
+            capture.close()
+
+    def telemetry_sample(self):
+        """Force one synchronous telemetry sample (tests, PRAGMA).
+
+        Returns the recorded
+        :class:`~repro.observability.history.MetricsSample` (or ``None``
+        once the database is closed) so callers can assert against exactly
+        the state they sampled instead of racing the background thread.
+        """
+        return self.telemetry.sample_once()
 
     def dump_flight(self, reason: str, error: Optional[BaseException] = None,
                     best_effort: bool = False) -> Optional[str]:
@@ -211,6 +292,14 @@ class Database:
             raise DatabaseConnectionError("The database has been closed")
 
     def close(self) -> None:
+        # Telemetry shuts down before the checkpoint lock is taken: the
+        # final flush samples the registry (innermost telemetry.history
+        # lock only) and must not race a sampler tick against teardown.
+        if not self._closed:
+            self.telemetry.close()
+            capture, self.workload_capture = self.workload_capture, None
+            if capture is not None:
+                capture.close()
         # Checkpoint-on-close runs under the same ``_checkpoint_lock`` as
         # explicit/auto checkpoints (and in the same position in the lock
         # hierarchy: the closing connection already holds its ``_lock``),

@@ -376,6 +376,24 @@ class Executor:
             if self.config is database.config:
                 database.sync_profiler()
             return StatementResult.empty()
+        if name == "telemetry_sample":
+            # Force one synchronous telemetry sample -- deterministic
+            # history/export points for tests and dashboards.
+            sample = database.telemetry_sample()
+            count = len(sample.entries) if sample is not None else 0
+            return StatementResult.text_result(
+                "telemetry_sample", [f"sampled {count} metrics"])
+        if name in ("capture_enabled", "capture_path") \
+                and statement.value is not None:
+            # Capture is instance-wide by design: a session recording only
+            # its own slice of an interleaved workload could not be
+            # replayed into the same database state.  Route the option to
+            # the *database* config whatever config this executor runs on.
+            database.config.set_option(name, statement.value)
+            if self.config is not database.config:
+                self.config.set_option(name, statement.value)
+            database.sync_capture()
+            return StatementResult.empty()
         if statement.value is None:
             value = self.config.get_option(name)
             return StatementResult.text_result(name, [str(value)])
@@ -387,6 +405,9 @@ class Executor:
         if name in ("profile_enabled", "profile_hz") \
                 and self.config is database.config:
             database.sync_profiler()
+        if name in ("telemetry_interval_ms", "telemetry_path") \
+                and self.config is database.config:
+            database.sync_telemetry()
         return StatementResult.empty()
 
     def execute_explain(self, statement: bound.BoundExplain) -> StatementResult:

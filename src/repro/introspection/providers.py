@@ -62,7 +62,40 @@ def slow_queries_rows(database: Any, transaction: Any) -> List[Row]:
     rows: List[Row] = []
     for record in database.slow_log.records():
         rows.append((record.sql, record.duration_ms, record.threshold_ms,
-                     record.timestamp, record.span_count))
+                     record.timestamp, record.span_count,
+                     record.session_id, record.statement_seq))
+    return rows
+
+
+def metrics_history_rows(database: Any, transaction: Any) -> List[Row]:
+    """Time-series metrics samples across every retention tier.
+
+    Each row is one instrument at one sample point: ``value`` is the
+    instrument's level at that moment, ``delta`` its movement over the
+    tier's window (one interval for ``raw``, the summed window for the
+    downsampled tiers).  Empty until the telemetry sampler has run
+    (``telemetry_interval_ms`` > 0 or ``PRAGMA telemetry_sample``).
+    """
+    return list(database.telemetry.history.rows())
+
+
+def statement_log_rows(database: Any, transaction: Any) -> List[Row]:
+    """Per-statement resource bills, oldest first (bounded ring)."""
+    return list(database.statement_log.rows())
+
+
+def activity_rows(database: Any, transaction: Any) -> List[Row]:
+    """Statements in flight *right now*, one row per busy session.
+
+    A session querying this table sees its own statement (phase
+    ``executing``) -- the query observing the activity is itself activity.
+    """
+    rows: List[Row] = []
+    for info in database.session_registry.activity_snapshot():
+        rows.append((info["session_id"], info["name"],
+                     info["statement_seq"], info["sql"], info["phase"],
+                     info["started_at"], info["elapsed_ms"],
+                     info["rows_so_far"]))
     return rows
 
 
@@ -234,7 +267,10 @@ def sessions_rows(database: Any, transaction: Any) -> List[Row]:
     for info in database.session_registry.snapshot():
         rows.append((info["session_id"], info["name"], info["state"],
                      info["statements"], info["rows_returned"],
-                     info["errors"], info["last_sql"], info["created_at"]))
+                     info["errors"], info["last_sql"], info["created_at"],
+                     info["wall_ms"], info["cpu_ms"], info["rows_scanned"],
+                     info["buffer_hits"], info["buffer_misses"],
+                     info["peak_memory"]))
     return rows
 
 
@@ -271,8 +307,34 @@ def register_builtin_functions() -> None:
     register(SystemTableFunction(
         "repro_slow_queries", "slow-query log records, oldest first",
         [("sql", VARCHAR), ("duration_ms", DOUBLE), ("threshold_ms", DOUBLE),
-         ("timestamp", DOUBLE), ("span_count", BIGINT)],
+         ("timestamp", DOUBLE), ("span_count", BIGINT),
+         ("session_id", BIGINT), ("statement_seq", BIGINT)],
         slow_queries_rows))
+    register(SystemTableFunction(
+        "repro_metrics_history",
+        "time-series metrics samples across retention tiers",
+        [("tier", VARCHAR), ("sample", BIGINT), ("timestamp", DOUBLE),
+         ("name", VARCHAR), ("kind", VARCHAR), ("value", DOUBLE),
+         ("delta", DOUBLE)],
+        metrics_history_rows))
+    register(SystemTableFunction(
+        "repro_statement_log",
+        "per-statement resource accounting, oldest first",
+        [("session_id", BIGINT), ("statement_seq", BIGINT), ("sql", VARCHAR),
+         ("timestamp", DOUBLE), ("wall_ms", DOUBLE), ("cpu_ms", DOUBLE),
+         ("rows_out", BIGINT), ("rows_scanned", BIGINT),
+         ("vectors", BIGINT), ("buffer_hits", BIGINT),
+         ("buffer_misses", BIGINT), ("memory_bytes", BIGINT),
+         ("error", VARCHAR)],
+        statement_log_rows))
+    register(SystemTableFunction(
+        "repro_activity",
+        "live per-session activity: the statements in flight right now",
+        [("session_id", BIGINT), ("name", VARCHAR),
+         ("statement_seq", BIGINT), ("sql", VARCHAR), ("phase", VARCHAR),
+         ("started_at", DOUBLE), ("elapsed_ms", DOUBLE),
+         ("rows_so_far", BIGINT)],
+        activity_rows))
     register(SystemTableFunction(
         "repro_settings", "current database configuration options",
         [("name", VARCHAR), ("value", VARCHAR)],
@@ -339,7 +401,9 @@ def register_builtin_functions() -> None:
         [("session_id", BIGINT), ("name", VARCHAR), ("state", VARCHAR),
          ("statements", BIGINT), ("rows_returned", BIGINT),
          ("errors", BIGINT), ("last_sql", VARCHAR),
-         ("created_at", DOUBLE)],
+         ("created_at", DOUBLE), ("wall_ms", DOUBLE), ("cpu_ms", DOUBLE),
+         ("rows_scanned", BIGINT), ("buffer_hits", BIGINT),
+         ("buffer_misses", BIGINT), ("peak_memory", BIGINT)],
         sessions_rows))
     register(SystemTableFunction(
         "repro_serving",

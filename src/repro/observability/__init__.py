@@ -25,6 +25,9 @@ from __future__ import annotations
 import os
 from typing import Any, ContextManager, Optional
 
+from .accounting import StatementLog, StatementRecord
+from .export import JsonlTelemetrySink, TelemetrySink
+from .history import MetricsHistory, MetricsSample, TelemetrySampler
 from .metrics import (
     Counter,
     Gauge,
@@ -45,6 +48,13 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "registry",
+    "MetricsHistory",
+    "MetricsSample",
+    "TelemetrySampler",
+    "StatementLog",
+    "StatementRecord",
+    "TelemetrySink",
+    "JsonlTelemetrySink",
     "render_trace",
     "render_span_tree",
     "worker_summary",

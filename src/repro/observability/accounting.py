@@ -1,0 +1,123 @@
+"""Per-statement resource accounting: who spent what, attributed.
+
+Aggregate metrics say the buffer cache missed 10k times; this module says
+*which statement* of *which session* caused them.  Every statement a
+connection finishes -- success or error, served or direct -- produces one
+:class:`StatementRecord` carrying wall/CPU time, rows in (scanned) and out
+(returned), vectors touched, buffer-manager hits/misses over the
+statement's window, and a peak-memory estimate, attributed to
+``(session_id, statement_seq)``.  Records land in a bounded
+:class:`StatementLog` ring queryable as ``repro_statement_log()`` and are
+folded into the owning :class:`~repro.server.session.Session`'s stats.
+
+Sizing: the ring holds ``config.statement_log_entries`` records (default
+512, 0 disables).  Like the trace sink, it is deliberately lossy --
+accounting must never become the memory leak it exists to find.  Appends
+take the innermost ``telemetry.history`` sanitizer lock, so any engine
+thread may record while holding its own locks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..sanitizer import SanLock
+
+__all__ = ["StatementRecord", "StatementLog", "DEFAULT_LOG_ENTRIES"]
+
+#: Default bounded capacity of the statement log ring.
+DEFAULT_LOG_ENTRIES = 512
+
+
+class StatementRecord:
+    """Resource bill of one finished statement."""
+
+    __slots__ = ("session_id", "statement_seq", "sql", "timestamp", "wall_ms",
+                 "cpu_ms", "rows_out", "rows_scanned", "vectors",
+                 "buffer_hits", "buffer_misses", "memory_bytes", "error")
+
+    def __init__(self, session_id: int, statement_seq: int, sql: str,
+                 wall_ms: float = 0.0, cpu_ms: float = 0.0,
+                 rows_out: int = 0, rows_scanned: int = 0, vectors: int = 0,
+                 buffer_hits: int = 0, buffer_misses: int = 0,
+                 memory_bytes: int = 0, error: str = "",
+                 timestamp: Optional[float] = None) -> None:
+        self.session_id = session_id
+        self.statement_seq = statement_seq
+        self.sql = sql
+        self.timestamp = time.time() if timestamp is None else timestamp
+        self.wall_ms = wall_ms
+        self.cpu_ms = cpu_ms
+        self.rows_out = rows_out
+        self.rows_scanned = rows_scanned
+        self.vectors = vectors
+        self.buffer_hits = buffer_hits
+        self.buffer_misses = buffer_misses
+        self.memory_bytes = memory_bytes
+        self.error = error
+
+    def as_row(self) -> Tuple[int, int, str, float, float, float, int, int,
+                              int, int, int, int, str]:
+        """Row shape of the ``repro_statement_log()`` system table."""
+        return (self.session_id, self.statement_seq, self.sql,
+                self.timestamp, self.wall_ms, self.cpu_ms, self.rows_out,
+                self.rows_scanned, self.vectors, self.buffer_hits,
+                self.buffer_misses, self.memory_bytes, self.error)
+
+    def __repr__(self) -> str:
+        return (f"StatementRecord(session={self.session_id}, "
+                f"seq={self.statement_seq}, wall={self.wall_ms:.3f}ms, "
+                f"rows_out={self.rows_out})")
+
+
+class StatementLog:
+    """Bounded ring of the most recent statement bills.
+
+    Thread-safe behind the ``telemetry.history`` sanitizer lock (innermost
+    in the declared hierarchy; see :mod:`repro.sanitizer.hierarchy`).
+    A capacity of 0 disables recording entirely -- :meth:`record` returns
+    before allocating anything.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_LOG_ENTRIES) -> None:
+        self.capacity = max(0, int(capacity))
+        self._lock = SanLock("telemetry.history")
+        self._records: Deque[StatementRecord] = deque(
+            maxlen=self.capacity if self.capacity else 1)
+        self._total_recorded = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    @property
+    def total_recorded(self) -> int:
+        """Statements recorded since creation (not bounded by the ring)."""
+        return self._total_recorded
+
+    def record(self, record: StatementRecord) -> None:
+        if not self.capacity:
+            return
+        with self._lock:
+            self._records.append(record)
+            self._total_recorded += 1
+
+    def records(self) -> List[StatementRecord]:
+        """Snapshot, oldest first (copy-then-release)."""
+        with self._lock:
+            return list(self._records)
+
+    def rows(self) -> List[Tuple[int, int, str, float, float, float, int,
+                                 int, int, int, int, int, str]]:
+        """System-table rows, oldest first."""
+        return [record.as_row() for record in self.records()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

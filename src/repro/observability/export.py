@@ -1,0 +1,110 @@
+"""Telemetry export: get engine observability *out* of the process.
+
+The embedded premise (paper §5) cuts both ways: there is no database server
+to ssh into, but production fleets still want yesterday's metrics in the
+same Grafana/Prometheus stack as everything else.  This module is the
+boundary between the in-process telemetry layer (:mod:`.history`,
+:mod:`.accounting`, the trace sink) and the outside world:
+
+* :class:`TelemetrySink` -- the abstraction a
+  :class:`~repro.observability.history.TelemetrySampler` emits into.  One
+  ``emit_sample`` call per metrics-history sample, one ``emit_span`` call
+  per completed quacktrace span drained from the ring.
+* :class:`JsonlTelemetrySink` -- the built-in implementation: structured
+  JSON lines appended to a file (``REPRO_TELEMETRY_PATH`` or
+  ``config.telemetry_path``), one object per line, so ``jq``, a log
+  shipper, or a fluent-bit tail picks the stream up without a client
+  library.
+
+Emission discipline (enforced by quacklint's QLO004): sinks perform I/O,
+so **no caller may emit while holding an engine lock** -- the sampler
+thread emits after every registry/ring lock is released, and the serving
+layer's workload capture emits outside the session-registry critical
+section.  A sink that blocks can therefore delay telemetry, never a query.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Any, Dict, Optional
+
+__all__ = ["TelemetrySink", "JsonlTelemetrySink"]
+
+
+class TelemetrySink:
+    """Where exported telemetry goes; subclass and override the emits.
+
+    The base class swallows everything, so a partial implementation (spans
+    only, say) stays valid.  Implementations must be thread-safe: the
+    sampler daemon and the closing coordinator may emit concurrently.
+    """
+
+    def emit_sample(self, payload: Dict[str, Any]) -> None:
+        """One metrics-history sample (``type="metric_sample"``)."""
+
+    def emit_span(self, payload: Dict[str, Any]) -> None:
+        """One completed quacktrace span (``type="span"``)."""
+
+    def flush(self) -> None:
+        """Push buffered output down to the OS (best effort)."""
+
+    def close(self) -> None:
+        """Release resources; further emits must be silently ignored."""
+
+
+class JsonlTelemetrySink(TelemetrySink):
+    """Structured JSONL file sink: one JSON object per line, append-only.
+
+    Writes are serialized behind a private lock and flushed per line --
+    telemetry is a diagnostic stream, so losing buffered lines to a crash
+    would defeat its purpose.  The file handle is opened eagerly so a bad
+    path fails at configuration time, not on the sampler thread.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[str]] = open(  # noqa: SIM115 -- lifetime spans the sink
+            path, "a", encoding="utf-8")
+        self.samples_written = 0
+        self.spans_written = 0
+
+    def _write(self, payload: Dict[str, Any]) -> bool:
+        line = json.dumps(payload, default=str, separators=(",", ":"))
+        with self._lock:
+            handle = self._handle
+            if handle is None:
+                return False
+            handle.write(line + "\n")
+            handle.flush()
+            return True
+
+    def emit_sample(self, payload: Dict[str, Any]) -> None:
+        if self._write(payload):
+            with self._lock:
+                self.samples_written += 1
+
+    def emit_span(self, payload: Dict[str, Any]) -> None:
+        if self._write(payload):
+            with self._lock:
+                self.spans_written += 1
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._handle is None else "open"
+        return f"JsonlTelemetrySink({self.path!r}, {state})"

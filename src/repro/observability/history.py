@@ -1,0 +1,325 @@
+"""Time-series metrics history: the engine's own flight-data recorder.
+
+quacktrace metrics (:mod:`.metrics`) answer "what is the counter *now*";
+an embedded engine serving long-lived traffic also needs "what did it look
+like five minutes ago".  This module adds the time dimension without an
+external agent: a background :class:`TelemetrySampler` snapshots the
+process-wide :class:`~repro.observability.metrics.MetricsRegistry` every
+``telemetry_interval_ms`` into a :class:`MetricsHistory` of fixed-size
+ring-buffer tiers, queryable in-band via ``repro_metrics_history()``.
+
+Retention tiers trade resolution for horizon at constant memory.  With
+stride counted in raw samples and the default interval of 250 ms:
+
+==========  ======  ========  =======================  ==============
+tier        stride  capacity  resolution               horizon
+==========  ======  ========  =======================  ==============
+``raw``          1       240  every sample (250 ms)    last 60 s
+``mid``          8       180  every 8th (2 s)          last 6 min
+``coarse``      64       120  every 64th (16 s)        last 32 min
+==========  ======  ========  =======================  ==============
+
+Downsampling is loss-aware: a downsampled point's ``value`` is the most
+recent raw value in its window (correct for gauges and cumulative
+counters) while its ``delta`` is the *sum* of raw deltas over the window
+(correct for rates) -- so ``sum(delta)`` over any tier equals the true
+counter movement across its horizon, whatever the stride.
+
+Locking: the history ring has its own ``telemetry.history`` lock,
+registered innermost in the declared quacksan hierarchy -- any engine
+thread may append to it while holding its own locks, and readers
+copy-then-release.  Sink emission (file I/O) happens strictly *outside*
+that lock, on the sampler thread only (quacklint QLO004 enforces this).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import (TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple)
+
+from ..sanitizer import SanLock
+from .metrics import registry
+
+if TYPE_CHECKING:
+    from ..database import Database
+    from .export import TelemetrySink
+
+__all__ = ["MetricsSample", "MetricsHistory", "TelemetrySampler",
+           "RETENTION_TIERS", "DEFAULT_INTERVAL_MS"]
+
+#: ``(tier, stride_in_raw_samples, ring_capacity)`` -- documented above.
+RETENTION_TIERS: Tuple[Tuple[str, int, int], ...] = (
+    ("raw", 1, 240),
+    ("mid", 8, 180),
+    ("coarse", 64, 120),
+)
+
+#: Sampler cadence when telemetry is enabled without an explicit interval.
+DEFAULT_INTERVAL_MS = 250.0
+
+
+class MetricsSample:
+    """One point in time: every instrument's value and movement since the
+    previous sample of the same tier.
+
+    ``entries`` rows are ``(name, kind, value, delta)``; for counters the
+    delta is the increase over the window, for gauges the signed change.
+    """
+
+    __slots__ = ("sample_id", "timestamp", "entries")
+
+    def __init__(self, sample_id: int, timestamp: float,
+                 entries: Tuple[Tuple[str, str, float, float], ...]) -> None:
+        self.sample_id = sample_id
+        self.timestamp = timestamp
+        self.entries = entries
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly shape for telemetry export."""
+        return {
+            "type": "metric_sample",
+            "sample": self.sample_id,
+            "timestamp": self.timestamp,
+            "metrics": {name: {"kind": kind, "value": value, "delta": delta}
+                        for name, kind, value, delta in self.entries},
+        }
+
+    def __repr__(self) -> str:
+        return (f"MetricsSample(id={self.sample_id}, "
+                f"metrics={len(self.entries)})")
+
+
+class _Tier:
+    """One retention ring plus the delta accumulator feeding it."""
+
+    __slots__ = ("name", "stride", "ring", "pending_deltas", "pending_count")
+
+    def __init__(self, name: str, stride: int, capacity: int) -> None:
+        self.name = name
+        self.stride = stride
+        self.ring: Deque[MetricsSample] = deque(maxlen=capacity)
+        self.pending_deltas: Dict[str, float] = {}
+        self.pending_count = 0
+
+
+class MetricsHistory:
+    """Fixed-memory, multi-resolution ring of metrics samples.
+
+    Appends are O(instruments); memory is bounded by
+    ``sum(tier capacities) x instruments`` regardless of uptime.  All
+    mutation happens under the ``telemetry.history`` sanitizer lock;
+    :meth:`rows` and :meth:`latest` copy under the lock and build rows
+    outside it.
+    """
+
+    def __init__(self, tiers: Tuple[Tuple[str, int, int], ...]
+                 = RETENTION_TIERS) -> None:
+        self._lock = SanLock("telemetry.history")
+        self._tiers: Tuple[_Tier, ...] = tuple(
+            _Tier(name, stride, capacity) for name, stride, capacity in tiers)
+        self._previous: Dict[str, float] = {}
+        self._next_sample = 1
+        self._total_samples = 0
+
+    @property
+    def total_samples(self) -> int:
+        """Raw samples recorded since creation (not bounded by the rings)."""
+        return self._total_samples
+
+    def record(self, flat: List[Tuple[str, str, float]],
+               timestamp: Optional[float] = None) -> MetricsSample:
+        """Fold one registry snapshot into every tier; returns the raw
+        sample (for export)."""
+        when = time.time() if timestamp is None else timestamp
+        with self._lock:
+            sample_id = self._next_sample
+            self._next_sample += 1
+            self._total_samples += 1
+            entries = tuple(
+                (name, kind, value, value - self._previous.get(name, 0.0))
+                for name, kind, value in flat)
+            for name, _, value in flat:
+                self._previous[name] = value
+            raw = MetricsSample(sample_id, when, entries)
+            for tier in self._tiers:
+                if tier.stride == 1:
+                    tier.ring.append(raw)
+                    continue
+                for name, _, _, delta in entries:
+                    tier.pending_deltas[name] = (
+                        tier.pending_deltas.get(name, 0.0) + delta)
+                tier.pending_count += 1
+                if tier.pending_count >= tier.stride:
+                    tier.ring.append(MetricsSample(sample_id, when, tuple(
+                        (name, kind, value, tier.pending_deltas.get(name, 0.0))
+                        for name, kind, value, _ in entries)))
+                    tier.pending_deltas = {}
+                    tier.pending_count = 0
+        return raw
+
+    def latest(self) -> Optional[MetricsSample]:
+        """Most recent raw sample, or None before the first."""
+        with self._lock:
+            for tier in self._tiers:
+                if tier.stride == 1 and tier.ring:
+                    return tier.ring[-1]
+        return None
+
+    def samples(self, tier: str = "raw") -> List[MetricsSample]:
+        """Snapshot of one tier's retained samples, oldest first."""
+        with self._lock:
+            for candidate in self._tiers:
+                if candidate.name == tier:
+                    return list(candidate.ring)
+        raise KeyError(f"unknown retention tier: {tier!r}")
+
+    def rows(self) -> List[Tuple[str, int, float, str, str, float, float]]:
+        """``(tier, sample, timestamp, name, kind, value, delta)`` rows for
+        the ``repro_metrics_history()`` system table, copy-then-release."""
+        with self._lock:
+            snapshot = [(tier.name, list(tier.ring)) for tier in self._tiers]
+        rows: List[Tuple[str, int, float, str, str, float, float]] = []
+        for tier_name, samples in snapshot:
+            for sample in samples:
+                for name, kind, value, delta in sample.entries:
+                    rows.append((tier_name, sample.sample_id,
+                                 sample.timestamp, name, kind, value, delta))
+        return rows
+
+    def clear(self) -> None:
+        with self._lock:
+            for tier in self._tiers:
+                tier.ring.clear()
+                tier.pending_deltas = {}
+                tier.pending_count = 0
+            self._previous = {}
+
+
+class TelemetrySampler:
+    """Background thread turning registry state into history + export.
+
+    Mirrors the :class:`~repro.introspection.profiler.SamplingProfiler`
+    lifecycle: idempotent :meth:`start`/:meth:`stop` under a private lock, a
+    daemon thread so interpreter exit is never blocked, and a public
+    :meth:`sample_once` so tests and ``PRAGMA telemetry_sample`` get
+    deterministic samples without sleeping.
+
+    Each tick: fold the owning database's buffer/cache deltas into the
+    registry, record a flat snapshot into the history, then -- with every
+    lock released -- emit the sample and any newly completed trace spans to
+    the configured :class:`~repro.observability.export.TelemetrySink`.
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._lock = threading.Lock()
+        self._interval = DEFAULT_INTERVAL_MS / 1000.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._sink: Optional["TelemetrySink"] = None
+        self._span_watermark = 0
+        self.history = MetricsHistory()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    @property
+    def sink(self) -> Optional["TelemetrySink"]:
+        return self._sink
+
+    def set_sink(self, sink: Optional["TelemetrySink"]) -> None:
+        """Swap the export sink; the old one is closed."""
+        with self._lock:
+            previous, self._sink = self._sink, sink
+        if previous is not None and previous is not sink:
+            previous.close()
+
+    def start(self, interval_ms: float = DEFAULT_INTERVAL_MS) -> None:
+        """Start (or retune) the sampler; idempotent."""
+        with self._lock:
+            self._interval = min(max(float(interval_ms), 1.0), 60_000.0) / 1000.0
+            if self._thread is not None:
+                return
+            self._stop = threading.Event()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-telemetry", daemon=True)
+            self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling; history stays queryable, the sink stays open."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            if thread is None:
+                return
+            self._stop.set()
+        thread.join(timeout=2.0)
+
+    def close(self) -> None:
+        """Final flush for database close: stop, last sample, close sink."""
+        self.stop()
+        if not self._database._closed:
+            self.sample_once()
+        self.set_sink(None)
+
+    # -- sampling ----------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self.sample_once()
+
+    def sample_once(self) -> Optional[MetricsSample]:
+        """Take one sample now; returns it (None once the database closed)."""
+        database = self._database
+        if database._closed:
+            return None
+        try:
+            database.fold_metrics()
+        except Exception:  # quacklint: disable=QLE001 -- the database can close between the check and the fold; a sampler tick must never take the process down
+            return None
+        sample = self.history.record(registry().flat_snapshot())
+        sink = self._sink
+        if sink is not None:
+            sink.emit_sample(sample.as_dict())
+            for payload in self._drain_spans():
+                sink.emit_span(payload)
+        return sample
+
+    def _drain_spans(self) -> List[Dict[str, Any]]:
+        """Spans completed since the last tick, as export payloads.
+
+        The trace sink is a lossy ring; under extreme span rates the
+        watermark may skip spans that fell out between ticks -- acceptable
+        for an export stream, fatal if it blocked the engine instead.
+        """
+        from . import get_tracer
+
+        tracer = get_tracer()
+        if tracer is None:
+            return []
+        payloads: List[Dict[str, Any]] = []
+        watermark = self._span_watermark
+        for span in tracer.sink.spans():
+            if span.span_id <= watermark or not span.closed:
+                continue
+            watermark = max(watermark, span.span_id)
+            payloads.append({
+                "type": "span",
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "trace_id": span.trace_id,
+                "name": span.name,
+                "kind": span.kind,
+                "started_at": span.started_at,
+                "wall_ms": span.wall_ms,
+                "cpu_ms": span.cpu_ms,
+                "rows": span.rows,
+                "chunks": span.chunks,
+                "vectors": span.vectors,
+                "bytes_processed": span.bytes_processed,
+            })
+        self._span_watermark = watermark
+        return payloads

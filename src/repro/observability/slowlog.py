@@ -37,16 +37,21 @@ class SlowQueryRecord:
     """One over-threshold statement: SQL, duration, and its trace."""
 
     __slots__ = ("sql", "duration_ms", "threshold_ms", "timestamp",
-                 "trace_text", "span_count")
+                 "trace_text", "span_count", "session_id", "statement_seq")
 
     def __init__(self, sql: str, duration_ms: float, threshold_ms: float,
-                 spans: Optional[Sequence[Span]] = None) -> None:
+                 spans: Optional[Sequence[Span]] = None,
+                 session_id: int = 0, statement_seq: int = 0) -> None:
         self.sql = sql
         self.duration_ms = duration_ms
         self.threshold_ms = threshold_ms
         self.timestamp = time.time()
         self.span_count = len(spans) if spans else 0
         self.trace_text = render_trace(spans) if spans else None
+        # Attribution: which served session and which of its statements.
+        # 0 means "not a server session" (direct embedded connection).
+        self.session_id = session_id
+        self.statement_seq = statement_seq
 
     def render(self) -> str:
         header = (f"slow query ({self.duration_ms:.2f} ms, threshold "
@@ -68,8 +73,11 @@ class SlowQueryLog:
         self._lock = threading.Lock()
 
     def record(self, sql: str, duration_ms: float, threshold_ms: float,
-               spans: Optional[Sequence[Span]] = None) -> SlowQueryRecord:
-        entry = SlowQueryRecord(sql, duration_ms, threshold_ms, spans)
+               spans: Optional[Sequence[Span]] = None,
+               session_id: int = 0, statement_seq: int = 0) -> SlowQueryRecord:
+        entry = SlowQueryRecord(sql, duration_ms, threshold_ms, spans,
+                                session_id=session_id,
+                                statement_seq=statement_seq)
         with self._lock:
             self._records.append(entry)
         logger.warning("%s", entry.render())

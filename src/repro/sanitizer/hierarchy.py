@@ -17,6 +17,8 @@ code path must acquire nested locks in (a subsequence of) that order:
                       -> buffer_manager (storage/buffer_manager.py BufferManager._lock)
                         -> morsel_driver  (execution/parallel.py MorselDriver._lock)
                           -> operator_stats (execution/physical.py ExecutionContext._stats_lock)
+                            -> telemetry.history (observability/history.py MetricsHistory._lock,
+                                                  observability/accounting.py StatementLog._lock)
 
 The four ``server.*`` locks of the serving front end sit between the
 connection lock and the engine proper: a connection may consult a cache or
@@ -65,6 +67,7 @@ LOCK_HIERARCHY: Tuple[str, ...] = (
     "buffer_manager",
     "morsel_driver",
     "operator_stats",
+    "telemetry.history",
 )
 
 _LEVELS: Dict[str, int] = {name: level
@@ -107,6 +110,16 @@ CLASS_LOCK_ATTRS: Dict[str, Dict[str, Dict[str, str]]] = {
     },
     "repro/execution/physical.py": {
         "ExecutionContext": {"_stats_lock": "operator_stats"},
+    },
+    # Innermost telemetry ring locks: any engine thread may append a
+    # metrics sample or statement bill while holding its own locks.  The
+    # two classes deliberately share one hierarchy name -- LockSan keys its
+    # order graph by name, and the rings never nest in each other.
+    "repro/observability/history.py": {
+        "MetricsHistory": {"_lock": "telemetry.history"},
+    },
+    "repro/observability/accounting.py": {
+        "StatementLog": {"_lock": "telemetry.history"},
     },
 }
 

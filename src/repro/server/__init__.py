@@ -11,6 +11,7 @@ level -- those imports are deferred into the methods that need them.
 from .admission import AdmissionController, AdmissionTicket
 from .cache import (CachedPlan, CachedResult, PlanCache, ResultCache,
                     plan_result_cacheable)
+from .capture import WorkloadCapture, load_capture, replay_workload
 from .session import Session, SessionRegistry
 from .server import QueryServer
 
@@ -25,4 +26,7 @@ __all__ = [
     "QueryServer",
     "Session",
     "SessionRegistry",
+    "WorkloadCapture",
+    "load_capture",
+    "replay_workload",
 ]

@@ -82,6 +82,20 @@ class QueryServer:
             "result_cache": self.database.result_cache.stats(),
         }
 
+    def scrape(self) -> str:
+        """One Prometheus-text scrape page of the engine metrics.
+
+        The embedded counterpart of a ``/metrics`` endpoint: the host
+        application mounts this method on whatever HTTP surface it already
+        has and the engine becomes scrape-able without its own listener.
+        Folds the instance's buffer/cache/admission deltas first, so a
+        scrape is as fresh as a ``connection.metrics_text()`` call.
+        """
+        from ..observability import registry
+
+        self.database.fold_metrics()
+        return registry().render_text()
+
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
         """Close every live session, then the database if this server owns it."""

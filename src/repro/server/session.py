@@ -59,6 +59,21 @@ class Session:
         self.errors = 0
         self.last_sql = ""
         self.created_at = time.time()
+        # Live-activity fields (repro_activity()): what this session is
+        # doing *right now*.  Guarded by _registry_lock like all stats.
+        self.active_sql = ""
+        self.active_phase = ""
+        self.active_since = 0.0
+        self.active_seq = 0
+        # Accumulated resource accounting, folded from the connection's
+        # per-statement bills (see repro.observability.accounting).
+        self.wall_ms = 0.0
+        self.cpu_ms = 0.0
+        self.rows_scanned = 0
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+        self.peak_memory = 0
+        self._last_folded_seq = 0
         self._closed = False
 
     # -- execution ----------------------------------------------------------
@@ -72,15 +87,22 @@ class Session:
         if self._closed:
             raise ClosedHandleError(
                 f"Session {self.name!r} has been closed")
+        started = time.time()
         with self._registry_lock:
             self.state = "active"
             self.last_sql = sql
             self.statements += 1
+            self.active_sql = sql
+            self.active_phase = "admission"
+            self.active_since = started
+            self.active_seq = self.connection._statement_seq + 1
         ticket = self._admission.admit() if self._admission is not None \
             else None
         config = self.connection.session_config
         saved_threads = granted_threads = config.threads
         saved_memory = granted_memory = config.memory_limit
+        captured_rows = 0
+        captured_error = ""
         try:
             if ticket is not None:
                 # The grant only ever tightens the session's own knobs.
@@ -88,12 +110,16 @@ class Session:
                 granted_memory = min(saved_memory, ticket.memory_limit)
                 config.threads = granted_threads
                 config.memory_limit = granted_memory
+            with self._registry_lock:
+                self.active_phase = "executing"
             result = self.connection.execute(sql, parameters)
+            captured_rows = result.rowcount
             if result.rowcount > 0:
                 with self._registry_lock:
                     self.rows_returned += result.rowcount
             return result
-        except Exception:
+        except Exception as execute_error:
+            captured_error = type(execute_error).__name__
             with self._registry_lock:
                 self.errors += 1
             raise
@@ -107,9 +133,40 @@ class Session:
                 config.memory_limit = saved_memory
             if ticket is not None:
                 self._admission.release()
+            accounting = self.connection.last_accounting
+            fresh_bill = False
             with self._registry_lock:
+                self.active_sql = ""
+                self.active_phase = ""
+                self.active_since = 0.0
+                self.active_seq = 0
+                if (accounting is not None
+                        and accounting.statement_seq > self._last_folded_seq):
+                    # Multi-statement SQL leaves only its last bill visible;
+                    # the fold is an accumulated estimate, not a ledger.
+                    fresh_bill = True
+                    self._last_folded_seq = accounting.statement_seq
+                    self.wall_ms += accounting.wall_ms
+                    self.cpu_ms += accounting.cpu_ms
+                    self.rows_scanned += accounting.rows_scanned
+                    self.buffer_hits += accounting.buffer_hits
+                    self.buffer_misses += accounting.buffer_misses
+                    if accounting.memory_bytes > self.peak_memory:
+                        self.peak_memory = accounting.memory_bytes
                 if not self._closed:
                     self.state = "idle"
+            # Workload capture writes to a file: strictly outside every
+            # engine lock (quacklint QLO004).  A stale bill (transaction
+            # control statements observe nothing) falls back to the
+            # result's own count.
+            capture = self.connection.database.workload_capture
+            if capture is not None:
+                capture.emit_statement(
+                    self.name, self.session_id,
+                    accounting.statement_seq if fresh_bill else 0,
+                    sql, parameters,
+                    accounting.rows_out if fresh_bill else captured_rows,
+                    (time.time() - started) * 1000.0, captured_error)
 
     def executemany(self, sql: str, parameter_sets: Any) -> "QueryResult":
         result: Optional["QueryResult"] = None
@@ -122,6 +179,21 @@ class Session:
 
             raise InvalidInputError("executemany() with no parameter sets")
         return result
+
+    def stats(self) -> Dict[str, Any]:
+        """Accumulated resource accounting of this session (one snapshot)."""
+        with self._registry_lock:
+            return {
+                "statements": self.statements,
+                "rows_returned": self.rows_returned,
+                "errors": self.errors,
+                "wall_ms": self.wall_ms,
+                "cpu_ms": self.cpu_ms,
+                "rows_scanned": self.rows_scanned,
+                "buffer_hits": self.buffer_hits,
+                "buffer_misses": self.buffer_misses,
+                "peak_memory": self.peak_memory,
+            }
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -170,6 +242,9 @@ class SessionRegistry:
             self._next_id += 1
         session = Session(self, admission, connection, session_id,
                           name or f"session-{session_id}")
+        # Stamp the accounting attribution key onto the connection so every
+        # StatementRecord and slow-log entry carries (session_id, seq).
+        connection._session_id = session_id
         with self._lock:
             self._sessions[session_id] = session
             self.opened += 1
@@ -200,6 +275,42 @@ class SessionRegistry:
                     "errors": session.errors,
                     "last_sql": session.last_sql,
                     "created_at": session.created_at,
+                    "wall_ms": session.wall_ms,
+                    "cpu_ms": session.cpu_ms,
+                    "rows_scanned": session.rows_scanned,
+                    "buffer_hits": session.buffer_hits,
+                    "buffer_misses": session.buffer_misses,
+                    "peak_memory": session.peak_memory,
+                })
+            return rows
+
+    def activity_snapshot(self) -> List[Dict[str, Any]]:
+        """Live per-session activity rows for ``repro_activity()``.
+
+        Only sessions with a statement in flight appear.  ``rows_so_far``
+        is a best-effort read of the in-flight execution context's scan
+        counter -- the same lock-free post-hoc read the executor uses --
+        so a dashboard can see a runaway scan *while it runs*.
+        """
+        now = time.time()
+        with self._lock:
+            rows = []
+            for session in self._sessions.values():
+                if not session.active_sql:
+                    continue
+                rows_so_far = 0
+                context = session.connection._active_context
+                if context is not None:
+                    rows_so_far = int(context.stats.get("rows_scanned", 0))
+                rows.append({
+                    "session_id": session.session_id,
+                    "name": session.name,
+                    "statement_seq": session.active_seq,
+                    "sql": session.active_sql,
+                    "phase": session.active_phase,
+                    "started_at": session.active_since,
+                    "elapsed_ms": (now - session.active_since) * 1000.0,
+                    "rows_so_far": rows_so_far,
                 })
             return rows
 

@@ -242,8 +242,10 @@ class TestConcurrencyRule:
     def test_registry_lock_hierarchy(self):
         registry = ThreadSafetyRegistry()
         assert registry.lock_level("connection") == 0
-        assert registry.lock_level("operator_stats") == \
+        assert registry.lock_level("telemetry.history") == \
             len(registry.lock_hierarchy) - 1
+        assert registry.lock_level("operator_stats") == \
+            len(registry.lock_hierarchy) - 2
         assert registry.lock_level("not_a_lock") is None
         # self.<attr> resolves through the per-class table...
         assert registry.resolve_lock_attr(
@@ -874,6 +876,42 @@ class TestObservabilityRule:
         def rows(self):
             with self._lock:
                 yield from self._rows
+        """
+        assert check(source, self.PATH) == []
+
+    def test_emit_under_lock_flagged(self):
+        source = """
+        def fold(self, sink):
+            with self._registry_lock:
+                for record in self._pending:
+                    sink.emit_statement(record)
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLO004"]
+
+    def test_emit_under_nested_non_lock_with_flagged(self):
+        source = """
+        def flush(self, sink, path):
+            with self._lock:
+                with open(path) as handle:
+                    sink.emit_sample(handle.read())
+        """
+        assert rule_ids(check(source, self.PATH)) == ["QLO004"]
+
+    def test_copy_then_release_emit_is_clean(self):
+        source = """
+        def fold(self, sink):
+            with self._registry_lock:
+                pending = list(self._pending)
+            for record in pending:
+                sink.emit_statement(record)
+        """
+        assert check(source, self.PATH) == []
+
+    def test_emit_under_plain_with_is_clean(self):
+        source = """
+        def flush(self, sink, path):
+            with open(path) as handle:
+                sink.emit_sample(handle.read())
         """
         assert check(source, self.PATH) == []
 

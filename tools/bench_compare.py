@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Compare two repro-bench-v1 JSON reports and gate on regression.
+
+CI usage (the ``telemetry`` job)::
+
+    python tools/bench_compare.py BENCH_PR9.json BENCH_PR10.json \
+        --metric p99_ms --threshold 25
+
+Prints a side-by-side of the serving metrics and exits 2 if the gated
+metric regressed by more than ``--threshold`` percent.  Latency metrics
+(``*_ms``, ``wall_seconds``) regress upward; throughput metrics
+(``statements_per_second``, ``plan_cache_hit_rate``) regress downward.
+Benchmarks on shared CI runners are noisy -- gate with a generous
+threshold and treat the printed table as the real signal.
+"""
+
+import argparse
+import json
+import sys
+
+#: Metrics where a *larger* value is better (regression = decrease).
+_HIGHER_IS_BETTER = ("statements_per_second", "plan_cache_hit_rate")
+
+_REPORT_METRICS = ("statements", "errors", "p50_ms", "p99_ms", "max_ms",
+                   "wall_seconds", "statements_per_second",
+                   "plan_cache_hit_rate")
+
+
+def load_serving(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("format") != "repro-bench-v1":
+        raise SystemExit(f"{path}: not a repro-bench-v1 report")
+    serving = report.get("serving")
+    if not isinstance(serving, dict):
+        raise SystemExit(f"{path}: missing 'serving' section")
+    return serving
+
+
+def change_percent(metric, base, new):
+    """Signed regression percentage (positive = worse)."""
+    if base == 0:
+        return 0.0
+    delta = (new - base) / base * 100.0
+    if metric in _HIGHER_IS_BETTER:
+        delta = -delta
+    return delta
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff two repro-bench-v1 reports, gate on a metric")
+    parser.add_argument("baseline", help="older report (e.g. BENCH_PR9.json)")
+    parser.add_argument("candidate", help="newer report")
+    parser.add_argument("--metric", default="p99_ms",
+                        help="serving metric to gate on (default p99_ms)")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max tolerated regression in percent "
+                             "(default 25)")
+    args = parser.parse_args(argv)
+
+    base = load_serving(args.baseline)
+    new = load_serving(args.candidate)
+
+    print(f"{'metric':<24} {'baseline':>12} {'candidate':>12} {'change':>9}")
+    for metric in _REPORT_METRICS:
+        if metric not in base or metric not in new:
+            continue
+        delta = change_percent(metric, base[metric], new[metric])
+        sign = "+" if delta >= 0 else ""
+        print(f"{metric:<24} {base[metric]:>12.3f} {new[metric]:>12.3f} "
+              f"{sign}{delta:>7.1f}%")
+
+    if args.metric not in base or args.metric not in new:
+        raise SystemExit(
+            f"metric {args.metric!r} missing from one of the reports")
+    gated = change_percent(args.metric, base[args.metric], new[args.metric])
+    if gated > args.threshold:
+        print(f"FAIL: {args.metric} regressed {gated:.1f}% "
+              f"(threshold {args.threshold:.1f}%)", file=sys.stderr)
+        return 2
+    print(f"OK: {args.metric} within threshold "
+          f"({gated:+.1f}% vs {args.threshold:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,19 +36,31 @@ def main(argv=None):
                         help="seed rows in the events table (default 2000)")
     parser.add_argument("--max-concurrent-queries", type=int, default=8,
                         help="admission-controller concurrency (default 8)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload RNG seed (default 7); the schema seed "
+                             "is derived from it so two runs with the same "
+                             "seed issue identical statements")
+    parser.add_argument("--capture", default=None,
+                        help="capture every session statement to this JSONL "
+                             "path (replayable with tools/replay_workload.py; "
+                             "use --workers 1 for a deterministic capture)")
     parser.add_argument("--output", default=None,
                         help="write the JSON summary to this path")
     args = parser.parse_args(argv)
 
     config = {"max_concurrent_queries": args.max_concurrent_queries}
+    if args.capture:
+        config["capture_path"] = args.capture
+        config["capture_enabled"] = True
     with repro.serve(config=config) as server:
-        loadgen.prepare_schema(server, rows=args.rows)
+        loadgen.prepare_schema(server, rows=args.rows, seed=args.seed + 4)
         summary = loadgen.run_load(
             server,
             sessions=args.sessions,
             statements_per_session=args.statements,
             olap_fraction=args.olap_fraction,
             workers=args.workers,
+            seed=args.seed,
         )
 
     print(f"sessions={summary['sessions']} workers={summary['workers']} "
